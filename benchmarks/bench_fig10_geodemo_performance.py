@@ -1,0 +1,71 @@
+"""F10 — Fig 10: network performance per geodemographic cluster.
+
+Regenerates the per-cluster weekly KPI series and the §4.4 correlation
+table between total connected users and downlink volume (paper:
+Cosmopolitans +0.973, Ethnicity Central +0.816, Rural Residents 0.299,
+Suburbanites −0.466).
+"""
+
+from repro.core.correlation import cluster_users_volume_correlation
+from repro.core.performance import performance_series
+from repro.core.report import render_series_block
+
+METRICS = ("dl_volume_mb", "ul_volume_mb", "connected_users",
+           "dl_active_users")
+
+
+def _panels(feeds, labeled):
+    return {
+        metric: performance_series(
+            feeds, metric, grouping="oac", labeled=labeled
+        )
+        for metric in METRICS
+    }
+
+
+def test_fig10_cluster_panels(benchmark, feeds, labeled):
+    panels = benchmark(_panels, feeds, labeled)
+    for metric, series in panels.items():
+        print()
+        print(
+            render_series_block(
+                f"Fig 10 — {metric} per cluster (% vs week 9)",
+                series.weeks,
+                dict(sorted(series.values.items())),
+            )
+        )
+
+    dl = panels["dl_volume_mb"]
+    users = panels["connected_users"]
+    # Rural downlink stays largely stable; Cosmopolitan areas lose a
+    # large share of their users and the most downlink volume.
+    assert dl.minimum("Rural Residents")[1] > -15
+    assert users.minimum("Cosmopolitans")[1] < -25
+    cosmo_min = dl.minimum("Cosmopolitans")[1]
+    for cluster in dl.values:
+        assert cosmo_min <= dl.minimum(cluster)[1] + 1e-9
+
+
+def test_fig10_user_volume_correlations(benchmark, feeds, labeled):
+    panels = _panels(feeds, labeled)
+    correlations = benchmark(
+        cluster_users_volume_correlation,
+        panels["connected_users"],
+        panels["dl_volume_mb"],
+    )
+    print("\n§4.4 — users vs DL-volume correlation per cluster")
+    print("-" * 52)
+    paper = {
+        "Cosmopolitans": 0.973,
+        "Ethnicity Central": 0.816,
+        "Rural Residents": 0.299,
+        "Suburbanites": -0.466,
+    }
+    for cluster, value in sorted(correlations.items()):
+        reference = paper.get(cluster)
+        note = f"(paper {reference:+.3f})" if reference is not None else ""
+        print(f"{cluster:<30} {value:+.3f} {note}")
+
+    assert correlations["Cosmopolitans"] > 0.9
+    assert correlations["Ethnicity Central"] > 0.6
+    assert correlations["Suburbanites"] < -0.3

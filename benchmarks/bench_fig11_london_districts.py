@@ -1,0 +1,49 @@
+"""F11 — Fig 11: Inner-London postal-district network performance.
+
+Regenerates the per-district weekly series: the EC/WC collapse (−70 to
+−80% traffic), and the N district detaching with stable volume and
+extra active users.
+"""
+
+from repro.core.performance import performance_series
+from repro.core.report import render_series_block
+
+METRICS = ("dl_volume_mb", "ul_volume_mb", "dl_active_users",
+           "connected_users", "radio_load_pct")
+
+
+def _panels(feeds, labeled):
+    return {
+        metric: performance_series(
+            feeds, metric, grouping="district_area",
+            restrict_county="Inner London", labeled=labeled,
+        )
+        for metric in METRICS
+    }
+
+
+def test_fig11_district_panels(benchmark, feeds, labeled):
+    panels = benchmark(_panels, feeds, labeled)
+    for metric in ("dl_volume_mb", "dl_active_users", "connected_users"):
+        series = panels[metric]
+        print()
+        print(
+            render_series_block(
+                f"Fig 11 — Inner London {metric} (% vs week 9)",
+                series.weeks,
+                dict(sorted(series.values.items())),
+            )
+        )
+
+    dl = panels["dl_volume_mb"]
+    users = panels["dl_active_users"]
+
+    # Central districts collapse (paper: EC > −70%, WC > −80%).
+    assert dl.minimum("EC")[1] < -55
+    assert dl.minimum("WC")[1] < -55
+    # The other districts fall far less.
+    assert dl.minimum("SE")[1] > -55
+    # N detaches: stable volume, active users up in weeks 10-14.
+    assert dl.minimum("N")[1] > -30
+    n_users = users.values["N"][(users.weeks >= 10) & (users.weeks <= 14)]
+    assert n_users.max() > 0

@@ -1,0 +1,51 @@
+"""F12 — Fig 12: London network performance per geodemographic cluster.
+
+Regenerates the London-only cluster series: the Cosmopolitan collapse
+(matching EC/WC) and the Multicultural uplink increase.
+"""
+
+from repro.core.performance import performance_series
+from repro.core.report import render_series_block
+
+METRICS = ("dl_volume_mb", "ul_volume_mb", "dl_active_users",
+           "user_dl_throughput_mbps")
+
+
+def _panels(feeds, labeled):
+    return {
+        metric: performance_series(
+            feeds, metric, grouping="oac",
+            restrict_county="Inner London", labeled=labeled,
+        )
+        for metric in METRICS
+    }
+
+
+def test_fig12_london_cluster_panels(benchmark, feeds, labeled):
+    panels = benchmark(_panels, feeds, labeled)
+    for metric, series in panels.items():
+        print()
+        print(
+            render_series_block(
+                f"Fig 12 — London {metric} per cluster (% vs week 9)",
+                series.weeks,
+                series.values,
+            )
+        )
+
+    dl = panels["dl_volume_mb"]
+    ul = panels["ul_volume_mb"]
+    # Only the three London clusters appear (§5.2).
+    assert set(dl.values) <= {
+        "Cosmopolitans", "Ethnicity Central",
+        "Multicultural Metropolitans",
+    }
+    # Cosmopolitans fall sharpest (the EC/WC signature).
+    cosmo = dl.minimum("Cosmopolitans")[1]
+    for cluster in dl.values:
+        assert cosmo <= dl.minimum(cluster)[1] + 1e-9
+    assert cosmo < -40
+    # Multicultural areas gain uplink during lockdown.
+    name = "Multicultural Metropolitans"
+    if name in ul.values:
+        assert ul.values[name][ul.weeks >= 13].max() > 5

@@ -1,0 +1,30 @@
+"""F2 — Fig 2: home detection validated against census populations.
+
+Regenerates the inferred-vs-census LAD regression (paper: r² = 0.955)
+and benchmarks the nighttime home-detection pass over February.
+"""
+
+from repro.core import detect_homes, validate_against_census
+
+
+def test_fig2_home_detection(benchmark, feeds):
+    homes = benchmark(detect_homes, feeds)
+    print(
+        f"\nFig 2 — detected homes for {int(homes.detected.sum())} of "
+        f"{homes.user_ids.size} users "
+        f"(rate {homes.detection_rate:.2f}; paper: 16M of 22M ≈ 0.73)"
+    )
+    assert 0.55 < homes.detection_rate < 0.95
+
+
+def test_fig2_census_regression(benchmark, feeds, study):
+    validation = benchmark(validate_against_census, feeds, study.homes)
+    table = validation.table.sort_by("census_population", descending=True)
+    print("\nFig 2 — inferred vs census population (top LADs)")
+    print(table.head(10).to_pretty())
+    print(
+        f"linear fit: slope={validation.slope:.5f} "
+        f"r²={validation.r_squared:.3f} (paper: 0.955)"
+    )
+    assert validation.r_squared > 0.75
+    assert validation.slope > 0

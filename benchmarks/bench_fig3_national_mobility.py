@@ -1,0 +1,49 @@
+"""F3 — Fig 3: national daily gyration/entropy change vs week 9.
+
+Regenerates both panels (as weekly means for readability) and
+benchmarks the per-user-day metric computation — the hottest loop of
+the mobility pipeline (entropy + gyration for every user × day).
+"""
+
+import numpy as np
+
+from repro.core.baseline import weekly_mean
+from repro.core.mobility_series import national_mobility
+from repro.core.report import render_series_block
+from repro.core.statistics import compute_daily_metrics
+
+
+def test_fig3_metric_computation(benchmark, feeds):
+    metrics = benchmark(compute_daily_metrics, feeds)
+    assert metrics.num_days == feeds.calendar.num_days
+    assert np.isfinite(metrics.entropy).all()
+
+
+def test_fig3_national_series(benchmark, feeds, metrics):
+    series = benchmark(national_mobility, metrics, feeds)
+    weeks_of_day = feeds.calendar.weeks[series["gyration"].x]
+    for metric in ("gyration", "entropy"):
+        weeks, weekly = weekly_mean(
+            series[metric].values["UK"], weeks_of_day
+        )
+        print()
+        print(
+            render_series_block(
+                f"Fig 3 — national {metric} (% vs week 9, weekly mean)",
+                weeks,
+                {"UK": weekly},
+            )
+        )
+
+    def week(metric, number):
+        return series[metric].at_week(
+            "UK", number, weeks_of_day=weeks_of_day
+        )
+
+    # Paper shape: −20% gyration by week 12, ~−50% in weeks 13-14,
+    # slight recovery afterwards, entropy drop smaller than gyration.
+    assert week("gyration", 12) < -8
+    lockdown = min(week("gyration", 13), week("gyration", 14))
+    assert -60 < lockdown < -35
+    assert week("entropy", 14) > week("gyration", 14)
+    assert week("gyration", 19) > lockdown

@@ -1,0 +1,39 @@
+"""F4 — Fig 4: entropy change vs cumulative confirmed cases.
+
+Regenerates the scatter (printed as case-decile means) and the
+correlation statistics behind the paper's "mobility does not track case
+counts" takeaway.
+"""
+
+import numpy as np
+
+from repro.core.correlation import entropy_cases_correlation
+from repro.core.mobility_series import national_mobility
+
+
+def test_fig4_scatter(benchmark, feeds, metrics):
+    national = national_mobility(metrics, feeds)
+    result = benchmark(entropy_cases_correlation, national, feeds)
+
+    print("\nFig 4 — entropy change vs cumulative cases")
+    print("-" * 52)
+    buckets = np.percentile(result.cumulative_cases, np.arange(0, 101, 20))
+    for low, high in zip(buckets[:-1], buckets[1:]):
+        mask = (result.cumulative_cases >= low) & (
+            result.cumulative_cases <= high
+        )
+        print(
+            f"cases {low:>9.0f}..{high:>9.0f} : "
+            f"{result.entropy_change_pct[mask].mean():+6.1f}%"
+        )
+    print(
+        f"pearson r pre-declaration = "
+        f"{result.pearson_r_pre_declaration:+.3f} (paper: none)"
+    )
+    print(f"pearson r pre-lockdown    = {result.pearson_r_pre_lockdown:+.3f}")
+
+    # While cases grew but nothing was announced, mobility did not move.
+    assert abs(result.pearson_r_pre_declaration) < 0.45
+    # The entropy drop begins only after the declaration (~1000 cases).
+    early = result.entropy_change_pct[result.cumulative_cases < 500]
+    assert abs(early.mean()) < 10.0

@@ -1,0 +1,42 @@
+"""F5 — Fig 5: regional mobility (five high-density regions).
+
+Regenerates the weekly gyration/entropy series per region against the
+national week-9 baseline.
+"""
+
+from repro.core.mobility_series import regional_mobility
+from repro.core.report import render_series_block
+
+
+def test_fig5_regional_series(benchmark, feeds, metrics):
+    series = benchmark(regional_mobility, metrics, feeds)
+    for metric in ("gyration", "entropy"):
+        panel = series[metric]
+        print()
+        print(
+            render_series_block(
+                f"Fig 5 — regional {metric} (% vs national week 9)",
+                panel.x,
+                panel.values,
+            )
+        )
+
+    gyration = series["gyration"]
+    entropy = series["entropy"]
+    # Paper: London covers smaller areas (gyration below national) but
+    # moves less predictably (entropy above national).
+    assert gyration.at_week("Inner London", 9) < -5
+    assert entropy.at_week("Inner London", 9) > 3
+    # Every region drops sharply in weeks 13-14.
+    for region in gyration.values:
+        assert (
+            gyration.at_week(region, 14) < gyration.at_week(region, 9) - 20
+        )
+    # London relaxes more than the Midlands by weeks 18-19.
+    london = gyration.at_week("Inner London", 19) - gyration.at_week(
+        "Inner London", 14
+    )
+    midlands = gyration.at_week("West Midlands", 19) - gyration.at_week(
+        "West Midlands", 14
+    )
+    assert london > midlands

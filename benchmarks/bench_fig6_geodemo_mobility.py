@@ -1,0 +1,37 @@
+"""F6 — Fig 6: mobility per geodemographic cluster.
+
+Regenerates the weekly gyration/entropy series per 2011-OAC supergroup
+against the national week-9 baseline.
+"""
+
+from repro.core.mobility_series import geodemographic_mobility
+from repro.core.report import render_series_block
+
+
+def test_fig6_cluster_series(benchmark, feeds, metrics):
+    series = benchmark(geodemographic_mobility, metrics, feeds)
+    for metric in ("gyration", "entropy"):
+        panel = series[metric]
+        print()
+        print(
+            render_series_block(
+                f"Fig 6 — {metric} per OAC cluster (% vs national wk 9)",
+                panel.x,
+                dict(sorted(panel.values.items())),
+            )
+        )
+
+    gyration = series["gyration"]
+    entropy = series["entropy"]
+    # Rural users range wider than average before the pandemic; dense
+    # central clusters range less but less predictably.
+    assert gyration.at_week("Rural Residents", 9) > 5
+    assert entropy.at_week("Ethnicity Central", 9) > entropy.at_week(
+        "Rural Residents", 9
+    )
+    # Every cluster shows the same steep drop from week 13. (The drop
+    # in national-baseline points is compressed for clusters whose
+    # absolute gyration is small, hence the moderate floor.)
+    for cluster in gyration.values:
+        drop = gyration.at_week(cluster, 14) - gyration.at_week(cluster, 9)
+        assert drop < -12

@@ -1,0 +1,75 @@
+"""F8 — Fig 8: the six-panel network-performance characterization.
+
+Regenerates, for the UK and the five high-density regions, the weekly
+median delta series of every data-traffic KPI (all bearers QCI 1–8):
+downlink/uplink volume, active DL users, per-user DL throughput, cell
+resource utilization and total connected users.
+"""
+
+from repro.core.performance import PERF_METRICS, performance_series
+from repro.core.report import render_series_block
+
+
+def _all_panels(feeds, labeled):
+    return {
+        metric: performance_series(
+            feeds, metric, grouping="county", labeled=labeled
+        )
+        for metric in PERF_METRICS
+    }
+
+
+def test_fig8_all_panels(benchmark, feeds, labeled):
+    panels = benchmark(_all_panels, feeds, labeled)
+    for metric, series in panels.items():
+        print()
+        print(
+            render_series_block(
+                f"Fig 8 — {metric} (% vs week 9)",
+                series.weeks,
+                series.values,
+            )
+        )
+
+    dl = panels["dl_volume_mb"]
+    ul = panels["ul_volume_mb"]
+    users = panels["dl_active_users"]
+    throughput = panels["user_dl_throughput_mbps"]
+    load = panels["radio_load_pct"]
+
+    # Paper §4.1 shape checks.
+    assert 3 < dl.at_week("UK", 10) < 15  # +8% bump in week 10
+    week, value = dl.minimum("UK")
+    assert week >= 13 and -35 < value < -15  # −24% trough
+    lockdown_ul = ul.values["UK"][ul.weeks >= 13]
+    assert lockdown_ul.min() > -12 and lockdown_ul.max() < 10
+    assert users.minimum("UK")[1] < -10  # active users fall
+    assert -18 < throughput.minimum("UK")[1] < -4  # ~−10%, app-limited
+    assert -30 < load.minimum("UK")[1] < -8  # ~−15% radio load
+
+    # Regional ordering (§4.3): Inner London falls hardest; Outer
+    # London least among the London pair.
+    assert dl.minimum("Inner London")[1] < dl.minimum("UK")[1]
+    assert dl.minimum("Inner London")[1] < dl.minimum("Outer London")[1]
+
+
+def test_fig8_percentile_band(benchmark, feeds, labeled):
+    """The 90th-percentile band the paper mentions for active users."""
+    p90 = benchmark(
+        performance_series,
+        feeds,
+        "dl_active_users",
+        grouping="national",
+        percentile=90.0,
+        labeled=labeled,
+    )
+    print()
+    print(
+        render_series_block(
+            "Fig 8 (aux) — dl_active_users 90th percentile",
+            p90.weeks,
+            p90.values,
+        )
+    )
+    # The upper percentile also reduces during lockdown (§4.1).
+    assert p90.values["UK"][p90.weeks >= 14].mean() < 0

@@ -1,0 +1,64 @@
+"""F9 — Fig 9: conversational-voice traffic (QCI = 1).
+
+Regenerates the four voice panels — volume, simultaneous users, UL and
+DL packet loss — including the interconnect congestion incident and its
+operational resolution.
+"""
+
+from repro.core.report import render_series_block
+from repro.core.voice_analysis import voice_series
+
+
+def test_fig9_voice_panels(benchmark, feeds, labeled):
+    panels = benchmark(voice_series, feeds, labeled=labeled)
+    for metric, series in panels.items():
+        print()
+        print(
+            render_series_block(
+                f"Fig 9 — {metric} (% vs week 9)",
+                series.weeks,
+                series.values,
+            )
+        )
+
+    volume = panels["voice_volume_mb"]
+    users = panels["voice_users"]
+    dl_loss = panels["voice_dl_loss_rate"]
+    ul_loss = panels["voice_ul_loss_rate"]
+
+    # +140% volume spike at week 12 with matching simultaneous users.
+    peak_week, peak = volume.maximum("UK")
+    assert peak_week in (12, 13)
+    assert 100 < peak < 200
+    assert users.maximum("UK")[1] > 80
+
+    # DL loss: >+100% spike in weeks 10-12, then below normal.
+    loss_week, loss_peak = dl_loss.maximum("UK")
+    assert 10 <= loss_week <= 12
+    assert loss_peak > 100
+    assert dl_loss.values["UK"][-1] < 0
+
+    # UL loss decreases with the quieter radio network.
+    assert ul_loss.values["UK"][ul_loss.weeks >= 14].mean() < 0
+
+    # §4.2 also reports "a significant increase of its top 90
+    # percentile value" for voice volume.
+    from repro.core.voice_analysis import voice_series as _vs
+
+    p90 = _vs(feeds, percentile=90.0, labeled=labeled)["voice_volume_mb"]
+    print()
+    print(
+        render_series_block(
+            "Fig 9 (aux) — voice volume, 90th percentile",
+            p90.weeks, p90.values,
+        )
+    )
+    assert p90.maximum("UK")[1] > 80
+
+    upgrade = feeds.interconnect_upgrade_day
+    assert upgrade is not None
+    date = feeds.calendar.date_of(upgrade)
+    print(
+        f"\ninterconnect capacity upgrade landed {date} "
+        f"(week {date.isocalendar().week}) — the §4.2 'rapid response'"
+    )

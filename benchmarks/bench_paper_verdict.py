@@ -1,0 +1,16 @@
+"""The overall reproduction verdict: every paper target, one table.
+
+Scores the benchmark run's summary against the machine-readable target
+bands (``repro.core.paper_targets``) — the condensed form of
+EXPERIMENTS.md.
+"""
+
+from repro.core.paper_targets import evaluate_summary, render_verdicts
+
+
+def test_paper_verdict(benchmark, study):
+    summary = study.summary()
+    verdicts = benchmark(evaluate_summary, summary)
+    print("\n" + render_verdicts(verdicts))
+    passed = sum(verdict.passed for verdict in verdicts)
+    assert passed / len(verdicts) >= 0.85

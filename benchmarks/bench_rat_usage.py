@@ -1,0 +1,14 @@
+"""S24 — §2.4: RAT time shares (75% of connected time on 4G)."""
+
+import pytest
+
+from repro.core.rat_usage import rat_time_share
+
+
+def test_rat_time_share(benchmark, feeds):
+    shares = benchmark(rat_time_share, feeds.rat_time)
+    print("\n§2.4 — connected-time share per RAT")
+    for rat, share in sorted(shares.items()):
+        print(f"  {rat:<4} {share:6.1%}")
+    assert shares["4G"] == pytest.approx(0.75, abs=0.03)
+    assert sum(shares.values()) == pytest.approx(1.0)

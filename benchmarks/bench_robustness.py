@@ -1,0 +1,42 @@
+"""Seed-sweep robustness: the reproduction's error bars.
+
+Runs the study across several seeds and verifies that every qualitative
+takeaway keeps its sign — the reproduction does not hinge on one lucky
+world draw. (Run at tiny scale; the sweep is itself the benchmark.)
+"""
+
+from repro.core.robustness import seed_sweep
+from repro.simulation.config import SimulationConfig
+
+SIGN_STABLE_METRICS = (
+    "gyration_change_lockdown_pct",  # always a drop
+    "entropy_change_lockdown_pct",  # always a drop
+    "dl_volume_min_pct",  # always a drop
+    "voice_volume_peak_pct",  # always a surge
+    "voice_dl_loss_peak_pct",  # always a spike
+    "radio_load_min_pct",  # always a drop
+)
+
+
+def test_seed_sweep(benchmark):
+    result = benchmark.pedantic(
+        seed_sweep,
+        args=([11, 23, 37],),
+        kwargs={"config_factory": SimulationConfig.tiny},
+        rounds=1,
+        iterations=1,
+    )
+    print("\nRobustness across seeds (tiny scale)")
+    print(f"{'metric':<38}{'mean':>10}{'std':>8}{'min':>10}{'max':>10}")
+    for row in result.to_rows():
+        print(
+            f"{row['metric']:<38}{row['mean']:>10.2f}{row['std']:>8.2f}"
+            f"{row['min']:>10.2f}{row['max']:>10.2f}"
+        )
+    for metric in SIGN_STABLE_METRICS:
+        assert result.stable_sign(metric), metric
+    # Magnitudes stay in the reproduction bands across seeds.
+    low, high = result.spread("gyration_change_lockdown_pct")
+    assert -62 < low and high < -30
+    low, high = result.spread("voice_volume_peak_pct")
+    assert low > 110 and high < 200

@@ -1,0 +1,55 @@
+"""Scaling study: how the reproduction converges with sample size.
+
+The paper has 22M users; we sample. This bench measures how two
+sampling-sensitive quantities behave as the synthetic population grows:
+the Fig 2 census r² (should rise toward the paper's 0.955) and the
+headline gyration drop (should be scale-stable). It also records the
+simulation cost per scale, which is what a user trades off.
+"""
+
+import pytest
+
+from repro.core import CovidImpactStudy
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import Simulator
+
+SCALES = (1_500, 5_000, 12_000)
+
+
+def run_scale(num_users: int) -> dict:
+    config = SimulationConfig(
+        num_users=num_users,
+        target_site_count=max(100, num_users // 18),
+        seed=2020,
+    )
+    study = CovidImpactStudy(Simulator(config).run())
+    summary = study.summary()
+    return {
+        "users": num_users,
+        "fig2_r2": summary["fig2_r_squared"],
+        "gyration": summary["gyration_change_lockdown_pct"],
+        "voice_peak": summary["voice_volume_peak_pct"],
+    }
+
+
+def test_scaling_convergence(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [run_scale(scale) for scale in SCALES],
+        rounds=1, iterations=1,
+    )
+    print("\nScaling study (seed 2020)")
+    print(f"{'users':>8}{'fig2 r²':>10}{'gyration':>10}{'voice':>8}")
+    for row in rows:
+        print(
+            f"{row['users']:>8}{row['fig2_r2']:>10.3f}"
+            f"{row['gyration']:>10.1f}{row['voice_peak']:>8.1f}"
+        )
+    r2 = [row["fig2_r2"] for row in rows]
+    # The census fit improves with sample size (README's claim).
+    assert r2[-1] > r2[0]
+    assert r2[-1] > 0.85
+    # Scale-stable headline results.
+    gyration = [row["gyration"] for row in rows]
+    assert max(gyration) - min(gyration) < 12.0
+    voice = [row["voice_peak"] for row in rows]
+    assert all(110 < value < 190 for value in voice)

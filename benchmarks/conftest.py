@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark harness.
+
+One session-scoped simulation feeds every figure benchmark; the
+benchmarks time the *analysis* stages (the simulation itself has its
+own benchmark in ``bench_simulation.py``).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to also see every figure's reproduced series printed as a
+text panel.
+"""
+
+import pytest
+
+from repro.core import CovidImpactStudy
+from repro.core.performance import label_kpis
+from repro.core.statistics import compute_daily_metrics
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import Simulator
+
+BENCH_SEED = 2020
+
+
+@pytest.fixture(scope="session")
+def feeds():
+    config = SimulationConfig.small(seed=BENCH_SEED)
+    return Simulator(config).run()
+
+
+@pytest.fixture(scope="session")
+def study(feeds):
+    return CovidImpactStudy(feeds)
+
+
+@pytest.fixture(scope="session")
+def metrics(feeds):
+    return compute_daily_metrics(feeds)
+
+
+@pytest.fixture(scope="session")
+def labeled(feeds):
+    return label_kpis(feeds)

@@ -1,0 +1,67 @@
+"""What-if: a stricter, better-complied-with lockdown.
+
+Shows how to compose a custom scenario from the public configuration
+surface — here a country where the work-from-home shift is nearly total
+and adherence never decays — and compares its network impact against
+the calibrated 2020 baseline.
+
+    python examples/custom_scenario.py
+"""
+
+from repro.core import CovidImpactStudy
+from repro.mobility.behavior import BehaviorSettings
+from repro.mobility.pandemic import PandemicTimeline
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import Simulator
+
+
+def main() -> None:
+    base = SimulationConfig.small(seed=2020)
+
+    strict = base.with_overrides(
+        behavior=BehaviorSettings(
+            wfh_max=0.97,  # almost nobody commutes
+            social_reduction=0.995,  # no social visits at all
+            errand_reduction=0.6,  # one shop a week
+        ),
+        timeline=PandemicTimeline(
+            adherence_decay_per_day=0.0,  # adherence never fades
+        ),
+    )
+
+    print("simulating the 2020 baseline ...")
+    factual = CovidImpactStudy(Simulator(base).run())
+    print("simulating the strict-lockdown scenario ...")
+    stricter = CovidImpactStudy(Simulator(strict).run())
+
+    rows = [
+        ("gyration (weeks 13-14)", "gyration_change_lockdown_pct", "%"),
+        ("entropy (weeks 13-14)", "entropy_change_lockdown_pct", "%"),
+        ("downlink volume minimum", "dl_volume_min_pct", "%"),
+        ("active DL users minimum", "active_users_min_pct", "%"),
+        ("radio load minimum", "radio_load_min_pct", "%"),
+        ("voice volume peak", "voice_volume_peak_pct", "%"),
+        ("Inner Londoners away", "inner_london_away_share_lockdown", ""),
+    ]
+    factual_summary = factual.summary()
+    strict_summary = stricter.summary()
+
+    print()
+    print(f"{'metric':<28}{'2020 baseline':>16}{'strict lockdown':>18}")
+    print("-" * 62)
+    for label, key, unit in rows:
+        print(
+            f"{label:<28}{factual_summary[key]:>15.1f}{unit}"
+            f"{strict_summary[key]:>17.1f}{unit}"
+        )
+
+    print()
+    print(
+        "A stricter lockdown pushes mobility and radio usage further "
+        "down, but uplink/voice dynamics barely move — the surge is "
+        "driven by the *existence* of confinement, not its depth."
+    )
+
+
+if __name__ == "__main__":
+    main()

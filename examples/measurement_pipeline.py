@@ -1,0 +1,94 @@
+"""The passive-measurement path, end to end (event mode).
+
+The paper's infrastructure captures raw signalling events at the core
+network and reduces them to per-user tower dwell times (§2.1–§2.3).
+This example runs the simulator with event emission on, reconstructs
+dwell via sessionization, and verifies that mobility metrics computed
+from the *events* match the simulator's ground truth — the fidelity
+check that justifies running the large analyses in dwell mode.
+
+    python examples/measurement_pipeline.py
+"""
+
+import numpy as np
+
+from repro.core import mobility_entropy, sessionize_events
+from repro.network.signaling import EventType
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import Simulator
+
+
+def main() -> None:
+    config = SimulationConfig(
+        num_users=500,
+        target_site_count=80,
+        seed=2020,
+        emit_signaling=True,
+    )
+    print(
+        f"simulating {config.num_users} users with raw signalling "
+        "emission ..."
+    )
+    feeds = Simulator(config).run()
+    day = feeds.calendar.day_of(
+        __import__("datetime").date(2020, 2, 25)
+    )
+    events = feeds.signaling[day]
+
+    print(f"\nday {day} event feed: {len(events)} events")
+    names = {event.value: event.name for event in EventType}
+    values, counts = np.unique(events["event"], return_counts=True)
+    for value, count in sorted(
+        zip(values, counts), key=lambda item: -item[1]
+    ):
+        print(f"  {names[int(value)]:<24} {count:>8d}")
+    success_rate = events["result"].mean()
+    print(f"  event success rate: {success_rate:.1%}")
+
+    # ------------------------------------------------------------------
+    # Sessionize: events → per-(user, tower) dwell.
+    print("\nsessionizing ...")
+    dwell_frame = sessionize_events(events)
+    print(
+        f"reconstructed {len(dwell_frame)} (user, tower) dwell records "
+        f"for {len(np.unique(dwell_frame['user_id']))} users"
+    )
+
+    # ------------------------------------------------------------------
+    # Compare entropy computed from events vs from ground-truth dwell.
+    mobility = feeds.mobility
+    truth_dwell = mobility.dwell(day).astype(np.float64)
+    truth_entropy = mobility_entropy(truth_dwell, mobility.anchor_sites)
+
+    user_index = {int(u): i for i, u in enumerate(mobility.user_ids)}
+    max_anchors = mobility.anchor_sites.shape[1]
+    measured_dwell = np.zeros_like(truth_dwell)
+    measured_sites = mobility.anchor_sites.copy()
+    overflow = 0
+    for user, site, seconds in zip(
+        dwell_frame["user_id"], dwell_frame["site_id"], dwell_frame["dwell_s"]
+    ):
+        row = user_index[int(user)]
+        slots = np.flatnonzero(measured_sites[row] == site)
+        if slots.size:
+            measured_dwell[row, slots[0]] += seconds
+        else:
+            overflow += 1
+    measured_entropy = mobility_entropy(measured_dwell, measured_sites)
+
+    observed = truth_dwell.sum(axis=1) > 0
+    gap = np.abs(measured_entropy[observed] - truth_entropy[observed])
+    print(f"\nentropy from events vs ground truth "
+          f"({int(observed.sum())} users):")
+    print(f"  mean abs gap   : {gap.mean():.4f} nats")
+    print(f"  95th pct gap   : {np.percentile(gap, 95):.4f} nats")
+    print(f"  unmatched rows : {overflow}")
+    if gap.mean() < 0.02:
+        print(
+            "\nevent-mode and dwell-mode pipelines agree: the analysis "
+            "can safely run on dwell aggregates at scale."
+        )
+
+
+if __name__ == "__main__":
+    main()

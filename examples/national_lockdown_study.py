@@ -1,0 +1,114 @@
+"""Mobility under lockdown: the §3 analysis end to end.
+
+Reproduces the mobility half of the paper — national time series
+(Fig 3), the cases-vs-mobility scatter (Fig 4), regional contrasts
+(Fig 5), and geodemographic contrasts (Fig 6) — and prints each as a
+text panel.
+
+    python examples/national_lockdown_study.py
+"""
+
+import numpy as np
+
+from repro.core import CovidImpactStudy
+from repro.core.baseline import weekly_mean
+from repro.core.report import render_series_block
+from repro.simulation.config import SimulationConfig
+
+
+def main() -> None:
+    study = CovidImpactStudy.run(SimulationConfig.small(seed=2020))
+    feeds = study.feeds
+    calendar = feeds.calendar
+
+    # ------------------------------------------------------------------
+    # Fig 3 — national daily percent change, shown as weekly means.
+    fig3 = study.fig3()
+    weeks_of_day = calendar.weeks[fig3["gyration"].x]
+    for metric in ("gyration", "entropy"):
+        weeks, weekly = weekly_mean(fig3[metric].values["UK"], weeks_of_day)
+        print(
+            render_series_block(
+                f"Fig 3 — national {metric} (% change vs week 9)",
+                weeks,
+                {"UK": weekly},
+            )
+        )
+        print()
+
+    # ------------------------------------------------------------------
+    # Fig 4 — mobility does not track case counts.
+    fig4 = study.fig4()
+    print("Fig 4 — entropy change vs cumulative confirmed cases")
+    print("-" * 52)
+    print(
+        f"pearson r (before the WHO declaration) : "
+        f"{fig4.pearson_r_pre_declaration:+.3f}"
+    )
+    print(
+        f"pearson r (before the lockdown order)  : "
+        f"{fig4.pearson_r_pre_lockdown:+.3f}"
+    )
+    print(
+        "interpretation: cases grow smoothly through the whole window, "
+        "but entropy only moves at the announcements — the same "
+        "no-correlation finding as the paper."
+    )
+    # A tiny scatter, text form: bucket cases into deciles.
+    buckets = np.percentile(fig4.cumulative_cases, np.arange(0, 101, 10))
+    print("cases decile → mean entropy change:")
+    for low, high in zip(buckets[:-1], buckets[1:]):
+        mask = (fig4.cumulative_cases >= low) & (
+            fig4.cumulative_cases <= high
+        )
+        if mask.any():
+            print(
+                f"  cases {low:>9.0f}..{high:>9.0f} : "
+                f"{fig4.entropy_change_pct[mask].mean():+6.1f}%"
+            )
+    print()
+
+    # ------------------------------------------------------------------
+    # Fig 5 — regions; Fig 6 — geodemographic clusters.
+    for title, figure in (
+        ("Fig 5 — regional", study.fig5()),
+        ("Fig 6 — geodemographic", study.fig6()),
+    ):
+        for metric in ("gyration", "entropy"):
+            series = figure[metric]
+            print(
+                render_series_block(
+                    f"{title} {metric} (% change vs national week 9)",
+                    series.x,
+                    series.values,
+                )
+            )
+            print()
+
+    # ------------------------------------------------------------------
+    # Takeaways in the paper's own terms.
+    summary = study.summary()
+    print("Takeaways")
+    print("---------")
+    print(
+        f"* mobility dropped "
+        f"{abs(summary['gyration_change_lockdown_pct']):.0f}% (gyration) / "
+        f"{abs(summary['entropy_change_lockdown_pct']):.0f}% (entropy) in "
+        f"weeks 13-14 — entropy falls less: people move close to home."
+    )
+    fig5 = study.fig5()["gyration"]
+    london_recovery = fig5.at_week("Inner London", 19) - fig5.at_week(
+        "Inner London", 14
+    )
+    midlands_recovery = fig5.at_week("West Midlands", 19) - fig5.at_week(
+        "West Midlands", 14
+    )
+    print(
+        f"* by week 19 London recovered {london_recovery:+.1f} pp vs "
+        f"West Midlands {midlands_recovery:+.1f} pp — the regional "
+        f"relaxation difference of §3.2."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Quickstart: simulate the study and print the headline results.
+
+Runs a small-scale replica of the paper's setting (a synthetic UK MNO
+through February–May 2020), executes the full analysis pipeline, and
+prints the takeaway numbers next to what the paper reports.
+
+    python examples/quickstart.py [seed]
+"""
+
+import sys
+
+from repro.core import CovidImpactStudy
+from repro.simulation.config import SimulationConfig
+
+# (summary key, paper value, description)
+PAPER_TARGETS = [
+    ("gyration_change_lockdown_pct", "-50%", "radius of gyration, lockdown"),
+    ("entropy_change_lockdown_pct", "smaller than gyration", "entropy, lockdown"),
+    ("home_detection_rate", "~0.73 (16M of 22M)", "home-detection yield"),
+    ("fig2_r_squared", "0.955", "census validation r²"),
+    ("fig4_pearson_pre_declaration", "~0 (no correlation)", "entropy vs cases"),
+    ("dl_volume_week10_pct", "+8%", "downlink volume, week 10"),
+    ("dl_volume_min_pct", "-24% (week 17)", "downlink volume, minimum"),
+    ("ul_volume_lockdown_min_pct", "-7%..+1.5%", "uplink volume under lockdown"),
+    ("active_users_min_pct", "-28.6%", "active DL users, minimum"),
+    ("throughput_min_pct", "-10%", "per-user DL throughput, minimum"),
+    ("radio_load_min_pct", "-15.1%", "radio load, minimum"),
+    ("voice_volume_peak_pct", "+140% (week 12)", "voice volume peak"),
+    ("voice_dl_loss_peak_pct", ">+100%", "voice DL packet-loss spike"),
+    ("inner_london_away_share_lockdown", "~10%", "Inner Londoners relocated"),
+    ("rat_share_4g", "0.75", "time connected on 4G"),
+]
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 2020
+    print(f"simulating (seed={seed}) ...")
+    study = CovidImpactStudy.run(SimulationConfig.small(seed=seed))
+    summary = study.summary()
+
+    print()
+    print(f"{'metric':<38}{'measured':>12}  paper")
+    print("-" * 78)
+    for key, paper, label in PAPER_TARGETS:
+        print(f"{label:<38}{summary[key]:>12.2f}  {paper}")
+
+    print()
+    from repro.core.paper_targets import render_verdicts
+
+    print(render_verdicts(study.verdicts()))
+
+    print()
+    print("Full weekly series (Fig 3 / Fig 8 / Fig 9):")
+    print()
+    print(study.report())
+
+
+if __name__ == "__main__":
+    main()

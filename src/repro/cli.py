@@ -1,0 +1,173 @@
+"""Command-line interface.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro simulate --preset small --seed 7 --out runs/small7
+    python -m repro analyze --feeds runs/small7
+    python -m repro summary --feeds runs/small7
+    python -m repro report --preset tiny --seed 3
+
+``simulate`` runs the engine and persists the feeds; ``analyze`` /
+``summary`` reload a persisted run and print the full figure report or
+just the headline numbers; ``report`` does simulate + analyze in one
+shot without touching disk.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+__all__ = ["main", "build_parser"]
+
+_PRESETS = ("tiny", "small", "default")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'A Characterization of the COVID-19 "
+            "Pandemic Impact on a Mobile Network Operator Traffic' "
+            "(IMC 2020) on a synthetic MNO."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    simulate = commands.add_parser(
+        "simulate", help="run the simulator and persist the feeds"
+    )
+    _add_preset_args(simulate)
+    simulate.add_argument(
+        "--out", required=True, help="directory to save the run into"
+    )
+
+    analyze = commands.add_parser(
+        "analyze", help="reload a run and print the full figure report"
+    )
+    analyze.add_argument("--feeds", required=True, help="saved-run directory")
+
+    summary = commands.add_parser(
+        "summary", help="reload a run and print the headline numbers"
+    )
+    summary.add_argument("--feeds", required=True, help="saved-run directory")
+
+    report = commands.add_parser(
+        "report", help="simulate and print the report without saving"
+    )
+    _add_preset_args(report)
+
+    verdict = commands.add_parser(
+        "verdict",
+        help="reload a run and score it against every paper target",
+    )
+    verdict.add_argument("--feeds", required=True, help="saved-run directory")
+
+    export = commands.add_parser(
+        "export",
+        help="reload a run and write every figure's series as CSVs",
+    )
+    export.add_argument("--feeds", required=True, help="saved-run directory")
+    export.add_argument(
+        "--out", required=True, help="directory for the CSV bundle"
+    )
+    return parser
+
+
+def _add_preset_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--preset", choices=_PRESETS, default="small",
+        help="simulation scale (default: small)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2020, help="simulation seed"
+    )
+    parser.add_argument(
+        "--users", type=int, default=None,
+        help="override the preset's user count",
+    )
+
+
+def _config_from_args(args: argparse.Namespace):
+    from repro.simulation.config import SimulationConfig
+
+    factory = {
+        "tiny": SimulationConfig.tiny,
+        "small": SimulationConfig.small,
+        "default": SimulationConfig.default,
+    }[args.preset]
+    config = factory(seed=args.seed)
+    if args.users is not None:
+        config = config.with_overrides(
+            num_users=args.users,
+            target_site_count=max(100, args.users // 18),
+        )
+    return config
+
+
+def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "simulate":
+        from repro.io import save_feeds
+        from repro.simulation.engine import Simulator
+
+        def progress(day: int, total: int) -> None:
+            if day % 14 == 0 or day == total - 1:
+                print(f"  simulated day {day + 1}/{total}", file=out)
+
+        feeds = Simulator(_config_from_args(args)).run(progress=progress)
+        path = save_feeds(feeds, args.out)
+        print(
+            f"saved {feeds.num_users} users x "
+            f"{feeds.calendar.num_days} days to {path}",
+            file=out,
+        )
+        return 0
+
+    if args.command == "export":
+        from repro.core import CovidImpactStudy
+        from repro.io import export_analysis, load_feeds
+
+        study = CovidImpactStudy(load_feeds(args.feeds))
+        path = export_analysis(study, args.out)
+        print(f"wrote figure CSVs to {path}", file=out)
+        return 0
+
+    if args.command in ("analyze", "summary", "verdict"):
+        from repro.core import CovidImpactStudy
+        from repro.io import load_feeds
+
+        study = CovidImpactStudy(load_feeds(args.feeds))
+        if args.command == "analyze":
+            print(study.report(), file=out)
+        elif args.command == "summary":
+            for key, value in study.summary().items():
+                print(f"{key:<42} {value:>12.3f}", file=out)
+        else:
+            from repro.core.paper_targets import (
+                evaluate_summary,
+                render_verdicts,
+            )
+
+            print(
+                render_verdicts(evaluate_summary(study.summary())),
+                file=out,
+            )
+        return 0
+
+    if args.command == "report":
+        from repro.core import CovidImpactStudy
+
+        study = CovidImpactStudy.run(_config_from_args(args))
+        print(study.report(), file=out)
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

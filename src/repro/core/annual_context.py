@@ -1,0 +1,64 @@
+"""Growth-contextualization of traffic changes (§4.1 / §4.2).
+
+Two of the paper's most quotable framings convert percentage changes
+into *years of traffic growth*:
+
+- "This decrease rewound the traffic load on the MNO infrastructure by
+  one year, to levels similar to those of March 2019" — data traffic
+  grows ~30–40%/year, so a −24% step is about one year backwards.
+- "This corresponds to a predicted seven years of growth in voice
+  traffic ... which the MNO had to accommodate in the space of few
+  days" — voice grows slowly (~13%/year), so +140% is ~7 years.
+
+The conversion: a change of ``c`` (fraction) at annual growth ``g`` is
+``log(1 + c) / log(1 + g)`` years (negative = rewound).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "DATA_ANNUAL_GROWTH",
+    "VOICE_ANNUAL_GROWTH",
+    "years_of_growth",
+    "contextualize_summary",
+]
+
+# Industry-typical compound annual growth rates.
+DATA_ANNUAL_GROWTH = 0.32
+VOICE_ANNUAL_GROWTH = 0.133
+
+
+def years_of_growth(change_pct: float, annual_growth_rate: float) -> float:
+    """Convert a percent change into equivalent years of growth.
+
+    >>> round(years_of_growth(140.0, VOICE_ANNUAL_GROWTH), 1)
+    7.0
+    >>> round(years_of_growth(-24.0, DATA_ANNUAL_GROWTH), 1)
+    -1.0
+    """
+    if annual_growth_rate <= 0:
+        raise ValueError("annual growth rate must be positive")
+    change = change_pct / 100.0
+    if change <= -1.0:
+        raise ValueError("change cannot be -100% or lower")
+    return float(np.log1p(change) / np.log1p(annual_growth_rate))
+
+
+def contextualize_summary(summary: dict[str, float]) -> dict[str, float]:
+    """Derive the paper's years-of-growth framings from a study summary.
+
+    Returns ``data_years_rewound`` (positive = rewound into the past)
+    and ``voice_years_of_growth``.
+    """
+    out: dict[str, float] = {}
+    if "dl_volume_min_pct" in summary:
+        out["data_years_rewound"] = -years_of_growth(
+            summary["dl_volume_min_pct"], DATA_ANNUAL_GROWTH
+        )
+    if "voice_volume_peak_pct" in summary:
+        out["voice_years_of_growth"] = years_of_growth(
+            summary["voice_volume_peak_pct"], VOICE_ANNUAL_GROWTH
+        )
+    return out

@@ -1,0 +1,96 @@
+"""Week-9 baseline machinery.
+
+Every plot in the paper is a *delta variation percentage* against the
+week-9 (23 Feb – 1 Mar 2020) value of the metric:
+
+- mobility figures use the change of the **daily average** against the
+  **week-9 average** (§3);
+- network-performance figures use the change of the **weekly median**
+  (pooled over cells × days) against the **week-9 median** (§4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulation.clock import BASELINE_WEEK
+
+__all__ = ["daily_pct_change", "weekly_median_delta", "weekly_mean"]
+
+
+def daily_pct_change(
+    daily_values: np.ndarray,
+    weeks_of_day: np.ndarray,
+    baseline_week: int = BASELINE_WEEK,
+    baseline_value: float | None = None,
+) -> np.ndarray:
+    """Percent change of each day's value vs the baseline-week average.
+
+    ``baseline_value`` overrides the computed baseline — used when a
+    series must be normalized against the *national* week-9 average
+    rather than its own (Figs 5 and 6).
+    """
+    daily_values = np.asarray(daily_values, dtype=np.float64)
+    weeks_of_day = np.asarray(weeks_of_day)
+    if daily_values.shape != weeks_of_day.shape:
+        raise ValueError("daily_values and weeks_of_day must align")
+    if baseline_value is None:
+        in_baseline = weeks_of_day == baseline_week
+        if not in_baseline.any():
+            raise ValueError(f"no days in baseline week {baseline_week}")
+        baseline_value = float(daily_values[in_baseline].mean())
+    if baseline_value == 0:
+        raise ValueError("baseline value is zero")
+    return (daily_values / baseline_value - 1.0) * 100.0
+
+
+def weekly_mean(
+    daily_values: np.ndarray, weeks_of_day: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """(weeks, mean per week) for a daily series."""
+    daily_values = np.asarray(daily_values, dtype=np.float64)
+    weeks = np.unique(weeks_of_day)
+    means = np.array(
+        [daily_values[weeks_of_day == week].mean() for week in weeks]
+    )
+    return weeks, means
+
+
+def weekly_median_delta(
+    values: np.ndarray,
+    weeks: np.ndarray,
+    baseline_week: int = BASELINE_WEEK,
+    baseline_value: float | None = None,
+    percentile: float = 50.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Weekly median (or percentile) delta percentages vs week 9.
+
+    ``values`` are per-observation (cell × day) metric values, ``weeks``
+    the ISO week of each observation. Returns (weeks, delta_pct).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    weeks = np.asarray(weeks)
+    if values.shape != weeks.shape:
+        raise ValueError("values and weeks must align")
+    unique_weeks = np.unique(weeks)
+    if baseline_value is None:
+        in_baseline = weeks == baseline_week
+        if not in_baseline.any():
+            raise ValueError(f"no observations in week {baseline_week}")
+        baseline_value = float(
+            np.percentile(values[in_baseline], percentile)
+        )
+    if baseline_value == 0:
+        raise ValueError("baseline value is zero")
+    deltas = np.array(
+        [
+            (
+                np.percentile(values[weeks == week], percentile)
+                / baseline_value
+                - 1.0
+            )
+            * 100.0
+            for week in unique_weeks
+        ]
+    )
+    return unique_weeks, deltas

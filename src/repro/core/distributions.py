@@ -1,0 +1,76 @@
+"""Distributional views of the series (percentile fans).
+
+The paper repeatedly notes that the *distribution* of its metrics barely
+changes shape: "metrics distributions have little variance in all
+regions, and all percentiles are close to the median, following similar
+trends" (§3.2), and that the one exception is the 90th percentile of
+active DL users (§4.1). This module computes the weekly percentile fan
+of any per-observation series so those statements can be verified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.baseline import weekly_median_delta
+from repro.simulation.clock import BASELINE_WEEK
+
+__all__ = ["PercentileFan", "weekly_percentile_fan"]
+
+DEFAULT_PERCENTILES = (10.0, 25.0, 50.0, 75.0, 90.0)
+
+
+@dataclass
+class PercentileFan:
+    """Weekly delta series at several percentiles of the distribution."""
+
+    weeks: np.ndarray
+    series: dict[float, np.ndarray]  # percentile → weekly delta %
+
+    def band_spread(self) -> np.ndarray:
+        """Per-week spread between the outermost percentiles (pp)."""
+        low = min(self.series)
+        high = max(self.series)
+        return np.abs(self.series[high] - self.series[low])
+
+    def trend_correlation(self) -> float:
+        """Min pairwise correlation between percentile trajectories.
+
+        Values near 1 mean all percentiles "follow similar trends"
+        (the paper's observation).
+        """
+        keys = sorted(self.series)
+        worst = 1.0
+        for first in range(len(keys)):
+            for second in range(first + 1, len(keys)):
+                a = self.series[keys[first]]
+                b = self.series[keys[second]]
+                if np.std(a) == 0 or np.std(b) == 0:
+                    continue
+                worst = min(worst, float(np.corrcoef(a, b)[0, 1]))
+        return worst
+
+
+def weekly_percentile_fan(
+    values: np.ndarray,
+    weeks: np.ndarray,
+    percentiles: tuple[float, ...] = DEFAULT_PERCENTILES,
+    baseline_week: int = BASELINE_WEEK,
+) -> PercentileFan:
+    """Weekly delta-percentage fan of a per-observation series.
+
+    Each percentile is normalized against its *own* week-9 value, which
+    is what makes the trajectories comparable.
+    """
+    if not percentiles:
+        raise ValueError("need at least one percentile")
+    axis: np.ndarray | None = None
+    series: dict[float, np.ndarray] = {}
+    for percentile in percentiles:
+        axis, series[float(percentile)] = weekly_median_delta(
+            values, weeks, baseline_week, percentile=float(percentile)
+        )
+    assert axis is not None
+    return PercentileFan(weeks=axis, series=series)

@@ -1,0 +1,70 @@
+"""Study-population filtering from the raw signalling feed (§2.3).
+
+"We use the TAC database to filter only the devices that are
+smartphones (i.e., we drop M2M devices such as smart sensors). We are
+also able to separate the native users of the MNO, and drop the
+international inbound roamers."
+
+This module applies that filter directly on an enriched event feed —
+the form the decision takes in the real pipeline, before any mobility
+aggregation exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.frames import Frame
+from repro.network.devices import DeviceCatalog
+from repro.network.subscribers import NATIVE_MCC, NATIVE_MNC
+
+__all__ = ["FilterReport", "filter_study_events"]
+
+
+@dataclass(frozen=True)
+class FilterReport:
+    """What the §2.3 filter kept and dropped."""
+
+    kept_events: int
+    dropped_m2m: int
+    dropped_roamers: int
+    kept_users: int
+    dropped_users: int
+
+    @property
+    def total_events(self) -> int:
+        return self.kept_events + self.dropped_m2m + self.dropped_roamers
+
+
+def filter_study_events(
+    events: Frame, catalog: DeviceCatalog
+) -> tuple[Frame, FilterReport]:
+    """Keep only native-smartphone events; report what was dropped.
+
+    ``events`` must carry ``tac``, ``mcc`` and ``mnc`` columns (see
+    :func:`repro.network.signaling.attach_subscriber_context`).
+    """
+    for column in ("tac", "mcc", "mnc", "user_id"):
+        if column not in events:
+            raise KeyError(f"event feed lacks the {column!r} column")
+    is_smartphone = catalog.is_smartphone(events["tac"])
+    is_native = (events["mcc"] == NATIVE_MCC) & (
+        events["mnc"] == NATIVE_MNC
+    )
+    keep = is_smartphone & is_native
+
+    dropped_m2m = int((~is_smartphone).sum())
+    dropped_roamers = int((is_smartphone & ~is_native).sum())
+    kept = events.filter(keep)
+    kept_users = int(np.unique(kept["user_id"]).size)
+    all_users = int(np.unique(events["user_id"]).size)
+    report = FilterReport(
+        kept_events=len(kept),
+        dropped_m2m=dropped_m2m,
+        dropped_roamers=dropped_roamers,
+        kept_users=kept_users,
+        dropped_users=all_users - kept_users,
+    )
+    return kept, report

@@ -1,0 +1,147 @@
+"""Extended mobility-metric family (paper ref [29], Song et al. 2010).
+
+§2.3 notes there is "a variety of ways to calculate entropy in
+mobility"; the paper picks the temporal-uncorrelated entropy (eq. 1).
+This module implements the rest of the standard family so the choice
+can be studied (the entropy-definition ablation benchmark):
+
+- **random entropy** ``S_rand = log N`` — assumes every visited tower
+  is equally likely; upper-bounds the uncorrelated entropy.
+- **uncorrelated entropy** — eq. 1, re-exported for completeness.
+- **visited towers** ``N`` — distinct towers with positive dwell.
+- **top-location share** — fraction of observed time at the dominant
+  tower (the home-detection signal in daylight form).
+- **predictability bound** — Fano-style upper bound ``Π_max`` on how
+  predictable a user's location is given their entropy and number of
+  locations (Song et al.'s headline construction).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.metrics import mobility_entropy
+
+__all__ = [
+    "random_entropy",
+    "uncorrelated_entropy",
+    "visited_towers",
+    "top_location_share",
+    "predictability_bound",
+]
+
+uncorrelated_entropy = mobility_entropy
+
+
+def _merged_fractions(
+    dwell_s: np.ndarray, sites: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-row merged tower dwell fractions.
+
+    Returns (row index per group, group dwell, row totals).
+    """
+    dwell_s = np.asarray(dwell_s, dtype=np.float64)
+    sites = np.asarray(sites)
+    if dwell_s.shape != sites.shape or dwell_s.ndim != 2:
+        raise ValueError("dwell_s and sites must be matching 2-D arrays")
+    rows, k = dwell_s.shape
+    order = np.argsort(sites, axis=1, kind="stable")
+    sites_sorted = np.take_along_axis(sites, order, axis=1)
+    dwell_sorted = np.take_along_axis(dwell_s, order, axis=1)
+    flat_sites = sites_sorted.ravel()
+    flat_dwell = dwell_sorted.ravel()
+    row_of = np.repeat(np.arange(rows), k)
+    new_group = np.ones(rows * k, dtype=bool)
+    same_row = row_of[1:] == row_of[:-1]
+    new_group[1:] = ~(same_row & (flat_sites[1:] == flat_sites[:-1]))
+    starts = np.flatnonzero(new_group)
+    group_dwell = np.add.reduceat(flat_dwell, starts)
+    group_row = row_of[starts]
+    totals = np.bincount(group_row, weights=group_dwell, minlength=rows)
+    return group_row, group_dwell, totals
+
+
+def visited_towers(dwell_s: np.ndarray, sites: np.ndarray) -> np.ndarray:
+    """Distinct towers with positive dwell, per row."""
+    group_row, group_dwell, __ = _merged_fractions(dwell_s, sites)
+    positive = group_dwell > 0
+    return np.bincount(
+        group_row[positive], minlength=int(dwell_s.shape[0])
+    ).astype(np.int64)
+
+
+def random_entropy(dwell_s: np.ndarray, sites: np.ndarray) -> np.ndarray:
+    """``log N`` over visited towers (Song et al.'s S_rand), per row."""
+    counts = visited_towers(dwell_s, sites)
+    out = np.zeros(counts.shape[0])
+    positive = counts > 0
+    out[positive] = np.log(counts[positive])
+    return out
+
+
+def top_location_share(
+    dwell_s: np.ndarray, sites: np.ndarray
+) -> np.ndarray:
+    """Fraction of observed time at the dominant tower, per row."""
+    group_row, group_dwell, totals = _merged_fractions(dwell_s, sites)
+    rows = int(dwell_s.shape[0])
+    best = np.zeros(rows)
+    np.maximum.at(best, group_row, group_dwell)
+    out = np.zeros(rows)
+    observed = totals > 0
+    out[observed] = best[observed] / totals[observed]
+    return out
+
+
+def predictability_bound(
+    entropy: np.ndarray, num_locations: np.ndarray, tolerance: float = 1e-6
+) -> np.ndarray:
+    """Fano upper bound Π_max on location predictability, per element.
+
+    Solves ``S = H(Π) + (1 − Π) log(N − 1)`` for the largest Π, with
+    ``H`` the binary entropy. Rows with N ≤ 1 are fully predictable
+    (Π = 1); entropies at or above ``log N`` give the uniform bound
+    ``Π = 1/N``.
+    """
+    entropy = np.asarray(entropy, dtype=np.float64)
+    counts = np.asarray(num_locations, dtype=np.float64)
+    if entropy.shape != counts.shape:
+        raise ValueError("entropy and num_locations must align")
+    out = np.empty(entropy.shape, dtype=np.float64)
+    flat_s = entropy.ravel()
+    flat_n = counts.ravel()
+    flat_out = out.ravel()
+    for index, (s, n) in enumerate(zip(flat_s, flat_n)):
+        flat_out[index] = _solve_fano(float(s), float(n), tolerance)
+    return out
+
+
+def _binary_entropy(p: float) -> float:
+    if p <= 0.0 or p >= 1.0:
+        return 0.0
+    return -p * np.log(p) - (1.0 - p) * np.log(1.0 - p)
+
+
+def _solve_fano(s: float, n: float, tolerance: float) -> float:
+    if n <= 1.0:
+        return 1.0
+    max_entropy = np.log(n)
+    if s <= 0.0:
+        return 1.0
+    if s >= max_entropy:
+        return 1.0 / n
+
+    def objective(p: float) -> float:
+        return _binary_entropy(p) + (1.0 - p) * np.log(n - 1.0) - s
+
+    # The objective decreases in p on [1/n, 1); bisect.
+    low, high = 1.0 / n, 1.0 - 1e-12
+    if objective(low) < 0:
+        return 1.0 / n
+    while high - low > tolerance:
+        mid = 0.5 * (low + high)
+        if objective(mid) > 0:
+            low = mid
+        else:
+            high = mid
+    return 0.5 * (low + high)

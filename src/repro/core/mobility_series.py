@@ -1,0 +1,166 @@
+"""Mobility series: Figures 3, 5 and 6.
+
+- Fig 3: national daily percent change of the average gyration/entropy
+  per user vs the week-9 average.
+- Fig 5: the same change per high-density region (Inner London, Outer
+  London, Greater Manchester, West Midlands, West Yorkshire), with the
+  *national* week-9 average as the reference — which is why London's
+  gyration sits ~20% below zero before the pandemic.
+- Fig 6: the same change per geodemographic cluster (weekly averages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.baseline import daily_pct_change, weekly_mean
+from repro.core.statistics import MobilityDailyMetrics
+from repro.geo.build import STUDY_REGIONS
+from repro.simulation.feeds import DataFeeds
+from repro.simulation.clock import BASELINE_WEEK
+
+__all__ = [
+    "MobilitySeries",
+    "national_mobility",
+    "regional_mobility",
+    "geodemographic_mobility",
+]
+
+METRICS = ("gyration", "entropy")
+
+
+@dataclass
+class MobilitySeries:
+    """Percent-change series per group for one mobility metric.
+
+    ``values[group]`` aligns with ``x`` — day indices for daily series,
+    ISO weeks for weekly series.
+    """
+
+    metric: str
+    granularity: str  # "daily" or "weekly"
+    x: np.ndarray
+    values: dict[str, np.ndarray]
+
+    def group(self, name: str) -> np.ndarray:
+        return self.values[name]
+
+    def at_week(self, group: str, week: int, weeks_of_day=None) -> float:
+        """Average of the series over one ISO week."""
+        if self.granularity == "weekly":
+            index = np.flatnonzero(self.x == week)
+            if index.size == 0:
+                raise KeyError(f"week {week} not in series")
+            return float(self.values[group][index[0]])
+        if weeks_of_day is None:
+            raise ValueError("daily series needs weeks_of_day")
+        mask = np.asarray(weeks_of_day) == week
+        return float(self.values[group][mask].mean())
+
+
+def national_mobility(
+    metrics: MobilityDailyMetrics,
+    feeds: DataFeeds,
+    baseline_week: int = BASELINE_WEEK,
+) -> dict[str, MobilitySeries]:
+    """Fig 3: daily national percent-change series per metric."""
+    weeks = _analysis_weeks_of_days(feeds)
+    days = _analysis_days(feeds)
+    out: dict[str, MobilitySeries] = {}
+    for metric in METRICS:
+        daily = metrics.daily_mean(metric)[days]
+        change = daily_pct_change(daily, weeks, baseline_week)
+        out[metric] = MobilitySeries(
+            metric=metric,
+            granularity="daily",
+            x=days,
+            values={"UK": change},
+        )
+    return out
+
+
+def regional_mobility(
+    metrics: MobilityDailyMetrics,
+    feeds: DataFeeds,
+    counties: tuple[str, ...] = STUDY_REGIONS,
+    baseline_week: int = BASELINE_WEEK,
+) -> dict[str, MobilitySeries]:
+    """Fig 5: weekly percent-change per region vs the national week-9."""
+    return _grouped_series(
+        metrics,
+        feeds,
+        groups={
+            county: feeds.agents.home_county == county
+            for county in counties
+        },
+        baseline_week=baseline_week,
+    )
+
+
+def geodemographic_mobility(
+    metrics: MobilityDailyMetrics,
+    feeds: DataFeeds,
+    baseline_week: int = BASELINE_WEEK,
+) -> dict[str, MobilitySeries]:
+    """Fig 6: weekly percent-change per OAC cluster vs national week-9."""
+    districts = feeds.geography.districts
+    home_oac = np.array(
+        [districts[d].oac.value for d in feeds.agents.home_district]
+    )
+    groups = {
+        cluster: home_oac == cluster for cluster in np.unique(home_oac)
+    }
+    return _grouped_series(
+        metrics, feeds, groups=groups, baseline_week=baseline_week
+    )
+
+
+# ----------------------------------------------------------------------
+def _analysis_days(feeds: DataFeeds) -> np.ndarray:
+    """Days belonging to the reported window (week 9 onward)."""
+    calendar = feeds.calendar
+    return np.flatnonzero(calendar.weeks >= BASELINE_WEEK)
+
+
+def _analysis_weeks_of_days(feeds: DataFeeds) -> np.ndarray:
+    calendar = feeds.calendar
+    days = _analysis_days(feeds)
+    return calendar.weeks[days]
+
+
+def _grouped_series(
+    metrics: MobilityDailyMetrics,
+    feeds: DataFeeds,
+    groups: dict[str, np.ndarray],
+    baseline_week: int,
+) -> dict[str, MobilitySeries]:
+    days = _analysis_days(feeds)
+    weeks_of_day = _analysis_weeks_of_days(feeds)
+    out: dict[str, MobilitySeries] = {}
+    for metric in METRICS:
+        national_daily = metrics.daily_mean(metric)[days]
+        national_baseline = float(
+            national_daily[weeks_of_day == baseline_week].mean()
+        )
+        values: dict[str, np.ndarray] = {}
+        weeks_axis: np.ndarray | None = None
+        for name, mask in groups.items():
+            if not mask.any():
+                continue
+            daily = metrics.daily_mean_subset(metric, mask)[days]
+            change = daily_pct_change(
+                daily, weeks_of_day, baseline_value=national_baseline
+            )
+            weeks_axis, weekly = weekly_mean(change, weeks_of_day)
+            values[name] = weekly
+        if weeks_axis is None:
+            raise ValueError("no non-empty groups")
+        out[metric] = MobilitySeries(
+            metric=metric,
+            granularity="weekly",
+            x=weeks_axis,
+            values=values,
+        )
+    return out

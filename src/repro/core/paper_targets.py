@@ -1,0 +1,183 @@
+"""Machine-readable paper targets and reproduction verdicts.
+
+EXPERIMENTS.md as code: every quantitative claim of the paper that the
+summary measures, with the acceptance band used to call the
+reproduction successful. ``evaluate_summary`` turns a study summary
+into a verdict table — the same check the figure benchmarks perform,
+in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PaperTarget", "PAPER_TARGETS", "Verdict", "evaluate_summary"]
+
+
+@dataclass(frozen=True)
+class PaperTarget:
+    """One quantitative claim of the paper."""
+
+    key: str  # summary key
+    paper_value: str  # the claim, as printed
+    low: float  # acceptance band (measured value must fall inside)
+    high: float
+    section: str
+    description: str
+
+
+PAPER_TARGETS: tuple[PaperTarget, ...] = (
+    PaperTarget(
+        "gyration_change_lockdown_pct", "−50%", -62.0, -35.0, "§3.1",
+        "radius of gyration drop in lockdown weeks 13–14",
+    ),
+    PaperTarget(
+        "entropy_change_lockdown_pct", "smaller drop than gyration",
+        -50.0, -20.0, "§3.1", "entropy drop in lockdown weeks 13–14",
+    ),
+    PaperTarget(
+        "home_detection_rate", "16M of 22M (≈0.73)", 0.55, 0.9, "§2.3",
+        "share of users with a detected home",
+    ),
+    PaperTarget(
+        "fig2_r_squared", "0.955", 0.75, 1.0, "§2.3 / Fig 2",
+        "census validation linear fit",
+    ),
+    PaperTarget(
+        "fig4_pearson_pre_declaration", "no correlation", -0.45, 0.45,
+        "§3.1 / Fig 4", "entropy vs cases before the declaration",
+    ),
+    PaperTarget(
+        "dl_volume_week10_pct", "+8%", 3.0, 15.0, "§4.1",
+        "downlink bump in week 10",
+    ),
+    PaperTarget(
+        "dl_volume_min_pct", "−24%", -35.0, -15.0, "§4.1",
+        "downlink volume trough",
+    ),
+    PaperTarget(
+        "ul_volume_lockdown_min_pct", "−7%…+1.5%", -12.0, 6.0, "§4.1",
+        "uplink lower bound during lockdown",
+    ),
+    PaperTarget(
+        "ul_volume_lockdown_max_pct", "−7%…+1.5%", -6.0, 10.0, "§4.1",
+        "uplink upper bound during lockdown",
+    ),
+    PaperTarget(
+        "active_users_min_pct", "−28.6%", -40.0, -10.0, "§4.1",
+        "active DL users trough",
+    ),
+    PaperTarget(
+        "throughput_min_pct", "≈−10%", -18.0, -4.0, "§4.1",
+        "per-user DL throughput trough (app-limited)",
+    ),
+    PaperTarget(
+        "radio_load_min_pct", "−15.1%", -30.0, -8.0, "§4.1",
+        "radio load trough",
+    ),
+    PaperTarget(
+        "voice_volume_peak_pct", "+140% (week 12)", 110.0, 190.0, "§4.2",
+        "voice volume peak",
+    ),
+    PaperTarget(
+        "voice_dl_loss_peak_pct", ">+100%", 100.0, 2000.0, "§4.2",
+        "voice DL packet-loss spike",
+    ),
+    PaperTarget(
+        "voice_dl_loss_final_pct", "below normal after the response",
+        -50.0, 0.0, "§4.2", "voice DL loss at the end of the study",
+    ),
+    PaperTarget(
+        "inner_london_away_share_lockdown", "≈10%", 0.05, 0.2, "§3.4",
+        "Inner-London residents away during lockdown",
+    ),
+    PaperTarget(
+        "cosmopolitan_users_min_pct", "≈−50%", -60.0, -20.0, "§4.4",
+        "Cosmopolitan connected-users trough",
+    ),
+    PaperTarget(
+        "rural_dl_min_pct", "largely stable", -15.0, 10.0, "§4.4",
+        "Rural Residents downlink trough",
+    ),
+    PaperTarget(
+        "corr_cosmopolitans", "+0.973", 0.9, 1.0, "§4.4",
+        "users-vs-volume correlation, Cosmopolitans",
+    ),
+    PaperTarget(
+        "corr_ethnicity_central", "+0.816", 0.6, 1.0, "§4.4",
+        "users-vs-volume correlation, Ethnicity Central",
+    ),
+    PaperTarget(
+        "corr_suburbanites", "−0.466", -1.0, -0.3, "§4.4",
+        "users-vs-volume correlation, Suburbanites",
+    ),
+    PaperTarget(
+        "ec_dl_min_pct", ">−70%", -90.0, -55.0, "§5.1",
+        "EC district downlink collapse",
+    ),
+    PaperTarget(
+        "wc_dl_min_pct", ">−80%", -90.0, -55.0, "§5.1",
+        "WC district downlink collapse",
+    ),
+    PaperTarget(
+        "rat_share_4g", "75%", 0.7, 0.8, "§2.4",
+        "connected-time share on 4G",
+    ),
+    PaperTarget(
+        "data_years_rewound", "one year", 0.4, 2.0, "§4.1",
+        "years of data growth rewound",
+    ),
+    PaperTarget(
+        "voice_years_of_growth", "seven years", 5.0, 9.5, "§4.2",
+        "years of voice growth absorbed in days",
+    ),
+)
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One target's measured-vs-paper outcome."""
+
+    target: PaperTarget
+    measured: float
+    passed: bool
+
+
+def evaluate_summary(summary: dict[str, float]) -> list[Verdict]:
+    """Check a study summary against every paper target.
+
+    Targets whose key is absent from the summary are skipped (e.g. when
+    evaluating a partial summary).
+    """
+    verdicts: list[Verdict] = []
+    for target in PAPER_TARGETS:
+        if target.key not in summary:
+            continue
+        measured = float(summary[target.key])
+        verdicts.append(
+            Verdict(
+                target=target,
+                measured=measured,
+                passed=target.low <= measured <= target.high,
+            )
+        )
+    return verdicts
+
+
+def render_verdicts(verdicts: list[Verdict]) -> str:
+    """Aligned text table of the verdicts."""
+    lines = [
+        f"{'section':<12}{'claim':<46}{'paper':<26}"
+        f"{'measured':>10}  ok",
+        "-" * 100,
+    ]
+    for verdict in verdicts:
+        target = verdict.target
+        mark = "✓" if verdict.passed else "✗"
+        lines.append(
+            f"{target.section:<12}{target.description:<46.46}"
+            f"{target.paper_value:<26.26}{verdict.measured:>10.2f}  {mark}"
+        )
+    passed = sum(verdict.passed for verdict in verdicts)
+    lines.append(f"\n{passed}/{len(verdicts)} targets inside the band")
+    return "\n".join(lines)

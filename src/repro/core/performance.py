@@ -1,0 +1,205 @@
+"""Network-performance weekly series (Figs 8, 10, 11, 12).
+
+The KPI feed is daily per-cell medians (§2.4). For each figure the
+paper pools the per-cell daily values of a slice of cells (a region, a
+geodemographic cluster, a London postal district, or the whole UK),
+takes the weekly median, and reports the delta percentage against the
+week-9 median of the same slice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.baseline import weekly_median_delta
+from repro.frames import Frame
+from repro.geo.build import STUDY_REGIONS
+from repro.simulation.clock import BASELINE_WEEK
+from repro.simulation.feeds import DataFeeds
+
+__all__ = ["WeeklySeries", "performance_series", "label_kpis", "PERF_METRICS"]
+
+# The §2.4 metric names as they appear in the KPI feed.
+PERF_METRICS = (
+    "dl_volume_mb",
+    "ul_volume_mb",
+    "dl_active_users",
+    "user_dl_throughput_mbps",
+    "radio_load_pct",
+    "connected_users",
+)
+
+GROUPINGS = ("national", "region", "county", "district_area", "oac")
+
+
+@dataclass
+class WeeklySeries:
+    """Weekly delta-percentage series per group for one KPI."""
+
+    metric: str
+    weeks: np.ndarray
+    values: dict[str, np.ndarray]
+    percentile: float = 50.0
+
+    def group(self, name: str) -> np.ndarray:
+        return self.values[name]
+
+    def at_week(self, group: str, week: int) -> float:
+        index = np.flatnonzero(self.weeks == week)
+        if index.size == 0:
+            raise KeyError(f"week {week} not in series")
+        return float(self.values[group][index[0]])
+
+    def minimum(self, group: str) -> tuple[int, float]:
+        """(week, value) of the series minimum."""
+        series = self.values[group]
+        index = int(series.argmin())
+        return int(self.weeks[index]), float(series[index])
+
+    def maximum(self, group: str) -> tuple[int, float]:
+        """(week, value) of the series maximum."""
+        series = self.values[group]
+        index = int(series.argmax())
+        return int(self.weeks[index]), float(series[index])
+
+    def to_frame(self) -> Frame:
+        """Long-form frame: (group, week, change_pct) rows."""
+        groups: list[str] = []
+        weeks: list[int] = []
+        changes: list[float] = []
+        for group, values in self.values.items():
+            for week, value in zip(self.weeks.tolist(), values):
+                groups.append(str(group))
+                weeks.append(int(week))
+                changes.append(float(value))
+        return Frame(
+            {"group": groups, "week": weeks, "change_pct": changes}
+        )
+
+
+def label_kpis(feeds: DataFeeds) -> Frame:
+    """Attach week / county / region / area / OAC labels to KPI rows.
+
+    Uses direct array mapping (not a relational join) because the KPI
+    frame has one row per (cell, day) and the labels are functions of
+    the cell's postcode district.
+    """
+    kpis = feeds.radio_kpis
+    geography = feeds.geography
+    code_to_index = {
+        district.code: index
+        for index, district in enumerate(geography.districts)
+    }
+    district_index = np.array(
+        [code_to_index[code] for code in kpis["postcode"]], dtype=np.int64
+    )
+    districts = geography.districts
+    county = np.array([d.county for d in districts])[district_index]
+    region = np.array([d.region for d in districts])[district_index]
+    area = np.array([d.area_code for d in districts])[district_index]
+    oac = np.array([d.oac.value for d in districts])[district_index]
+    weeks = feeds.calendar.weeks[kpis["day"]]
+    out = kpis.with_column("week", weeks)
+    out = out.with_column("county", county)
+    out = out.with_column("region", region)
+    out = out.with_column("area", area)
+    return out.with_column("oac", oac)
+
+
+def performance_series(
+    feeds: DataFeeds,
+    metric: str,
+    grouping: str = "national",
+    counties: tuple[str, ...] | None = None,
+    restrict_county: str | None = None,
+    include_national: bool = True,
+    baseline_week: int = BASELINE_WEEK,
+    percentile: float = 50.0,
+    labeled: Frame | None = None,
+) -> WeeklySeries:
+    """Weekly median delta series for one KPI.
+
+    Parameters
+    ----------
+    metric:
+        KPI column name (see ``PERF_METRICS`` and the voice metrics).
+    grouping:
+        ``"national"`` — one UK-wide series; ``"region"`` — one series
+        per broad region (London, North West, ...); ``"county"`` — one
+        series per county (default: the five study regions);
+        ``"district_area"`` — one series per postcode area (used with
+        ``restrict_county`` for the London Fig 11); ``"oac"`` — one
+        series per geodemographic cluster.
+    counties:
+        County names for the ``"county"`` grouping.
+    restrict_county:
+        Keep only cells of this county before grouping (Figs 11, 12).
+    include_national:
+        For the county grouping, add the "UK" series (Fig 8 plots both).
+    percentile:
+        50 reproduces the paper's medians; other values give the
+        percentile bands mentioned in the text.
+    labeled:
+        Pre-labeled KPI frame from :func:`label_kpis` (avoids repeating
+        the labelling for every metric).
+    """
+    if grouping not in GROUPINGS:
+        raise ValueError(f"grouping must be one of {GROUPINGS}")
+    frame = labeled if labeled is not None else label_kpis(feeds)
+    analysis = frame.filter(frame["week"] >= baseline_week)
+    if restrict_county is not None:
+        analysis = analysis.filter(
+            analysis["county"] == restrict_county
+        )
+    if metric not in analysis:
+        raise KeyError(f"unknown KPI metric {metric!r}")
+
+    values = analysis[metric]
+    weeks = analysis["week"]
+    series: dict[str, np.ndarray] = {}
+    axis: np.ndarray | None = None
+
+    if grouping == "national" or (
+        grouping == "county" and include_national
+    ):
+        axis, national = weekly_median_delta(
+            values, weeks, baseline_week, percentile=percentile
+        )
+        series["UK"] = national
+    if grouping == "region":
+        for region in np.unique(analysis["region"]):
+            mask = analysis["region"] == region
+            axis, series[str(region)] = weekly_median_delta(
+                values[mask], weeks[mask], baseline_week,
+                percentile=percentile,
+            )
+    elif grouping == "county":
+        for county in counties or STUDY_REGIONS:
+            mask = analysis["county"] == county
+            if not mask.any():
+                continue
+            axis, series[county] = weekly_median_delta(
+                values[mask], weeks[mask], baseline_week,
+                percentile=percentile,
+            )
+    elif grouping == "district_area":
+        for area in np.unique(analysis["area"]):
+            mask = analysis["area"] == area
+            axis, series[str(area)] = weekly_median_delta(
+                values[mask], weeks[mask], baseline_week,
+                percentile=percentile,
+            )
+    elif grouping == "oac":
+        for cluster in np.unique(analysis["oac"]):
+            mask = analysis["oac"] == cluster
+            axis, series[str(cluster)] = weekly_median_delta(
+                values[mask], weeks[mask], baseline_week,
+                percentile=percentile,
+            )
+    if axis is None:
+        raise ValueError("no data for the requested slice")
+    return WeeklySeries(
+        metric=metric, weeks=axis, values=series, percentile=percentile
+    )

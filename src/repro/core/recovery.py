@@ -1,0 +1,73 @@
+"""Recovery-slope estimation (§3.2's relaxation differences, quantified).
+
+The paper observes that London and West Yorkshire "relax the mobility
+restrictions" faster than Greater Manchester and the West Midlands in
+weeks 18–19. This module turns that reading into a number: the linear
+slope of a weekly series over the post-trough window, in percentage
+points per week, with the least-squares fit done explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.mobility_series import MobilitySeries
+
+__all__ = ["RecoverySlope", "recovery_slope", "rank_recoveries"]
+
+
+@dataclass(frozen=True)
+class RecoverySlope:
+    """Linear recovery fit for one group."""
+
+    group: str
+    slope_pp_per_week: float
+    intercept: float
+    start_week: int
+    end_week: int
+
+
+def recovery_slope(
+    series: MobilitySeries,
+    group: str,
+    start_week: int = 14,
+    end_week: int = 19,
+) -> RecoverySlope:
+    """Fit the group's weekly series over [start_week, end_week]."""
+    if series.granularity != "weekly":
+        raise ValueError("recovery slopes need a weekly series")
+    mask = (series.x >= start_week) & (series.x <= end_week)
+    if mask.sum() < 2:
+        raise ValueError("need at least two weeks in the window")
+    weeks = series.x[mask].astype(np.float64)
+    values = series.values[group][mask]
+    week_mean = weeks.mean()
+    value_mean = values.mean()
+    slope = float(
+        ((weeks - week_mean) * (values - value_mean)).sum()
+        / ((weeks - week_mean) ** 2).sum()
+    )
+    return RecoverySlope(
+        group=group,
+        slope_pp_per_week=slope,
+        intercept=float(value_mean - slope * week_mean),
+        start_week=start_week,
+        end_week=end_week,
+    )
+
+
+def rank_recoveries(
+    series: MobilitySeries,
+    start_week: int = 14,
+    end_week: int = 19,
+) -> list[RecoverySlope]:
+    """Recovery slopes for every group, fastest first."""
+    slopes = [
+        recovery_slope(series, group, start_week, end_week)
+        for group in series.values
+    ]
+    return sorted(
+        slopes, key=lambda fit: fit.slope_pp_per_week, reverse=True
+    )

@@ -1,0 +1,172 @@
+"""Text rendering for series and tables (terminal-friendly figures).
+
+The environment has no plotting stack, so every "figure" is rendered as
+the series the paper plots: aligned tables plus unicode sparklines. The
+benchmark harness prints these for visual comparison with the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "sparkline",
+    "format_week_header",
+    "render_series_block",
+    "scatter_plot",
+    "heatmap",
+]
+
+_TICKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: np.ndarray) -> str:
+    """Unicode sparkline of a 1-D series."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return ""
+    finite = values[np.isfinite(values)]
+    if finite.size == 0:
+        return "·" * values.size
+    low = finite.min()
+    high = finite.max()
+    span = high - low
+    chars = []
+    for value in values:
+        if not np.isfinite(value):
+            chars.append("·")
+            continue
+        if span == 0:
+            chars.append(_TICKS[3])
+            continue
+        level = int((value - low) / span * (len(_TICKS) - 1))
+        chars.append(_TICKS[level])
+    return "".join(chars)
+
+
+def format_week_header(weeks: np.ndarray, label_width: int = 26) -> str:
+    """Header row with ISO week numbers."""
+    cells = "".join(f"{int(week):>8d}" for week in weeks)
+    return f"{'week':<{label_width}}{cells}"
+
+
+def render_series_block(
+    title: str,
+    weeks: np.ndarray,
+    series: dict[str, np.ndarray],
+    unit: str = "%",
+    label_width: int = 26,
+) -> str:
+    """Render one figure panel: weekly values per group + sparklines."""
+    lines = [title, "-" * len(title), format_week_header(weeks, label_width)]
+    for name, values in series.items():
+        cells = "".join(f"{value:>8.1f}" for value in values)
+        lines.append(
+            f"{name:<{label_width}}{cells}  {sparkline(values)} {unit}"
+        )
+    return "\n".join(lines)
+
+
+def scatter_plot(
+    x: np.ndarray,
+    y: np.ndarray,
+    width: int = 64,
+    height: int = 18,
+    x_label: str = "x",
+    y_label: str = "y",
+    marker: str = "•",
+) -> str:
+    """Render a text scatter plot (used for Figs 2 and 4).
+
+    Points are binned onto a ``width × height`` character grid; multiple
+    points in a cell escalate the marker (· • ●).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("scatter needs two aligned 1-D arrays")
+    if width < 8 or height < 4:
+        raise ValueError("plot area too small")
+    if x.size == 0:
+        return "(no points)"
+    x_span = x.max() - x.min()
+    y_span = y.max() - y.min()
+    cols = np.zeros(x.size, dtype=int) if x_span == 0 else np.minimum(
+        ((x - x.min()) / x_span * (width - 1)).astype(int), width - 1
+    )
+    rows = np.zeros(y.size, dtype=int) if y_span == 0 else np.minimum(
+        ((y - y.min()) / y_span * (height - 1)).astype(int), height - 1
+    )
+    counts = np.zeros((height, width), dtype=int)
+    for row, col in zip(rows, cols):
+        counts[height - 1 - row, col] += 1
+    markers = {0: " ", 1: "·", 2: marker}
+    lines = []
+    top_label = f"{y.max():.3g}"
+    bottom_label = f"{y.min():.3g}"
+    gutter = max(len(top_label), len(bottom_label)) + 1
+    for index, grid_row in enumerate(counts):
+        label = ""
+        if index == 0:
+            label = top_label
+        elif index == height - 1:
+            label = bottom_label
+        body = "".join(
+            markers.get(min(int(c), 2), "●") if c < 3 else "●"
+            for c in grid_row
+        )
+        lines.append(f"{label:>{gutter}} |{body}|")
+    footer = (
+        f"{'':>{gutter}}  {x.min():.3g}"
+        f"{x_label + ' → ':^{max(width - 16, 4)}}{x.max():.3g}"
+    )
+    lines.append(footer)
+    lines.append(f"{'':>{gutter}}  (y = {y_label})")
+    return "\n".join(lines)
+
+
+def heatmap(
+    matrix: np.ndarray,
+    row_labels: list[str],
+    title: str = "",
+    label_width: int = 18,
+    vmin: float | None = None,
+    vmax: float | None = None,
+) -> str:
+    """Render a matrix as a shaded text heat map (Fig 7's form).
+
+    Each cell becomes one block character from a 5-level ramp; the
+    colour scale is symmetric around zero by default so positive and
+    negative changes read differently.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError("heatmap needs a 2-D matrix")
+    if len(row_labels) != matrix.shape[0]:
+        raise ValueError("one label per row required")
+    finite = matrix[np.isfinite(matrix)]
+    if finite.size == 0:
+        return "(empty heatmap)"
+    span = max(abs(finite.min()), abs(finite.max()), 1e-9)
+    low = -span if vmin is None else vmin
+    high = span if vmax is None else vmax
+    ramp = " ░▒▓█"
+    lines = []
+    if title:
+        lines.extend([title, "-" * len(title)])
+    for label, row in zip(row_labels, matrix):
+        cells = []
+        for value in row:
+            if not np.isfinite(value):
+                cells.append("·")
+                continue
+            level = (value - low) / (high - low)
+            index = int(np.clip(level * (len(ramp) - 1), 0,
+                                len(ramp) - 1))
+            cells.append(ramp[index])
+        lines.append(f"{label:<{label_width}.{label_width}}|"
+                     + "".join(cells) + "|")
+    lines.append(
+        f"{'':<{label_width}} scale: {low:+.0f} {ramp} {high:+.0f}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Seed-sweep robustness analysis.
+
+A single synthetic run is one draw of a stochastic world; a
+reproduction claim should hold across draws. :func:`seed_sweep` runs
+the full study under several seeds and reports, per headline metric,
+the mean, standard deviation and range — the repository's analogue of
+the error bars a measurement paper cannot have.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulation.config import SimulationConfig
+
+__all__ = ["SweepResult", "seed_sweep"]
+
+
+@dataclass
+class SweepResult:
+    """Summary statistics across seeds for every headline metric."""
+
+    seeds: tuple[int, ...]
+    per_seed: dict[int, dict[str, float]]
+
+    def metrics(self) -> tuple[str, ...]:
+        first = self.per_seed[self.seeds[0]]
+        return tuple(first)
+
+    def values(self, metric: str) -> np.ndarray:
+        return np.array(
+            [self.per_seed[seed][metric] for seed in self.seeds]
+        )
+
+    def mean(self, metric: str) -> float:
+        return float(self.values(metric).mean())
+
+    def std(self, metric: str) -> float:
+        return float(self.values(metric).std())
+
+    def spread(self, metric: str) -> tuple[float, float]:
+        values = self.values(metric)
+        return float(values.min()), float(values.max())
+
+    def stable_sign(self, metric: str) -> bool:
+        """True if the metric has the same sign for every seed."""
+        values = self.values(metric)
+        return bool(np.all(values > 0) or np.all(values < 0))
+
+    def to_rows(self) -> list[dict[str, float | str]]:
+        """Tabular view: one row per metric."""
+        rows: list[dict[str, float | str]] = []
+        for metric in self.metrics():
+            low, high = self.spread(metric)
+            rows.append(
+                {
+                    "metric": metric,
+                    "mean": self.mean(metric),
+                    "std": self.std(metric),
+                    "min": low,
+                    "max": high,
+                }
+            )
+        return rows
+
+
+def seed_sweep(
+    seeds: Sequence[int],
+    config_factory: Callable[[int], SimulationConfig] | None = None,
+) -> SweepResult:
+    """Run the full study once per seed; collect the summaries.
+
+    ``config_factory`` maps a seed to a configuration (defaults to
+    ``SimulationConfig.small``).
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    from repro.core.study import CovidImpactStudy
+
+    factory = config_factory or SimulationConfig.small
+    per_seed: dict[int, dict[str, float]] = {}
+    for seed in seeds:
+        study = CovidImpactStudy.run(factory(seed))
+        per_seed[int(seed)] = study.summary()
+    return SweepResult(seeds=tuple(int(s) for s in seeds), per_seed=per_seed)

@@ -1,0 +1,76 @@
+"""Weekly-rhythm analysis: lockdown erases the weekday/weekend cycle.
+
+Footnote 2 of the paper notes the week-9 reference has higher weekday
+gyration and lower weekend gyration. That weekly rhythm is itself a
+casualty of lockdown: when nobody commutes and nobody goes away for the
+weekend, weekdays and weekends look alike. This module quantifies the
+rhythm (the weekday−weekend gap of a daily series) per week, before and
+after the order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulation.clock import StudyCalendar
+
+__all__ = ["WeeklyRhythm", "weekly_rhythm"]
+
+
+@dataclass
+class WeeklyRhythm:
+    """Weekday−weekend gap of a daily series, per ISO week."""
+
+    weeks: np.ndarray
+    weekday_mean: np.ndarray
+    weekend_mean: np.ndarray
+
+    @property
+    def gap(self) -> np.ndarray:
+        """Weekday mean minus weekend mean, per week."""
+        return self.weekday_mean - self.weekend_mean
+
+    def gap_at(self, week: int) -> float:
+        index = np.flatnonzero(self.weeks == week)
+        if index.size == 0:
+            raise KeyError(f"week {week} not covered")
+        return float(self.gap[index[0]])
+
+
+def weekly_rhythm(
+    daily_values: np.ndarray,
+    days: np.ndarray,
+    calendar: StudyCalendar,
+) -> WeeklyRhythm:
+    """Compute the weekday/weekend split of a daily series.
+
+    ``daily_values`` aligns with ``days`` (simulation day indices).
+    """
+    daily_values = np.asarray(daily_values, dtype=np.float64)
+    days = np.asarray(days)
+    if daily_values.shape != days.shape:
+        raise ValueError("daily_values and days must align")
+    weeks_of_day = calendar.weeks[days]
+    weekend = calendar.is_weekend[days]
+    weeks = np.unique(weeks_of_day)
+    weekday_mean = np.empty(weeks.size)
+    weekend_mean = np.empty(weeks.size)
+    for index, week in enumerate(weeks):
+        in_week = weeks_of_day == week
+        weekday_sel = in_week & ~weekend
+        weekend_sel = in_week & weekend
+        weekday_mean[index] = (
+            daily_values[weekday_sel].mean()
+            if weekday_sel.any()
+            else np.nan
+        )
+        weekend_mean[index] = (
+            daily_values[weekend_sel].mean()
+            if weekend_sel.any()
+            else np.nan
+        )
+    return WeeklyRhythm(
+        weeks=weeks, weekday_mean=weekday_mean, weekend_mean=weekend_mean
+    )

@@ -1,0 +1,69 @@
+"""Sector-level analysis of the radio feed (§2.1).
+
+The paper collects KPIs "for every radio sector" before aggregating at
+postcode level. The optional per-sector feed
+(``SimulationConfig.keep_sector_kpis``) exposes that granularity; this
+module provides the standard reductions on it:
+
+- consistency with the cell-level feed (sectors partition the site),
+- the sector imbalance index (how unevenly a site's traffic spreads
+  across its sectors — the quantity RAN engineers watch when deciding
+  to re-azimuth or split a cell).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.frames import Frame, group_by
+
+__all__ = ["SectorImbalance", "sector_imbalance", "site_sector_totals"]
+
+
+@dataclass(frozen=True)
+class SectorImbalance:
+    """Distribution of the per-site dominant-sector traffic share."""
+
+    mean_top_share: float
+    p90_top_share: float
+    num_sites: int
+
+    @property
+    def balanced_reference(self) -> float:
+        """Top-sector share of a perfectly balanced 3-sector site."""
+        return 1.0 / 3.0
+
+
+def site_sector_totals(sector_kpis: Frame, metric: str) -> Frame:
+    """Total ``metric`` per (site, sector) over the study window."""
+    if metric not in sector_kpis:
+        raise KeyError(f"unknown sector metric {metric!r}")
+    return group_by(sector_kpis, ["site_id", "sector"]).agg(
+        total=(metric, "sum")
+    )
+
+
+def sector_imbalance(
+    sector_kpis: Frame, metric: str = "dl_volume_mb"
+) -> SectorImbalance:
+    """Compute the dominant-sector share distribution across sites."""
+    totals = site_sector_totals(sector_kpis, metric)
+    per_site = group_by(totals, ["site_id"]).agg(
+        top=("total", "max"), all=("total", "sum")
+    )
+    shares = np.divide(
+        per_site["top"],
+        per_site["all"],
+        out=np.zeros(len(per_site)),
+        where=per_site["all"] > 0,
+    )
+    observed = shares[per_site["all"] > 0]
+    if observed.size == 0:
+        raise ValueError("sector feed holds no traffic")
+    return SectorImbalance(
+        mean_top_share=float(observed.mean()),
+        p90_top_share=float(np.percentile(observed, 90)),
+        num_sites=int(observed.size),
+    )

@@ -1,0 +1,426 @@
+"""The end-to-end study driver.
+
+:class:`CovidImpactStudy` runs (or receives) a simulation and exposes
+one method per paper artifact — ``fig2()`` through ``fig12()``,
+``table1()``, the §2.4 RAT shares and the §4.4 correlations — plus a
+``summary()`` of every headline number and a printable ``report()``.
+
+All results are computed lazily and cached, so a study object can be
+shared across figures without recomputation.
+"""
+
+from __future__ import annotations
+
+from functools import cache, cached_property
+
+import numpy as np
+
+from repro.core.correlation import (
+    EntropyCasesResult,
+    cluster_users_volume_correlation,
+    entropy_cases_correlation,
+)
+from repro.core.home import HomeDetectionResult, detect_homes
+from repro.core.mobility_series import (
+    MobilitySeries,
+    geodemographic_mobility,
+    national_mobility,
+    regional_mobility,
+)
+from repro.core.performance import (
+    PERF_METRICS,
+    WeeklySeries,
+    label_kpis,
+    performance_series,
+)
+from repro.core.relocation import RelocationMatrix, relocation_matrix
+from repro.core.report import render_series_block
+from repro.core.rat_usage import rat_time_share
+from repro.core.statistics import MobilityDailyMetrics, compute_daily_metrics
+from repro.core.validation import HomeValidation, validate_against_census
+from repro.core.voice_analysis import VOICE_METRICS, voice_series
+from repro.geo.oac import oac_table
+from repro.simulation.clock import BASELINE_WEEK
+from repro.simulation.config import SimulationConfig
+from repro.simulation.feeds import DataFeeds
+
+__all__ = ["CovidImpactStudy"]
+
+
+class CovidImpactStudy:
+    """Reproduce the paper's evaluation on a data-feeds bundle."""
+
+    def __init__(
+        self, feeds: DataFeeds, gyration_mode: str = "weighted"
+    ) -> None:
+        self._feeds = feeds
+        self._gyration_mode = gyration_mode
+
+    @classmethod
+    def run(
+        cls,
+        config: SimulationConfig | None = None,
+        gyration_mode: str = "weighted",
+    ) -> "CovidImpactStudy":
+        """Simulate with ``config`` and wrap the result in a study."""
+        from repro.simulation.engine import Simulator
+
+        feeds = Simulator(config or SimulationConfig()).run()
+        return cls(feeds, gyration_mode=gyration_mode)
+
+    @property
+    def feeds(self) -> DataFeeds:
+        return self._feeds
+
+    # -- shared intermediates ------------------------------------------------
+    @cached_property
+    def metrics(self) -> MobilityDailyMetrics:
+        """Per-user-day entropy/gyration over the whole window."""
+        return compute_daily_metrics(
+            self._feeds, gyration_mode=self._gyration_mode
+        )
+
+    @cached_property
+    def homes(self) -> HomeDetectionResult:
+        return detect_homes(self._feeds)
+
+    @cached_property
+    def labeled_kpis(self):
+        return label_kpis(self._feeds)
+
+    # -- paper artifacts ------------------------------------------------------
+    def table1(self) -> list[tuple[str, str]]:
+        """Table 1: the geodemographic cluster catalog."""
+        return oac_table()
+
+    @cache
+    def fig2(self) -> HomeValidation:
+        """Fig 2: inferred vs census LAD populations."""
+        return validate_against_census(self._feeds, self.homes)
+
+    @cached_property
+    def _fig3(self) -> dict[str, MobilitySeries]:
+        return national_mobility(self.metrics, self._feeds)
+
+    def fig3(self) -> dict[str, MobilitySeries]:
+        """Fig 3: national daily gyration/entropy change."""
+        return self._fig3
+
+    def fig4(self) -> EntropyCasesResult:
+        """Fig 4: entropy change vs cumulative confirmed cases."""
+        return entropy_cases_correlation(self._fig3, self._feeds)
+
+    @cache
+    def fig5(self) -> dict[str, MobilitySeries]:
+        """Fig 5: regional mobility (five high-density regions)."""
+        return regional_mobility(self.metrics, self._feeds)
+
+    @cache
+    def fig6(self) -> dict[str, MobilitySeries]:
+        """Fig 6: mobility per geodemographic cluster."""
+        return geodemographic_mobility(self.metrics, self._feeds)
+
+    @cache
+    def fig7(self) -> RelocationMatrix:
+        """Fig 7: the Inner-London relocation mobility matrix."""
+        return relocation_matrix(self._feeds, self.homes)
+
+    @cache
+    def fig8(self) -> dict[str, WeeklySeries]:
+        """Fig 8: UK + regional series for every data-traffic KPI."""
+        return {
+            metric: performance_series(
+                self._feeds, metric, grouping="county",
+                labeled=self.labeled_kpis,
+            )
+            for metric in PERF_METRICS
+        }
+
+    @cache
+    def fig9(self) -> dict[str, WeeklySeries]:
+        """Fig 9: national voice-traffic series (QCI = 1)."""
+        return voice_series(self._feeds, labeled=self.labeled_kpis)
+
+    @cache
+    def fig10(self) -> dict[str, WeeklySeries]:
+        """Fig 10: network performance per geodemographic cluster."""
+        return {
+            metric: performance_series(
+                self._feeds, metric, grouping="oac",
+                labeled=self.labeled_kpis,
+            )
+            for metric in PERF_METRICS
+        }
+
+    @cache
+    def fig11(self) -> dict[str, WeeklySeries]:
+        """Fig 11: Inner-London postal-district network performance."""
+        return {
+            metric: performance_series(
+                self._feeds, metric, grouping="district_area",
+                restrict_county="Inner London",
+                labeled=self.labeled_kpis,
+            )
+            for metric in PERF_METRICS
+        }
+
+    @cache
+    def fig12(self) -> dict[str, WeeklySeries]:
+        """Fig 12: London network performance per OAC cluster."""
+        return {
+            metric: performance_series(
+                self._feeds, metric, grouping="oac",
+                restrict_county="Inner London",
+                labeled=self.labeled_kpis,
+            )
+            for metric in PERF_METRICS
+        }
+
+    @cache
+    def rat_share(self) -> dict[str, float]:
+        """§2.4: connected-time share per RAT."""
+        return rat_time_share(self._feeds.rat_time)
+
+    @cache
+    def cluster_correlations(self) -> dict[str, float]:
+        """§4.4: users-vs-DL-volume correlation per cluster."""
+        fig10 = self.fig10()
+        return cluster_users_volume_correlation(
+            fig10["connected_users"], fig10["dl_volume_mb"]
+        )
+
+    def verdicts(self):
+        """Score this run against every machine-readable paper target."""
+        from repro.core.paper_targets import evaluate_summary
+
+        return evaluate_summary(self.summary())
+
+    def recovery_ranking(self, metric: str = "gyration"):
+        """§3.2 quantified: regional recovery slopes, fastest first."""
+        from repro.core.recovery import rank_recoveries
+
+        return rank_recoveries(self.fig5()[metric])
+
+    def weekly_rhythm(self, metric: str = "gyration"):
+        """Weekday/weekend gap of the national series, per week."""
+        from repro.core.seasonality import weekly_rhythm
+
+        series = self.fig3()[metric]
+        return weekly_rhythm(
+            series.values["UK"], series.x, self._feeds.calendar
+        )
+
+    # -- headline numbers -----------------------------------------------------
+    def summary(self) -> dict[str, float]:
+        """Every takeaway number of the paper, measured on this run."""
+        feeds = self._feeds
+        weeks_of_day = feeds.calendar.weeks[
+            np.flatnonzero(feeds.calendar.weeks >= BASELINE_WEEK)
+        ]
+        fig3 = self.fig3()
+        fig4 = self.fig4()
+        fig8 = self.fig8()
+        fig9 = self.fig9()
+        fig10 = self.fig10()
+        fig7 = self.fig7()
+        validation = self.fig2()
+
+        def weekly_avg(series: MobilitySeries, week: int) -> float:
+            return series.at_week("UK", week, weeks_of_day=weeks_of_day)
+
+        gyration = fig3["gyration"]
+        entropy = fig3["entropy"]
+        lockdown_gyration = min(
+            weekly_avg(gyration, 13), weekly_avg(gyration, 14)
+        )
+        lockdown_entropy = min(
+            weekly_avg(entropy, 13), weekly_avg(entropy, 14)
+        )
+
+        dl = fig8["dl_volume_mb"]
+        ul = fig8["ul_volume_mb"]
+        # The paper quotes the uplink range "during lockdown" (§1):
+        # restrict to weeks 13+ (weeks 10–12 show the pre-lockdown
+        # growth the paper reports separately).
+        ul_lockdown = ul.values["UK"][ul.weeks >= 13]
+        users = fig8["dl_active_users"]
+        throughput = fig8["user_dl_throughput_mbps"]
+        load = fig8["radio_load_pct"]
+        voice_vol = fig9["voice_volume_mb"]
+        dl_loss = fig9["voice_dl_loss_rate"]
+        ul_loss = fig9["voice_ul_loss_rate"]
+
+        lockdown_days = np.flatnonzero(
+            feeds.calendar.weeks[fig7.days] >= 14
+        )
+        away = np.mean(
+            [fig7.away_share(int(day)) for day in lockdown_days]
+        )
+        baseline_days = np.flatnonzero(
+            feeds.calendar.weeks[fig7.days] == BASELINE_WEEK
+        )
+        away_baseline = np.mean(
+            [fig7.away_share(int(day)) for day in baseline_days]
+        )
+
+        correlations = self.cluster_correlations()
+        rat = self.rat_share()
+
+        result = {
+            "gyration_change_lockdown_pct": lockdown_gyration,
+            "entropy_change_lockdown_pct": lockdown_entropy,
+            "home_detection_rate": self.homes.detection_rate,
+            "fig2_r_squared": validation.r_squared,
+            "fig4_pearson_pre_lockdown": fig4.pearson_r_pre_lockdown,
+            "fig4_pearson_pre_declaration": fig4.pearson_r_pre_declaration,
+            "dl_volume_week10_pct": dl.at_week("UK", 10),
+            "dl_volume_min_pct": dl.minimum("UK")[1],
+            "dl_volume_min_week": dl.minimum("UK")[0],
+            "ul_volume_lockdown_min_pct": float(ul_lockdown.min()),
+            "ul_volume_lockdown_max_pct": float(ul_lockdown.max()),
+            "ul_volume_week10_pct": ul.at_week("UK", 10),
+            "active_users_min_pct": users.minimum("UK")[1],
+            "throughput_min_pct": throughput.minimum("UK")[1],
+            "radio_load_min_pct": load.minimum("UK")[1],
+            "voice_volume_peak_pct": voice_vol.maximum("UK")[1],
+            "voice_volume_peak_week": voice_vol.maximum("UK")[0],
+            "voice_dl_loss_peak_pct": dl_loss.maximum("UK")[1],
+            "voice_dl_loss_final_pct": float(dl_loss.values["UK"][-1]),
+            "voice_ul_loss_min_pct": ul_loss.minimum("UK")[1],
+            "inner_london_away_share_lockdown": float(away),
+            "inner_london_away_share_baseline": float(away_baseline),
+            "inner_london_dl_min_pct": dl.minimum("Inner London")[1],
+            "outer_london_dl_min_pct": dl.minimum("Outer London")[1],
+            "cosmopolitan_users_min_pct": (
+                fig10["connected_users"].minimum("Cosmopolitans")[1]
+            ),
+            "rural_dl_min_pct": fig10["dl_volume_mb"].minimum(
+                "Rural Residents"
+            )[1],
+            "corr_cosmopolitans": correlations.get("Cosmopolitans", 0.0),
+            "corr_ethnicity_central": correlations.get(
+                "Ethnicity Central", 0.0
+            ),
+            "corr_rural": correlations.get("Rural Residents", 0.0),
+            "corr_suburbanites": correlations.get("Suburbanites", 0.0),
+            "ec_dl_min_pct": self._fig11_min("EC"),
+            "wc_dl_min_pct": self._fig11_min("WC"),
+            "n_active_users_peak_pct": self._fig11_n_peak(),
+            "rat_share_4g": rat.get("4G", 0.0),
+        }
+        # §4.1 / §4.2 growth framings ("rewound by one year", "seven
+        # years of voice growth in days").
+        from repro.core.annual_context import contextualize_summary
+
+        result.update(contextualize_summary(result))
+        return result
+
+    def _fig11_min(self, area: str) -> float:
+        series = self.fig11()["dl_volume_mb"]
+        if area not in series.values:
+            return float("nan")
+        return series.minimum(area)[1]
+
+    def _fig11_n_peak(self) -> float:
+        """Max N-district active-user change over weeks 10–14 (§5.1)."""
+        series = self.fig11()["dl_active_users"]
+        if "N" not in series.values:
+            return float("nan")
+        mask = (series.weeks >= 10) & (series.weeks <= 14)
+        return float(series.values["N"][mask].max())
+
+    def report(self, full: bool = False) -> str:
+        """Printable study report: every figure as a text panel.
+
+        The default report covers the national figures (3, 8, 9) plus
+        the headline summary; ``full=True`` adds the Fig 2/4 scatters
+        and the regional/cluster/London panels (5, 6, 10, 11, 12).
+        """
+        from repro.core.baseline import weekly_mean
+        from repro.core.report import scatter_plot
+
+        blocks = []
+        fig3 = self.fig3()
+        weeks_of_day = self._feeds.calendar.weeks[fig3["gyration"].x]
+
+        for metric in ("gyration", "entropy"):
+            weeks, weekly = weekly_mean(
+                fig3[metric].values["UK"], weeks_of_day
+            )
+            blocks.append(
+                render_series_block(
+                    f"Fig 3 — national {metric} (weekly mean of daily % change)",
+                    weeks,
+                    {"UK": weekly},
+                )
+            )
+        if full:
+            validation = self.fig2()
+            blocks.append(
+                "Fig 2 — inferred vs census LAD population "
+                f"(r² = {validation.r_squared:.3f})\n"
+                + scatter_plot(
+                    validation.table["census_population"].astype(float),
+                    validation.table["inferred_users"].astype(float),
+                    x_label="census",
+                    y_label="inferred users",
+                )
+            )
+            fig4 = self.fig4()
+            blocks.append(
+                "Fig 4 — entropy change vs cumulative cases "
+                f"(pre-declaration r = {fig4.pearson_r_pre_declaration:+.2f})\n"
+                + scatter_plot(
+                    fig4.cumulative_cases,
+                    fig4.entropy_change_pct,
+                    x_label="cumulative cases",
+                    y_label="entropy change %",
+                )
+            )
+            for fig_name, figure in (
+                ("Fig 5", self.fig5()), ("Fig 6", self.fig6()),
+            ):
+                for metric in ("gyration", "entropy"):
+                    series = figure[metric]
+                    blocks.append(
+                        render_series_block(
+                            f"{fig_name} — {metric} "
+                            "(% vs national week 9)",
+                            series.x,
+                            dict(sorted(series.values.items())),
+                        )
+                    )
+        for metric, series in self.fig8().items():
+            blocks.append(
+                render_series_block(
+                    f"Fig 8 — {metric}", series.weeks, series.values
+                )
+            )
+        for metric, series in self.fig9().items():
+            blocks.append(
+                render_series_block(
+                    f"Fig 9 — {metric}", series.weeks, series.values
+                )
+            )
+        if full:
+            for fig_name, figure in (
+                ("Fig 10", self.fig10()),
+                ("Fig 11 (Inner London)", self.fig11()),
+                ("Fig 12 (London clusters)", self.fig12()),
+            ):
+                for metric in ("dl_volume_mb", "connected_users"):
+                    series = figure[metric]
+                    blocks.append(
+                        render_series_block(
+                            f"{fig_name} — {metric}",
+                            series.weeks,
+                            dict(sorted(series.values.items())),
+                        )
+                    )
+        summary = self.summary()
+        lines = ["Headline numbers", "----------------"]
+        lines.extend(
+            f"{key:<40} {value:>10.3f}" for key, value in summary.items()
+        )
+        blocks.append("\n".join(lines))
+        return "\n\n".join(blocks)

@@ -1,0 +1,88 @@
+"""Census validation of home detection (Fig 2).
+
+The paper assigns every user with a detected home to a Local Authority
+District and compares the inferred per-LAD population against the ONS
+census estimate, obtaining a linear relationship with r² = 0.955 —
+evidence the MNO sample represents the population. This module runs the
+same regression against the synthetic census.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.home import HomeDetectionResult
+from repro.frames import Frame
+from repro.simulation.feeds import DataFeeds
+
+__all__ = ["HomeValidation", "validate_against_census"]
+
+
+@dataclass
+class HomeValidation:
+    """Per-LAD inferred vs census populations plus the fit."""
+
+    table: Frame  # columns: lad_code, inferred_users, census_population
+    slope: float
+    intercept: float
+    r_squared: float
+
+    @property
+    def num_lads(self) -> int:
+        return len(self.table)
+
+
+def validate_against_census(
+    feeds: DataFeeds, homes: HomeDetectionResult
+) -> HomeValidation:
+    """Regress inferred LAD user counts against census populations."""
+    detected = homes.detected
+    if not detected.any():
+        raise ValueError("no homes detected; cannot validate")
+    home_sites = homes.home_site[detected]
+    district_of_site = feeds.topology.site_district_indices
+    home_districts = district_of_site[home_sites]
+
+    lad_codes = np.array([d.lad_code for d in feeds.geography.districts])
+    home_lads = lad_codes[home_districts]
+
+    census = feeds.geography.lad_population
+    lads = sorted(census)
+    inferred = {lad: 0 for lad in lads}
+    values, counts = np.unique(home_lads, return_counts=True)
+    for lad, count in zip(values, counts):
+        inferred[str(lad)] = int(count)
+
+    x = np.array([census[lad] for lad in lads], dtype=np.float64)
+    y = np.array([inferred[lad] for lad in lads], dtype=np.float64)
+    slope, intercept, r_squared = _linear_fit(x, y)
+    table = Frame(
+        {
+            "lad_code": np.array(lads),
+            "census_population": x.astype(np.int64),
+            "inferred_users": y.astype(np.int64),
+        }
+    )
+    return HomeValidation(
+        table=table, slope=slope, intercept=intercept, r_squared=r_squared
+    )
+
+
+def _linear_fit(x: np.ndarray, y: np.ndarray) -> tuple[float, float, float]:
+    """Least-squares line y = a x + b and the fit's r²."""
+    if x.size < 2:
+        raise ValueError("need at least two points for a regression")
+    x_mean = x.mean()
+    y_mean = y.mean()
+    ss_xx = ((x - x_mean) ** 2).sum()
+    if ss_xx == 0:
+        raise ValueError("census populations are degenerate")
+    slope = ((x - x_mean) * (y - y_mean)).sum() / ss_xx
+    intercept = y_mean - slope * x_mean
+    predicted = slope * x + intercept
+    ss_res = ((y - predicted) ** 2).sum()
+    ss_tot = ((y - y_mean) ** 2).sum()
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 0.0
+    return float(slope), float(intercept), float(r_squared)

@@ -1,0 +1,34 @@
+"""Canned scenarios: one-call dataset builders for examples and benches.
+
+Each builder returns a ready :class:`~repro.simulation.feeds.DataFeeds`
+bundle (running the simulator under a documented configuration), so
+examples and benchmarks never hand-roll configurations:
+
+- :func:`uk_default` — the full-scale study (the configuration behind
+  EXPERIMENTS.md).
+- :func:`uk_small` / :func:`uk_tiny` — cheaper replicas for quick looks
+  and CI.
+- :func:`london_focus` — boosts London sampling for the §5 analyses.
+- :func:`counterfactual_no_lockdown` — the same country without any
+  intervention (an ablation: what the network would have seen).
+- :func:`counterfactual_no_ops_response` — the interconnect team never
+  reacts (ablation for the §4.2 incident).
+"""
+
+from repro.datasets.scenarios import (
+    counterfactual_no_lockdown,
+    counterfactual_no_ops_response,
+    london_focus,
+    uk_default,
+    uk_small,
+    uk_tiny,
+)
+
+__all__ = [
+    "counterfactual_no_lockdown",
+    "counterfactual_no_ops_response",
+    "london_focus",
+    "uk_default",
+    "uk_small",
+    "uk_tiny",
+]

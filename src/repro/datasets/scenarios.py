@@ -1,0 +1,100 @@
+"""Scenario builders."""
+
+from __future__ import annotations
+
+from repro.mobility.pandemic import PandemicTimeline
+from repro.simulation.config import SimulationConfig
+from repro.simulation.feeds import DataFeeds
+from repro.traffic.demand import DemandSettings
+from repro.traffic.voice import VoiceSettings
+
+__all__ = [
+    "uk_default",
+    "uk_small",
+    "uk_tiny",
+    "london_focus",
+    "counterfactual_no_lockdown",
+    "counterfactual_no_ops_response",
+    "no_lockdown_config",
+]
+
+
+def _run(config: SimulationConfig) -> DataFeeds:
+    from repro.simulation.engine import Simulator
+
+    return Simulator(config).run()
+
+
+def uk_default(seed: int = 2020) -> DataFeeds:
+    """The full-scale study configuration (~20k users, ~1k sites)."""
+    return _run(SimulationConfig.default(seed=seed))
+
+
+def uk_small(seed: int = 2020) -> DataFeeds:
+    """A ~5k-user replica: right shapes, noisier slices."""
+    return _run(SimulationConfig.small(seed=seed))
+
+
+def uk_tiny(seed: int = 2020) -> DataFeeds:
+    """A ~1.5k-user replica for smoke tests."""
+    return _run(SimulationConfig.tiny(seed=seed))
+
+
+def london_focus(seed: int = 2020, num_users: int = 20_000) -> DataFeeds:
+    """More users for the London analyses (§5): denser sampling.
+
+    Keeps the national geography (the analysis still needs national
+    baselines) but increases the subscriber count so the per-district
+    London slices have more cells' worth of users behind them.
+    """
+    config = SimulationConfig(
+        num_users=num_users,
+        target_site_count=max(800, num_users // 16),
+        seed=seed,
+    )
+    return _run(config)
+
+
+def no_lockdown_config(
+    base: SimulationConfig | None = None,
+) -> SimulationConfig:
+    """Configuration for the no-intervention counterfactual.
+
+    The epidemic still happens (cases grow identically) but no
+    announcement or order changes behaviour: the policy timeline is
+    flattened to zero restriction, the voice surge never happens, and
+    the news-driven demand bump is removed.
+    """
+    base = base or SimulationConfig.default()
+    flat_timeline = PandemicTimeline(
+        declared_level=0.0,
+        distancing_level=0.0,
+        closures_level=0.0,
+        lockdown_level=0.0,
+        adherence_decay_per_day=0.0,
+    )
+    flat_voice = VoiceSettings(
+        outbreak_multiplier=1.0,
+        declared_multiplier=1.0,
+        distancing_multiplier=1.0,
+        closures_multiplier=1.0,
+        lockdown_multiplier=1.0,
+        relaxation_floor=1.0,
+    )
+    flat_demand = DemandSettings(news_bump={})
+    return base.with_overrides(
+        timeline=flat_timeline, voice=flat_voice, demand=flat_demand
+    )
+
+
+def counterfactual_no_lockdown(seed: int = 2020) -> DataFeeds:
+    """Run the no-intervention counterfactual at default scale."""
+    return _run(no_lockdown_config(SimulationConfig.default(seed=seed)))
+
+
+def counterfactual_no_ops_response(seed: int = 2020) -> DataFeeds:
+    """§4.2 ablation: the interconnect team never adds capacity."""
+    config = SimulationConfig.default(seed=seed).with_overrides(
+        interconnect_detection_days=10_000
+    )
+    return _run(config)

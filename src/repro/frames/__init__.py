@@ -1,0 +1,37 @@
+"""Lightweight columnar data frames on top of numpy.
+
+The analysis layer of this reproduction needs a small relational core —
+filter, select, group-aggregate, join, sort, CSV round-trip — applied to
+millions of rows of simulated measurement data. pandas is not available
+in the target environment, so :mod:`repro.frames` provides exactly that
+core with numpy arrays as column storage.
+
+The public surface:
+
+- :class:`Frame` — an immutable-by-convention mapping of column name to
+  a 1-D numpy array, all of equal length.
+- :func:`group_by` / :class:`GroupBy` — split-apply-combine with the
+  aggregations the paper's pipeline uses (sum, mean, median, count,
+  percentiles, ...).
+- :func:`join` — hash joins (inner / left) on one or more key columns.
+- :func:`read_csv` / :func:`write_csv` — simple CSV round-trip with
+  dtype inference.
+- :func:`concat` — stack frames with identical schemas.
+"""
+
+from repro.frames.frame import Frame, concat
+from repro.frames.groupby import GroupBy, group_by
+from repro.frames.join import join
+from repro.frames.csvio import read_csv, write_csv
+from repro.frames.pivot import pivot
+
+__all__ = [
+    "Frame",
+    "GroupBy",
+    "concat",
+    "group_by",
+    "join",
+    "pivot",
+    "read_csv",
+    "write_csv",
+]

@@ -1,0 +1,75 @@
+"""CSV round-trip for frames.
+
+Feeds produced by the simulator can be persisted so the analysis stage
+(or an external tool) can be run without re-simulating. The format is
+plain RFC-4180-ish CSV with a header row; dtypes are inferred on read
+(int, then float, then string).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.frames.frame import Frame
+
+__all__ = ["read_csv", "write_csv", "dumps_csv", "loads_csv"]
+
+
+def write_csv(frame: Frame, path: str | Path) -> None:
+    """Write ``frame`` to ``path`` as CSV with a header row."""
+    Path(path).write_text(dumps_csv(frame), encoding="utf-8")
+
+
+def dumps_csv(frame: Frame) -> str:
+    """Serialize ``frame`` to a CSV string."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    names = frame.column_names
+    writer.writerow(names)
+    columns = [frame[name] for name in names]
+    for row in zip(*(column.tolist() for column in columns)):
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def read_csv(path: str | Path) -> Frame:
+    """Read a CSV file written by :func:`write_csv` back into a frame."""
+    return loads_csv(Path(path).read_text(encoding="utf-8"))
+
+
+def loads_csv(text: str) -> Frame:
+    """Parse CSV text into a frame, inferring column dtypes."""
+    reader = csv.reader(io.StringIO(text))
+    try:
+        header = next(reader)
+    except StopIteration:
+        return Frame()
+    raw_columns: list[list[str]] = [[] for _ in header]
+    for row in reader:
+        if not row:
+            continue
+        if len(row) != len(header):
+            raise ValueError(
+                f"row has {len(row)} fields, header has {len(header)}"
+            )
+        for cell, column in zip(row, raw_columns):
+            column.append(cell)
+    data = {
+        name: _infer_column(values) for name, values in zip(header, raw_columns)
+    }
+    return Frame(data)
+
+
+def _infer_column(values: list[str]) -> np.ndarray:
+    for caster, dtype in ((int, np.int64), (float, np.float64)):
+        try:
+            return np.array([caster(value) for value in values], dtype=dtype)
+        except ValueError:
+            continue
+    if values and all(value in ("True", "False") for value in values):
+        return np.array([value == "True" for value in values], dtype=bool)
+    return np.array(values, dtype=str)

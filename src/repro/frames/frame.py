@@ -1,0 +1,310 @@
+"""The :class:`Frame` column-store and its basic relational operations."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from typing import Any
+
+import numpy as np
+
+__all__ = ["Frame", "concat"]
+
+
+def _as_column(values: Any) -> np.ndarray:
+    """Coerce ``values`` to a 1-D numpy array suitable as a column."""
+    array = np.asarray(values)
+    if array.ndim == 0:
+        raise ValueError("a column must be a sequence, got a scalar")
+    if array.ndim != 1:
+        raise ValueError(f"a column must be 1-D, got shape {array.shape}")
+    # Plain python strings arrive as dtype=object or <U; normalize object
+    # arrays of str to a unicode dtype so comparisons vectorize.
+    if array.dtype == object and array.size and all(
+        isinstance(item, str) for item in array
+    ):
+        array = array.astype(str)
+    return array
+
+
+class Frame:
+    """A named collection of equal-length numpy columns.
+
+    ``Frame`` is deliberately small: it is a dictionary of columns with
+    relational conveniences. Columns are shared, not copied, on most
+    operations — treat the arrays as read-only.
+
+    Parameters
+    ----------
+    columns:
+        Mapping of column name to array-like. All columns must have the
+        same length.
+
+    Examples
+    --------
+    >>> frame = Frame({"cell": ["a", "a", "b"], "volume": [1.0, 2.0, 9.0]})
+    >>> len(frame)
+    3
+    >>> frame.filter(frame["volume"] > 1.5).column_names
+    ('cell', 'volume')
+    """
+
+    __slots__ = ("_columns", "_length")
+
+    def __init__(self, columns: Mapping[str, Any] | None = None) -> None:
+        self._columns: dict[str, np.ndarray] = {}
+        self._length = 0
+        if columns:
+            converted = {name: _as_column(col) for name, col in columns.items()}
+            lengths = {arr.shape[0] for arr in converted.values()}
+            if len(lengths) > 1:
+                detail = {name: arr.shape[0] for name, arr in converted.items()}
+                raise ValueError(f"columns have unequal lengths: {detail}")
+            self._columns = converted
+            self._length = next(iter(lengths)) if lengths else 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        """Column names in insertion order."""
+        return tuple(self._columns)
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows."""
+        return self._length
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._columns
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise KeyError(
+                f"no column {name!r}; available: {list(self._columns)}"
+            ) from None
+
+    def __iter__(self) -> Iterable[str]:
+        return iter(self._columns)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Frame):
+            return NotImplemented
+        if self.column_names != other.column_names:
+            return False
+        return all(
+            np.array_equal(self._columns[name], other._columns[name])
+            for name in self._columns
+        )
+
+    def __repr__(self) -> str:
+        schema = ", ".join(
+            f"{name}: {arr.dtype}" for name, arr in self._columns.items()
+        )
+        return f"Frame({self._length} rows; {schema})"
+
+    def to_dict(self) -> dict[str, np.ndarray]:
+        """Return the underlying column mapping (arrays are shared)."""
+        return dict(self._columns)
+
+    def row(self, index: int) -> dict[str, Any]:
+        """Materialize a single row as ``{column: scalar}``."""
+        if not -self._length <= index < self._length:
+            raise IndexError(f"row {index} out of range for {self._length} rows")
+        return {name: arr[index] for name, arr in self._columns.items()}
+
+    def iter_rows(self) -> Iterable[dict[str, Any]]:
+        """Yield rows as dictionaries. Convenient, but slow — test use only."""
+        for index in range(self._length):
+            yield self.row(index)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls, rows: Sequence[Mapping[str, Any]], columns: Sequence[str] | None = None
+    ) -> "Frame":
+        """Build a frame from an iterable of row dictionaries.
+
+        ``columns`` fixes the schema; by default it is taken from the
+        first row. Missing keys raise ``KeyError``.
+        """
+        rows = list(rows)
+        if not rows:
+            return cls({name: [] for name in (columns or [])})
+        names = list(columns) if columns is not None else list(rows[0])
+        data = {name: [row[name] for row in rows] for name in names}
+        return cls(data)
+
+    def with_column(self, name: str, values: Any) -> "Frame":
+        """Return a new frame with ``name`` added or replaced."""
+        column = _as_column(values)
+        if self._columns and column.shape[0] != self._length:
+            raise ValueError(
+                f"column {name!r} has length {column.shape[0]}, "
+                f"frame has {self._length} rows"
+            )
+        data = dict(self._columns)
+        data[name] = column
+        return Frame(data)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Frame":
+        """Return a new frame with columns renamed per ``mapping``."""
+        missing = set(mapping) - set(self._columns)
+        if missing:
+            raise KeyError(f"cannot rename missing columns: {sorted(missing)}")
+        return Frame(
+            {mapping.get(name, name): arr for name, arr in self._columns.items()}
+        )
+
+    # ------------------------------------------------------------------
+    # Relational operations
+    # ------------------------------------------------------------------
+    def select(self, names: Sequence[str]) -> "Frame":
+        """Return a new frame with only ``names``, in the given order."""
+        return Frame({name: self[name] for name in names})
+
+    def drop(self, names: Sequence[str]) -> "Frame":
+        """Return a new frame without ``names``."""
+        doomed = set(names)
+        missing = doomed - set(self._columns)
+        if missing:
+            raise KeyError(f"cannot drop missing columns: {sorted(missing)}")
+        return Frame(
+            {name: arr for name, arr in self._columns.items() if name not in doomed}
+        )
+
+    def filter(self, mask: Any) -> "Frame":
+        """Return rows where the boolean ``mask`` is true."""
+        mask = np.asarray(mask)
+        if mask.dtype != bool:
+            raise TypeError(f"filter mask must be boolean, got {mask.dtype}")
+        if mask.shape != (self._length,):
+            raise ValueError(
+                f"mask shape {mask.shape} does not match {self._length} rows"
+            )
+        return self.take(np.flatnonzero(mask))
+
+    def take(self, indices: Any) -> "Frame":
+        """Return the rows at ``indices`` (fancy indexing on all columns)."""
+        indices = np.asarray(indices)
+        return Frame({name: arr[indices] for name, arr in self._columns.items()})
+
+    def head(self, count: int = 5) -> "Frame":
+        """Return the first ``count`` rows."""
+        return self.take(np.arange(min(count, self._length)))
+
+    def sort_by(self, names: str | Sequence[str], descending: bool = False) -> "Frame":
+        """Return rows sorted by one or more columns (stable).
+
+        With multiple names the first is the primary key.
+        """
+        if isinstance(names, str):
+            names = [names]
+        if not names:
+            raise ValueError("sort_by needs at least one column")
+        # np.lexsort sorts by the LAST key as primary, so reverse.
+        keys = tuple(self[name] for name in reversed(names))
+        order = np.lexsort(keys)
+        if descending:
+            order = order[::-1]
+        return self.take(order)
+
+    def unique(self, name: str) -> np.ndarray:
+        """Sorted unique values of a column."""
+        return np.unique(self[name])
+
+    def mask_isin(self, name: str, values: Iterable[Any]) -> np.ndarray:
+        """Boolean mask of rows whose ``name`` is in ``values``."""
+        return np.isin(self[name], np.asarray(list(values)))
+
+    def describe(self) -> "Frame":
+        """Summary statistics of the numeric columns.
+
+        Returns a frame with one row per numeric column and the usual
+        count/mean/std/min/median/max columns — the quick look a user
+        takes at a freshly loaded feed.
+        """
+        rows = []
+        for name, column in self._columns.items():
+            if not np.issubdtype(column.dtype, np.number):
+                continue
+            if column.size == 0:
+                rows.append(
+                    {
+                        "column": name, "count": 0, "mean": np.nan,
+                        "std": np.nan, "min": np.nan, "median": np.nan,
+                        "max": np.nan,
+                    }
+                )
+                continue
+            values = column.astype(np.float64)
+            rows.append(
+                {
+                    "column": name,
+                    "count": int(values.size),
+                    "mean": float(values.mean()),
+                    "std": float(values.std()),
+                    "min": float(values.min()),
+                    "median": float(np.median(values)),
+                    "max": float(values.max()),
+                }
+            )
+        return Frame.from_rows(
+            rows,
+            columns=["column", "count", "mean", "std", "min",
+                     "median", "max"],
+        )
+
+    def to_pretty(self, max_rows: int = 20) -> str:
+        """Render an aligned text table (for examples and reports)."""
+        names = self.column_names
+        if not names:
+            return "(empty frame)"
+        shown = min(self._length, max_rows)
+        cells = [
+            [_format_cell(self._columns[name][row]) for name in names]
+            for row in range(shown)
+        ]
+        widths = [
+            max(len(name), *(len(row[idx]) for row in cells)) if cells else len(name)
+            for idx, name in enumerate(names)
+        ]
+        header = "  ".join(name.ljust(width) for name, width in zip(names, widths))
+        rule = "  ".join("-" * width for width in widths)
+        body = [
+            "  ".join(value.rjust(width) for value, width in zip(row, widths))
+            for row in cells
+        ]
+        lines = [header, rule, *body]
+        if shown < self._length:
+            lines.append(f"... ({self._length - shown} more rows)")
+        return "\n".join(lines)
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, (float, np.floating)):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def concat(frames: Sequence[Frame]) -> Frame:
+    """Vertically stack frames that share an identical schema."""
+    frames = [frame for frame in frames if frame.num_rows or frame.column_names]
+    if not frames:
+        return Frame()
+    schema = frames[0].column_names
+    for frame in frames[1:]:
+        if frame.column_names != schema:
+            raise ValueError(
+                f"schema mismatch: {frame.column_names} != {schema}"
+            )
+    return Frame(
+        {name: np.concatenate([frame[name] for frame in frames]) for name in schema}
+    )

@@ -1,0 +1,180 @@
+"""Split-apply-combine for :class:`~repro.frames.Frame`.
+
+The implementation sorts rows by the key columns once (``np.lexsort``)
+and then aggregates contiguous group slices. Sum-like reductions use
+``reduceat``; order statistics (median, percentiles) sort each group
+slice, which is fast enough for the group cardinalities this project
+produces (cells × days, users × days, ...).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.frames.frame import Frame
+
+__all__ = ["GroupBy", "group_by"]
+
+# An aggregation spec: (source column, how). ``how`` is a string name,
+# ("percentile", q), or a callable invoked with the group's values.
+AggSpec = tuple[str, Any]
+
+_REDUCEAT_OPS = {
+    "sum": np.add,
+    "min": np.minimum,
+    "max": np.maximum,
+}
+
+
+class GroupBy:
+    """The result of :func:`group_by`: rows partitioned by key columns."""
+
+    def __init__(self, frame: Frame, keys: Sequence[str]) -> None:
+        if not keys:
+            raise ValueError("group_by needs at least one key column")
+        self._frame = frame
+        self._keys = list(keys)
+        key_arrays = tuple(frame[name] for name in reversed(self._keys))
+        if frame.num_rows:
+            self._order = np.lexsort(key_arrays)
+        else:
+            self._order = np.empty(0, dtype=np.intp)
+        sorted_keys = [frame[name][self._order] for name in self._keys]
+        if frame.num_rows:
+            changed = np.zeros(frame.num_rows, dtype=bool)
+            changed[0] = True
+            for column in sorted_keys:
+                changed[1:] |= column[1:] != column[:-1]
+            self._starts = np.flatnonzero(changed)
+        else:
+            self._starts = np.empty(0, dtype=np.intp)
+        self._sorted_keys = sorted_keys
+
+    # ------------------------------------------------------------------
+    @property
+    def num_groups(self) -> int:
+        """Number of distinct key combinations."""
+        return int(self._starts.shape[0])
+
+    def _key_frame(self) -> dict[str, np.ndarray]:
+        return {
+            name: column[self._starts]
+            for name, column in zip(self._keys, self._sorted_keys)
+        }
+
+    def sizes(self, name: str = "count") -> Frame:
+        """Return a frame of key columns plus each group's row count."""
+        counts = np.diff(np.append(self._starts, self._frame.num_rows))
+        data = self._key_frame()
+        data[name] = counts
+        return Frame(data)
+
+    def agg(self, **specs: AggSpec) -> Frame:
+        """Aggregate columns per group.
+
+        Each keyword is an output column; its value is ``(source, how)``
+        with ``how`` one of ``sum``, ``mean``, ``median``, ``count``,
+        ``min``, ``max``, ``std``, ``first``, ``last``, ``nunique``,
+        ``("percentile", q)``, or a callable mapping a group's values to
+        a scalar.
+
+        >>> frame = Frame({"k": ["a", "a", "b"], "v": [1.0, 3.0, 5.0]})
+        >>> group_by(frame, ["k"]).agg(total=("v", "sum"))["total"].tolist()
+        [4.0, 5.0]
+        """
+        if not specs:
+            raise ValueError("agg needs at least one aggregation spec")
+        total = self._frame.num_rows
+        ends = np.append(self._starts[1:], total)
+        data = self._key_frame()
+        for out_name, (source, how) in specs.items():
+            values = self._frame[source][self._order]
+            data[out_name] = _aggregate(values, self._starts, ends, how)
+        return Frame(data)
+
+    def apply(self, fn: Callable[[Frame], Mapping[str, Any]]) -> Frame:
+        """Apply ``fn`` to each group's sub-frame; combine the row dicts.
+
+        Slow path: materializes a :class:`Frame` per group. Use
+        :meth:`agg` where possible.
+        """
+        total = self._frame.num_rows
+        ends = np.append(self._starts[1:], total)
+        rows = []
+        keys = self._key_frame()
+        for index, (start, end) in enumerate(zip(self._starts, ends)):
+            group = self._frame.take(self._order[start:end])
+            row = dict(fn(group))
+            for name in self._keys:
+                row[name] = keys[name][index]
+            rows.append(row)
+        if not rows:
+            return Frame({name: [] for name in self._keys})
+        ordered = self._keys + [key for key in rows[0] if key not in self._keys]
+        return Frame.from_rows(rows, columns=ordered)
+
+    def group_indices(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Expose (row order, group starts, group ends) for power users."""
+        ends = np.append(self._starts[1:], self._frame.num_rows)
+        return self._order, self._starts.copy(), ends
+
+
+def group_by(frame: Frame, keys: Sequence[str] | str) -> GroupBy:
+    """Partition ``frame`` rows by one or more key columns."""
+    if isinstance(keys, str):
+        keys = [keys]
+    return GroupBy(frame, keys)
+
+
+def _aggregate(
+    values: np.ndarray, starts: np.ndarray, ends: np.ndarray, how: Any
+) -> np.ndarray:
+    """Aggregate presorted ``values`` over groups delimited by starts/ends."""
+    if starts.size == 0:
+        return np.empty(0, dtype=values.dtype if how != "count" else np.int64)
+    if isinstance(how, str) and how in _REDUCEAT_OPS:
+        return _REDUCEAT_OPS[how].reduceat(values, starts)
+    if how == "count":
+        return (ends - starts).astype(np.int64)
+    if how == "mean":
+        sums = np.add.reduceat(values.astype(np.float64), starts)
+        return sums / (ends - starts)
+    if how == "std":
+        counts = (ends - starts).astype(np.float64)
+        floats = values.astype(np.float64)
+        sums = np.add.reduceat(floats, starts)
+        squares = np.add.reduceat(floats * floats, starts)
+        variance = np.maximum(squares / counts - (sums / counts) ** 2, 0.0)
+        return np.sqrt(variance)
+    if how == "first":
+        return values[starts]
+    if how == "last":
+        return values[ends - 1]
+    if how == "median":
+        return _per_group(values, starts, ends, np.median)
+    if how == "nunique":
+        return np.array(
+            [np.unique(values[s:e]).size for s, e in zip(starts, ends)],
+            dtype=np.int64,
+        )
+    if isinstance(how, tuple) and len(how) == 2 and how[0] == "percentile":
+        quantile = float(how[1])
+        return _per_group(
+            values, starts, ends, lambda chunk: np.percentile(chunk, quantile)
+        )
+    if callable(how):
+        return _per_group(values, starts, ends, how)
+    raise ValueError(f"unknown aggregation {how!r}")
+
+
+def _per_group(
+    values: np.ndarray,
+    starts: np.ndarray,
+    ends: np.ndarray,
+    fn: Callable[[np.ndarray], Any],
+) -> np.ndarray:
+    out = [fn(values[start:end]) for start, end in zip(starts, ends)]
+    return np.asarray(out)

@@ -1,0 +1,103 @@
+"""Hash joins between frames."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.frames.frame import Frame
+
+__all__ = ["join"]
+
+
+def _key_tuples(frame: Frame, keys: Sequence[str]) -> list[tuple]:
+    columns = [frame[name] for name in keys]
+    return list(zip(*(column.tolist() for column in columns)))
+
+
+def join(
+    left: Frame,
+    right: Frame,
+    on: Sequence[str] | str,
+    how: str = "inner",
+    suffix: str = "_right",
+) -> Frame:
+    """Join two frames on equality of the ``on`` columns.
+
+    Parameters
+    ----------
+    left, right:
+        Frames to join. If ``right`` has several rows for a key, the
+        join fans out (standard relational semantics).
+    on:
+        Key column name or names, present in both frames.
+    how:
+        ``"inner"`` (drop unmatched left rows) or ``"left"`` (keep them;
+        right columns get a fill value: NaN for floats, -1 for ints,
+        ``""`` for strings).
+    suffix:
+        Appended to right-side non-key columns whose names collide with
+        left-side columns.
+
+    Examples
+    --------
+    >>> cells = Frame({"cell": ["a", "b"], "postcode": ["N1", "EC1"]})
+    >>> kpis = Frame({"cell": ["a", "a", "b"], "volume": [1.0, 2.0, 9.0]})
+    >>> join(kpis, cells, on="cell")["postcode"].tolist()
+    ['N1', 'N1', 'EC1']
+    """
+    if how not in ("inner", "left"):
+        raise ValueError(f"how must be 'inner' or 'left', got {how!r}")
+    keys = [on] if isinstance(on, str) else list(on)
+    for name in keys:
+        if name not in left or name not in right:
+            raise KeyError(f"join key {name!r} missing from one side")
+
+    right_index: dict[tuple, list[int]] = {}
+    for row_index, key in enumerate(_key_tuples(right, keys)):
+        right_index.setdefault(key, []).append(row_index)
+
+    left_take: list[int] = []
+    right_take: list[int] = []
+    unmatched: list[int] = []
+    for row_index, key in enumerate(_key_tuples(left, keys)):
+        matches = right_index.get(key)
+        if matches is None:
+            if how == "left":
+                unmatched.append(row_index)
+            continue
+        left_take.extend([row_index] * len(matches))
+        right_take.extend(matches)
+
+    left_rows = np.asarray(left_take + unmatched, dtype=np.intp)
+    matched = len(left_take)
+    out = {name: left[name][left_rows] for name in left.column_names}
+
+    right_rows = np.asarray(right_take, dtype=np.intp)
+    for name in right.column_names:
+        if name in keys:
+            continue
+        out_name = name + suffix if name in out else name
+        column = right[name]
+        matched_part = column[right_rows]
+        if unmatched:
+            fill = _fill_value(column.dtype)
+            pad = np.full(len(unmatched), fill, dtype=matched_part.dtype)
+            out[out_name] = np.concatenate([matched_part, pad])
+        else:
+            out[out_name] = matched_part
+    del matched
+    return Frame(out)
+
+
+def _fill_value(dtype: np.dtype):
+    if np.issubdtype(dtype, np.floating):
+        return np.nan
+    if np.issubdtype(dtype, np.integer):
+        return -1
+    if dtype.kind in ("U", "S"):
+        return ""
+    if dtype == bool:
+        return False
+    return None

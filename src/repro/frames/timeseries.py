@@ -1,0 +1,77 @@
+"""Time-series helpers for daily series (rolling windows, smoothing).
+
+The daily mobility series of Fig 3 carry strong weekday/weekend
+seasonality; a centred 7-day rolling mean is the standard way to read
+the trend through it. These helpers operate on plain 1-D arrays so both
+frames and the analysis layer can use them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "rolling_mean",
+    "rolling_median",
+    "weekly_seasonality",
+    "deseasonalize",
+]
+
+
+def _validate_window(values: np.ndarray, window: int) -> np.ndarray:
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1:
+        raise ValueError("rolling operations take 1-D series")
+    if window <= 0:
+        raise ValueError("window must be positive")
+    return values
+
+
+def rolling_mean(values: np.ndarray, window: int = 7) -> np.ndarray:
+    """Centred rolling mean; edges use the available partial window."""
+    values = _validate_window(values, window)
+    half = window // 2
+    out = np.empty_like(values)
+    for index in range(values.size):
+        low = max(0, index - half)
+        high = min(values.size, index + half + 1)
+        out[index] = values[low:high].mean()
+    return out
+
+
+def rolling_median(values: np.ndarray, window: int = 7) -> np.ndarray:
+    """Centred rolling median; edges use the available partial window."""
+    values = _validate_window(values, window)
+    half = window // 2
+    out = np.empty_like(values)
+    for index in range(values.size):
+        low = max(0, index - half)
+        high = min(values.size, index + half + 1)
+        out[index] = np.median(values[low:high])
+    return out
+
+
+def weekly_seasonality(
+    values: np.ndarray, weekdays: np.ndarray
+) -> np.ndarray:
+    """Mean deviation from the rolling trend per weekday (7 entries)."""
+    values = np.asarray(values, dtype=np.float64)
+    weekdays = np.asarray(weekdays)
+    if values.shape != weekdays.shape:
+        raise ValueError("values and weekdays must align")
+    trend = rolling_mean(values, 7)
+    residual = values - trend
+    out = np.zeros(7)
+    for day in range(7):
+        mask = weekdays == day
+        if mask.any():
+            out[day] = residual[mask].mean()
+    return out
+
+
+def deseasonalize(values: np.ndarray, weekdays: np.ndarray) -> np.ndarray:
+    """Remove the mean weekday pattern from a daily series."""
+    pattern = weekly_seasonality(values, weekdays)
+    return np.asarray(values, dtype=np.float64) - pattern[
+        np.asarray(weekdays)
+    ]

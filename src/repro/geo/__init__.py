@@ -1,0 +1,50 @@
+"""Synthetic UK geography substrate.
+
+The paper joins every measurement against three public UK datasets:
+
+- the **National Statistics Postcode Lookup (NSPL)** — postcode →
+  Local Authority District (LAD) / Upper Tier Local Authority / county,
+- the **2011 Output Area Classification (OAC)** — postcode →
+  geodemographic supergroup (Table 1 of the paper),
+- **ONS census population estimates** per LAD (used to validate home
+  detection, Fig 2).
+
+None of those join keys require the real UK: what matters is the
+*hierarchy* (postcode district ⊂ LAD ⊂ county ⊂ region), the
+geodemographic labelling, and realistic population/attraction contrasts
+(dense commercial centres vs dormitory suburbs vs rural areas). This
+package synthesizes a UK with exactly those properties, anchored on the
+real study areas (Inner/Outer London, Greater Manchester, West Midlands,
+West Yorkshire) plus the counties featured in the relocation analysis
+(Hampshire, Kent, East Sussex, ...).
+"""
+
+from repro.geo.coordinates import (
+    LatLon,
+    haversine_km,
+    pairwise_distance_km,
+    weighted_centroid,
+)
+from repro.geo.oac import OAC_DEFINITIONS, OacCluster, oac_table
+from repro.geo.build import (
+    CountySpec,
+    Geography,
+    PostcodeDistrict,
+    build_uk_geography,
+)
+from repro.geo.nspl import PostcodeLookup
+
+__all__ = [
+    "CountySpec",
+    "Geography",
+    "LatLon",
+    "OAC_DEFINITIONS",
+    "OacCluster",
+    "PostcodeDistrict",
+    "PostcodeLookup",
+    "build_uk_geography",
+    "haversine_km",
+    "oac_table",
+    "pairwise_distance_km",
+    "weighted_centroid",
+]

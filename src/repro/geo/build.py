@@ -1,0 +1,615 @@
+"""Builder for the synthetic UK geography.
+
+The generated hierarchy is::
+
+    region  ⊃  county  ⊃  LAD (one per postcode area)  ⊃  postcode district
+
+anchored on the study areas of the paper: Inner London, Outer London,
+Greater Manchester, West Midlands and West Yorkshire (§3.2 / §4.3), the
+Inner-London postal districts EC/WC/N/E/SE/SW/W/NW (§5.1), and the
+counties of the relocation analysis (Hampshire, Kent, East Sussex — §3.4).
+
+Two properties of the real UK are deliberately engineered in because the
+paper's findings hinge on them:
+
+- **Central-London asymmetry** — the EC and WC postcode areas have tiny
+  residential populations (the paper quotes ~30k residents in EC vs
+  ~400k in SW) but very large daytime attraction (business, commerce,
+  tourism). Under lockdown their daytime population collapses.
+- **Geodemographic contrast** — Inner London is ~45% "Cosmopolitans" and
+  ~50% "Ethnicity Central" (paper §4.4); rural counties are dominated by
+  "Rural Residents".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
+
+from repro.geo.coordinates import LatLon, scatter_around
+from repro.geo.oac import OAC_DEFINITIONS, OacCluster
+
+__all__ = [
+    "AreaSpec",
+    "CountySpec",
+    "PostcodeDistrict",
+    "Geography",
+    "DEFAULT_COUNTIES",
+    "STUDY_REGIONS",
+    "build_uk_geography",
+]
+
+# The five high-density analysis regions of §3.2 and §4.3.
+STUDY_REGIONS = (
+    "Inner London",
+    "Outer London",
+    "Greater Manchester",
+    "West Midlands",
+    "West Yorkshire",
+)
+
+
+@dataclass(frozen=True)
+class AreaSpec:
+    """A postcode area within a county (one LAD per area).
+
+    Parameters
+    ----------
+    code:
+        Postcode area letters, e.g. ``"EC"``.
+    district_count:
+        How many postcode districts (``EC1``, ``EC2``, ...) to create.
+    resident_weight:
+        Relative share of the county's residents living in the area.
+    attraction:
+        Daytime attraction multiplier per resident; values ≫ 1 mark
+        commercial/business centres with many non-resident visitors.
+    oac:
+        Optional pinned OAC supergroup; if ``None`` the county profile
+        mix is sampled.
+    central:
+        Whether the area sits at the county core (affects placement).
+    """
+
+    code: str
+    district_count: int
+    resident_weight: float
+    attraction: float = 1.0
+    oac: OacCluster | None = None
+    central: bool = False
+
+
+@dataclass(frozen=True)
+class CountySpec:
+    """Static description of a county used by the builder."""
+
+    name: str
+    region: str
+    center: LatLon
+    radius_km: float
+    population: int
+    profile: str
+    areas: tuple[AreaSpec, ...]
+
+
+@dataclass(frozen=True)
+class PostcodeDistrict:
+    """One postcode district — the base aggregation unit of the study."""
+
+    code: str
+    area_code: str
+    lad_code: str
+    lad_name: str
+    county: str
+    region: str
+    oac: OacCluster
+    lat: float
+    lon: float
+    residents: int
+    daytime_attraction: float
+
+
+# OAC sampling mixes per county profile.
+_PROFILE_MIXES: dict[str, dict[OacCluster, float]] = {
+    "inner_london": {
+        OacCluster.COSMOPOLITANS: 0.45,
+        OacCluster.ETHNICITY_CENTRAL: 0.50,
+        OacCluster.MULTICULTURAL_METROPOLITANS: 0.05,
+    },
+    "metro": {
+        OacCluster.MULTICULTURAL_METROPOLITANS: 0.35,
+        OacCluster.COSMOPOLITANS: 0.12,
+        OacCluster.CONSTRAINED_CITY_DWELLERS: 0.15,
+        OacCluster.HARD_PRESSED_LIVING: 0.22,
+        OacCluster.URBANITES: 0.10,
+        OacCluster.SUBURBANITES: 0.06,
+    },
+    "city": {
+        OacCluster.COSMOPOLITANS: 0.18,
+        OacCluster.URBANITES: 0.35,
+        OacCluster.SUBURBANITES: 0.25,
+        OacCluster.CONSTRAINED_CITY_DWELLERS: 0.12,
+        OacCluster.MULTICULTURAL_METROPOLITANS: 0.10,
+    },
+    "town": {
+        OacCluster.URBANITES: 0.30,
+        OacCluster.SUBURBANITES: 0.35,
+        OacCluster.HARD_PRESSED_LIVING: 0.10,
+        OacCluster.RURAL_RESIDENTS: 0.15,
+        OacCluster.CONSTRAINED_CITY_DWELLERS: 0.10,
+    },
+    "rural": {
+        OacCluster.RURAL_RESIDENTS: 0.55,
+        OacCluster.SUBURBANITES: 0.20,
+        OacCluster.URBANITES: 0.15,
+        OacCluster.HARD_PRESSED_LIVING: 0.10,
+    },
+}
+
+
+def _uniform_areas(
+    codes: str | list[str], districts_per_area: int = 3, attraction: float = 1.0
+) -> tuple[AreaSpec, ...]:
+    if isinstance(codes, str):
+        codes = codes.split()
+    return tuple(
+        AreaSpec(code, districts_per_area, 1.0, attraction) for code in codes
+    )
+
+
+DEFAULT_COUNTIES: tuple[CountySpec, ...] = (
+    CountySpec(
+        "Inner London",
+        "London",
+        LatLon(51.512, -0.118),
+        9.0,
+        3_200_000,
+        "inner_london",
+        (
+            AreaSpec("EC", 2, 0.05, attraction=18.0,
+                     oac=OacCluster.COSMOPOLITANS, central=True),
+            AreaSpec("WC", 2, 0.05, attraction=20.0,
+                     oac=OacCluster.COSMOPOLITANS, central=True),
+            AreaSpec("N", 3, 1.55, attraction=0.9,
+                     oac=OacCluster.ETHNICITY_CENTRAL),
+            AreaSpec("E", 3, 1.50, attraction=1.3,
+                     oac=OacCluster.ETHNICITY_CENTRAL),
+            AreaSpec("SE", 3, 1.60, attraction=0.95,
+                     oac=OacCluster.ETHNICITY_CENTRAL),
+            AreaSpec("SW", 3, 1.80, attraction=1.2),
+            AreaSpec("W", 3, 1.30, attraction=2.2,
+                     oac=OacCluster.COSMOPOLITANS),
+            AreaSpec("NW", 3, 1.40, attraction=1.0,
+                     oac=OacCluster.MULTICULTURAL_METROPOLITANS),
+        ),
+    ),
+    CountySpec(
+        "Outer London",
+        "London",
+        LatLon(51.55, -0.29),
+        22.0,
+        5_600_000,
+        "metro",
+        _uniform_areas("BR CR EN HA IG KT RM SM TW UB", 2),
+    ),
+    CountySpec(
+        "Greater Manchester",
+        "North West",
+        LatLon(53.48, -2.24),
+        18.0,
+        2_800_000,
+        "metro",
+        (
+            AreaSpec("M", 3, 1.0, attraction=3.0, central=True),
+            *_uniform_areas("OL BL SK WN", 2),
+        ),
+    ),
+    CountySpec(
+        "West Midlands",
+        "West Midlands",
+        LatLon(52.48, -1.90),
+        17.0,
+        2_900_000,
+        "metro",
+        (
+            AreaSpec("B", 3, 1.0, attraction=3.0, central=True),
+            *_uniform_areas("CV WV DY WS", 2),
+        ),
+    ),
+    CountySpec(
+        "West Yorkshire",
+        "Yorkshire and the Humber",
+        LatLon(53.80, -1.55),
+        16.0,
+        2_300_000,
+        "metro",
+        (
+            AreaSpec("LS", 3, 1.0, attraction=2.2, central=True),
+            *_uniform_areas("BD WF HX HD", 2),
+        ),
+    ),
+    CountySpec(
+        "Hampshire",
+        "South East",
+        LatLon(51.06, -1.31),
+        30.0,
+        1_850_000,
+        "town",
+        _uniform_areas("SO PO RG21", 3),
+    ),
+    CountySpec(
+        "Kent",
+        "South East",
+        LatLon(51.28, 0.52),
+        30.0,
+        1_850_000,
+        "town",
+        _uniform_areas("ME CT TN", 3),
+    ),
+    CountySpec(
+        "East Sussex",
+        "South East",
+        LatLon(50.92, 0.25),
+        22.0,
+        850_000,
+        "rural",
+        _uniform_areas("BN TN3", 3),
+    ),
+    CountySpec(
+        "Surrey",
+        "South East",
+        LatLon(51.25, -0.42),
+        20.0,
+        1_200_000,
+        "town",
+        _uniform_areas("GU KT2 RH", 2),
+    ),
+    CountySpec(
+        "Essex",
+        "East of England",
+        LatLon(51.75, 0.55),
+        28.0,
+        1_800_000,
+        "town",
+        _uniform_areas("CM CO SS", 3),
+    ),
+    CountySpec(
+        "Hertfordshire",
+        "East of England",
+        LatLon(51.80, -0.23),
+        18.0,
+        1_200_000,
+        "town",
+        _uniform_areas("AL SG WD", 2),
+    ),
+    CountySpec(
+        "Berkshire",
+        "South East",
+        LatLon(51.42, -0.94),
+        18.0,
+        920_000,
+        "city",
+        _uniform_areas("RG SL", 3),
+    ),
+    CountySpec(
+        "Oxfordshire",
+        "South East",
+        LatLon(51.75, -1.26),
+        22.0,
+        690_000,
+        "city",
+        _uniform_areas("OX", 4),
+    ),
+    CountySpec(
+        "Cambridgeshire",
+        "East of England",
+        LatLon(52.30, 0.08),
+        25.0,
+        850_000,
+        "city",
+        _uniform_areas("CB PE", 3),
+    ),
+    CountySpec(
+        "Norfolk",
+        "East of England",
+        LatLon(52.63, 0.89),
+        32.0,
+        900_000,
+        "rural",
+        _uniform_areas("NR", 5),
+    ),
+    CountySpec(
+        "Devon",
+        "South West",
+        LatLon(50.72, -3.53),
+        35.0,
+        1_200_000,
+        "rural",
+        _uniform_areas("EX PL TQ", 3),
+    ),
+    CountySpec(
+        "Cornwall",
+        "South West",
+        LatLon(50.42, -4.93),
+        35.0,
+        570_000,
+        "rural",
+        _uniform_areas("TR", 4),
+    ),
+    CountySpec(
+        "Merseyside",
+        "North West",
+        LatLon(53.41, -2.98),
+        15.0,
+        1_400_000,
+        "metro",
+        (
+            AreaSpec("L", 3, 1.0, attraction=2.2, central=True),
+            *_uniform_areas("PR4 CH", 2),
+        ),
+    ),
+    CountySpec(
+        "Tyne and Wear",
+        "North East",
+        LatLon(54.97, -1.61),
+        14.0,
+        1_100_000,
+        "metro",
+        (
+            AreaSpec("NE", 3, 1.0, attraction=2.0, central=True),
+            *_uniform_areas("SR", 2),
+        ),
+    ),
+    CountySpec(
+        "South Yorkshire",
+        "Yorkshire and the Humber",
+        LatLon(53.50, -1.33),
+        16.0,
+        1_400_000,
+        "metro",
+        (
+            AreaSpec("S", 3, 1.0, attraction=1.8, central=True),
+            *_uniform_areas("DN", 2),
+        ),
+    ),
+    CountySpec(
+        "Lancashire",
+        "North West",
+        LatLon(53.84, -2.63),
+        28.0,
+        1_500_000,
+        "town",
+        _uniform_areas("PR BB LA", 2),
+    ),
+    CountySpec(
+        "Bristol",
+        "South West",
+        LatLon(51.45, -2.59),
+        12.0,
+        700_000,
+        "city",
+        (AreaSpec("BS", 4, 1.0, attraction=1.8, central=True),),
+    ),
+    CountySpec(
+        "Edinburgh",
+        "Scotland",
+        LatLon(55.95, -3.19),
+        13.0,
+        900_000,
+        "city",
+        (AreaSpec("EH", 4, 1.0, attraction=2.0, central=True),),
+    ),
+    CountySpec(
+        "Glasgow",
+        "Scotland",
+        LatLon(55.86, -4.25),
+        14.0,
+        1_200_000,
+        "metro",
+        (AreaSpec("G", 4, 1.0, attraction=2.0, central=True),),
+    ),
+    CountySpec(
+        "Cardiff",
+        "Wales",
+        LatLon(51.48, -3.18),
+        13.0,
+        900_000,
+        "city",
+        (AreaSpec("CF", 4, 1.0, attraction=1.8, central=True),),
+    ),
+)
+
+
+@dataclass
+class Geography:
+    """The synthetic UK: counties, LADs and postcode districts."""
+
+    counties: tuple[CountySpec, ...]
+    districts: tuple[PostcodeDistrict, ...]
+    _district_by_code: dict[str, PostcodeDistrict] = field(
+        init=False, repr=False, default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        self._district_by_code = {
+            district.code: district for district in self.districts
+        }
+        if len(self._district_by_code) != len(self.districts):
+            raise ValueError("duplicate postcode district codes")
+
+    # -- lookups -------------------------------------------------------
+    def district(self, code: str) -> PostcodeDistrict:
+        """Return the district with the given postcode-district code."""
+        try:
+            return self._district_by_code[code]
+        except KeyError:
+            raise KeyError(f"unknown postcode district {code!r}") from None
+
+    @property
+    def county_names(self) -> tuple[str, ...]:
+        return tuple(county.name for county in self.counties)
+
+    def county(self, name: str) -> CountySpec:
+        for county in self.counties:
+            if county.name == name:
+                return county
+        raise KeyError(f"unknown county {name!r}")
+
+    def districts_in_county(self, name: str) -> list[PostcodeDistrict]:
+        return [d for d in self.districts if d.county == name]
+
+    def districts_in_lad(self, lad_code: str) -> list[PostcodeDistrict]:
+        return [d for d in self.districts if d.lad_code == lad_code]
+
+    # -- census --------------------------------------------------------
+    @cached_property
+    def lad_population(self) -> dict[str, int]:
+        """Census residential population per LAD (the ONS ground truth)."""
+        totals: dict[str, int] = {}
+        for district in self.districts:
+            totals[district.lad_code] = (
+                totals.get(district.lad_code, 0) + district.residents
+            )
+        return totals
+
+    @property
+    def total_residents(self) -> int:
+        return sum(district.residents for district in self.districts)
+
+    # -- arrays for vectorized consumers --------------------------------
+    @cached_property
+    def district_codes(self) -> np.ndarray:
+        return np.array([d.code for d in self.districts])
+
+    @cached_property
+    def district_residents(self) -> np.ndarray:
+        return np.array([d.residents for d in self.districts], dtype=np.float64)
+
+    @cached_property
+    def district_attraction(self) -> np.ndarray:
+        return np.array(
+            [d.daytime_attraction for d in self.districts], dtype=np.float64
+        )
+
+    @cached_property
+    def district_lats(self) -> np.ndarray:
+        return np.array([d.lat for d in self.districts], dtype=np.float64)
+
+    @cached_property
+    def district_lons(self) -> np.ndarray:
+        return np.array([d.lon for d in self.districts], dtype=np.float64)
+
+    def district_index(self, code: str) -> int:
+        """Positional index of a district in the ``districts`` tuple."""
+        codes = self.district_codes
+        hits = np.flatnonzero(codes == code)
+        if hits.size == 0:
+            raise KeyError(f"unknown postcode district {code!r}")
+        return int(hits[0])
+
+
+def build_uk_geography(
+    counties: tuple[CountySpec, ...] = DEFAULT_COUNTIES,
+    seed: int = 2020,
+    population_scale: float = 1.0,
+) -> Geography:
+    """Materialize the synthetic UK from county specs.
+
+    Parameters
+    ----------
+    counties:
+        County specifications; defaults to the 25-county UK used in all
+        experiments.
+    seed:
+        RNG seed; the geography is fully deterministic given the seed.
+    population_scale:
+        Multiplier on all census populations (scale the country down for
+        faster experiments without changing its structure).
+    """
+    rng = np.random.default_rng(seed)
+    districts: list[PostcodeDistrict] = []
+    for county in counties:
+        districts.extend(_build_county(county, rng, population_scale))
+    return Geography(counties=counties, districts=tuple(districts))
+
+
+def _build_county(
+    county: CountySpec, rng: np.random.Generator, population_scale: float
+) -> list[PostcodeDistrict]:
+    mix = _PROFILE_MIXES[county.profile]
+    mix_clusters = list(mix)
+    mix_weights = np.array([mix[c] for c in mix_clusters], dtype=np.float64)
+    mix_weights /= mix_weights.sum()
+
+    weight_total = sum(area.resident_weight for area in county.areas)
+    golden_angle = np.pi * (3.0 - np.sqrt(5.0))
+    districts: list[PostcodeDistrict] = []
+    for area_index, area in enumerate(county.areas):
+        # Central (commercial) areas sit at the core; residential areas
+        # ring around it.
+        offset_share = 0.12 if area.central or area.attraction >= 8 else 0.55
+        angle = golden_angle * area_index
+        km_per_deg_lat = 111.32
+        km_per_deg_lon = km_per_deg_lat * np.cos(np.radians(county.center.lat))
+        area_center = LatLon(
+            county.center.lat
+            + offset_share * county.radius_km * np.sin(angle) / km_per_deg_lat,
+            county.center.lon
+            + offset_share * county.radius_km * np.cos(angle) / km_per_deg_lon,
+        )
+        lats, lons = scatter_around(
+            area_center,
+            county.radius_km * 0.35,
+            area.district_count,
+            rng,
+            concentration=1.5,
+        )
+        area_population = (
+            county.population * area.resident_weight / weight_total
+        )
+        shares = rng.lognormal(0.0, 0.25, size=area.district_count)
+        shares /= shares.sum()
+        lad_code = f"{_slug(county.name)}-{area.code}"
+        lad_name = f"{county.name} {area.code}"
+        for district_index in range(area.district_count):
+            oac = area.oac
+            if oac is None:
+                oac = mix_clusters[
+                    rng.choice(len(mix_clusters), p=mix_weights)
+                ]
+            residents = int(
+                round(
+                    area_population
+                    * shares[district_index]
+                    * population_scale
+                )
+            )
+            pull = OAC_DEFINITIONS[oac].daytime_pull
+            attraction = (
+                residents
+                * area.attraction
+                * pull
+                * rng.lognormal(0.0, 0.2)
+            )
+            districts.append(
+                PostcodeDistrict(
+                    code=f"{area.code}{district_index + 1}",
+                    area_code=area.code,
+                    lad_code=lad_code,
+                    lad_name=lad_name,
+                    county=county.name,
+                    region=county.region,
+                    oac=oac,
+                    lat=float(lats[district_index]),
+                    lon=float(lons[district_index]),
+                    residents=residents,
+                    daytime_attraction=float(attraction),
+                )
+            )
+    return districts
+
+
+def _slug(name: str) -> str:
+    return name.lower().replace(" ", "-")

@@ -1,0 +1,109 @@
+"""Geographic coordinate helpers (haversine, centroids).
+
+All positions in the synthetic UK are WGS84-style (latitude, longitude)
+pairs; distances are great-circle kilometres. The radius-of-gyration
+metric (paper eq. 2) needs distances between cell towers and a
+time-weighted centre of mass, which these helpers provide in vectorized
+form.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import numpy as np
+
+__all__ = [
+    "EARTH_RADIUS_KM",
+    "LatLon",
+    "haversine_km",
+    "pairwise_distance_km",
+    "weighted_centroid",
+    "scatter_around",
+]
+
+EARTH_RADIUS_KM = 6371.0088
+
+
+class LatLon(NamedTuple):
+    """A (latitude, longitude) pair in degrees."""
+
+    lat: float
+    lon: float
+
+
+def haversine_km(
+    lat1: np.ndarray | float,
+    lon1: np.ndarray | float,
+    lat2: np.ndarray | float,
+    lon2: np.ndarray | float,
+) -> np.ndarray | float:
+    """Great-circle distance in km between coordinate arrays (degrees).
+
+    Inputs broadcast like numpy ufuncs.
+
+    >>> round(float(haversine_km(51.5, -0.12, 53.48, -2.24)), 0)
+    263.0
+    """
+    phi1, phi2 = np.radians(lat1), np.radians(lat2)
+    dphi = phi2 - phi1
+    dlambda = np.radians(np.asarray(lon2) - np.asarray(lon1))
+    a = np.sin(dphi / 2.0) ** 2 + np.cos(phi1) * np.cos(phi2) * np.sin(
+        dlambda / 2.0
+    ) ** 2
+    return 2.0 * EARTH_RADIUS_KM * np.arcsin(np.sqrt(np.clip(a, 0.0, 1.0)))
+
+
+def pairwise_distance_km(
+    lats: np.ndarray, lons: np.ndarray
+) -> np.ndarray:
+    """Full symmetric distance matrix (km) for point arrays."""
+    lats = np.asarray(lats, dtype=np.float64)
+    lons = np.asarray(lons, dtype=np.float64)
+    return haversine_km(
+        lats[:, None], lons[:, None], lats[None, :], lons[None, :]
+    )
+
+
+def weighted_centroid(
+    lats: np.ndarray, lons: np.ndarray, weights: np.ndarray
+) -> LatLon:
+    """Weighted mean position, the ``l_cm`` of paper eq. 2.
+
+    At UK scale a spherical-to-planar approximation of the centroid is
+    indistinguishable from the exact spherical mean, so the centroid is
+    the weight-normalized average of latitudes and longitudes.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("centroid weights must have positive sum")
+    share = weights / total
+    return LatLon(
+        float(np.dot(share, np.asarray(lats, dtype=np.float64))),
+        float(np.dot(share, np.asarray(lons, dtype=np.float64))),
+    )
+
+
+def scatter_around(
+    center: LatLon,
+    radius_km: float,
+    count: int,
+    rng: np.random.Generator,
+    concentration: float = 1.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample ``count`` points around ``center`` within ~``radius_km``.
+
+    Points follow an isotropic gaussian whose standard deviation is
+    ``radius_km / (2 * concentration)``: larger ``concentration`` packs
+    points tighter around the centre (used for dense urban cores).
+    Returns (lats, lons).
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    sigma_km = radius_km / (2.0 * max(concentration, 1e-9))
+    km_per_deg_lat = 111.32
+    km_per_deg_lon = km_per_deg_lat * np.cos(np.radians(center.lat))
+    dlat = rng.normal(0.0, sigma_km / km_per_deg_lat, size=count)
+    dlon = rng.normal(0.0, sigma_km / max(km_per_deg_lon, 1e-9), size=count)
+    return center.lat + dlat, center.lon + dlon

@@ -1,0 +1,70 @@
+"""NSPL-style postcode lookup table.
+
+The paper merges every feed "at postcode level or larger granularity"
+against the National Statistics Postcode Lookup to attach LAD / UTLA /
+county / geodemographic-cluster labels. :class:`PostcodeLookup` plays
+that role for the synthetic UK: it is a frame-backed relation keyed by
+postcode district that the analysis joins measurement frames against.
+"""
+
+from __future__ import annotations
+
+from repro.frames import Frame, join
+from repro.geo.build import Geography
+from repro.geo.oac import OacCluster
+
+__all__ = ["PostcodeLookup"]
+
+
+class PostcodeLookup:
+    """Postcode-district → administrative/geodemographic labels."""
+
+    def __init__(self, geography: Geography) -> None:
+        self._geography = geography
+        districts = geography.districts
+        self._frame = Frame(
+            {
+                "postcode": [d.code for d in districts],
+                "area": [d.area_code for d in districts],
+                "lad_code": [d.lad_code for d in districts],
+                "lad_name": [d.lad_name for d in districts],
+                "county": [d.county for d in districts],
+                "region": [d.region for d in districts],
+                "oac": [d.oac.value for d in districts],
+                "lat": [d.lat for d in districts],
+                "lon": [d.lon for d in districts],
+                "residents": [d.residents for d in districts],
+            }
+        )
+
+    def as_frame(self) -> Frame:
+        """The lookup as a frame (one row per postcode district)."""
+        return self._frame
+
+    def attach(self, frame: Frame, on: str = "postcode") -> Frame:
+        """Join administrative labels onto ``frame`` by postcode district.
+
+        ``frame`` must carry a column named ``on`` holding district
+        codes. Rows with unknown codes are dropped (inner join), which
+        mirrors how records failing the NSPL merge are discarded.
+        """
+        lookup = self._frame
+        if on != "postcode":
+            lookup = lookup.rename({"postcode": on})
+        return join(frame, lookup, on=on)
+
+    # -- scalar conveniences --------------------------------------------
+    def county_of(self, code: str) -> str:
+        return self._geography.district(code).county
+
+    def region_of(self, code: str) -> str:
+        return self._geography.district(code).region
+
+    def lad_of(self, code: str) -> str:
+        return self._geography.district(code).lad_code
+
+    def oac_of(self, code: str) -> OacCluster:
+        return self._geography.district(code).oac
+
+    def __len__(self) -> int:
+        return len(self._frame)

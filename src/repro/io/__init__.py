@@ -1,0 +1,16 @@
+"""Feed persistence: save a simulation run, reload it for analysis.
+
+A full simulation takes tens of seconds at study scale; the analysis
+often wants to iterate on the same run (or share it). :func:`save_feeds`
+writes everything measured to a directory — KPI and RAT-time feeds as
+CSV, the mobility dwell aggregates as compressed NPZ, the configuration
+as a pickle plus a human-readable manifest — and :func:`load_feeds`
+reconstructs a :class:`~repro.simulation.feeds.DataFeeds` by rebuilding
+the deterministic world from the configuration and attaching the stored
+measurements.
+"""
+
+from repro.io.export import export_analysis
+from repro.io.store import load_feeds, save_feeds
+
+__all__ = ["export_analysis", "load_feeds", "save_feeds"]

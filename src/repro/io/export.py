@@ -1,0 +1,129 @@
+"""Export the analysis results as CSV files for external tooling.
+
+The in-repo "figures" are text renderings; anyone wanting to plot with
+matplotlib/ggplot/Excel gets the underlying series here: one CSV per
+figure, in tidy long format (figure, metric, group, week/day, value).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.frames import Frame, write_csv
+
+__all__ = ["export_analysis"]
+
+
+def _weekly_rows(figure: str, panels) -> list[dict]:
+    rows: list[dict] = []
+    for metric, series in panels.items():
+        for group, values in series.values.items():
+            for week, value in zip(series.weeks.tolist(), values):
+                rows.append(
+                    {
+                        "figure": figure,
+                        "metric": metric,
+                        "group": str(group),
+                        "week": int(week),
+                        "value": float(value),
+                    }
+                )
+    return rows
+
+
+def export_analysis(study, directory: str | Path) -> Path:
+    """Write every figure's series to ``directory`` as CSVs.
+
+    Produces: ``mobility_daily.csv`` (Fig 3), ``mobility_weekly.csv``
+    (Figs 5–6), ``performance_weekly.csv`` (Figs 8–12 + Fig 9),
+    ``fig2_census.csv``, ``fig4_cases.csv``, ``fig7_matrix.csv`` and
+    ``summary.csv``. Returns the directory path.
+    """
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    calendar = study.feeds.calendar
+
+    # Fig 3 — daily national series.
+    fig3 = study.fig3()
+    daily_rows: list[dict] = []
+    for metric, series in fig3.items():
+        for day, value in zip(series.x.tolist(), series.values["UK"]):
+            daily_rows.append(
+                {
+                    "metric": metric,
+                    "day": int(day),
+                    "date": calendar.date_of(int(day)).isoformat(),
+                    "week": int(calendar.iso_week(int(day))),
+                    "change_pct": float(value),
+                }
+            )
+    write_csv(Frame.from_rows(daily_rows), path / "mobility_daily.csv")
+
+    # Figs 5-6 — weekly mobility panels.
+    weekly_rows: list[dict] = []
+    for figure, panels in (("fig5", study.fig5()), ("fig6", study.fig6())):
+        for metric, series in panels.items():
+            for group, values in series.values.items():
+                for week, value in zip(series.x.tolist(), values):
+                    weekly_rows.append(
+                        {
+                            "figure": figure,
+                            "metric": metric,
+                            "group": str(group),
+                            "week": int(week),
+                            "change_pct": float(value),
+                        }
+                    )
+    write_csv(Frame.from_rows(weekly_rows), path / "mobility_weekly.csv")
+
+    # Figs 8-12 — weekly KPI panels.
+    perf_rows: list[dict] = []
+    for figure, panels in (
+        ("fig8", study.fig8()),
+        ("fig9", study.fig9()),
+        ("fig10", study.fig10()),
+        ("fig11", study.fig11()),
+        ("fig12", study.fig12()),
+    ):
+        perf_rows.extend(_weekly_rows(figure, panels))
+    renamed = [
+        {**row, "change_pct": row.pop("value")} for row in perf_rows
+    ]
+    write_csv(
+        Frame.from_rows(renamed), path / "performance_weekly.csv"
+    )
+
+    # Fig 2 — census validation points.
+    write_csv(study.fig2().table, path / "fig2_census.csv")
+
+    # Fig 4 — the scatter.
+    fig4 = study.fig4()
+    write_csv(
+        Frame(
+            {
+                "day": fig4.days,
+                "cumulative_cases": fig4.cumulative_cases,
+                "entropy_change_pct": fig4.entropy_change_pct,
+                "is_weekend": fig4.is_weekend.astype(np.int64),
+            }
+        ),
+        path / "fig4_cases.csv",
+    )
+
+    # Fig 7 — the relocation matrix (wide form).
+    write_csv(study.fig7().to_frame(), path / "fig7_matrix.csv")
+
+    # Headline summary.
+    summary = study.summary()
+    write_csv(
+        Frame(
+            {
+                "metric": list(summary),
+                "value": [summary[key] for key in summary],
+            }
+        ),
+        path / "summary.csv",
+    )
+    return path

@@ -1,0 +1,121 @@
+"""Directory layout and (de)serialization for data feeds.
+
+Layout of a saved run::
+
+    <dir>/
+      manifest.json        # provenance: sizes, window, versions
+      config.pkl           # exact SimulationConfig (nested dataclasses)
+      radio_kpis.csv       # daily per-cell KPI medians
+      rat_time.csv         # RAT connected-time feed
+      mobility.npz         # user ids, anchor sites, dwell stacks
+
+The world (geography, topology, subscriber base, agents) is *not*
+stored: it is a pure function of the configuration and is rebuilt on
+load, which keeps saved runs small and guarantees the reloaded bundle
+is exactly what the simulator produced.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from pathlib import Path
+
+import numpy as np
+
+from repro.frames import read_csv, write_csv
+from repro.geo.nspl import PostcodeLookup
+from repro.simulation.feeds import DataFeeds, MobilityFeed
+
+__all__ = ["save_feeds", "load_feeds"]
+
+_MANIFEST = "manifest.json"
+_CONFIG = "config.pkl"
+_KPIS = "radio_kpis.csv"
+_RAT = "rat_time.csv"
+_MOBILITY = "mobility.npz"
+
+
+def save_feeds(feeds: DataFeeds, directory: str | Path) -> Path:
+    """Persist a simulation run to ``directory`` (created if missing)."""
+    if feeds.config is None:
+        raise ValueError(
+            "feeds carry no config; only simulator-produced bundles can "
+            "be persisted"
+        )
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+
+    write_csv(feeds.radio_kpis, path / _KPIS)
+    write_csv(feeds.rat_time, path / _RAT)
+
+    mobility = feeds.mobility
+    np.savez_compressed(
+        path / _MOBILITY,
+        user_ids=mobility.user_ids,
+        anchor_sites=mobility.anchor_sites,
+        daily_dwell=np.stack(mobility.daily_dwell),
+        night_dwell=np.stack(mobility.night_dwell),
+    )
+    with open(path / _CONFIG, "wb") as handle:
+        pickle.dump(feeds.config, handle)
+
+    manifest = {
+        "format_version": 1,
+        "num_users": int(mobility.num_users),
+        "num_days": int(mobility.num_days),
+        "num_kpi_rows": len(feeds.radio_kpis),
+        "first_day": feeds.calendar.first_day.isoformat(),
+        "last_day": feeds.calendar.last_day.isoformat(),
+        "interconnect_upgrade_day": feeds.interconnect_upgrade_day,
+    }
+    (path / _MANIFEST).write_text(
+        json.dumps(manifest, indent=2), encoding="utf-8"
+    )
+    return path
+
+
+def load_feeds(directory: str | Path) -> DataFeeds:
+    """Reload a run saved by :func:`save_feeds`."""
+    path = Path(directory)
+    manifest = json.loads((path / _MANIFEST).read_text(encoding="utf-8"))
+    if manifest.get("format_version") != 1:
+        raise ValueError(
+            f"unsupported feed-store version {manifest.get('format_version')}"
+        )
+    with open(path / _CONFIG, "rb") as handle:
+        config = pickle.load(handle)
+
+    from repro.simulation.engine import build_world
+
+    world = build_world(config)
+    archive = np.load(path / _MOBILITY)
+    daily = archive["daily_dwell"]
+    night = archive["night_dwell"]
+    mobility = MobilityFeed(
+        user_ids=archive["user_ids"],
+        anchor_sites=archive["anchor_sites"],
+        daily_dwell=[daily[index] for index in range(daily.shape[0])],
+        night_dwell=[night[index] for index in range(night.shape[0])],
+    )
+    if mobility.num_users != manifest["num_users"]:
+        raise ValueError("stored mobility arrays do not match manifest")
+
+    upgrade = manifest.get("interconnect_upgrade_day")
+    return DataFeeds(
+        calendar=config.calendar,
+        geography=world.geography,
+        lookup=PostcodeLookup(world.geography),
+        topology=world.topology,
+        catalog=world.catalog,
+        base=world.base,
+        agents=world.agents,
+        mobility=mobility,
+        radio_kpis=read_csv(path / _KPIS),
+        rat_time=read_csv(path / _RAT),
+        epidemic=world.epidemic,
+        interconnect_upgrade_day=(
+            int(upgrade) if upgrade is not None else None
+        ),
+        config=config,
+    )

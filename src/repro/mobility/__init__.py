@@ -1,0 +1,39 @@
+"""Agent-based mobility: the people whose phones the probes observe.
+
+The paper measures *behaviour* through the network: where each device
+dwells, for how long, every day, across the pandemic timeline. This
+package synthesizes that behaviour:
+
+- :mod:`repro.mobility.pandemic` — the policy timeline (phases and a
+  continuous restriction level, with regional relaxation differences),
+- :mod:`repro.mobility.epidemic` — the confirmed-case curve used only
+  for the paper's (absence of) correlation analysis,
+- :mod:`repro.mobility.agents` — per-user anchor places (home, work,
+  near-home, social, weekend-trip and relocation sites) and behavioural
+  traits (compliance, worker type, relocation candidacy),
+- :mod:`repro.mobility.behavior` — how much time users spend out of
+  home per day given the timeline (plus trips and relocation states),
+- :mod:`repro.mobility.trajectories` — assembles per-user per-4h-bin
+  dwell-time matrices over anchors: the simulator's ground truth.
+"""
+
+from repro.mobility.pandemic import PandemicTimeline, Phase
+from repro.mobility.epidemic import EpidemicCurve
+from repro.mobility.agents import AgentPopulation, AnchorSlot, build_agents
+from repro.mobility.behavior import BehaviorModel, BehaviorSettings, DayState
+from repro.mobility.trajectories import NUM_BINS, DayDwell, TrajectoryModel
+
+__all__ = [
+    "AgentPopulation",
+    "AnchorSlot",
+    "BehaviorModel",
+    "BehaviorSettings",
+    "DayDwell",
+    "DayState",
+    "EpidemicCurve",
+    "NUM_BINS",
+    "PandemicTimeline",
+    "Phase",
+    "TrajectoryModel",
+    "build_agents",
+]

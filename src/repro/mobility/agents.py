@@ -1,0 +1,255 @@
+"""Agent population: anchor places and behavioural traits.
+
+Prior work the paper builds on (refs [17, 20]) shows people have 3–8
+important places; the mobility statistics pipeline keeps the top-20
+towers per user per day (§2.3). Each simulated user therefore carries a
+fixed set of eight *anchor slots*:
+
+====================  ====================================================
+slot                  meaning
+====================  ====================================================
+``HOME``              the tower the user sleeps on
+``WORK``              workplace, gravity-sampled by daytime attraction
+``ERRAND``            shops/school run near home
+``NEARBY``            park / exercise loop within walking distance
+``SOCIAL``            friends / leisure, mid-range
+``TRIP``              weekend-away destination (another county)
+``RELOC_PRIMARY``     secondary-residence tower (another county)
+``RELOC_SECONDARY``   a second tower near the relocation residence
+====================  ====================================================
+
+Anchor *districts* are gravity-sampled (attraction × exponential
+distance decay, with OAC-dependent distance scales: rural users range
+wider, central-London users shorter); the anchor *site* is then drawn
+among the towers of the chosen district. Relocation/trip destinations
+prefer leisure-heavy (rural/coastal) counties, which is how Hampshire,
+Kent and East Sussex end up as the main Inner-London relocation
+destinations (§3.4) without being hard-coded as answers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.geo.build import Geography
+from repro.geo.coordinates import pairwise_distance_km
+from repro.geo.oac import OAC_DEFINITIONS, OacCluster
+from repro.network.subscribers import SubscriberBase
+from repro.network.topology import RadioTopology
+
+__all__ = ["AnchorSlot", "WorkerType", "AgentPopulation", "build_agents"]
+
+NUM_ANCHORS = 8
+
+
+class AnchorSlot(enum.IntEnum):
+    """Index of each anchor in the per-user anchor arrays."""
+
+    HOME = 0
+    WORK = 1
+    ERRAND = 2
+    NEARBY = 3
+    SOCIAL = 4
+    TRIP = 5
+    RELOC_PRIMARY = 6
+    RELOC_SECONDARY = 7
+
+
+class WorkerType(enum.IntEnum):
+    """Worker category controlling lockdown work behaviour."""
+
+    COMMUTER = 0  # office worker, switches to WFH under restrictions
+    ESSENTIAL = 1  # keeps commuting through lockdown
+    HOME_BASED = 2  # not commuting even pre-pandemic
+
+
+# Distance-decay scales (km) per anchor kind.
+_WORK_SCALE_KM = 12.0
+_ERRAND_SCALE_KM = 3.0
+_NEARBY_SCALE_KM = 1.5
+_SOCIAL_SCALE_KM = 12.0
+_TRIP_SCALE_KM = 80.0
+_RELOC_SCALE_KM = 120.0
+
+# How attractive a district's OAC makes it for leisure trips/second homes.
+_LEISURE_FACTOR = {
+    OacCluster.RURAL_RESIDENTS: 3.0,
+    OacCluster.SUBURBANITES: 1.2,
+    OacCluster.URBANITES: 0.8,
+}
+_DEFAULT_LEISURE = 0.5
+
+
+@dataclass
+class AgentPopulation:
+    """Vectorized agent attributes for the study population."""
+
+    user_ids: np.ndarray  # subscriber ids of study users
+    home_district: np.ndarray
+    home_site: np.ndarray
+    anchor_sites: np.ndarray  # (N, NUM_ANCHORS)
+    anchor_districts: np.ndarray  # (N, NUM_ANCHORS)
+    compliance: np.ndarray  # [0, 1]
+    worker_type: np.ndarray  # WorkerType values
+    is_student: np.ndarray
+    relocation_candidate: np.ndarray
+    entropy_scale: np.ndarray  # OAC-driven out-and-about multiplier
+    gyration_scale: np.ndarray  # OAC-driven distance multiplier
+    home_region: np.ndarray  # region name per user
+    home_county: np.ndarray  # county name per user
+
+    def __post_init__(self) -> None:
+        count = self.user_ids.shape[0]
+        if self.anchor_sites.shape != (count, NUM_ANCHORS):
+            raise ValueError("anchor_sites must be (num_users, 8)")
+        if self.anchor_districts.shape != (count, NUM_ANCHORS):
+            raise ValueError("anchor_districts must be (num_users, 8)")
+
+    @property
+    def num_users(self) -> int:
+        return int(self.user_ids.shape[0])
+
+    @cached_property
+    def inner_london_mask(self) -> np.ndarray:
+        return self.home_county == "Inner London"
+
+
+def build_agents(
+    geography: Geography,
+    topology: RadioTopology,
+    base: SubscriberBase,
+    seed: int = 2020,
+    inner_london_relocation_rate: float = 0.105,
+    default_relocation_rate: float = 0.02,
+) -> AgentPopulation:
+    """Build the agent population from the native-smartphone users."""
+    rng = np.random.default_rng(seed)
+    study = base.study_mask
+    user_ids = base.user_ids[study]
+    home_district = base.home_district[study]
+    home_site = base.home_site[study]
+    count = user_ids.shape[0]
+
+    districts = geography.districts
+    num_districts = len(districts)
+    distance = pairwise_distance_km(
+        geography.district_lats, geography.district_lons
+    )
+    residents = geography.district_residents
+    attraction = geography.district_attraction
+    counties = np.array([d.county for d in districts])
+    leisure = np.array(
+        [
+            max(d.residents, 1)
+            * _LEISURE_FACTOR.get(d.oac, _DEFAULT_LEISURE)
+            for d in districts
+        ],
+        dtype=np.float64,
+    )
+
+    oac_per_district = [d.oac for d in districts]
+    gyration_scale_d = np.array(
+        [OAC_DEFINITIONS[oac].baseline_gyration_scale for oac in oac_per_district]
+    )
+    entropy_scale_d = np.array(
+        [OAC_DEFINITIONS[oac].baseline_entropy_scale for oac in oac_per_district]
+    )
+
+    anchor_districts = np.empty((count, NUM_ANCHORS), dtype=np.int64)
+    anchor_districts[:, AnchorSlot.HOME] = home_district
+
+    # Gravity-sample anchor districts per home-district group so the
+    # weight vectors are computed once per (home district, kind).
+    for home in np.unique(home_district):
+        members = np.flatnonzero(home_district == home)
+        gyration = gyration_scale_d[home]
+        row = distance[home]
+        specs = (
+            (AnchorSlot.WORK, attraction, _WORK_SCALE_KM * gyration, None),
+            (AnchorSlot.ERRAND, residents, _ERRAND_SCALE_KM, None),
+            (AnchorSlot.NEARBY, residents, _NEARBY_SCALE_KM, None),
+            (AnchorSlot.SOCIAL, attraction, _SOCIAL_SCALE_KM * gyration, None),
+            (AnchorSlot.TRIP, leisure, _TRIP_SCALE_KM, "other-county"),
+            (AnchorSlot.RELOC_PRIMARY, leisure, _RELOC_SCALE_KM, "other-county"),
+        )
+        for slot, mass, scale, constraint in specs:
+            weights = mass * np.exp(-row / scale)
+            if constraint == "other-county":
+                weights = weights * (counties != counties[home])
+            total = weights.sum()
+            if total <= 0:
+                # Degenerate geography (single county): fall back to any
+                # other district, or home itself.
+                weights = np.ones(num_districts)
+                weights[home] = 0.0 if num_districts > 1 else 1.0
+                total = weights.sum()
+            anchor_districts[members, slot] = rng.choice(
+                num_districts, size=members.size, p=weights / total
+            )
+    # The secondary relocation tower lives in the same district as the
+    # primary (people move around their destination area).
+    anchor_districts[:, AnchorSlot.RELOC_SECONDARY] = anchor_districts[
+        :, AnchorSlot.RELOC_PRIMARY
+    ]
+
+    # Pick a concrete site per anchor district.
+    anchor_sites = np.empty((count, NUM_ANCHORS), dtype=np.int64)
+    anchor_sites[:, AnchorSlot.HOME] = home_site
+    for slot in range(1, NUM_ANCHORS):
+        column = anchor_districts[:, slot]
+        for district_index in np.unique(column):
+            members = np.flatnonzero(column == district_index)
+            sites = topology.sites_in_district(int(district_index))
+            if sites.size == 0:
+                anchor_sites[members, slot] = home_site[members]
+                anchor_districts[members, slot] = home_district[members]
+            else:
+                anchor_sites[members, slot] = rng.choice(
+                    sites, size=members.size
+                )
+
+    # -- behavioural traits ------------------------------------------------
+    compliance = rng.beta(8.0, 2.0, size=count)
+    worker_type = rng.choice(
+        np.array(
+            [WorkerType.COMMUTER, WorkerType.ESSENTIAL, WorkerType.HOME_BASED],
+            dtype=np.int64,
+        ),
+        size=count,
+        p=np.array([0.55, 0.15, 0.30]),
+    )
+    home_oac = np.array([oac_per_district[d] for d in home_district])
+    student_p = np.where(
+        home_oac == OacCluster.COSMOPOLITANS, 0.30, 0.06
+    ).astype(np.float64)
+    is_student = rng.random(count) < student_p
+
+    home_county = np.array([districts[d].county for d in home_district])
+    home_region = np.array([districts[d].region for d in home_district])
+    inner_london = home_county == "Inner London"
+    reloc_p = np.where(
+        inner_london,
+        np.where(is_student, 0.40, inner_london_relocation_rate * 0.60),
+        np.where(is_student, 0.30, default_relocation_rate),
+    )
+    relocation_candidate = rng.random(count) < reloc_p
+
+    return AgentPopulation(
+        user_ids=user_ids,
+        home_district=home_district,
+        home_site=home_site,
+        anchor_sites=anchor_sites,
+        anchor_districts=anchor_districts,
+        compliance=compliance,
+        worker_type=worker_type.astype(np.int8),
+        is_student=is_student,
+        relocation_candidate=relocation_candidate,
+        entropy_scale=entropy_scale_d[home_district],
+        gyration_scale=gyration_scale_d[home_district],
+        home_region=home_region,
+        home_county=home_county,
+    )

@@ -1,0 +1,283 @@
+"""Behaviour model: how much time users spend where, day by day.
+
+Produces, for every simulation day, per-user out-of-home durations per
+anchor kind plus trip/relocation states. The durations respond to the
+pandemic timeline through a per-user *effective restriction*:
+
+    r_u(d) = regional_restriction(region_u, d) × (0.55 + 0.45 × compliance_u)
+
+Responses differ per activity, reflecting UK rules and observed
+behaviour: office work collapses (work-from-home), social visits nearly
+stop, errands (food shopping) fall by about half, and near-home time
+*rises* (the permitted daily exercise) — the mechanism that makes
+entropy fall less than gyration in §3.1.
+
+The model also owns the discrete behaviours behind §3.4:
+
+- **temporary relocation** out of Inner London (students after school
+  closures, second-home owners around the lockdown announcement), with
+  a sustained component — the paper's "10% of residents temporarily
+  relocated";
+- the **pre-lockdown weekend exodus** from London on 21–22 March;
+- the **late-April weekend trips** from London (weeks 18–19).
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mobility.agents import AgentPopulation, WorkerType
+from repro.mobility.pandemic import PandemicTimeline
+from repro.simulation.clock import StudyCalendar
+
+__all__ = ["BehaviorSettings", "DayState", "BehaviorModel"]
+
+
+@dataclass(frozen=True)
+class BehaviorSettings:
+    """Behavioural response parameters (calibration knobs)."""
+
+    # Base out-of-home durations, hours.
+    work_hours_commuter: float = 8.5
+    work_hours_essential: float = 8.0
+    errand_weekday_hours: float = 0.8
+    errand_weekend_hours: float = 1.3
+    nearby_weekday_hours: float = 0.7
+    nearby_weekend_hours: float = 1.1
+    social_weekday_hours: float = 1.5
+    social_weekend_hours: float = 3.2
+    weekend_trip_probability: float = 0.085
+    london_weekend_trip_bonus: float = 0.035  # Londoners get away more
+
+    # Responses to the effective restriction level.
+    wfh_max: float = 0.88
+    essential_reduction: float = 0.15
+    social_reduction: float = 0.95
+    errand_reduction: float = 0.30
+    nearby_boost: float = 1.40
+    trip_reduction: float = 0.97
+    trip_restriction_exponent: float = 0.4  # trips react early and hard
+
+    # Per-user-day duration noise (lognormal sigma).
+    duration_noise_sigma: float = 0.30
+
+    # Relocation timing.
+    relocation_window: tuple[dt.date, dt.date] = (
+        dt.date(2020, 3, 17),
+        dt.date(2020, 3, 27),
+    )
+    student_exodus: tuple[dt.date, dt.date] = (
+        dt.date(2020, 3, 19),
+        dt.date(2020, 3, 22),
+    )
+    relocation_return_share: float = 0.25
+    relocation_min_stay_days: int = 28
+
+    # Special events.
+    pre_lockdown_exodus_days: tuple[dt.date, ...] = (
+        dt.date(2020, 3, 21),
+        dt.date(2020, 3, 22),
+    )
+    pre_lockdown_exodus_probability: float = 0.12
+    late_april_trip_start: dt.date = dt.date(2020, 4, 25)
+    late_april_trip_bonus: float = 0.05
+
+
+@dataclass
+class DayState:
+    """Per-user behavioural outcome for one day (durations in seconds)."""
+
+    work_s: np.ndarray
+    errand_s: np.ndarray
+    nearby_s: np.ndarray
+    social_s: np.ndarray
+    on_trip: np.ndarray  # full-day away at the TRIP anchor
+    relocated: np.ndarray  # living at the relocation anchors
+    restriction: np.ndarray  # effective per-user restriction that day
+
+
+class BehaviorModel:
+    """Day-by-day behaviour driven by the pandemic timeline."""
+
+    def __init__(
+        self,
+        agents: AgentPopulation,
+        timeline: PandemicTimeline,
+        calendar: StudyCalendar,
+        settings: BehaviorSettings | None = None,
+        seed: int = 2020,
+    ) -> None:
+        self._agents = agents
+        self._timeline = timeline
+        self._calendar = calendar
+        self._settings = settings or BehaviorSettings()
+        self._seed = seed
+        self._relocation_start, self._relocation_end = (
+            self._draw_relocation_schedule()
+        )
+        self._region_cache: dict[dt.date, dict[str, float]] = {}
+
+    # -- relocation schedule ------------------------------------------------
+    def _draw_relocation_schedule(self) -> tuple[np.ndarray, np.ndarray]:
+        agents = self._agents
+        settings = self._settings
+        calendar = self._calendar
+        rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=self._seed, spawn_key=(0,))
+        )
+        count = agents.num_users
+        start = np.full(count, np.iinfo(np.int64).max, dtype=np.int64)
+        end = np.full(count, np.iinfo(np.int64).max, dtype=np.int64)
+        candidates = np.flatnonzero(agents.relocation_candidate)
+        if candidates.size == 0:
+            return start, end
+
+        def clamp_day(date: dt.date) -> int:
+            date = max(calendar.first_day, min(date, calendar.last_day))
+            return calendar.day_of(date)
+
+        window_start = clamp_day(settings.relocation_window[0])
+        window_end = clamp_day(settings.relocation_window[1])
+        student_start = clamp_day(settings.student_exodus[0])
+        student_end = clamp_day(settings.student_exodus[1])
+        students = agents.is_student[candidates]
+        start[candidates] = np.where(
+            students,
+            rng.integers(student_start, student_end + 1, size=candidates.size),
+            rng.integers(window_start, window_end + 1, size=candidates.size),
+        )
+        returns = rng.random(candidates.size) < settings.relocation_return_share
+        stay = settings.relocation_min_stay_days + rng.integers(
+            0, 21, size=candidates.size
+        )
+        end[candidates[returns]] = (
+            start[candidates[returns]] + stay[returns]
+        )
+        return start, end
+
+    @property
+    def relocation_start_days(self) -> np.ndarray:
+        """Relocation start day per user (int64 max = never)."""
+        return self._relocation_start
+
+    # -- per-day state -------------------------------------------------------
+    def _effective_restriction(self, date: dt.date) -> np.ndarray:
+        if date not in self._region_cache:
+            regions = np.unique(self._agents.home_region)
+            self._region_cache[date] = {
+                region: self._timeline.regional_restriction(region, date)
+                for region in regions
+            }
+        lookup = self._region_cache[date]
+        regional = np.array(
+            [lookup[region] for region in self._agents.home_region]
+        )
+        return regional * (0.55 + 0.45 * self._agents.compliance)
+
+    def day_state(self, day: int) -> DayState:
+        """Compute the behavioural state for one simulation day."""
+        agents = self._agents
+        settings = self._settings
+        calendar = self._calendar
+        date = calendar.date_of(day)
+        weekend = bool(calendar.is_weekend[day])
+        rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=self._seed, spawn_key=(1, day))
+        )
+        count = agents.num_users
+        restriction = self._effective_restriction(date)
+
+        # -- relocation & trips (override everything else) ----------------
+        relocated = (self._relocation_start <= day) & (
+            day < self._relocation_end
+        )
+        trip_p = np.zeros(count)
+        if weekend:
+            base_p = settings.weekend_trip_probability + np.where(
+                agents.home_region == "London",
+                settings.london_weekend_trip_bonus,
+                0.0,
+            )
+            factor = 1.0 - settings.trip_reduction * np.power(
+                np.clip(restriction, 0.0, 1.0),
+                settings.trip_restriction_exponent,
+            )
+            trip_p = base_p * np.clip(factor, 0.0, 1.0)
+            if date >= settings.late_april_trip_start:
+                trip_p += np.where(
+                    agents.home_region == "London",
+                    settings.late_april_trip_bonus,
+                    0.0,
+                )
+        if date in settings.pre_lockdown_exodus_days:
+            trip_p += np.where(
+                agents.home_county == "Inner London",
+                settings.pre_lockdown_exodus_probability,
+                0.0,
+            )
+        on_trip = (rng.random(count) < trip_p) & ~relocated
+
+        # -- activity durations --------------------------------------------
+        noise = rng.lognormal(
+            0.0, settings.duration_noise_sigma, size=(4, count)
+        )
+        if weekend:
+            work_base = np.zeros(count)
+        else:
+            onsite = np.select(
+                [
+                    agents.worker_type == WorkerType.COMMUTER,
+                    agents.worker_type == WorkerType.ESSENTIAL,
+                ],
+                [
+                    settings.work_hours_commuter
+                    * (1.0 - settings.wfh_max * restriction),
+                    settings.work_hours_essential
+                    * (1.0 - settings.essential_reduction * restriction),
+                ],
+                default=0.0,
+            )
+            work_base = onsite
+        errand_base = (
+            settings.errand_weekend_hours
+            if weekend
+            else settings.errand_weekday_hours
+        ) * (1.0 - settings.errand_reduction * restriction)
+        # The permitted-exercise boost is strongest where everything is
+        # within walking distance (dense central areas keep popping out
+        # to local shops/parks), which is what keeps the entropy of the
+        # central-London clusters comparatively high under lockdown
+        # (§3.3: Ethnicity Central shows the smallest entropy drop).
+        nearby_base = (
+            settings.nearby_weekend_hours
+            if weekend
+            else settings.nearby_weekday_hours
+        ) * (1.0 + settings.nearby_boost * restriction * agents.entropy_scale)
+        social_base = (
+            settings.social_weekend_hours
+            if weekend
+            else settings.social_weekday_hours
+        ) * (1.0 - settings.social_reduction * restriction)
+
+        entropy_scale = agents.entropy_scale
+        work_s = np.maximum(work_base * noise[0], 0.0) * 3600.0
+        errand_s = np.maximum(errand_base * noise[1], 0.0) * 3600.0
+        nearby_s = (
+            np.maximum(nearby_base * entropy_scale * noise[2], 0.0) * 3600.0
+        )
+        social_s = (
+            np.maximum(social_base * entropy_scale * noise[3], 0.0) * 3600.0
+        )
+
+        return DayState(
+            work_s=work_s,
+            errand_s=errand_s,
+            nearby_s=nearby_s,
+            social_s=social_s,
+            on_trip=on_trip,
+            relocated=relocated,
+            restriction=restriction,
+        )

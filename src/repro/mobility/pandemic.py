@@ -1,0 +1,115 @@
+"""The pandemic policy timeline.
+
+Encodes the UK intervention sequence as a *continuous restriction
+level* in [0, 1] plus a phase label. Two second-order effects the paper
+highlights are part of the timeline:
+
+- **adherence decay** — "mobility slightly increases from week 15
+  despite the lockdown still being enforced" (§3.1): the restriction
+  level decays slowly after two full lockdown weeks;
+- **regional relaxation** — London and West Yorkshire relax faster in
+  weeks 18–19, while Greater Manchester and the West Midlands stay
+  consistently low (§3.2).
+
+The restriction level is policy+population behaviour; how it maps to
+hours-out-of-home, traffic demand or voice minutes is owned by the
+behaviour/traffic models.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import enum
+from dataclasses import dataclass, field
+
+from repro.simulation.clock import KeyDates
+
+__all__ = ["Phase", "PandemicTimeline"]
+
+
+class Phase(enum.Enum):
+    """Intervention phases of the UK timeline."""
+
+    PRE_PANDEMIC = "pre-pandemic"
+    OUTBREAK = "outbreak"  # cases rising, no measures yet
+    DECLARED = "declared"  # WHO declaration, voluntary caution
+    DISTANCING = "distancing"  # work-from-home recommendation
+    CLOSURES = "closures"  # schools/venues closed
+    LOCKDOWN = "lockdown"  # stay-at-home order
+    RELAXATION = "relaxation"  # order still in force, adherence fading
+
+
+# Regions that relaxed earlier/faster vs regions that did not (§3.2).
+_FAST_RELAXING_REGIONS = ("London", "Yorkshire and the Humber")
+_STRICT_REGIONS = ("North West", "West Midlands")
+
+
+@dataclass
+class PandemicTimeline:
+    """Phase and restriction level for every study date."""
+
+    key_dates: KeyDates = field(default_factory=KeyDates)
+    outbreak_start: dt.date = dt.date(2020, 3, 2)  # week 10
+    relaxation_start: dt.date = dt.date(2020, 4, 6)  # week 15
+    fast_relaxation_start: dt.date = dt.date(2020, 4, 27)  # week 18
+    declared_level: float = 0.12
+    distancing_level: float = 0.45
+    closures_level: float = 0.62
+    lockdown_level: float = 1.0
+    adherence_decay_per_day: float = 0.004
+
+    def phase(self, date: dt.date) -> Phase:
+        """Phase label for a date."""
+        keys = self.key_dates
+        if date < self.outbreak_start:
+            return Phase.PRE_PANDEMIC
+        if date < keys.pandemic_declared:
+            return Phase.OUTBREAK
+        if date < keys.wfh_recommended:
+            return Phase.DECLARED
+        if date < keys.venues_closed:
+            return Phase.DISTANCING
+        if date < keys.lockdown:
+            return Phase.CLOSURES
+        if date < self.relaxation_start:
+            return Phase.LOCKDOWN
+        return Phase.RELAXATION
+
+    def restriction_level(self, date: dt.date) -> float:
+        """National restriction level in [0, 1]."""
+        phase = self.phase(date)
+        if phase in (Phase.PRE_PANDEMIC, Phase.OUTBREAK):
+            return 0.0
+        if phase is Phase.DECLARED:
+            return self.declared_level
+        if phase is Phase.DISTANCING:
+            return self.distancing_level
+        if phase is Phase.CLOSURES:
+            return self.closures_level
+        if phase is Phase.LOCKDOWN:
+            return self.lockdown_level
+        days_relaxing = (date - self.relaxation_start).days
+        return max(
+            0.0, self.lockdown_level - self.adherence_decay_per_day * days_relaxing
+        )
+
+    def regional_multiplier(self, region: str, date: dt.date) -> float:
+        """Multiplier (≤ 1) on the restriction level for a region.
+
+        London and West Yorkshire loosen in weeks 18–19; Greater
+        Manchester / West Midlands regions hold the line.
+        """
+        if date < self.fast_relaxation_start:
+            return 1.0
+        weeks_since = (date - self.fast_relaxation_start).days / 7.0
+        if region in _FAST_RELAXING_REGIONS:
+            return max(0.80, 1.0 - 0.07 * (1.0 + weeks_since))
+        if region in _STRICT_REGIONS:
+            return 1.0
+        return max(0.92, 1.0 - 0.03 * (1.0 + weeks_since))
+
+    def regional_restriction(self, region: str, date: dt.date) -> float:
+        """Regional restriction level (national × regional multiplier)."""
+        return self.restriction_level(date) * self.regional_multiplier(
+            region, date
+        )

@@ -1,0 +1,132 @@
+"""Daily dwell-time matrices: the simulator's mobility ground truth.
+
+For each day the model emits, per user, the time spent attached to each
+anchor tower within six disjoint 4-hour bins — exactly the aggregation
+granularity of the paper's mobility statistics (§2.3: "six disjoint
+4-hour bins of the day ... and also over the entire day").
+
+Assembly: behaviour durations per activity kind are spread over the
+bins with kind-specific diurnal templates (work in office hours, social
+in the evening, ...), capped at the bin length; the remainder of every
+bin is time at home. Trip days and relocation days override the normal
+template: the user spends the whole day on their away anchors,
+including the nights — which is what lets the paper's home-detection and
+relocation analyses see them leave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mobility.agents import AgentPopulation, AnchorSlot, NUM_ANCHORS
+from repro.mobility.behavior import BehaviorModel
+
+__all__ = ["NUM_BINS", "BIN_SECONDS", "DayDwell", "TrajectoryModel"]
+
+NUM_BINS = 6
+BIN_SECONDS = 14_400.0  # 4 hours
+
+# Diurnal spread of each activity kind over the six bins
+# (00-04, 04-08, 08-12, 12-16, 16-20, 20-24).
+_BIN_TEMPLATES = {
+    AnchorSlot.WORK: np.array([0.0, 0.05, 0.38, 0.38, 0.19, 0.0]),
+    AnchorSlot.ERRAND: np.array([0.0, 0.10, 0.30, 0.30, 0.30, 0.0]),
+    AnchorSlot.NEARBY: np.array([0.0, 0.15, 0.25, 0.25, 0.25, 0.10]),
+    AnchorSlot.SOCIAL: np.array([0.0, 0.0, 0.10, 0.25, 0.40, 0.25]),
+}
+
+# Relocated users split their day between the two relocation towers:
+# nights on the primary, daytime partly on the secondary.
+_RELOC_PRIMARY_SHARE = np.array([1.0, 1.0, 0.7, 0.7, 0.75, 1.0])
+
+
+@dataclass
+class DayDwell:
+    """Per-user anchor dwell times for one day.
+
+    ``dwell_s`` has shape ``(num_users, NUM_BINS, NUM_ANCHORS)`` and sums
+    to 86,400 seconds per user; ``anchor_sites`` has shape
+    ``(num_users, NUM_ANCHORS)``.
+    """
+
+    day: int
+    user_ids: np.ndarray
+    anchor_sites: np.ndarray
+    dwell_s: np.ndarray
+
+    @property
+    def num_users(self) -> int:
+        return int(self.user_ids.shape[0])
+
+    def daily_dwell(self) -> np.ndarray:
+        """Dwell summed over bins: shape (num_users, NUM_ANCHORS)."""
+        return self.dwell_s.sum(axis=1)
+
+    def nighttime_dwell(self, night_bins: tuple[int, ...] = (0, 1)) -> np.ndarray:
+        """Dwell in the night bins (00:00–08:00 by default)."""
+        return self.dwell_s[:, list(night_bins), :].sum(axis=1)
+
+
+class TrajectoryModel:
+    """Turns behaviour day-states into dwell matrices."""
+
+    def __init__(
+        self, agents: AgentPopulation, behavior: BehaviorModel
+    ) -> None:
+        self._agents = agents
+        self._behavior = behavior
+
+    def day_dwell(self, day: int) -> DayDwell:
+        """Assemble the dwell matrix for one simulation day."""
+        agents = self._agents
+        state = self._behavior.day_state(day)
+        count = agents.num_users
+        dwell = np.zeros((count, NUM_BINS, NUM_ANCHORS), dtype=np.float64)
+
+        durations = {
+            AnchorSlot.WORK: state.work_s,
+            AnchorSlot.ERRAND: state.errand_s,
+            AnchorSlot.NEARBY: state.nearby_s,
+            AnchorSlot.SOCIAL: state.social_s,
+        }
+        for slot, seconds in durations.items():
+            template = _BIN_TEMPLATES[slot]
+            dwell[:, :, slot] = seconds[:, None] * template[None, :]
+
+        # Cap out-of-home time at the bin length, rescaling kinds
+        # proportionally, then fill the remainder with home time.
+        out_per_bin = dwell.sum(axis=2)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            scale = np.where(
+                out_per_bin > BIN_SECONDS, BIN_SECONDS / out_per_bin, 1.0
+            )
+        dwell *= scale[:, :, None]
+        dwell[:, :, AnchorSlot.HOME] = np.maximum(
+            BIN_SECONDS - dwell.sum(axis=2), 0.0
+        )
+
+        # Trip days: the whole day at the TRIP anchor.
+        if state.on_trip.any():
+            trip = state.on_trip
+            dwell[trip] = 0.0
+            dwell[trip, :, AnchorSlot.TRIP] = BIN_SECONDS
+
+        # Relocation days: live on the relocation towers.
+        if state.relocated.any():
+            moved = state.relocated
+            dwell[moved] = 0.0
+            dwell[moved, :, AnchorSlot.RELOC_PRIMARY] = (
+                BIN_SECONDS * _RELOC_PRIMARY_SHARE[None, :]
+            )
+            dwell[moved, :, AnchorSlot.RELOC_SECONDARY] = BIN_SECONDS * (
+                1.0 - _RELOC_PRIMARY_SHARE[None, :]
+            )
+
+        return DayDwell(
+            day=day,
+            user_ids=agents.user_ids,
+            anchor_sites=agents.anchor_sites,
+            dwell_s=dwell,
+        )

@@ -1,0 +1,60 @@
+"""Cellular-network substrate: the MNO the measurements are taken from.
+
+The paper instruments a production 2G/3G/4G network (Figure 1): cell
+sites and their radio sectors, the signalling interfaces (S1-MME, Iu-PS,
+Gb, A, Iu-CS), the GSMA TAC device catalog, and a commercial KPI feed.
+This package rebuilds each of those elements as a simulation substrate:
+
+- :mod:`repro.network.rat` / :mod:`repro.network.qci` — radio access
+  technologies and bearer QoS classes (QCI 1 = conversational voice,
+  QCI 1–8 = "all bearers" in the paper's aggregations).
+- :mod:`repro.network.cells` / :mod:`repro.network.topology` — cell
+  sites, sectors and the population-driven deployment with daily
+  topology snapshots.
+- :mod:`repro.network.devices` — a synthetic GSMA-style TAC catalog
+  (smartphones vs M2M).
+- :mod:`repro.network.subscribers` — the subscriber base: native SIMs
+  vs inbound roamers, device assignment, home districts.
+- :mod:`repro.network.signaling` — control-plane event vocabulary and
+  event-stream generation from dwell segments.
+- :mod:`repro.network.scheduler` — LTE capacity / TTI-utilization model
+  that turns offered load into radio KPIs.
+- :mod:`repro.network.interconnect` — the inter-MNO voice interconnect
+  whose congestion produced the paper's packet-loss incident.
+- :mod:`repro.network.kpi` — the per-cell KPI record schema.
+"""
+
+from repro.network.rat import Rat
+from repro.network.qci import ALL_BEARER_QCIS, VOICE_QCI, QciClass, qci_catalog
+from repro.network.cells import Cell, CellSite
+from repro.network.topology import RadioTopology, build_topology
+from repro.network.devices import DeviceCatalog, DeviceRecord
+from repro.network.subscribers import SubscriberBase, build_subscriber_base
+from repro.network.signaling import EventType, SignalingGenerator
+from repro.network.scheduler import CellScheduler, SchedulerSettings
+from repro.network.interconnect import VoiceInterconnect, InterconnectSettings
+from repro.network.kpi import KPI_COLUMNS, KpiAccumulator
+
+__all__ = [
+    "ALL_BEARER_QCIS",
+    "Cell",
+    "CellSite",
+    "CellScheduler",
+    "DeviceCatalog",
+    "DeviceRecord",
+    "EventType",
+    "InterconnectSettings",
+    "KPI_COLUMNS",
+    "KpiAccumulator",
+    "QciClass",
+    "RadioTopology",
+    "Rat",
+    "SchedulerSettings",
+    "SignalingGenerator",
+    "SubscriberBase",
+    "VOICE_QCI",
+    "VoiceInterconnect",
+    "build_subscriber_base",
+    "build_topology",
+    "qci_catalog",
+]

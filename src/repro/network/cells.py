@@ -1,0 +1,50 @@
+"""Cell sites and radio cells.
+
+A *cell site* (tower) is the physical location: it anchors mobility
+(users are observed at towers) and carries metadata used by the paper's
+merges (postcode district, coordinates). A *cell* is one radio carrier
+on a site for one RAT; KPIs are collected per cell. Sites host multiple
+sectors per RAT — the per-sector breakdown is summarized by
+``sector_count`` and sector capacity is aggregated at the cell level,
+matching the paper's per-cell (postcode-aggregated) reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.rat import RAT_PROFILES, Rat
+
+__all__ = ["Cell", "CellSite"]
+
+
+@dataclass(frozen=True)
+class CellSite:
+    """A physical tower location."""
+
+    site_id: int
+    postcode: str
+    district_index: int
+    lat: float
+    lon: float
+    rats: tuple[Rat, ...]
+    sector_count: int = 3
+    activation_day: int = 0
+
+    def supports(self, rat: Rat) -> bool:
+        return rat in self.rats
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One radio cell: a RAT carrier on a site."""
+
+    cell_id: int
+    site_id: int
+    rat: Rat
+    sector_count: int
+
+    @property
+    def capacity_mbps(self) -> float:
+        """Aggregate deliverable throughput over the cell's sectors."""
+        return RAT_PROFILES[self.rat].sector_capacity_mbps * self.sector_count

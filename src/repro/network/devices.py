@@ -1,0 +1,162 @@
+"""Synthetic GSMA-style TAC device catalog.
+
+The paper uses the GSMA TAC database to keep only smartphones ("likely
+used as primary devices") and drop Machine-to-Machine devices before any
+mobility analysis (§2.3). This module generates a catalog with the same
+discriminating power: each TAC (the first 8 IMEI digits, statically
+allocated per device model) maps to manufacturer/model/OS metadata and
+an ``is_smartphone`` flag, with market-share-like popularity weights so
+sampled fleets look like a consumer base.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+__all__ = ["DeviceRecord", "DeviceCatalog"]
+
+_SMARTPHONE_VENDORS = (
+    ("Apricot", "aOS"),
+    ("Samsong", "Android"),
+    ("Huaway", "Android"),
+    ("Xiaomy", "Android"),
+    ("OneMinus", "Android"),
+    ("Googol", "Android"),
+    ("Nokla", "Android"),
+    ("Sany", "Android"),
+)
+
+_M2M_VENDORS = (
+    ("Telit", "smart meter"),
+    ("Quectel", "tracker"),
+    ("Sierra", "payment terminal"),
+    ("UBlox", "telematics unit"),
+    ("Cinterion", "alarm panel"),
+)
+
+
+@dataclass(frozen=True)
+class DeviceRecord:
+    """One TAC row of the catalog."""
+
+    tac: int
+    manufacturer: str
+    model: str
+    operating_system: str
+    is_smartphone: bool
+    supports_lte: bool
+    popularity: float
+
+
+class DeviceCatalog:
+    """A TAC → device-properties lookup with popularity weights."""
+
+    def __init__(self, records: tuple[DeviceRecord, ...]) -> None:
+        if not records:
+            raise ValueError("device catalog cannot be empty")
+        self._records = records
+        self._by_tac = {record.tac: record for record in records}
+        if len(self._by_tac) != len(records):
+            raise ValueError("duplicate TACs in catalog")
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int = 2020,
+        smartphone_models: int = 60,
+        m2m_models: int = 24,
+    ) -> "DeviceCatalog":
+        """Generate a catalog with Zipf-like model popularity."""
+        rng = np.random.default_rng(seed)
+        records: list[DeviceRecord] = []
+        ranks = np.arange(1, smartphone_models + 1, dtype=np.float64)
+        popularity = 1.0 / ranks**1.1
+        popularity /= popularity.sum()
+        for index in range(smartphone_models):
+            vendor, os_name = _SMARTPHONE_VENDORS[
+                index % len(_SMARTPHONE_VENDORS)
+            ]
+            records.append(
+                DeviceRecord(
+                    tac=35_000_000 + index,
+                    manufacturer=vendor,
+                    model=f"{vendor} P{index + 1}",
+                    operating_system=os_name,
+                    is_smartphone=True,
+                    supports_lte=bool(rng.random() < 0.92),
+                    popularity=float(popularity[index]),
+                )
+            )
+        m2m_ranks = np.arange(1, m2m_models + 1, dtype=np.float64)
+        m2m_popularity = 1.0 / m2m_ranks
+        m2m_popularity /= m2m_popularity.sum()
+        for index in range(m2m_models):
+            vendor, kind = _M2M_VENDORS[index % len(_M2M_VENDORS)]
+            records.append(
+                DeviceRecord(
+                    tac=86_000_000 + index,
+                    manufacturer=vendor,
+                    model=f"{vendor} {kind} v{index + 1}",
+                    operating_system="embedded",
+                    is_smartphone=False,
+                    supports_lte=bool(rng.random() < 0.4),
+                    popularity=float(m2m_popularity[index]),
+                )
+            )
+        return cls(tuple(records))
+
+    # -- lookups ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def record(self, tac: int) -> DeviceRecord:
+        try:
+            return self._by_tac[tac]
+        except KeyError:
+            raise KeyError(f"unknown TAC {tac}") from None
+
+    @cached_property
+    def smartphone_tacs(self) -> np.ndarray:
+        return np.array(
+            [r.tac for r in self._records if r.is_smartphone], dtype=np.int64
+        )
+
+    @cached_property
+    def m2m_tacs(self) -> np.ndarray:
+        return np.array(
+            [r.tac for r in self._records if not r.is_smartphone],
+            dtype=np.int64,
+        )
+
+    def sample_tacs(
+        self,
+        rng: np.random.Generator,
+        count: int,
+        smartphone_share: float = 0.9,
+    ) -> np.ndarray:
+        """Sample ``count`` device TACs for a subscriber population."""
+        if not 0.0 <= smartphone_share <= 1.0:
+            raise ValueError("smartphone_share must be in [0, 1]")
+        smartphones = [r for r in self._records if r.is_smartphone]
+        m2m = [r for r in self._records if not r.is_smartphone]
+        is_phone = rng.random(count) < smartphone_share
+        out = np.empty(count, dtype=np.int64)
+        for mask, pool in ((is_phone, smartphones), (~is_phone, m2m)):
+            size = int(mask.sum())
+            if size == 0:
+                continue
+            if not pool:
+                raise ValueError("catalog lacks devices for requested mix")
+            weights = np.array([r.popularity for r in pool])
+            weights /= weights.sum()
+            choice = rng.choice(len(pool), size=size, p=weights)
+            pool_tacs = np.array([record.tac for record in pool], dtype=np.int64)
+            out[mask] = pool_tacs[choice]
+        return out
+
+    def is_smartphone(self, tacs: np.ndarray) -> np.ndarray:
+        """Vectorized smartphone flag for an array of TACs."""
+        return np.isin(np.asarray(tacs), self.smartphone_tacs)

@@ -1,0 +1,110 @@
+"""Inter-MNO voice interconnection infrastructure.
+
+The one operational incident the paper reports (§4.2): the surge in
+conversational-voice traffic around the lockdown announcement exceeded
+the capacity of the interconnect MNOs use to exchange voice calls,
+which more than doubled the *downlink* packet-loss rate for voice in
+weeks 10–12; network operations responded quickly, adding capacity, and
+loss fell back below normal values.
+
+:class:`VoiceInterconnect` is a stateful per-day model of that link:
+
+- offered inter-MNO voice load is a share of total voice volume,
+- loss grows super-linearly once utilization passes a congestion knee,
+- an operations team watches the loss KPI and, after a detection lag,
+  upgrades capacity (the "rapid response" of the paper).
+
+Uplink voice loss is radio-side, not interconnect-side: it tracks radio
+congestion and therefore *decreases* during lockdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["InterconnectSettings", "VoiceInterconnect"]
+
+
+@dataclass(frozen=True)
+class InterconnectSettings:
+    """Dimensioning and operations parameters for the voice interconnect."""
+
+    # Capacity in MB of voice per day the interconnect can carry without
+    # congestion; set by the engine from baseline voice volume.
+    capacity_mb_per_day: float
+    # Share of total voice minutes that crosses MNO boundaries.
+    inter_mno_share: float = 0.55
+    # Utilization above which congestion loss kicks in.
+    congestion_knee: float = 0.85
+    # Congestion loss saturates at this extra rate (drop-tail queueing
+    # sheds a bounded fraction of packets, it does not diverge).
+    max_congestion_loss: float = 0.012
+    # How fast congestion loss approaches the ceiling past the knee.
+    congestion_steepness: float = 2.5
+    # Baseline (uncongested) DL packet loss rate for voice.
+    base_dl_loss: float = 0.004
+    # Fraction of base loss that scales with utilization (so a quieter
+    # link after the upgrade sits *below* the pre-pandemic normal).
+    utilization_coupling: float = 0.6
+    # Ops response: consecutive days of loss above alarm level before
+    # the capacity upgrade lands, and the upgrade multiplier.
+    alarm_loss: float = 0.010
+    detection_days: int = 10
+    upgrade_factor: float = 2.2
+
+
+class VoiceInterconnect:
+    """Stateful day-by-day model of the inter-MNO voice link."""
+
+    def __init__(self, settings: InterconnectSettings) -> None:
+        if settings.capacity_mb_per_day <= 0:
+            raise ValueError("interconnect capacity must be positive")
+        self._settings = settings
+        self._capacity = settings.capacity_mb_per_day
+        self._alarm_streak = 0
+        self._upgraded = False
+
+    @property
+    def capacity_mb_per_day(self) -> float:
+        """Current capacity (grows once operations react)."""
+        return self._capacity
+
+    @property
+    def upgraded(self) -> bool:
+        """Whether the operations capacity upgrade has landed."""
+        return self._upgraded
+
+    def process_day(self, total_voice_mb: float) -> float:
+        """Advance one day; return the DL voice packet-loss rate.
+
+        ``total_voice_mb`` is the MNO-wide conversational voice volume
+        for the day (QCI = 1, both directions).
+        """
+        if total_voice_mb < 0:
+            raise ValueError("voice volume cannot be negative")
+        settings = self._settings
+        offered = total_voice_mb * settings.inter_mno_share
+        utilization = offered / self._capacity
+
+        loss = settings.base_dl_loss * (
+            (1.0 - settings.utilization_coupling)
+            + settings.utilization_coupling
+            * min(utilization / settings.congestion_knee, 1.5)
+        )
+        if utilization > settings.congestion_knee:
+            excess = utilization - settings.congestion_knee
+            loss += settings.max_congestion_loss * (
+                1.0 - np.exp(-settings.congestion_steepness * excess)
+            )
+
+        if not self._upgraded:
+            if loss > settings.alarm_loss:
+                self._alarm_streak += 1
+            else:
+                self._alarm_streak = 0
+            if self._alarm_streak >= settings.detection_days:
+                self._capacity *= settings.upgrade_factor
+                self._upgraded = True
+        return float(min(loss, 1.0))

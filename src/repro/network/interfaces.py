@@ -1,0 +1,81 @@
+"""3GPP signalling interfaces monitored by the measurement system.
+
+Figure 1 of the paper marks the taps: the Gb and A interfaces for 2G,
+Iu-PS and Iu-CS for 3G, S1-MME and S1-U for LTE. Control-plane events
+are observed on different interfaces depending on the RAT serving the
+device and whether the event belongs to the packet-switched (PS) or
+circuit-switched (CS) domain; this catalog encodes that mapping so the
+signalling generator can stamp each event with the interface a real
+probe would have captured it on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.network.rat import Rat
+from repro.network.signaling import EventType
+
+__all__ = [
+    "Domain",
+    "Interface",
+    "INTERFACES",
+    "interface_for",
+    "monitored_elements",
+]
+
+
+class Domain(enum.Enum):
+    """Core-network domain of a signalling exchange."""
+
+    PACKET_SWITCHED = "PS"
+    CIRCUIT_SWITCHED = "CS"
+
+
+@dataclass(frozen=True)
+class Interface:
+    """One monitored reference point of Figure 1."""
+
+    name: str
+    rat: Rat
+    domain: Domain
+    network_element: str  # where the probe sits
+    spec: str  # the defining 3GPP series
+
+
+INTERFACES: tuple[Interface, ...] = (
+    Interface("Gb", Rat.GSM_2G, Domain.PACKET_SWITCHED, "SGSN", "3GPP TS 48.016"),
+    Interface("A", Rat.GSM_2G, Domain.CIRCUIT_SWITCHED, "MSC", "3GPP TS 48.008"),
+    Interface("Iu-PS", Rat.UMTS_3G, Domain.PACKET_SWITCHED, "SGSN", "3GPP TS 25.413"),
+    Interface("Iu-CS", Rat.UMTS_3G, Domain.CIRCUIT_SWITCHED, "MSC", "3GPP TS 25.413"),
+    Interface("S1-MME", Rat.LTE_4G, Domain.PACKET_SWITCHED, "MME", "3GPP TS 36.413"),
+    Interface("S1-U", Rat.LTE_4G, Domain.PACKET_SWITCHED, "SGW", "3GPP TS 29.281"),
+)
+
+_BY_KEY = {
+    (interface.rat, interface.domain): interface
+    for interface in INTERFACES
+    if interface.name != "S1-U"  # control plane rides S1-MME on LTE
+}
+
+# Events carried on the CS domain for 2G/3G (voice-side signalling);
+# everything else is PS. On LTE everything is PS (voice is VoLTE).
+_CS_EVENTS = frozenset({EventType.SERVICE_REQUEST})
+
+
+def interface_for(rat: Rat, event: EventType) -> Interface:
+    """The interface a probe captures ``event`` on for ``rat``."""
+    domain = Domain.PACKET_SWITCHED
+    if rat is not Rat.LTE_4G and event in _CS_EVENTS:
+        domain = Domain.CIRCUIT_SWITCHED
+    return _BY_KEY[(rat, domain)]
+
+
+def monitored_elements() -> tuple[str, ...]:
+    """The network elements carrying probes (Fig 1's red pins)."""
+    seen: list[str] = []
+    for interface in INTERFACES:
+        if interface.network_element not in seen:
+            seen.append(interface.network_element)
+    return tuple(seen)

@@ -1,0 +1,157 @@
+"""Per-cell KPI records: the Radio Network Performance feed.
+
+The paper's commercial KPI solution exports hourly per-cell metrics;
+the analysis then "aggregate[s] them per day and extract[s] the (hourly)
+median value per cell" (§2.4). :class:`KpiAccumulator` implements that
+exact reduction: the simulation pushes hourly vectors, and the
+accumulator emits one row per (cell, day) holding the median over the
+day's hours for every metric — the shape all of Figs 8–12 consume.
+
+Metrics (hourly, per 4G cell), following §2.4:
+
+==============================  ==================================================
+column                          meaning
+==============================  ==================================================
+``dl_volume_mb``                downlink data volume, all bearers QCI 1–8
+``ul_volume_mb``                uplink data volume, all bearers QCI 1–8
+``dl_active_users``             avg users with active data in the DL buffer
+``radio_load_pct``              TTI utilization (percent)
+``user_dl_throughput_mbps``     avg per-user DL throughput
+``active_seconds``              seconds with active data in the cell
+``connected_users``             total users attached to the cell (active + idle)
+``voice_volume_mb``             conversational voice volume (QCI = 1)
+``voice_users``                 avg simultaneous voice-active users
+``voice_ul_loss_rate``          UL packet loss for voice bearers
+``voice_dl_loss_rate``          DL packet loss for voice bearers
+==============================  ==================================================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frames import Frame, concat
+
+__all__ = ["KPI_COLUMNS", "KpiAccumulator"]
+
+KPI_COLUMNS = (
+    "dl_volume_mb",
+    "ul_volume_mb",
+    "dl_active_users",
+    "radio_load_pct",
+    "user_dl_throughput_mbps",
+    "active_seconds",
+    "connected_users",
+    "voice_volume_mb",
+    "voice_users",
+    "voice_ul_loss_rate",
+    "voice_dl_loss_rate",
+)
+
+
+class KpiAccumulator:
+    """Collect hourly per-cell KPI vectors; emit daily per-cell medians.
+
+    Parameters
+    ----------
+    cell_ids:
+        Cell identifiers, fixed for the accumulator's lifetime.
+    postcodes:
+        Postcode district of each cell (same order), carried on every
+        output row so the analysis can merge administrative labels.
+    keep_hourly:
+        Also retain the raw hourly rows (memory-heavy; meant for small
+        configurations and tests that exercise the hourly→daily path).
+    """
+
+    def __init__(
+        self,
+        cell_ids: np.ndarray,
+        postcodes: np.ndarray,
+        keep_hourly: bool = False,
+    ) -> None:
+        if cell_ids.shape != postcodes.shape:
+            raise ValueError("cell_ids and postcodes must align")
+        self._cell_ids = cell_ids.astype(np.int64)
+        self._postcodes = postcodes
+        self._keep_hourly = keep_hourly
+        self._pending: dict[str, list[np.ndarray]] = {}
+        self._pending_day: int | None = None
+        self._daily_frames: list[Frame] = []
+        self._hourly_frames: list[Frame] = []
+
+    @property
+    def num_cells(self) -> int:
+        return int(self._cell_ids.shape[0])
+
+    def add_hour(
+        self, day: int, hour: int, metrics: dict[str, np.ndarray]
+    ) -> None:
+        """Push one hour of per-cell metric vectors for ``day``."""
+        if self._pending_day is not None and day != self._pending_day:
+            raise ValueError(
+                f"day {day} pushed before finalizing day {self._pending_day}"
+            )
+        missing = set(KPI_COLUMNS) - set(metrics)
+        if missing:
+            raise ValueError(f"missing KPI metrics: {sorted(missing)}")
+        self._pending_day = day
+        for name in KPI_COLUMNS:
+            vector = np.asarray(metrics[name], dtype=np.float64)
+            if vector.shape != self._cell_ids.shape:
+                raise ValueError(
+                    f"metric {name} has shape {vector.shape}, expected "
+                    f"{self._cell_ids.shape}"
+                )
+            self._pending.setdefault(name, []).append(vector)
+        if self._keep_hourly:
+            data = {
+                "cell_id": self._cell_ids,
+                "postcode": self._postcodes,
+                "day": np.full(self.num_cells, day, dtype=np.int64),
+                "hour": np.full(self.num_cells, hour, dtype=np.int64),
+            }
+            data.update(
+                {name: np.asarray(metrics[name], dtype=np.float64)
+                 for name in KPI_COLUMNS}
+            )
+            self._hourly_frames.append(Frame(data))
+
+    def finalize_day(self) -> None:
+        """Reduce the pending day's hours to per-cell medians."""
+        if self._pending_day is None:
+            raise ValueError("no pending day to finalize")
+        data = {
+            "cell_id": self._cell_ids,
+            "postcode": self._postcodes,
+            "day": np.full(self.num_cells, self._pending_day, dtype=np.int64),
+        }
+        for name in KPI_COLUMNS:
+            stacked = np.vstack(self._pending[name])
+            data[name] = np.median(stacked, axis=0)
+        self._daily_frames.append(Frame(data))
+        self._pending = {}
+        self._pending_day = None
+
+    def daily_frame(self) -> Frame:
+        """All finalized (cell, day) rows."""
+        if self._pending_day is not None:
+            raise ValueError(
+                f"day {self._pending_day} is still pending; finalize it first"
+            )
+        if not self._daily_frames:
+            return Frame(
+                {"cell_id": np.empty(0, dtype=np.int64),
+                 "postcode": np.empty(0, dtype=str),
+                 "day": np.empty(0, dtype=np.int64),
+                 **{name: np.empty(0) for name in KPI_COLUMNS}}
+            )
+        return concat(self._daily_frames)
+
+    def hourly_frame(self) -> Frame:
+        """Raw hourly rows (only if ``keep_hourly`` was requested)."""
+        if not self._keep_hourly:
+            raise ValueError("accumulator was created with keep_hourly=False")
+        if not self._hourly_frames:
+            return Frame()
+        return concat(self._hourly_frames)

@@ -1,0 +1,68 @@
+"""QoS Class Identifiers (QCI) for LTE bearers.
+
+The paper's metric definitions hang off QCI values (§2.4):
+
+- "all data traffic" aggregates every bearer with **QCI 1 through 8**
+  (this *includes* conversational voice),
+- "voice traffic" isolates bearers with **QCI = 1** (VoLTE
+  conversational voice).
+
+The catalog below follows 3GPP TS 23.203 Table 6.1.7; only the fields
+the simulation uses are retained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["QciClass", "qci_catalog", "VOICE_QCI", "ALL_BEARER_QCIS", "is_voice"]
+
+VOICE_QCI = 1
+ALL_BEARER_QCIS = tuple(range(1, 9))
+
+
+@dataclass(frozen=True)
+class QciClass:
+    """One QCI row of the 3GPP bearer QoS table."""
+
+    qci: int
+    guaranteed_bitrate: bool
+    priority: int
+    packet_delay_budget_ms: int
+    packet_error_loss_rate: float
+    service: str
+
+    @property
+    def is_voice(self) -> bool:
+        return self.qci == VOICE_QCI
+
+
+_CATALOG = (
+    QciClass(1, True, 2, 100, 1e-2, "Conversational voice (VoLTE)"),
+    QciClass(2, True, 4, 150, 1e-3, "Conversational video"),
+    QciClass(3, True, 3, 50, 1e-3, "Real-time gaming"),
+    QciClass(4, True, 5, 300, 1e-6, "Non-conversational video (buffered)"),
+    QciClass(5, False, 1, 100, 1e-6, "IMS signalling"),
+    QciClass(6, False, 6, 300, 1e-6, "Buffered video, TCP apps (premium)"),
+    QciClass(7, False, 7, 100, 1e-3, "Voice, live video, interactive gaming"),
+    QciClass(8, False, 8, 300, 1e-6, "Buffered video, TCP apps (standard)"),
+    QciClass(9, False, 9, 300, 1e-6, "Buffered video, TCP apps (default)"),
+)
+
+
+def qci_catalog() -> tuple[QciClass, ...]:
+    """The full QCI table (QCI 1–9)."""
+    return _CATALOG
+
+
+def qci_class(qci: int) -> QciClass:
+    """Look up one QCI row."""
+    for entry in _CATALOG:
+        if entry.qci == qci:
+            return entry
+    raise KeyError(f"unknown QCI {qci}")
+
+
+def is_voice(qci: int) -> bool:
+    """True for the conversational-voice bearer the paper isolates."""
+    return qci == VOICE_QCI

@@ -1,0 +1,70 @@
+"""Radio Access Technologies supported by the simulated MNO.
+
+The studied operator runs 2G (GSM), 3G (UMTS) and 4G (LTE). The paper's
+network-performance analysis focuses on 4G because users spend ~75% of
+their connected time on LTE cells (§2.4); the other RATs still exist in
+the topology and signalling feeds so that the RAT-time-share analysis
+has something real to measure.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Rat", "RatProfile", "RAT_PROFILES"]
+
+
+class Rat(enum.Enum):
+    """A radio access technology generation."""
+
+    GSM_2G = "2G"
+    UMTS_3G = "3G"
+    LTE_4G = "4G"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class RatProfile:
+    """Capacity characteristics of one RAT as deployed by the MNO."""
+
+    rat: Rat
+    bandwidth_mhz: float
+    spectral_efficiency: float  # bit/s/Hz, sector average
+    signalling_interface: str  # the monitored control-plane interface
+    attach_share: float  # fraction of device connected-time on this RAT
+
+    @property
+    def sector_capacity_mbps(self) -> float:
+        """Deliverable air-interface throughput of one sector."""
+        return self.bandwidth_mhz * self.spectral_efficiency
+
+
+RAT_PROFILES: dict[Rat, RatProfile] = {
+    profile.rat: profile
+    for profile in (
+        RatProfile(
+            Rat.GSM_2G,
+            bandwidth_mhz=5.0,
+            spectral_efficiency=0.2,
+            signalling_interface="Gb/A",
+            attach_share=0.05,
+        ),
+        RatProfile(
+            Rat.UMTS_3G,
+            bandwidth_mhz=10.0,
+            spectral_efficiency=0.8,
+            signalling_interface="Iu-PS/Iu-CS",
+            attach_share=0.20,
+        ),
+        RatProfile(
+            Rat.LTE_4G,
+            bandwidth_mhz=20.0,
+            spectral_efficiency=2.2,
+            signalling_interface="S1-MME/S1-UP",
+            attach_share=0.75,
+        ),
+    )
+}

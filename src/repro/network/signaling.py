@@ -1,0 +1,237 @@
+"""Control-plane signalling events.
+
+The measurement infrastructure of the paper (Fig 1) captures signalling
+on the S1-MME / Iu-PS / Gb / A interfaces: Attach, Authentication,
+Session establishment, bearer management, Tracking Area Updates,
+ECM-IDLE transitions, Service Requests, Handovers and Detach, each
+carrying the anonymized user id, SIM MCC/MNC, TAC, the radio sector
+handling the event, a timestamp, and a result code.
+
+:class:`SignalingGenerator` emits exactly that feed from per-user dwell
+segments (the ground truth of where a device spends its day). The design
+guarantee that makes event-mode and dwell-mode pipelines reconcile: the
+generator always emits a mobility event (Attach / Handover / TAU) at the
+*start* of every dwell segment, so sessionization can recover segment
+boundaries exactly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.frames import Frame
+
+__all__ = [
+    "EventType",
+    "SignalingGenerator",
+    "DwellSegments",
+    "attach_subscriber_context",
+]
+
+
+class EventType(enum.IntEnum):
+    """Signalling event vocabulary (§2.2 General Signaling Dataset)."""
+
+    ATTACH = 0
+    AUTHENTICATION = 1
+    SESSION_ESTABLISHMENT = 2
+    BEARER_SETUP = 3
+    BEARER_RELEASE = 4
+    TRACKING_AREA_UPDATE = 5
+    ECM_IDLE_TRANSITION = 6
+    SERVICE_REQUEST = 7
+    HANDOVER = 8
+    DETACH = 9
+
+
+# Events that mark the device moving to (or appearing at) a new cell.
+MOBILITY_EVENTS = (
+    EventType.ATTACH,
+    EventType.TRACKING_AREA_UPDATE,
+    EventType.HANDOVER,
+)
+
+
+@dataclass
+class DwellSegments:
+    """Per-user dwell segments for one day (the simulator ground truth).
+
+    Arrays are parallel, ordered by (user, start). ``start_s`` and
+    ``duration_s`` are seconds since midnight.
+    """
+
+    user_ids: np.ndarray
+    site_ids: np.ndarray
+    start_s: np.ndarray
+    duration_s: np.ndarray
+
+    def __post_init__(self) -> None:
+        length = self.user_ids.shape[0]
+        for name in ("site_ids", "start_s", "duration_s"):
+            if getattr(self, name).shape[0] != length:
+                raise ValueError(f"segment column {name} length mismatch")
+
+    @property
+    def num_segments(self) -> int:
+        return int(self.user_ids.shape[0])
+
+
+class SignalingGenerator:
+    """Turn dwell segments into a raw signalling event feed."""
+
+    def __init__(
+        self,
+        service_request_rate_per_hour: float = 1.2,
+        idle_transition_rate_per_hour: float = 0.8,
+        failure_rate: float = 0.015,
+    ) -> None:
+        if service_request_rate_per_hour < 0 or idle_transition_rate_per_hour < 0:
+            raise ValueError("event rates must be non-negative")
+        if not 0 <= failure_rate < 1:
+            raise ValueError("failure_rate must be in [0, 1)")
+        self._service_rate = service_request_rate_per_hour
+        self._idle_rate = idle_transition_rate_per_hour
+        self._failure_rate = failure_rate
+
+    def generate_day(
+        self, segments: DwellSegments, rng: np.random.Generator
+    ) -> Frame:
+        """Emit the day's event feed as a frame.
+
+        Columns: ``user_id``, ``site_id``, ``timestamp_s`` (seconds since
+        midnight), ``event`` (``EventType`` int value), ``result``
+        (1 = success, 0 = failure).
+        """
+        users = segments.user_ids
+        sites = segments.site_ids
+        starts = segments.start_s.astype(np.float64)
+        durations = segments.duration_s.astype(np.float64)
+
+        out_users: list[np.ndarray] = []
+        out_sites: list[np.ndarray] = []
+        out_times: list[np.ndarray] = []
+        out_events: list[np.ndarray] = []
+
+        # 1. Mobility event at every segment start: ATTACH for a user's
+        #    first segment, HANDOVER/TAU afterwards.
+        first_of_user = np.ones(segments.num_segments, dtype=bool)
+        first_of_user[1:] = users[1:] != users[:-1]
+        boundary_events = np.where(
+            first_of_user,
+            EventType.ATTACH.value,
+            np.where(
+                rng.random(segments.num_segments) < 0.5,
+                EventType.HANDOVER.value,
+                EventType.TRACKING_AREA_UPDATE.value,
+            ),
+        )
+        out_users.append(users)
+        out_sites.append(sites)
+        out_times.append(starts)
+        out_events.append(boundary_events)
+
+        # Authentication rides along with every attach.
+        attach_mask = first_of_user
+        out_users.append(users[attach_mask])
+        out_sites.append(sites[attach_mask])
+        out_times.append(starts[attach_mask] + 0.5)
+        out_events.append(
+            np.full(int(attach_mask.sum()), EventType.AUTHENTICATION.value)
+        )
+
+        # 2. In-segment activity: service requests & ECM-IDLE transitions,
+        #    Poisson by dwell duration.
+        hours = durations / 3600.0
+        for rate, event in (
+            (self._service_rate, EventType.SERVICE_REQUEST),
+            (self._idle_rate, EventType.ECM_IDLE_TRANSITION),
+        ):
+            counts = rng.poisson(rate * hours)
+            total = int(counts.sum())
+            if total == 0:
+                continue
+            segment_index = np.repeat(
+                np.arange(segments.num_segments), counts
+            )
+            offsets = rng.random(total) * durations[segment_index]
+            out_users.append(users[segment_index])
+            out_sites.append(sites[segment_index])
+            out_times.append(starts[segment_index] + offsets)
+            out_events.append(np.full(total, event.value))
+
+        # 3. Detach at end of the user's last segment (phones typically
+        #    stay attached overnight; sample a subset).
+        last_of_user = np.ones(segments.num_segments, dtype=bool)
+        last_of_user[:-1] = users[:-1] != users[1:]
+        detach_mask = last_of_user & (rng.random(segments.num_segments) < 0.25)
+        out_users.append(users[detach_mask])
+        out_sites.append(sites[detach_mask])
+        out_times.append(
+            starts[detach_mask] + durations[detach_mask] - 0.5
+        )
+        out_events.append(
+            np.full(int(detach_mask.sum()), EventType.DETACH.value)
+        )
+
+        all_users = np.concatenate(out_users)
+        all_sites = np.concatenate(out_sites)
+        all_times = np.concatenate(out_times)
+        all_events = np.concatenate(out_events).astype(np.int64)
+        results = (rng.random(all_users.shape[0]) >= self._failure_rate).astype(
+            np.int64
+        )
+        frame = Frame(
+            {
+                "user_id": all_users,
+                "site_id": all_sites,
+                "timestamp_s": all_times,
+                "event": all_events,
+                "result": results,
+            }
+        )
+        return frame.sort_by(["user_id", "timestamp_s"])
+
+
+def attach_subscriber_context(
+    feed: Frame,
+    tacs_by_user: np.ndarray,
+    mccs_by_user: np.ndarray,
+    mncs_by_user: np.ndarray,
+    rng: np.random.Generator,
+    rat_shares: tuple[float, float, float] = (0.05, 0.20, 0.75),
+) -> Frame:
+    """Stamp each event with the §2.2 record fields.
+
+    The paper's signalling records carry the anonymized user id, the SIM
+    MCC/MNC, the device TAC, the serving radio sector, a timestamp and a
+    result code. The generator produces the structural fields; this
+    helper joins the subscriber attributes (indexed by user id) and
+    samples the serving RAT / monitored interface per event.
+
+    Returns the feed with ``tac``, ``mcc``, ``mnc``, ``rat`` and
+    ``interface`` columns added.
+    """
+    from repro.network.interfaces import interface_for
+    from repro.network.rat import Rat
+
+    users = feed["user_id"]
+    events = feed["event"]
+    rats = list(Rat)
+    rat_choice = rng.choice(
+        len(rats), size=len(feed), p=np.asarray(rat_shares)
+    )
+    rat_values = np.array([rats[i].value for i in rat_choice])
+    interface_values = np.array(
+        [
+            interface_for(rats[rat_index], EventType(int(event))).name
+            for rat_index, event in zip(rat_choice, events)
+        ]
+    )
+    out = feed.with_column("tac", tacs_by_user[users])
+    out = out.with_column("mcc", mccs_by_user[users])
+    out = out.with_column("mnc", mncs_by_user[users])
+    out = out.with_column("rat", rat_values)
+    return out.with_column("interface", interface_values)

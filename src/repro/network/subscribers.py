@@ -1,0 +1,154 @@
+"""The MNO subscriber base.
+
+Synthesizes the population of SIMs the signalling probes observe:
+
+- **native smartphone users** — the study population (§2.3 keeps only
+  smartphones on the home PLMN). Homes are drawn proportional to
+  district census populations with mild per-LAD market-share noise, so
+  the home-detection validation against census (Fig 2) is a real test
+  of the pipeline, not an identity.
+- **inbound roamers** — foreign SIMs concentrated where tourists and
+  business visitors go (high-attraction districts); dropped by the
+  analysis exactly as the paper drops them.
+- **M2M devices** — smart meters, trackers, etc.; static, dropped via
+  the TAC catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.geo.build import Geography
+from repro.network.devices import DeviceCatalog
+from repro.network.topology import RadioTopology
+
+__all__ = ["SubscriberBase", "build_subscriber_base"]
+
+NATIVE_MCC = 234
+NATIVE_MNC = 10
+_FOREIGN_MCCS = (208, 262, 214, 222, 310, 240, 204)
+
+
+@dataclass
+class SubscriberBase:
+    """Vectorized subscriber attributes, one entry per SIM."""
+
+    user_ids: np.ndarray
+    tacs: np.ndarray
+    is_smartphone: np.ndarray
+    mccs: np.ndarray
+    mncs: np.ndarray
+    home_district: np.ndarray  # district index per SIM
+    home_site: np.ndarray  # site id the SIM spends nights on
+
+    def __post_init__(self) -> None:
+        length = self.user_ids.shape[0]
+        for name in ("tacs", "is_smartphone", "mccs", "mncs",
+                     "home_district", "home_site"):
+            if getattr(self, name).shape[0] != length:
+                raise ValueError(f"subscriber column {name} length mismatch")
+
+    @property
+    def num_subscribers(self) -> int:
+        return int(self.user_ids.shape[0])
+
+    @cached_property
+    def is_native(self) -> np.ndarray:
+        return (self.mccs == NATIVE_MCC) & (self.mncs == NATIVE_MNC)
+
+    @cached_property
+    def study_mask(self) -> np.ndarray:
+        """The paper's §2.3 filter: native smartphones only."""
+        return self.is_native & self.is_smartphone
+
+    def study_user_ids(self) -> np.ndarray:
+        """IDs of the native-smartphone study population."""
+        return self.user_ids[self.study_mask]
+
+
+def build_subscriber_base(
+    geography: Geography,
+    topology: RadioTopology,
+    catalog: DeviceCatalog,
+    num_users: int = 20_000,
+    roamer_share: float = 0.03,
+    m2m_share: float = 0.08,
+    market_share_noise: float = 0.08,
+    seed: int = 2020,
+) -> SubscriberBase:
+    """Create the SIM population observed by the probes.
+
+    Parameters
+    ----------
+    num_users:
+        Total SIMs (natives + roamers + M2M).
+    roamer_share:
+        Fraction of SIMs that are international inbound roamers.
+    m2m_share:
+        Fraction of *native* SIMs that are M2M devices.
+    market_share_noise:
+        Sigma of the per-LAD lognormal multiplier on the operator's
+        market share — the imperfection that keeps the Fig 2 regression
+        below r² = 1.
+    """
+    if num_users <= 0:
+        raise ValueError("num_users must be positive")
+    rng = np.random.default_rng(seed)
+    num_roamers = int(round(num_users * roamer_share))
+    num_native = num_users - num_roamers
+
+    # --- native homes: census-proportional with per-LAD share noise ----
+    residents = geography.district_residents.copy()
+    lad_codes = np.array([d.lad_code for d in geography.districts])
+    lad_noise: dict[str, float] = {}
+    for lad in np.unique(lad_codes):
+        lad_noise[lad] = float(rng.lognormal(0.0, market_share_noise))
+    weights = residents * np.array([lad_noise[lad] for lad in lad_codes])
+    weights /= weights.sum()
+    native_homes = rng.choice(len(weights), size=num_native, p=weights)
+
+    # --- roamer homes: attraction-weighted (hotels, centres) ------------
+    attraction = geography.district_attraction.copy()
+    attraction /= attraction.sum()
+    roamer_homes = rng.choice(len(attraction), size=num_roamers, p=attraction)
+
+    home_district = np.concatenate([native_homes, roamer_homes])
+
+    # --- devices ---------------------------------------------------------
+    native_tacs = catalog.sample_tacs(
+        rng, num_native, smartphone_share=1.0 - m2m_share
+    )
+    roamer_tacs = catalog.sample_tacs(rng, num_roamers, smartphone_share=0.99)
+    tacs = np.concatenate([native_tacs, roamer_tacs])
+
+    mccs = np.full(num_users, NATIVE_MCC, dtype=np.int64)
+    mncs = np.full(num_users, NATIVE_MNC, dtype=np.int64)
+    if num_roamers:
+        mccs[num_native:] = rng.choice(
+            np.asarray(_FOREIGN_MCCS), size=num_roamers
+        )
+        mncs[num_native:] = rng.integers(1, 30, size=num_roamers)
+
+    # --- home tower: a site within the home district --------------------
+    home_site = np.empty(num_users, dtype=np.int64)
+    for district_index in np.unique(home_district):
+        mask = home_district == district_index
+        sites = topology.sites_in_district(int(district_index))
+        if sites.size == 0:
+            # Shouldn't happen (deployment guarantees ≥1 site) but keep
+            # the base buildable for exotic topologies.
+            sites = np.array([0], dtype=np.int64)
+        home_site[mask] = rng.choice(sites, size=int(mask.sum()))
+
+    return SubscriberBase(
+        user_ids=np.arange(num_users, dtype=np.int64),
+        tacs=tacs,
+        is_smartphone=catalog.is_smartphone(tacs),
+        mccs=mccs,
+        mncs=mncs,
+        home_district=home_district.astype(np.int64),
+        home_site=home_site,
+    )

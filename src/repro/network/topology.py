@@ -1,0 +1,233 @@
+"""Radio network topology: population-driven deployment + daily snapshots.
+
+The deployment heuristic mirrors how a real RAN is dimensioned: sites
+per postcode district proportional to the larger of the residential and
+the daytime population (commercial centres like London EC/WC get far
+more capacity than their resident counts suggest), with a minimum of one
+site everywhere. The paper consumes a *daily snapshot* of the topology
+("to account for potential structural changes ... metadata and the
+status (active/inactive) of each cell tower"); :meth:`RadioTopology.
+snapshot` reproduces that feed, including rare outages and a few
+mid-study site activations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
+
+from repro.geo.build import Geography
+from repro.geo.coordinates import LatLon, scatter_around
+from repro.network.cells import Cell, CellSite
+from repro.network.rat import Rat
+
+__all__ = ["RadioTopology", "build_topology"]
+
+
+@dataclass
+class RadioTopology:
+    """The deployed RAN: sites, cells and daily status snapshots."""
+
+    sites: tuple[CellSite, ...]
+    cells: tuple[Cell, ...]
+    outage_rate: float = 0.002
+    seed: int = 0
+    _sites_by_district: dict[int, np.ndarray] = field(
+        init=False, repr=False, default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        by_district: dict[int, list[int]] = {}
+        for site in self.sites:
+            by_district.setdefault(site.district_index, []).append(site.site_id)
+        self._sites_by_district = {
+            district: np.asarray(ids, dtype=np.int64)
+            for district, ids in by_district.items()
+        }
+
+    # -- vectorized site metadata ---------------------------------------
+    @cached_property
+    def site_lats(self) -> np.ndarray:
+        return np.array([s.lat for s in self.sites], dtype=np.float64)
+
+    @cached_property
+    def site_lons(self) -> np.ndarray:
+        return np.array([s.lon for s in self.sites], dtype=np.float64)
+
+    @cached_property
+    def site_postcodes(self) -> np.ndarray:
+        return np.array([s.postcode for s in self.sites])
+
+    @cached_property
+    def site_district_indices(self) -> np.ndarray:
+        return np.array([s.district_index for s in self.sites], dtype=np.int64)
+
+    @cached_property
+    def site_activation_days(self) -> np.ndarray:
+        return np.array([s.activation_day for s in self.sites], dtype=np.int64)
+
+    @property
+    def num_sites(self) -> int:
+        return len(self.sites)
+
+    def sites_in_district(self, district_index: int) -> np.ndarray:
+        """Site ids deployed in one postcode district (possibly empty)."""
+        return self._sites_by_district.get(
+            district_index, np.empty(0, dtype=np.int64)
+        )
+
+    # -- cells -----------------------------------------------------------
+    @cached_property
+    def cells_by_rat(self) -> dict[Rat, tuple[Cell, ...]]:
+        grouped: dict[Rat, list[Cell]] = {}
+        for cell in self.cells:
+            grouped.setdefault(cell.rat, []).append(cell)
+        return {rat: tuple(cells) for rat, cells in grouped.items()}
+
+    @cached_property
+    def site_to_4g_cell(self) -> dict[int, int]:
+        """site_id → cell_id of the site's LTE cell (if deployed)."""
+        return {
+            cell.site_id: cell.cell_id
+            for cell in self.cells
+            if cell.rat is Rat.LTE_4G
+        }
+
+    # -- snapshots ---------------------------------------------------------
+    def snapshot_frame(self, day: int):
+        """The §2.2 daily topology feed: per-site metadata + status.
+
+        Returns a :class:`repro.frames.Frame` with one row per site:
+        id, postcode, coordinates, supported RATs and the day's
+        active/inactive status.
+        """
+        from repro.frames import Frame
+
+        active = self.snapshot(day)
+        return Frame(
+            {
+                "site_id": np.arange(self.num_sites, dtype=np.int64),
+                "postcode": self.site_postcodes,
+                "lat": self.site_lats,
+                "lon": self.site_lons,
+                "rats": np.array(
+                    [
+                        "+".join(rat.value for rat in site.rats)
+                        for site in self.sites
+                    ]
+                ),
+                "active": active,
+            }
+        )
+
+    def snapshot(self, day: int) -> np.ndarray:
+        """Boolean active-status per site for a study day.
+
+        Deterministic given (topology seed, day). A site is inactive if
+        it has not been activated yet or suffers a (rare) outage.
+        """
+        rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=self.seed, spawn_key=(day,))
+        )
+        active = self.site_activation_days <= day
+        outages = rng.random(self.num_sites) < self.outage_rate
+        return active & ~outages
+
+
+def build_topology(
+    geography: Geography,
+    target_site_count: int = 1000,
+    seed: int = 2020,
+    outage_rate: float = 0.002,
+    late_activation_share: float = 0.01,
+    study_days: int = 77,
+    daytime_weight: float = 0.7,
+) -> RadioTopology:
+    """Deploy a RAN over the synthetic UK.
+
+    Parameters
+    ----------
+    geography:
+        The synthetic UK to cover.
+    target_site_count:
+        Approximate number of cell sites nationwide. Scale it with the
+        simulated subscriber count so per-cell user counts stay
+        realistic (the default pairs with ~20k simulated users).
+    seed:
+        Deployment RNG seed (placement, RAT mix, activation days).
+    outage_rate:
+        Per-site per-day probability of appearing inactive in snapshots.
+    late_activation_share:
+        Fraction of sites deployed *during* the study window — the
+        structural change the daily topology snapshot exists to catch.
+    study_days:
+        Length of the study window, for drawing activation days.
+    daytime_weight:
+        How much deployment follows daytime (business/commercial)
+        population vs residential population. Real RANs are dimensioned
+        for busy-hour traffic, which concentrates where people spend
+        the day, so the default leans daytime.
+    """
+    if not 0.0 <= daytime_weight <= 1.0:
+        raise ValueError("daytime_weight must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    residents = geography.district_residents
+    attraction = geography.district_attraction
+    # Normalize attraction to a daytime population on the residents scale.
+    daytime = attraction * residents.sum() / max(attraction.sum(), 1e-12)
+    demand_proxy = (
+        (1.0 - daytime_weight) * residents + daytime_weight * daytime
+    )
+    raw = demand_proxy / demand_proxy.sum() * target_site_count
+    site_counts = np.maximum(1, np.round(raw).astype(int))
+
+    sites: list[CellSite] = []
+    cells: list[Cell] = []
+    site_id = 0
+    cell_id = 0
+    for district_index, district in enumerate(geography.districts):
+        count = int(site_counts[district_index])
+        lats, lons = scatter_around(
+            LatLon(district.lat, district.lon),
+            radius_km=2.5,
+            count=count,
+            rng=rng,
+            concentration=1.2,
+        )
+        for position in range(count):
+            rats: list[Rat] = [Rat.LTE_4G]
+            if rng.random() < 0.6:
+                rats.append(Rat.UMTS_3G)
+            if rng.random() < 0.3:
+                rats.append(Rat.GSM_2G)
+            activation_day = 0
+            if rng.random() < late_activation_share:
+                activation_day = int(rng.integers(1, max(study_days, 2)))
+            site = CellSite(
+                site_id=site_id,
+                postcode=district.code,
+                district_index=district_index,
+                lat=float(lats[position]),
+                lon=float(lons[position]),
+                rats=tuple(rats),
+                sector_count=3,
+                activation_day=activation_day,
+            )
+            sites.append(site)
+            for rat in rats:
+                cells.append(
+                    Cell(
+                        cell_id=cell_id,
+                        site_id=site_id,
+                        rat=rat,
+                        sector_count=3,
+                    )
+                )
+                cell_id += 1
+            site_id += 1
+    return RadioTopology(
+        sites=tuple(sites), cells=tuple(cells),
+        outage_rate=outage_rate, seed=seed,
+    )

@@ -1,0 +1,46 @@
+"""Simulation orchestration: calendar, configuration, engine, feeds.
+
+:class:`~repro.simulation.clock.StudyCalendar` pins the simulation to
+the paper's real timeline (ISO weeks of 2020, lockdown on 23 March).
+:class:`~repro.simulation.config.SimulationConfig` gathers every knob.
+:class:`~repro.simulation.engine.Simulator` wires geography, network,
+mobility and traffic together and produces the
+:class:`~repro.simulation.feeds.DataFeeds` the analysis consumes — the
+synthetic stand-ins for the operator's proprietary data feeds (§2.2).
+
+The calendar is imported eagerly; the config/engine/feeds exports are
+lazy because they pull in the mobility and traffic packages, which in
+turn need the calendar (a circular dependency at import time only).
+"""
+
+from repro.simulation.clock import KeyDates, StudyCalendar, default_calendar
+
+__all__ = [
+    "DataFeeds",
+    "KeyDates",
+    "SimulationConfig",
+    "Simulator",
+    "StudyCalendar",
+    "default_calendar",
+]
+
+_LAZY = {
+    "SimulationConfig": ("repro.simulation.config", "SimulationConfig"),
+    "Simulator": ("repro.simulation.engine", "Simulator"),
+    "DataFeeds": ("repro.simulation.feeds", "DataFeeds"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attribute = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module 'repro.simulation' has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, attribute)
+    globals()[name] = value
+    return value

@@ -1,0 +1,586 @@
+"""The simulator: builds the world and produces the data feeds.
+
+One :class:`Simulator` run executes the full measurement-study
+substrate:
+
+1. build the synthetic UK, the radio deployment, the TAC catalog and
+   the subscriber base;
+2. derive the agent population (anchor places, traits) and behavioural
+   models (pandemic timeline, demand, voice);
+3. walk the calendar day by day: assemble dwell matrices, scatter
+   presence/demand/voice onto cell sites, run the scheduler per hour,
+   process the voice interconnect, and reduce hourly KPIs to the
+   per-cell daily medians of §2.4;
+4. return a :class:`~repro.simulation.feeds.DataFeeds` bundle.
+
+The spatial scatters use ``np.bincount`` over the flattened
+(user × anchor) axis, which keeps a ~20k-user, ~1k-site, 98-day run in
+the tens of seconds on a laptop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from dataclasses import dataclass
+
+from repro.frames import Frame
+from repro.geo.build import build_uk_geography
+from repro.geo.nspl import PostcodeLookup
+from repro.mobility.agents import AnchorSlot, NUM_ANCHORS, build_agents
+from repro.mobility.behavior import BehaviorModel
+from repro.mobility.epidemic import EpidemicCurve
+from repro.mobility.pandemic import PandemicTimeline
+from repro.mobility.trajectories import BIN_SECONDS, NUM_BINS, TrajectoryModel
+from repro.network.devices import DeviceCatalog
+from repro.network.interconnect import InterconnectSettings, VoiceInterconnect
+from repro.network.kpi import KpiAccumulator
+from repro.network.rat import RAT_PROFILES, Rat
+from repro.network.scheduler import CellScheduler
+from repro.network.signaling import DwellSegments, SignalingGenerator
+from repro.network.subscribers import build_subscriber_base
+from repro.network.topology import build_topology
+from repro.simulation.config import SimulationConfig
+from repro.simulation.feeds import DataFeeds, MobilityFeed
+from repro.traffic.demand import DemandModel
+from repro.traffic.profiles import (
+    BIN_OF_HOUR,
+    activity_hour_profile,
+    HOURS_PER_DAY,
+    hour_weights_within_bins,
+    traffic_hour_profile,
+    voice_hour_profile,
+)
+from repro.traffic.voice import VoiceModel
+
+__all__ = ["Simulator", "World", "build_world"]
+
+# Anchors at which the user is "at home" (WiFi available): the home
+# tower and the relocation residence.
+_HOME_LIKE_SLOTS = np.zeros(NUM_ANCHORS, dtype=bool)
+_HOME_LIKE_SLOTS[[AnchorSlot.HOME, AnchorSlot.RELOC_PRIMARY,
+                  AnchorSlot.RELOC_SECONDARY]] = True
+
+_BASE_VOICE_UL_LOSS = 0.0035
+
+
+@dataclass
+class World:
+    """The static objects a simulation is built from.
+
+    Fully deterministic given the configuration — which is what lets
+    :mod:`repro.io` reload persisted feeds without re-running the day
+    loop: the world is rebuilt, the measured arrays are loaded.
+    """
+
+    config: SimulationConfig
+    geography: object
+    topology: object
+    catalog: object
+    base: object
+    agents: object
+    timeline: PandemicTimeline
+    behavior: BehaviorModel
+    trajectories: TrajectoryModel
+    demand_model: DemandModel
+    voice_model: VoiceModel
+    scheduler: CellScheduler
+    epidemic: EpidemicCurve
+
+
+def build_world(config: SimulationConfig) -> World:
+    """Deterministically build every static simulation object."""
+    calendar = config.calendar
+    geography = build_uk_geography(seed=config.seed)
+    topology = build_topology(
+        geography,
+        target_site_count=config.target_site_count,
+        seed=config.seed + 1,
+        study_days=calendar.num_days,
+    )
+    catalog = DeviceCatalog.generate(seed=config.seed + 2)
+    base = build_subscriber_base(
+        geography,
+        topology,
+        catalog,
+        num_users=config.num_users,
+        roamer_share=config.roamer_share,
+        m2m_share=config.m2m_share,
+        market_share_noise=config.market_share_noise,
+        seed=config.seed + 3,
+    )
+    agents = build_agents(geography, topology, base, seed=config.seed + 4)
+    timeline = config.timeline or PandemicTimeline(
+        key_dates=calendar.key_dates
+    )
+    behavior = BehaviorModel(
+        agents, timeline, calendar,
+        settings=config.behavior, seed=config.seed + 5,
+    )
+    return World(
+        config=config,
+        geography=geography,
+        topology=topology,
+        catalog=catalog,
+        base=base,
+        agents=agents,
+        timeline=timeline,
+        behavior=behavior,
+        trajectories=TrajectoryModel(agents, behavior),
+        demand_model=DemandModel(
+            timeline, settings=config.demand, seed=config.seed + 6
+        ),
+        voice_model=VoiceModel(
+            timeline, settings=config.voice, seed=config.seed + 7
+        ),
+        scheduler=CellScheduler(config.scheduler),
+        epidemic=EpidemicCurve(),
+    )
+
+
+class Simulator:
+    """End-to-end synthetic measurement-study run."""
+
+    def __init__(self, config: SimulationConfig | None = None) -> None:
+        self._config = config or SimulationConfig()
+
+    @property
+    def config(self) -> SimulationConfig:
+        return self._config
+
+    def run(self, progress=None) -> DataFeeds:
+        """Execute the full simulation and return the data feeds.
+
+        ``progress``, if given, is called as ``progress(day, num_days)``
+        after each simulated day — used by the CLI to show a meter.
+        """
+        config = self._config
+        calendar = config.calendar
+        world = build_world(config)
+        geography = world.geography
+        topology = world.topology
+        catalog = world.catalog
+        base = world.base
+        agents = world.agents
+        trajectories = world.trajectories
+        demand_model = world.demand_model
+        voice_model = world.voice_model
+        scheduler = world.scheduler
+        epidemic = world.epidemic
+
+        num_users = agents.num_users
+        num_sites = topology.num_sites
+        demand_mult = demand_model.user_demand_multipliers(num_users)
+        voice_mult = voice_model.user_minute_multipliers(num_users)
+
+        # Home-WiFi quality per user, from the home district's OAC
+        # (drives how much at-home usage stays on cellular).
+        from repro.geo.oac import OAC_DEFINITIONS
+
+        wifi_by_district = np.array(
+            [
+                OAC_DEFINITIONS[district.oac].home_wifi_quality
+                for district in geography.districts
+            ]
+        )
+        wifi_quality = wifi_by_district[agents.home_district]
+
+        # Per-user RAT connected-time shares (§2.4's 75%-on-4G).
+        rat_rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=config.seed, spawn_key=(9,))
+        )
+        rat_alphas = np.array(
+            [RAT_PROFILES[rat].attach_share for rat in Rat]
+        ) * 40.0
+        rat_shares = rat_rng.dirichlet(rat_alphas, size=num_users)
+
+        # Interconnect dimensioned against pre-pandemic voice volume.
+        mb_dl, mb_ul = voice_model.volume_mb_per_minute()
+        baseline_voice_mb = (
+            voice_mult.sum()
+            * voice_model.settings.base_minutes_per_day
+            * (mb_dl + mb_ul)
+        )
+        interconnect_settings = InterconnectSettings(
+            # The epsilon floor keeps degenerate worlds (no study users,
+            # hence no baseline voice) constructible.
+            capacity_mb_per_day=max(
+                baseline_voice_mb
+                * 0.55  # inter-MNO share of the offered load
+                / config.interconnect_baseline_utilization,
+                1e-6,
+            ),
+            detection_days=config.interconnect_detection_days,
+            upgrade_factor=config.interconnect_upgrade_factor,
+        )
+        interconnect = VoiceInterconnect(interconnect_settings)
+
+        # KPI accumulator over the 4G cell of every site.
+        cell_of_site = np.array(
+            [topology.site_to_4g_cell[s] for s in range(num_sites)],
+            dtype=np.int64,
+        )
+        capacity_mbps = np.full(num_sites, 0.0)
+        for cell in topology.cells:
+            if cell.rat is Rat.LTE_4G:
+                capacity_mbps[cell.site_id] = cell.capacity_mbps
+        accumulator = KpiAccumulator(
+            cell_ids=cell_of_site,
+            postcodes=topology.site_postcodes,
+            keep_hourly=config.keep_hourly_kpis,
+        )
+
+        mobility = MobilityFeed(
+            user_ids=agents.user_ids,
+            anchor_sites=agents.anchor_sites,
+            bin_dwell=[] if config.keep_bin_dwell else None,
+        )
+        signaling_frames: dict[int, Frame] | None = (
+            {} if config.emit_signaling else None
+        )
+        signaling_generator = SignalingGenerator()
+
+        traffic_w = hour_weights_within_bins(traffic_hour_profile())
+        act_profile = activity_hour_profile()
+        voice_w = hour_weights_within_bins(voice_hour_profile())
+        bin_traffic_share = np.add.reduceat(
+            traffic_hour_profile(), np.arange(0, HOURS_PER_DAY, 4)
+        )
+        bin_voice_share = np.add.reduceat(
+            voice_hour_profile(), np.arange(0, HOURS_PER_DAY, 4)
+        )
+
+        flat_sites = agents.anchor_sites.ravel()
+
+        # Per-sector attachment: each (user, site) pair lands on a
+        # stable sector of the site's 3-sector deployment.
+        sector_rows: list[Frame] = []
+        if config.keep_sector_kpis:
+            user_grid = np.repeat(
+                agents.user_ids[:, None], agents.anchor_sites.shape[1],
+                axis=1,
+            )
+            sector_of_anchor = (
+                user_grid * 7 + agents.anchor_sites * 13
+            ) % 3
+            flat_sectors = (
+                agents.anchor_sites * 3 + sector_of_anchor
+            ).ravel()
+        rat_time_rows: list[dict] = []
+        day_rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=config.seed, spawn_key=(10,))
+        )
+        night_rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=config.seed, spawn_key=(12,))
+        )
+        baseline_dl_total: float | None = None
+        upgrade_day: int | None = None
+
+        for day in range(calendar.num_days):
+            date = calendar.date_of(day)
+            dwell = trajectories.day_dwell(day)
+            mobility.daily_dwell.append(
+                dwell.daily_dwell().astype(np.float32)
+            )
+            # Nighttime observability: phones that stay idle all night
+            # produce no signalling, so the probes cannot place them.
+            night = dwell.nighttime_dwell().astype(np.float32)
+            unobserved = (
+                night_rng.random(num_users)
+                >= config.night_observation_probability
+            )
+            night[unobserved] = 0.0
+            mobility.night_dwell.append(night)
+            if mobility.bin_dwell is not None:
+                mobility.bin_dwell.append(dwell.dwell_s.astype(np.float32))
+
+            params = demand_model.day_parameters(date)
+            user_dl_mb = (
+                demand_model.base_daily_dl_mb()
+                * demand_mult
+                * params.demand_multiplier
+            )
+            user_voice_min = (
+                voice_model.settings.base_minutes_per_day
+                * voice_mult
+                * voice_model.minutes_multiplier(date)
+            )
+            home_cell_share, home_activity = params.blended_home_factors(
+                wifi_quality
+            )
+            # (users × anchors) context factors: home-like slots get the
+            # user's blended at-home factors, away slots are full cellular.
+            cell_factor = np.where(
+                _HOME_LIKE_SLOTS[None, :], home_cell_share[:, None], 1.0
+            )
+            act_factor = np.where(
+                _HOME_LIKE_SLOTS[None, :], home_activity[:, None], 1.0
+            )
+
+            ul_ratio_factor = np.where(
+                _HOME_LIKE_SLOTS, params.home_ul_dl_ratio,
+                params.ul_dl_ratio,
+            )
+            presence = np.zeros((num_sites, NUM_BINS))
+            activity = np.zeros((num_sites, NUM_BINS))
+            dl_mb = np.zeros((num_sites, NUM_BINS))
+            ul_mb = np.zeros((num_sites, NUM_BINS))
+            voice_minutes = np.zeros((num_sites, NUM_BINS))
+            for bin_index in range(NUM_BINS):
+                bin_dwell = dwell.dwell_s[:, bin_index, :]
+                share = bin_dwell / BIN_SECONDS
+                presence[:, bin_index] = np.bincount(
+                    flat_sites, weights=bin_dwell.ravel(),
+                    minlength=num_sites,
+                )
+                activity[:, bin_index] = np.bincount(
+                    flat_sites,
+                    weights=(bin_dwell * act_factor).ravel(),
+                    minlength=num_sites,
+                )
+                dl_weights = (
+                    share
+                    * user_dl_mb[:, None]
+                    * bin_traffic_share[bin_index]
+                    * cell_factor
+                )
+                dl_mb[:, bin_index] = np.bincount(
+                    flat_sites, weights=dl_weights.ravel(),
+                    minlength=num_sites,
+                )
+                ul_mb[:, bin_index] = np.bincount(
+                    flat_sites,
+                    weights=(dl_weights * ul_ratio_factor[None, :]).ravel(),
+                    minlength=num_sites,
+                )
+                voice_weights = (
+                    share
+                    * user_voice_min[:, None]
+                    * bin_voice_share[bin_index]
+                )
+                voice_minutes[:, bin_index] = np.bincount(
+                    flat_sites, weights=voice_weights.ravel(),
+                    minlength=num_sites,
+                )
+
+            # Topology snapshot: inactive sites carry no traffic today.
+            active_sites = topology.snapshot(day)
+            presence[~active_sites] = 0.0
+            activity[~active_sites] = 0.0
+            dl_mb[~active_sites] = 0.0
+            ul_mb[~active_sites] = 0.0
+            voice_minutes[~active_sites] = 0.0
+
+            if config.keep_sector_kpis:
+                daily_dwell_flat = dwell.daily_dwell().ravel()
+                daily_dl_flat = (
+                    dwell.daily_dwell() / 86_400.0
+                    * user_dl_mb[:, None]
+                    * cell_factor
+                ).ravel()
+                daily_voice_flat = (
+                    dwell.daily_dwell() / 86_400.0
+                    * user_voice_min[:, None]
+                ).ravel()
+                width = num_sites * 3
+                sector_presence = np.bincount(
+                    flat_sectors, weights=daily_dwell_flat,
+                    minlength=width,
+                )
+                sector_dl = np.bincount(
+                    flat_sectors, weights=daily_dl_flat, minlength=width
+                )
+                sector_voice = np.bincount(
+                    flat_sectors, weights=daily_voice_flat,
+                    minlength=width,
+                ) * (mb_dl + mb_ul)
+                occupied = sector_presence > 0
+                indices = np.flatnonzero(occupied)
+                sector_rows.append(
+                    Frame(
+                        {
+                            "day": np.full(
+                                indices.size, day, dtype=np.int64
+                            ),
+                            "site_id": indices // 3,
+                            "sector": indices % 3,
+                            "connected_users": (
+                                sector_presence[indices] / 86_400.0
+                            ),
+                            "dl_volume_mb": sector_dl[indices],
+                            "voice_volume_mb": sector_voice[indices],
+                        }
+                    )
+                )
+
+            # Voice interconnect (daily) and radio-side UL loss.
+            total_voice_mb = voice_minutes.sum() * (mb_dl + mb_ul)
+            dl_loss_today = interconnect.process_day(total_voice_mb)
+            if interconnect.upgraded and upgrade_day is None:
+                upgrade_day = day
+            total_dl_today = dl_mb.sum()
+            if baseline_dl_total is None:
+                baseline_dl_total = max(total_dl_today, 1e-9)
+            load_proxy = total_dl_today / baseline_dl_total
+            ul_loss_today = _BASE_VOICE_UL_LOSS * (0.45 + 0.55 * load_proxy)
+
+            loss_noise = day_rng.lognormal(0.0, 0.2, size=(2, num_sites))
+            app_rate_cells = params.app_rate_mbps * day_rng.lognormal(
+                0.0, 0.10, size=num_sites
+            )
+
+            for hour in range(HOURS_PER_DAY):
+                bin_index = int(BIN_OF_HOUR[hour])
+                dl_hour = dl_mb[:, bin_index] * traffic_w[hour]
+                voice_min_hour = voice_minutes[:, bin_index] * voice_w[hour]
+                voice_dl_hour = voice_min_hour * mb_dl
+                voice_ul_hour = voice_min_hour * mb_ul
+                # All-bearer volumes include the QCI-1 voice bearer.
+                total_dl_hour = dl_hour + voice_dl_hour
+                total_ul_hour = (
+                    ul_mb[:, bin_index] * traffic_w[hour] + voice_ul_hour
+                )
+                connected = presence[:, bin_index] / BIN_SECONDS
+                # Active DL users: present users weighted by the
+                # context-dependent probability of cellular activity,
+                # scaled by the day's overall demand level.
+                active_users = (
+                    activity[:, bin_index]
+                    / BIN_SECONDS
+                    * params.peak_activity_probability
+                    * act_profile[hour]
+                    * np.sqrt(params.demand_multiplier)
+                )
+                kpis = scheduler.schedule_hour(
+                    capacity_mbps=capacity_mbps,
+                    offered_dl_mb=total_dl_hour,
+                    offered_ul_mb=total_ul_hour,
+                    active_users=active_users,
+                    app_rate_dl_mbps=app_rate_cells,
+                )
+                accumulator.add_hour(
+                    day,
+                    hour,
+                    {
+                        "dl_volume_mb": kpis.served_dl_mb,
+                        "ul_volume_mb": kpis.served_ul_mb,
+                        "dl_active_users": kpis.dl_active_users,
+                        "radio_load_pct": kpis.radio_load_pct,
+                        "user_dl_throughput_mbps": (
+                            kpis.user_dl_throughput_mbps
+                        ),
+                        "active_seconds": kpis.active_seconds,
+                        "connected_users": connected,
+                        "voice_volume_mb": voice_dl_hour + voice_ul_hour,
+                        "voice_users": voice_min_hour / 60.0,
+                        "voice_ul_loss_rate": (
+                            ul_loss_today * loss_noise[0]
+                        ),
+                        "voice_dl_loss_rate": (
+                            dl_loss_today * loss_noise[1]
+                        ),
+                    },
+                )
+            accumulator.finalize_day()
+
+            # RAT connected-time feed (§2.4's 75%-on-4G measurement).
+            total_connected_s = float(dwell.dwell_s.sum())
+            for rat_index, rat in enumerate(Rat):
+                rat_time_rows.append(
+                    {
+                        "day": day,
+                        "rat": rat.value,
+                        "connected_seconds": float(
+                            (rat_shares[:, rat_index] * 86_400.0).sum()
+                            * (
+                                total_connected_s
+                                / (86_400.0 * max(num_users, 1))
+                            )
+                        ),
+                    }
+                )
+
+            if progress is not None:
+                progress(day, calendar.num_days)
+
+            if signaling_frames is not None:
+                segments = _dwell_to_segments(dwell.dwell_s, agents.anchor_sites,
+                                              agents.user_ids)
+                signaling_frames[day] = signaling_generator.generate_day(
+                    segments,
+                    np.random.default_rng(
+                        np.random.SeedSequence(
+                            entropy=config.seed, spawn_key=(11, day)
+                        )
+                    ),
+                )
+
+        return DataFeeds(
+            calendar=calendar,
+            geography=geography,
+            lookup=PostcodeLookup(geography),
+            topology=topology,
+            catalog=catalog,
+            base=base,
+            agents=agents,
+            mobility=mobility,
+            radio_kpis=accumulator.daily_frame(),
+            rat_time=Frame.from_rows(rat_time_rows),
+            epidemic=epidemic,
+            hourly_kpis=(
+                accumulator.hourly_frame() if config.keep_hourly_kpis else None
+            ),
+            sector_kpis=(
+                _concat_frames(sector_rows)
+                if config.keep_sector_kpis
+                else None
+            ),
+            signaling=signaling_frames,
+            interconnect_upgrade_day=upgrade_day,
+            config=config,
+        )
+
+
+def _concat_frames(frames: list[Frame]) -> Frame:
+    from repro.frames import concat
+
+    return concat(frames) if frames else Frame()
+
+
+def _dwell_to_segments(
+    dwell_s: np.ndarray, anchor_sites: np.ndarray, user_ids: np.ndarray
+) -> DwellSegments:
+    """Flatten a (N, B, K) dwell matrix into ordered dwell segments.
+
+    Within each 4-hour bin, the user's anchors with positive dwell are
+    laid out sequentially (the exact sub-bin ordering is not observable
+    at the paper's aggregation granularity).
+    """
+    num_users, num_bins, num_anchors = dwell_s.shape
+    rows: list[tuple[int, int, float, float]] = []
+    for user_index in range(num_users):
+        for bin_index in range(num_bins):
+            cursor = bin_index * BIN_SECONDS
+            for anchor in range(num_anchors):
+                seconds = float(dwell_s[user_index, bin_index, anchor])
+                if seconds <= 1.0:
+                    continue
+                rows.append(
+                    (
+                        int(user_ids[user_index]),
+                        int(anchor_sites[user_index, anchor]),
+                        cursor,
+                        seconds,
+                    )
+                )
+                cursor += seconds
+    if not rows:
+        empty = np.empty(0, dtype=np.int64)
+        return DwellSegments(empty, empty, empty.astype(float), empty.astype(float))
+    users, sites, starts, durations = zip(*rows)
+    return DwellSegments(
+        user_ids=np.asarray(users, dtype=np.int64),
+        site_ids=np.asarray(sites, dtype=np.int64),
+        start_s=np.asarray(starts, dtype=np.float64),
+        duration_s=np.asarray(durations, dtype=np.float64),
+    )

@@ -1,0 +1,113 @@
+"""Data feeds: the simulator's outputs, shaped like the paper's inputs.
+
+§2.2 of the paper enumerates the operator feeds: the General Signalling
+Dataset, the Devices Catalog, the Radio Network Topology, the Radio
+Network Performance feed, and the UK administrative datasets.
+:class:`DataFeeds` bundles the synthetic equivalents of all of them so
+the analysis layer can be written exactly against what the paper had.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.frames import Frame
+from repro.geo.build import Geography
+from repro.geo.nspl import PostcodeLookup
+from repro.mobility.agents import AgentPopulation
+from repro.mobility.epidemic import EpidemicCurve
+from repro.network.devices import DeviceCatalog
+from repro.network.subscribers import SubscriberBase
+from repro.network.topology import RadioTopology
+from repro.simulation.clock import StudyCalendar
+
+__all__ = ["MobilityFeed", "DataFeeds"]
+
+
+@dataclass
+class MobilityFeed:
+    """Per-user per-day tower dwell aggregates (§2.3's statistics).
+
+    ``daily_dwell[day]`` and ``night_dwell[day]`` are float32 arrays of
+    shape ``(num_users, num_anchors)``: seconds the user spent attached
+    to each of their anchor towers over the whole day / over the
+    nighttime window (00:00–08:00). ``anchor_sites`` maps the anchor
+    axis to tower ids.
+    """
+
+    user_ids: np.ndarray
+    anchor_sites: np.ndarray
+    daily_dwell: list[np.ndarray] = field(default_factory=list)
+    night_dwell: list[np.ndarray] = field(default_factory=list)
+    bin_dwell: list[np.ndarray] | None = None
+
+    @property
+    def num_users(self) -> int:
+        return int(self.user_ids.shape[0])
+
+    @property
+    def num_days(self) -> int:
+        return len(self.daily_dwell)
+
+    def dwell(self, day: int) -> np.ndarray:
+        """Full-day dwell seconds, shape (num_users, num_anchors)."""
+        return self.daily_dwell[day]
+
+    def night(self, day: int) -> np.ndarray:
+        """Nighttime dwell seconds, shape (num_users, num_anchors)."""
+        return self.night_dwell[day]
+
+
+@dataclass
+class DataFeeds:
+    """Everything the analysis consumes, in one bundle."""
+
+    calendar: StudyCalendar
+    geography: Geography
+    lookup: PostcodeLookup
+    topology: RadioTopology
+    catalog: DeviceCatalog
+    base: SubscriberBase
+    agents: AgentPopulation
+    mobility: MobilityFeed
+    radio_kpis: Frame  # daily per-cell medians (the §2.4 reduction)
+    rat_time: Frame  # (day, rat, connected-seconds)
+    epidemic: EpidemicCurve
+    hourly_kpis: Frame | None = None
+    sector_kpis: Frame | None = None
+    signaling: dict[int, Frame] | None = None
+    interconnect_upgrade_day: int | None = None
+    # The configuration that produced the feeds (provenance; lets
+    # repro.io rebuild the deterministic world when reloading).
+    config: object | None = None
+
+    @property
+    def num_users(self) -> int:
+        return self.mobility.num_users
+
+    def cell_info(self) -> Frame:
+        """Cell → (site, postcode) metadata for merges."""
+        sites = self.topology.sites
+        cell_ids = []
+        site_ids = []
+        postcodes = []
+        for site in sites:
+            cell = self.topology.site_to_4g_cell.get(site.site_id)
+            if cell is None:
+                continue
+            cell_ids.append(cell)
+            site_ids.append(site.site_id)
+            postcodes.append(site.postcode)
+        return Frame(
+            {
+                "cell_id": np.asarray(cell_ids, dtype=np.int64),
+                "site_id": np.asarray(site_ids, dtype=np.int64),
+                "postcode": np.asarray(postcodes),
+            }
+        )
+
+    def site_locations(self) -> tuple[np.ndarray, np.ndarray]:
+        """(lats, lons) arrays indexed by site id."""
+        return self.topology.site_lats, self.topology.site_lons

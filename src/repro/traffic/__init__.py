@@ -1,0 +1,36 @@
+"""Traffic demand: what the observed devices do with the network.
+
+- :mod:`repro.traffic.applications` — the application mix (streaming,
+  web, conferencing, ...) with downlink:uplink asymmetry, WiFi affinity
+  and pandemic demand shifts. The paper's explanations lean on this mix:
+  download-heavy apps moved to home WiFi and were throttled by content
+  providers, while symmetric apps (calls, conferencing) surged.
+- :mod:`repro.traffic.demand` — per-user cellular data demand by
+  context (at home vs out), with WiFi offload and app-limited rates.
+- :mod:`repro.traffic.voice` — conversational-voice model (VoLTE
+  minutes, volume, simultaneous users) with the pandemic surge.
+- :mod:`repro.traffic.profiles` — diurnal activity profiles shared by
+  the demand and voice models.
+"""
+
+from repro.traffic.applications import APP_MIX, AppClass, mix_summary
+from repro.traffic.demand import DemandModel, DemandSettings
+from repro.traffic.voice import VoiceModel, VoiceSettings
+from repro.traffic.profiles import (
+    HOURS_PER_DAY,
+    activity_hour_profile,
+    hour_weights_within_bins,
+)
+
+__all__ = [
+    "APP_MIX",
+    "AppClass",
+    "DemandModel",
+    "DemandSettings",
+    "HOURS_PER_DAY",
+    "VoiceModel",
+    "VoiceSettings",
+    "activity_hour_profile",
+    "hour_weights_within_bins",
+    "mix_summary",
+]

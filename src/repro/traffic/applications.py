@@ -1,0 +1,134 @@
+"""Application mix.
+
+The paper's interpretation of its traffic findings is application-level:
+video streaming is downlink-heavy and easily offloaded to home WiFi (and
+content providers throttled bitrates in week 12), conferencing/VoIP is
+symmetric and surged, web/social is in between. This module captures
+that reasoning as data. The demand model reduces the mix to aggregate
+per-context factors; the mix itself is public API so ablations can play
+with alternative mixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AppClass", "APP_MIX", "mix_summary"]
+
+
+@dataclass(frozen=True)
+class AppClass:
+    """One application category in the traffic mix."""
+
+    name: str
+    dl_share: float  # share of baseline downlink volume
+    ul_dl_ratio: float  # uplink bytes per downlink byte
+    app_rate_mbps: float  # typical active-session DL rate
+    wifi_affinity: float  # fraction offloaded to WiFi when at home
+    lockdown_demand_multiplier: float  # total-demand response to lockdown
+    lockdown_rate_multiplier: float  # bitrate response (provider throttling)
+
+
+APP_MIX: tuple[AppClass, ...] = (
+    AppClass(
+        "video-streaming",
+        dl_share=0.46,
+        ul_dl_ratio=0.03,
+        app_rate_mbps=6.0,
+        wifi_affinity=0.92,
+        lockdown_demand_multiplier=1.10,
+        lockdown_rate_multiplier=0.90,  # SD instead of HD (week 12 throttling)
+    ),
+    AppClass(
+        "web-social",
+        dl_share=0.30,
+        ul_dl_ratio=0.12,
+        app_rate_mbps=2.5,
+        wifi_affinity=0.62,
+        lockdown_demand_multiplier=1.05,
+        lockdown_rate_multiplier=1.0,
+    ),
+    AppClass(
+        "conferencing-voip",
+        dl_share=0.06,
+        ul_dl_ratio=0.85,
+        app_rate_mbps=1.2,
+        wifi_affinity=0.85,
+        lockdown_demand_multiplier=2.2,
+        lockdown_rate_multiplier=1.0,
+    ),
+    AppClass(
+        "messaging",
+        dl_share=0.06,
+        ul_dl_ratio=0.45,
+        app_rate_mbps=0.3,
+        wifi_affinity=0.40,
+        lockdown_demand_multiplier=1.15,
+        lockdown_rate_multiplier=1.0,
+    ),
+    AppClass(
+        "gaming",
+        dl_share=0.05,
+        ul_dl_ratio=0.20,
+        app_rate_mbps=1.0,
+        wifi_affinity=0.80,
+        lockdown_demand_multiplier=1.25,
+        lockdown_rate_multiplier=1.0,
+    ),
+    AppClass(
+        "background-updates",
+        dl_share=0.07,
+        ul_dl_ratio=0.08,
+        app_rate_mbps=3.0,
+        wifi_affinity=0.55,
+        lockdown_demand_multiplier=1.0,
+        lockdown_rate_multiplier=1.0,
+    ),
+)
+
+
+def mix_summary(restriction: float = 0.0) -> dict[str, float]:
+    """Aggregate factors of the mix at a restriction level.
+
+    Returns:
+
+    - ``dl_demand`` — total DL demand relative to baseline,
+    - ``ul_dl_ratio`` — aggregate uplink bytes per downlink byte over
+      *all* demand (the away-from-home cellular mix),
+    - ``home_ul_dl_ratio`` — UL:DL of the at-home *cellular* residue
+      (what survives WiFi offload; symmetric apps offload differently
+      from streaming, so this ratio differs from the aggregate),
+    - ``app_rate_mbps`` — DL-share-weighted mean active rate,
+    - ``home_cellular_share`` — fraction of DL demand that stays on
+      cellular when the user is at home (1 − weighted WiFi affinity).
+
+    ``restriction`` interpolates each app's lockdown multipliers
+    linearly between the baseline (0) and full-lockdown (1) values.
+    """
+    if not 0.0 <= restriction <= 1.0:
+        raise ValueError("restriction must be in [0, 1]")
+    dl_total = 0.0
+    ul_total = 0.0
+    rate_weighted = 0.0
+    cellular_at_home = 0.0
+    home_ul = 0.0
+    for app in APP_MIX:
+        demand = app.dl_share * (
+            1.0 + restriction * (app.lockdown_demand_multiplier - 1.0)
+        )
+        rate = app.app_rate_mbps * (
+            1.0 + restriction * (app.lockdown_rate_multiplier - 1.0)
+        )
+        dl_total += demand
+        ul_total += demand * app.ul_dl_ratio
+        rate_weighted += demand * rate
+        residue = demand * (1.0 - app.wifi_affinity)
+        cellular_at_home += residue
+        home_ul += residue * app.ul_dl_ratio
+    return {
+        "dl_demand": dl_total,
+        "ul_dl_ratio": ul_total / dl_total,
+        "home_ul_dl_ratio": home_ul / cellular_at_home,
+        "app_rate_mbps": rate_weighted / dl_total,
+        "home_cellular_share": cellular_at_home / dl_total,
+    }

@@ -1,0 +1,82 @@
+"""Diurnal profiles shared by the demand and voice models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "HOURS_PER_DAY",
+    "BIN_OF_HOUR",
+    "traffic_hour_profile",
+    "activity_hour_profile",
+    "voice_hour_profile",
+    "hour_weights_within_bins",
+]
+
+HOURS_PER_DAY = 24
+
+# 4-hour bin index of each hour (six bins, §2.3).
+BIN_OF_HOUR = np.repeat(np.arange(6), 4)
+
+# Relative traffic volume per hour: the classic residential double hump
+# (morning shoulder, evening peak) with a deep night trough.
+_TRAFFIC = np.array(
+    [
+        0.35, 0.22, 0.16, 0.14,  # 00-04
+        0.16, 0.25, 0.50, 0.80,  # 04-08
+        1.00, 1.05, 1.05, 1.10,  # 08-12
+        1.10, 1.10, 1.05, 1.05,  # 12-16
+        1.15, 1.30, 1.50, 1.65,  # 16-20
+        1.70, 1.55, 1.10, 0.65,  # 20-24
+    ]
+)
+
+# Probability scaling that a present user is *actively* transferring.
+_ACTIVITY = _TRAFFIC / _TRAFFIC.max()
+
+# Voice concentrates in daytime/evening more than data.
+_VOICE = np.array(
+    [
+        0.10, 0.06, 0.05, 0.05,
+        0.08, 0.15, 0.45, 0.85,
+        1.10, 1.25, 1.30, 1.30,
+        1.25, 1.20, 1.15, 1.10,
+        1.20, 1.40, 1.55, 1.45,
+        1.15, 0.85, 0.45, 0.20,
+    ]
+)
+
+
+def traffic_hour_profile() -> np.ndarray:
+    """Hourly data-traffic weights, normalized to sum to 1."""
+    return _TRAFFIC / _TRAFFIC.sum()
+
+
+def voice_hour_profile() -> np.ndarray:
+    """Hourly voice-minute weights, normalized to sum to 1."""
+    return _VOICE / _VOICE.sum()
+
+
+def activity_hour_profile() -> np.ndarray:
+    """Relative probability a present user is active, per hour (max 1)."""
+    return _ACTIVITY.copy()
+
+
+def hour_weights_within_bins(profile: np.ndarray) -> np.ndarray:
+    """Renormalize an hourly profile so each 4-hour bin sums to 1.
+
+    Used to spread per-bin quantities (computed from the dwell matrices)
+    over the hours of the bin.
+    """
+    profile = np.asarray(profile, dtype=np.float64)
+    if profile.shape != (HOURS_PER_DAY,):
+        raise ValueError("profile must have 24 hourly entries")
+    out = profile.copy()
+    for bin_index in range(6):
+        hours = slice(bin_index * 4, bin_index * 4 + 4)
+        total = out[hours].sum()
+        if total <= 0:
+            out[hours] = 0.25
+        else:
+            out[hours] /= total
+    return out

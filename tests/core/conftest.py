@@ -1,0 +1,25 @@
+"""Shared fixtures for core-analysis tests: one small full study."""
+
+import pytest
+
+from repro.core import CovidImpactStudy
+from repro.simulation.config import SimulationConfig
+
+
+@pytest.fixture(scope="session")
+def study() -> CovidImpactStudy:
+    """A small but complete study shared by all core tests."""
+    config = SimulationConfig(
+        num_users=10_000, target_site_count=600, seed=11
+    )
+    return CovidImpactStudy.run(config)
+
+
+@pytest.fixture(scope="session")
+def feeds(study):
+    return study.feeds
+
+
+@pytest.fixture(scope="session")
+def calendar(feeds):
+    return feeds.calendar

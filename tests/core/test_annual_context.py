@@ -1,0 +1,49 @@
+"""Tests for the years-of-growth contextualization."""
+
+import pytest
+
+from repro.core.annual_context import (
+    DATA_ANNUAL_GROWTH,
+    VOICE_ANNUAL_GROWTH,
+    contextualize_summary,
+    years_of_growth,
+)
+
+
+class TestYearsOfGrowth:
+    def test_paper_voice_framing(self):
+        # +140% at ~13.3%/yr ≈ 7 years (§4.2).
+        assert years_of_growth(140.0, VOICE_ANNUAL_GROWTH) == pytest.approx(
+            7.0, abs=0.1
+        )
+
+    def test_paper_data_framing(self):
+        # −24% at ~32%/yr ≈ one year rewound (§4.1).
+        assert years_of_growth(-24.0, DATA_ANNUAL_GROWTH) == pytest.approx(
+            -1.0, abs=0.05
+        )
+
+    def test_zero_change_zero_years(self):
+        assert years_of_growth(0.0, 0.3) == 0.0
+
+    def test_invalid_growth(self):
+        with pytest.raises(ValueError):
+            years_of_growth(10.0, 0.0)
+
+    def test_total_loss_rejected(self):
+        with pytest.raises(ValueError):
+            years_of_growth(-100.0, 0.3)
+
+    def test_monotone(self):
+        assert years_of_growth(50.0, 0.2) < years_of_growth(100.0, 0.2)
+
+
+class TestContextualizeSummary:
+    def test_derives_both_framings(self, study):
+        context = contextualize_summary(study.summary())
+        # The measured run reproduces both stories.
+        assert 0.5 < context["data_years_rewound"] < 2.0
+        assert 5.0 < context["voice_years_of_growth"] < 9.5
+
+    def test_empty_summary(self):
+        assert contextualize_summary({}) == {}

@@ -1,0 +1,98 @@
+"""Tests for the week-9 baseline machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import daily_pct_change, weekly_median_delta
+from repro.core.baseline import weekly_mean
+
+
+class TestDailyPctChange:
+    def test_baseline_week_averages_to_zero(self):
+        values = np.array([10.0, 12.0, 8.0, 10.0, 20.0])
+        weeks = np.array([9, 9, 9, 10, 10])
+        change = daily_pct_change(values, weeks)
+        assert change[:3].mean() == pytest.approx(0.0)
+        assert change[4] == pytest.approx(100.0)
+
+    def test_explicit_baseline(self):
+        values = np.array([5.0, 10.0])
+        weeks = np.array([10, 10])
+        change = daily_pct_change(values, weeks, baseline_value=10.0)
+        assert change.tolist() == [-50.0, 0.0]
+
+    def test_missing_baseline_week_raises(self):
+        with pytest.raises(ValueError, match="baseline week"):
+            daily_pct_change(np.array([1.0]), np.array([10]))
+
+    def test_zero_baseline_raises(self):
+        with pytest.raises(ValueError, match="zero"):
+            daily_pct_change(
+                np.array([0.0, 1.0]), np.array([9, 10])
+            )
+
+    def test_misaligned_raises(self):
+        with pytest.raises(ValueError):
+            daily_pct_change(np.array([1.0, 2.0]), np.array([9]))
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.1, max_value=1e4),
+            min_size=14,
+            max_size=14,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_baseline_week_mean_is_zero_property(self, raw):
+        values = np.array(raw)
+        weeks = np.array([9] * 7 + [10] * 7)
+        change = daily_pct_change(values, weeks)
+        assert change[:7].mean() == pytest.approx(0.0, abs=1e-6)
+
+
+class TestWeeklyMean:
+    def test_groups_by_week(self):
+        values = np.array([1.0, 3.0, 10.0, 20.0])
+        weeks = np.array([9, 9, 10, 10])
+        out_weeks, means = weekly_mean(values, weeks)
+        assert out_weeks.tolist() == [9, 10]
+        assert means.tolist() == [2.0, 15.0]
+
+
+class TestWeeklyMedianDelta:
+    def test_median_deltas(self):
+        values = np.array([10.0, 10.0, 10.0, 5.0, 5.0, 5.0])
+        weeks = np.array([9, 9, 9, 10, 10, 10])
+        out_weeks, deltas = weekly_median_delta(values, weeks)
+        assert deltas[0] == pytest.approx(0.0)
+        assert deltas[1] == pytest.approx(-50.0)
+
+    def test_percentile_option(self):
+        values = np.array([1.0, 2.0, 10.0, 1.0, 2.0, 30.0])
+        weeks = np.array([9, 9, 9, 10, 10, 10])
+        __, p90 = weekly_median_delta(values, weeks, percentile=90.0)
+        __, p50 = weekly_median_delta(values, weeks, percentile=50.0)
+        assert p90[1] != pytest.approx(p50[1])
+
+    def test_external_baseline(self):
+        values = np.array([6.0, 6.0])
+        weeks = np.array([10, 10])
+        __, deltas = weekly_median_delta(
+            values, weeks, baseline_value=12.0
+        )
+        assert deltas[0] == pytest.approx(-50.0)
+
+    def test_missing_baseline_raises(self):
+        with pytest.raises(ValueError):
+            weekly_median_delta(np.array([1.0]), np.array([10]))
+
+    def test_robust_to_outliers(self):
+        # The median ignores a single huge cell — the reason the paper
+        # uses medians over a wide cell distribution.
+        base = np.full(99, 10.0)
+        values = np.concatenate([base, [1e6], base * 0.8, [1e6]])
+        weeks = np.array([9] * 100 + [10] * 100)
+        __, deltas = weekly_median_delta(values, weeks)
+        assert deltas[1] == pytest.approx(-20.0, abs=1.0)

@@ -1,0 +1,114 @@
+"""Tests for bin-level metrics and percentile fans."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.core.bins import BIN_LABELS, compute_bin_metrics
+from repro.core.distributions import weekly_percentile_fan
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import Simulator
+
+
+@pytest.fixture(scope="module")
+def bin_feeds():
+    config = SimulationConfig(
+        num_users=800, target_site_count=120, seed=51,
+        keep_bin_dwell=True,
+    )
+    return Simulator(config).run()
+
+
+class TestBinMetrics:
+    def test_requires_bin_dwell(self, feeds):
+        with pytest.raises(ValueError, match="keep_bin_dwell"):
+            compute_bin_metrics(feeds)
+
+    def test_shapes(self, bin_feeds):
+        metrics = compute_bin_metrics(bin_feeds)
+        assert metrics.entropy.shape == (bin_feeds.calendar.num_days, 6)
+        assert metrics.num_days == bin_feeds.calendar.num_days
+
+    def test_six_bin_labels(self):
+        assert len(BIN_LABELS) == 6
+        assert BIN_LABELS[0] == "00-04"
+
+    def test_night_bins_quietest(self, bin_feeds):
+        metrics = compute_bin_metrics(bin_feeds)
+        day = bin_feeds.calendar.day_of(dt.date(2020, 2, 25))
+        # Nights are spent at one tower: near-zero entropy and gyration.
+        assert metrics.entropy[day, 0] < metrics.entropy[day, 3]
+        assert metrics.gyration_km[day, 0] < metrics.gyration_km[day, 3]
+
+    def test_commute_bins_collapse_hardest(self, bin_feeds):
+        metrics = compute_bin_metrics(bin_feeds)
+        calendar = bin_feeds.calendar
+        before = calendar.day_of(dt.date(2020, 2, 25))
+        during = calendar.day_of(dt.date(2020, 3, 31))
+        work_drop = 1 - metrics.gyration_km[during, 2] / max(
+            metrics.gyration_km[before, 2], 1e-9
+        )
+        night_values = (
+            metrics.gyration_km[during, 0],
+            metrics.gyration_km[before, 0],
+        )
+        # The 08-12 bin loses a large share of its range; nights barely
+        # change (both are tiny).
+        assert work_drop > 0.2
+        assert night_values[0] == pytest.approx(
+            night_values[1], abs=0.5
+        )
+
+    def test_bin_series_accessor(self, bin_feeds):
+        metrics = compute_bin_metrics(bin_feeds)
+        series = metrics.bin_series("gyration", 2)
+        assert series.shape == (bin_feeds.calendar.num_days,)
+        with pytest.raises(IndexError):
+            metrics.bin_series("gyration", 6)
+        with pytest.raises(KeyError):
+            metrics.bin_series("nope", 0)
+
+
+class TestPercentileFan:
+    def test_fan_structure(self, study, feeds):
+        labeled = study.labeled_kpis
+        analysis = labeled.filter(labeled["week"] >= 9)
+        fan = weekly_percentile_fan(
+            analysis["dl_volume_mb"], analysis["week"]
+        )
+        assert set(fan.series) == {10.0, 25.0, 50.0, 75.0, 90.0}
+        assert all(v.shape == fan.weeks.shape for v in fan.series.values())
+
+    def test_percentiles_follow_similar_trends(self, study):
+        # The paper's observation: all percentiles track the median.
+        labeled = study.labeled_kpis
+        analysis = labeled.filter(labeled["week"] >= 9)
+        fan = weekly_percentile_fan(
+            analysis["dl_volume_mb"], analysis["week"],
+            percentiles=(25.0, 50.0, 75.0),
+        )
+        assert fan.trend_correlation() > 0.8
+
+    def test_baseline_week_zero_for_all_percentiles(self, study):
+        labeled = study.labeled_kpis
+        analysis = labeled.filter(labeled["week"] >= 9)
+        fan = weekly_percentile_fan(
+            analysis["connected_users"], analysis["week"]
+        )
+        for series in fan.series.values():
+            assert series[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_band_spread_shape(self, study):
+        labeled = study.labeled_kpis
+        analysis = labeled.filter(labeled["week"] >= 9)
+        fan = weekly_percentile_fan(
+            analysis["dl_volume_mb"], analysis["week"]
+        )
+        assert fan.band_spread().shape == fan.weeks.shape
+
+    def test_empty_percentiles_rejected(self):
+        with pytest.raises(ValueError):
+            weekly_percentile_fan(
+                np.array([1.0]), np.array([9]), percentiles=()
+            )

@@ -1,0 +1,90 @@
+"""Tests for the §2.3 study-population filter on raw events."""
+
+import numpy as np
+import pytest
+
+from repro.core.filtering import filter_study_events
+from repro.frames import Frame
+from repro.network.devices import DeviceCatalog
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return DeviceCatalog.generate(seed=1)
+
+
+def make_events(catalog):
+    smartphone = int(catalog.smartphone_tacs[0])
+    m2m = int(catalog.m2m_tacs[0])
+    return Frame(
+        {
+            "user_id": np.array([0, 0, 1, 2, 3], dtype=np.int64),
+            "tac": np.array(
+                [smartphone, smartphone, m2m, smartphone, smartphone],
+                dtype=np.int64,
+            ),
+            "mcc": np.array([234, 234, 234, 208, 234], dtype=np.int64),
+            "mnc": np.array([10, 10, 10, 1, 15], dtype=np.int64),
+            "event": np.zeros(5, dtype=np.int64),
+        }
+    )
+
+
+class TestFilter:
+    def test_keeps_native_smartphones(self, catalog):
+        kept, report = filter_study_events(make_events(catalog), catalog)
+        assert kept["user_id"].tolist() == [0, 0]
+        assert report.kept_events == 2
+
+    def test_drops_m2m(self, catalog):
+        __, report = filter_study_events(make_events(catalog), catalog)
+        assert report.dropped_m2m == 1
+
+    def test_drops_roamers_and_foreign_mnc(self, catalog):
+        # user 2 has a foreign MCC; user 3 is on the right MCC but a
+        # different operator's MNC — both are non-native.
+        __, report = filter_study_events(make_events(catalog), catalog)
+        assert report.dropped_roamers == 2
+
+    def test_user_accounting(self, catalog):
+        __, report = filter_study_events(make_events(catalog), catalog)
+        assert report.kept_users == 1
+        assert report.dropped_users == 3
+        assert report.total_events == 5
+
+    def test_missing_columns_rejected(self, catalog):
+        with pytest.raises(KeyError):
+            filter_study_events(Frame({"user_id": [1]}), catalog)
+
+    def test_end_to_end_with_generator(self, catalog):
+        """The filter applied to an enriched generator feed keeps the
+        same users the subscriber base marks as study population."""
+        from repro.geo import build_uk_geography
+        from repro.network import build_subscriber_base, build_topology
+        from repro.network.signaling import (
+            DwellSegments,
+            SignalingGenerator,
+            attach_subscriber_context,
+        )
+
+        geography = build_uk_geography(seed=2)
+        topology = build_topology(geography, target_site_count=150, seed=2)
+        base = build_subscriber_base(
+            geography, topology, catalog, num_users=400, seed=2
+        )
+        segments = DwellSegments(
+            user_ids=base.user_ids,
+            site_ids=base.home_site,
+            start_s=np.zeros(base.num_subscribers),
+            duration_s=np.full(base.num_subscribers, 86_400.0),
+        )
+        rng = np.random.default_rng(3)
+        feed = SignalingGenerator().generate_day(segments, rng)
+        enriched = attach_subscriber_context(
+            feed, base.tacs, base.mccs, base.mncs, rng
+        )
+        kept, report = filter_study_events(enriched, catalog)
+        kept_users = set(np.unique(kept["user_id"]).tolist())
+        expected = set(base.study_user_ids().tolist())
+        assert kept_users == expected
+        assert report.dropped_users == base.num_subscribers - len(expected)

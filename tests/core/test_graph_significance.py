@@ -1,0 +1,131 @@
+"""Tests for the mobility-graph and significance extensions."""
+
+import datetime as dt
+
+import networkx as nx
+import pytest
+
+from repro.core.mobility_graph import build_mobility_graph, graph_summary
+from repro.core.significance import (
+    shift_table,
+    distribution_shift_test,
+)
+
+
+@pytest.fixture(scope="module")
+def graphs(feeds):
+    calendar = feeds.calendar
+    before = build_mobility_graph(
+        feeds, calendar.day_of(dt.date(2020, 2, 25))
+    )
+    during = build_mobility_graph(
+        feeds, calendar.day_of(dt.date(2020, 3, 31))
+    )
+    return before, during
+
+
+class TestMobilityGraph:
+    def test_graph_structure(self, graphs, feeds):
+        before, __ = graphs
+        assert isinstance(before, nx.Graph)
+        assert before.number_of_nodes() <= feeds.topology.num_sites
+        assert before.number_of_edges() > 0
+
+    def test_node_attributes(self, graphs):
+        before, __ = graphs
+        node = next(iter(before.nodes))
+        data = before.nodes[node]
+        assert "postcode" in data and "county" in data
+
+    def test_edges_have_length(self, graphs):
+        before, __ = graphs
+        for *__edge, data in list(before.edges(data=True))[:20]:
+            assert data["length_km"] >= 0
+            assert data["weight"] >= 1
+
+    def test_lockdown_shreds_the_graph(self, graphs):
+        before, during = graphs
+        summary_before = graph_summary(before, 0)
+        summary_during = graph_summary(during, 1)
+        # Fewer co-visits overall and shorter remaining edges.
+        assert (
+            summary_during.total_trip_weight
+            < summary_before.total_trip_weight * 0.8
+        )
+        assert (
+            summary_during.mean_edge_length_km
+            < summary_before.mean_edge_length_km
+        )
+
+    def test_summary_fields(self, graphs):
+        before, __ = graphs
+        summary = graph_summary(before, 7)
+        assert summary.day == 7
+        assert summary.num_nodes > 0
+        assert 0 < summary.largest_component_share <= 1
+        assert summary.mean_degree > 0
+
+    def test_empty_graph_summary(self):
+        summary = graph_summary(nx.Graph(), 0)
+        assert summary.num_nodes == 0
+        assert summary.total_trip_weight == 0.0
+
+    def test_threshold_reduces_graph(self, feeds):
+        day = feeds.calendar.day_of(dt.date(2020, 2, 25))
+        loose = build_mobility_graph(feeds, day, presence_threshold_s=300)
+        strict = build_mobility_graph(
+            feeds, day, presence_threshold_s=7200
+        )
+        assert strict.number_of_edges() <= loose.number_of_edges()
+
+
+class TestSignificance:
+    def test_dl_drop_is_significant(self, study):
+        result = distribution_shift_test(
+            study.labeled_kpis, "dl_volume_mb"
+        )
+        assert result.direction == "down"
+        assert result.significant
+        assert result.lockdown_median < result.baseline_median
+
+    def test_voice_surge_is_significant(self, study):
+        result = distribution_shift_test(
+            study.labeled_kpis, "voice_volume_mb"
+        )
+        assert result.direction == "up"
+        assert result.significant
+
+    def test_sliced_test(self, study):
+        result = distribution_shift_test(
+            study.labeled_kpis, "dl_volume_mb",
+            group_column="area", group_value="EC",
+        )
+        assert result.group == "EC"
+        assert result.direction == "down"
+
+    def test_group_value_required(self, study):
+        with pytest.raises(ValueError):
+            distribution_shift_test(
+                study.labeled_kpis, "dl_volume_mb", group_column="area"
+            )
+
+    def test_unknown_metric(self, study):
+        with pytest.raises(KeyError):
+            distribution_shift_test(study.labeled_kpis, "nope")
+
+    def test_shift_table(self, study):
+        table = shift_table(
+            study.labeled_kpis,
+            ("dl_volume_mb", "voice_volume_mb", "radio_load_pct"),
+        )
+        assert len(table) == 3
+        directions = {row.metric: row.direction for row in table}
+        assert directions["dl_volume_mb"] == "down"
+        assert directions["voice_volume_mb"] == "up"
+        assert directions["radio_load_pct"] == "down"
+
+    def test_tiny_sample_rejected(self, study):
+        labeled = study.labeled_kpis
+        small = labeled.head(10)
+        with pytest.raises(ValueError):
+            distribution_shift_test(small, "dl_volume_mb")

@@ -1,0 +1,106 @@
+"""Tests for home detection (§2.3) and census validation (Fig 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import detect_homes, validate_against_census
+from repro.core.statistics import top_tower_filter
+
+
+class TestHomeDetection:
+    def test_detection_rate_in_paper_band(self, study):
+        # Paper: homes for ~16M of ~22M users (~73%).
+        rate = study.homes.detection_rate
+        assert 0.60 < rate < 0.90
+
+    def test_detected_homes_match_true_home_sites(self, study, feeds):
+        homes = study.homes
+        detected = homes.detected
+        agreement = (
+            homes.home_site[detected]
+            == feeds.agents.home_site[detected]
+        ).mean()
+        # Nighttime dwell is dominated by the true home tower; detection
+        # should recover it almost always.
+        assert agreement > 0.95
+
+    def test_min_nights_threshold_monotone(self, feeds):
+        loose = detect_homes(feeds, min_nights=5)
+        strict = detect_homes(feeds, min_nights=20)
+        assert loose.detected.sum() >= strict.detected.sum()
+
+    def test_detected_users_meet_threshold(self, feeds):
+        homes = detect_homes(feeds, min_nights=14)
+        assert np.all(homes.nights_observed[homes.detected] >= 14)
+
+    def test_custom_window(self, feeds):
+        window = feeds.calendar.february_days[:10]
+        homes = detect_homes(feeds, min_nights=5, window_days=window)
+        assert np.all(homes.nights_observed <= 10)
+
+    def test_empty_window_rejected(self, feeds):
+        with pytest.raises(ValueError):
+            detect_homes(feeds, window_days=np.array([], dtype=int))
+
+    def test_window_out_of_range_rejected(self, feeds):
+        with pytest.raises(ValueError):
+            detect_homes(feeds, window_days=np.array([10_000]))
+
+    def test_invalid_min_nights(self, feeds):
+        with pytest.raises(ValueError):
+            detect_homes(feeds, min_nights=0)
+
+
+class TestCensusValidation:
+    def test_r_squared_high(self, study):
+        # Paper: r² = 0.955. The synthetic sample is smaller, so the
+        # bar is looser — but the relationship must be strongly linear.
+        validation = study.fig2()
+        assert validation.r_squared > 0.75
+
+    def test_slope_is_market_share_like(self, study, feeds):
+        validation = study.fig2()
+        users = validation.table["inferred_users"].sum()
+        population = validation.table["census_population"].sum()
+        assert validation.slope == pytest.approx(
+            users / population, rel=0.5
+        )
+        assert validation.slope > 0
+
+    def test_all_lads_present(self, study, feeds):
+        validation = study.fig2()
+        assert validation.num_lads == len(feeds.geography.lad_population)
+
+    def test_inferred_total_matches_detected(self, study):
+        validation = study.fig2()
+        assert (
+            validation.table["inferred_users"].sum()
+            == study.homes.detected.sum()
+        )
+
+    def test_fails_without_detections(self, feeds):
+        from repro.core.home import HomeDetectionResult
+
+        empty = HomeDetectionResult(
+            user_ids=feeds.mobility.user_ids,
+            home_site=np.full(feeds.mobility.num_users, -1, dtype=np.int64),
+            nights_observed=np.zeros(feeds.mobility.num_users, dtype=np.int64),
+            min_nights=14,
+        )
+        with pytest.raises(ValueError):
+            validate_against_census(feeds, empty)
+
+
+class TestTopTowerFilter:
+    def test_identity_when_under_limit(self):
+        dwell = np.array([[3.0, 2.0, 1.0]])
+        assert np.array_equal(top_tower_filter(dwell, 20), dwell)
+
+    def test_keeps_largest(self):
+        dwell = np.array([[5.0, 1.0, 4.0, 2.0]])
+        out = top_tower_filter(dwell, 2)
+        assert out.tolist() == [[5.0, 0.0, 4.0, 0.0]]
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            top_tower_filter(np.array([[1.0]]), 0)

@@ -1,0 +1,137 @@
+"""Tests for the extended mobility-metric family."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import mobility_entropy
+from repro.core.metrics_extra import (
+    predictability_bound,
+    random_entropy,
+    top_location_share,
+    visited_towers,
+)
+
+
+class TestVisitedTowers:
+    def test_counts_distinct(self):
+        dwell = np.array([[100.0, 200.0, 0.0]])
+        sites = np.array([[1, 2, 3]])
+        assert visited_towers(dwell, sites)[0] == 2
+
+    def test_duplicates_merged(self):
+        dwell = np.array([[100.0, 200.0, 50.0]])
+        sites = np.array([[1, 1, 2]])
+        assert visited_towers(dwell, sites)[0] == 2
+
+    def test_zero_row(self):
+        dwell = np.array([[0.0, 0.0]])
+        sites = np.array([[1, 2]])
+        assert visited_towers(dwell, sites)[0] == 0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            visited_towers(np.ones((1, 2)), np.ones((1, 3), dtype=int))
+
+
+class TestRandomEntropy:
+    def test_log_n(self):
+        dwell = np.array([[100.0, 1.0, 5.0]])
+        sites = np.array([[1, 2, 3]])
+        assert random_entropy(dwell, sites)[0] == pytest.approx(np.log(3))
+
+    def test_upper_bounds_uncorrelated(self):
+        rng = np.random.default_rng(5)
+        dwell = rng.random((50, 8)) * 3600
+        sites = np.tile(np.arange(8), (50, 1))
+        s_rand = random_entropy(dwell, sites)
+        s_unc = mobility_entropy(dwell, sites)
+        assert np.all(s_unc <= s_rand + 1e-9)
+
+    def test_zero_row(self):
+        assert random_entropy(
+            np.array([[0.0]]), np.array([[1]])
+        )[0] == 0.0
+
+
+class TestTopLocationShare:
+    def test_dominant_share(self):
+        dwell = np.array([[75.0, 25.0]])
+        sites = np.array([[1, 2]])
+        assert top_location_share(dwell, sites)[0] == pytest.approx(0.75)
+
+    def test_merged_duplicates(self):
+        dwell = np.array([[40.0, 40.0, 20.0]])
+        sites = np.array([[1, 1, 2]])
+        assert top_location_share(dwell, sites)[0] == pytest.approx(0.8)
+
+    def test_unobserved_zero(self):
+        assert top_location_share(
+            np.array([[0.0]]), np.array([[1]])
+        )[0] == 0.0
+
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=40, deadline=None)
+    def test_share_in_unit_interval(self, seed):
+        rng = np.random.default_rng(seed)
+        dwell = rng.random((5, 6)) * 1000
+        sites = rng.integers(0, 4, size=(5, 6))
+        share = top_location_share(dwell, sites)
+        assert np.all(share >= 0)
+        assert np.all(share <= 1.0 + 1e-12)
+
+
+class TestPredictabilityBound:
+    def test_zero_entropy_fully_predictable(self):
+        out = predictability_bound(np.array([0.0]), np.array([5.0]))
+        assert out[0] == pytest.approx(1.0)
+
+    def test_max_entropy_uniform(self):
+        out = predictability_bound(
+            np.array([np.log(4)]), np.array([4.0])
+        )
+        assert out[0] == pytest.approx(0.25)
+
+    def test_single_location(self):
+        out = predictability_bound(np.array([0.5]), np.array([1.0]))
+        assert out[0] == 1.0
+
+    def test_monotone_in_entropy(self):
+        entropies = np.array([0.2, 0.6, 1.0])
+        counts = np.full(3, 6.0)
+        out = predictability_bound(entropies, counts)
+        assert out[0] > out[1] > out[2]
+
+    def test_satisfies_fano_equation(self):
+        s, n = 0.8, 5.0
+        pi = predictability_bound(np.array([s]), np.array([n]))[0]
+        h = -pi * np.log(pi) - (1 - pi) * np.log(1 - pi)
+        assert h + (1 - pi) * np.log(n - 1) == pytest.approx(s, abs=1e-4)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            predictability_bound(np.ones(2), np.ones(3))
+
+    def test_study_scale_usage(self, study):
+        # Sanity: lockdown predictability exceeds baseline.
+        feeds = study.feeds
+        mobility = feeds.mobility
+        day_pre = feeds.calendar.day_of(
+            __import__("datetime").date(2020, 2, 25)
+        )
+        day_lock = feeds.calendar.day_of(
+            __import__("datetime").date(2020, 3, 31)
+        )
+        sites = mobility.anchor_sites
+
+        def mean_bound(day):
+            dwell = mobility.dwell(day).astype(np.float64)
+            entropy = mobility_entropy(dwell, sites)
+            counts = visited_towers(dwell, sites)
+            sample = slice(0, 500)
+            return predictability_bound(
+                entropy[sample], counts[sample].astype(float)
+            ).mean()
+
+        assert mean_bound(day_lock) > mean_bound(day_pre)

@@ -1,0 +1,151 @@
+"""Tests for the mobility figures: 3, 4, 5, 6 and the §3 takeaways."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.clock import BASELINE_WEEK
+
+
+def weekly(series, weeks_of_day, week):
+    return series.at_week("UK", week, weeks_of_day=weeks_of_day)
+
+
+@pytest.fixture(scope="module")
+def weeks_of_day(calendar):
+    days = np.flatnonzero(calendar.weeks >= BASELINE_WEEK)
+    return calendar.weeks[days]
+
+
+class TestFig3National:
+    def test_baseline_week_near_zero(self, study, weeks_of_day):
+        fig3 = study.fig3()
+        for metric in ("gyration", "entropy"):
+            assert weekly(fig3[metric], weeks_of_day, 9) == pytest.approx(
+                0.0, abs=3.0
+            )
+
+    def test_gyration_drops_about_half_in_lockdown(self, study, weeks_of_day):
+        gyration = study.fig3()["gyration"]
+        lockdown = weekly(gyration, weeks_of_day, 14)
+        assert -60.0 < lockdown < -35.0
+
+    def test_week12_pre_lockdown_decrease(self, study, weeks_of_day):
+        # Paper: −20% gyration already in week 12 (voluntary distancing).
+        gyration = study.fig3()["gyration"]
+        week12 = weekly(gyration, weeks_of_day, 12)
+        assert -40.0 < week12 < -8.0
+
+    def test_entropy_drop_smaller_than_gyration(self, study, weeks_of_day):
+        fig3 = study.fig3()
+        gyration = weekly(fig3["gyration"], weeks_of_day, 14)
+        entropy = weekly(fig3["entropy"], weeks_of_day, 14)
+        assert entropy > gyration  # less negative
+
+    def test_mobility_recovers_slightly_after_week_15(self, study, weeks_of_day):
+        gyration = study.fig3()["gyration"]
+        trough = min(
+            weekly(gyration, weeks_of_day, 13),
+            weekly(gyration, weeks_of_day, 14),
+        )
+        late = weekly(gyration, weeks_of_day, 19)
+        assert late > trough
+
+    def test_series_is_daily(self, study):
+        fig3 = study.fig3()
+        assert fig3["gyration"].granularity == "daily"
+        assert len(fig3["gyration"].x) == len(
+            fig3["gyration"].values["UK"]
+        )
+
+
+class TestFig4Correlation:
+    def test_no_correlation_before_declaration(self, study):
+        fig4 = study.fig4()
+        assert abs(fig4.pearson_r_pre_declaration) < 0.45
+
+    def test_cases_grow_monotonically(self, study):
+        fig4 = study.fig4()
+        assert np.all(np.diff(fig4.cumulative_cases) >= 0)
+
+    def test_scatter_covers_study_window(self, study, calendar):
+        fig4 = study.fig4()
+        assert fig4.days.size == (calendar.weeks >= BASELINE_WEEK).sum()
+
+    def test_weekend_flags_present(self, study):
+        fig4 = study.fig4()
+        assert 0.2 < fig4.is_weekend.mean() < 0.35
+
+
+class TestFig5Regional:
+    def test_five_regions_reported(self, study):
+        fig5 = study.fig5()
+        for metric in ("gyration", "entropy"):
+            assert len(fig5[metric].values) == 5
+
+    def test_all_regions_drop_in_lockdown(self, study):
+        fig5 = study.fig5()["gyration"]
+        week14 = {
+            region: fig5.at_week(region, 14)
+            for region in fig5.values
+        }
+        baseline = {
+            region: fig5.at_week(region, 9) for region in fig5.values
+        }
+        for region in week14:
+            assert week14[region] < baseline[region] - 20.0
+
+    def test_london_gyration_below_national_baseline(self, study):
+        # Paper: London gyration ~20% below the national average.
+        fig5 = study.fig5()["gyration"]
+        assert fig5.at_week("Inner London", 9) < -5.0
+
+    def test_london_entropy_above_national_baseline(self, study):
+        fig5 = study.fig5()["entropy"]
+        assert fig5.at_week("Inner London", 9) > 3.0
+
+    def test_london_relaxes_more_than_midlands_by_week_19(self, study):
+        # Paper §3.2: London and West Yorkshire loosen in weeks 18–19;
+        # Greater Manchester / West Midlands stay low.
+        fig5 = study.fig5()["gyration"]
+        london_recovery = fig5.at_week("Inner London", 19) - fig5.at_week(
+            "Inner London", 14
+        )
+        midlands_recovery = fig5.at_week(
+            "West Midlands", 19
+        ) - fig5.at_week("West Midlands", 14)
+        assert london_recovery > midlands_recovery
+
+
+class TestFig6Geodemographic:
+    def test_all_clusters_drop(self, study):
+        fig6 = study.fig6()["gyration"]
+        for cluster in fig6.values:
+            drop = fig6.at_week(cluster, 14) - fig6.at_week(cluster, 9)
+            assert drop < -20.0
+
+    def test_rural_baseline_gyration_above_national(self, study):
+        fig6 = study.fig6()["gyration"]
+        assert fig6.at_week("Rural Residents", 9) > 5.0
+
+    def test_central_clusters_higher_entropy_baseline(self, study):
+        fig6 = study.fig6()["entropy"]
+        central = fig6.at_week("Ethnicity Central", 9)
+        rural = fig6.at_week("Rural Residents", 9)
+        assert central > rural
+
+    def test_ethnicity_central_smallest_entropy_reduction(self, study):
+        # Paper §3.3: the Ethnicity Central group reduces gyration the
+        # most but entropy the least among the dense urban clusters.
+        fig6 = study.fig6()
+        entropy = fig6["entropy"]
+        clusters = [
+            name
+            for name in entropy.values
+            if name
+            in ("Ethnicity Central", "Cosmopolitans", "Suburbanites")
+        ]
+        drops = {
+            name: entropy.at_week(name, 14) - entropy.at_week(name, 9)
+            for name in clusters
+        }
+        assert drops["Ethnicity Central"] == max(drops.values())

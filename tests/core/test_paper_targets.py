@@ -1,0 +1,48 @@
+"""Tests for the machine-readable paper targets."""
+
+import pytest
+
+from repro.core.paper_targets import (
+    PAPER_TARGETS,
+    evaluate_summary,
+    render_verdicts,
+)
+
+
+class TestTargetCatalog:
+    def test_bands_are_ordered(self):
+        for target in PAPER_TARGETS:
+            assert target.low < target.high, target.key
+
+    def test_keys_unique(self):
+        keys = [target.key for target in PAPER_TARGETS]
+        assert len(keys) == len(set(keys))
+
+    def test_every_section_referenced(self):
+        sections = {target.section.split(" ")[0] for target in PAPER_TARGETS}
+        assert {"§2.3", "§2.4", "§3.1", "§3.4", "§4.1", "§4.2",
+                "§4.4", "§5.1"} <= sections
+
+
+class TestEvaluation:
+    def test_study_passes_most_targets(self, study):
+        verdicts = evaluate_summary(study.summary())
+        assert len(verdicts) >= 20
+        passed = sum(verdict.passed for verdict in verdicts)
+        # The reproduction bar: at least 85% of targets inside band.
+        assert passed / len(verdicts) >= 0.85
+
+    def test_skips_missing_keys(self):
+        verdicts = evaluate_summary({"rat_share_4g": 0.75})
+        assert len(verdicts) == 1
+        assert verdicts[0].passed
+
+    def test_fails_out_of_band(self):
+        verdicts = evaluate_summary({"rat_share_4g": 0.5})
+        assert not verdicts[0].passed
+
+    def test_render(self, study):
+        verdicts = evaluate_summary(study.summary())
+        text = render_verdicts(verdicts)
+        assert "targets inside the band" in text
+        assert "§4.2" in text

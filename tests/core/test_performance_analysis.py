@@ -1,0 +1,226 @@
+"""Tests for the network-performance figures (8–12) and §4 takeaways."""
+
+import numpy as np
+import pytest
+
+from repro.core import performance_series
+from repro.core.performance import label_kpis
+
+
+class TestLabeling:
+    def test_labels_attached(self, study):
+        labeled = study.labeled_kpis
+        for column in ("week", "county", "region", "area", "oac"):
+            assert column in labeled
+
+    def test_week_range(self, study, calendar):
+        labeled = study.labeled_kpis
+        assert labeled["week"].min() == calendar.weeks.min()
+        assert labeled["week"].max() == calendar.weeks.max()
+
+
+class TestFig8:
+    def test_all_metrics_present(self, study):
+        fig8 = study.fig8()
+        assert set(fig8) == {
+            "dl_volume_mb", "ul_volume_mb", "dl_active_users",
+            "user_dl_throughput_mbps", "radio_load_pct",
+            "connected_users",
+        }
+
+    def test_uk_and_regions_in_series(self, study):
+        dl = study.fig8()["dl_volume_mb"]
+        assert "UK" in dl.values
+        assert "Inner London" in dl.values
+
+    def test_baseline_week_zero(self, study):
+        for series in study.fig8().values():
+            assert series.at_week("UK", 9) == pytest.approx(0.0, abs=1e-9)
+
+    def test_dl_week10_increase(self, study):
+        dl = study.fig8()["dl_volume_mb"]
+        assert 3.0 < dl.at_week("UK", 10) < 15.0
+
+    def test_dl_lockdown_decrease(self, study):
+        dl = study.fig8()["dl_volume_mb"]
+        week, value = dl.minimum("UK")
+        assert week >= 13
+        assert -35.0 < value < -15.0
+
+    def test_ul_roughly_flat_during_lockdown(self, study):
+        ul = study.fig8()["ul_volume_mb"]
+        lockdown = ul.values["UK"][ul.weeks >= 13]
+        assert lockdown.min() > -12.0
+        assert lockdown.max() < 10.0
+
+    def test_throughput_drop_capped(self, study):
+        throughput = study.fig8()["user_dl_throughput_mbps"]
+        __, value = throughput.minimum("UK")
+        assert -18.0 < value < -4.0
+
+    def test_radio_load_decreases(self, study):
+        load = study.fig8()["radio_load_pct"]
+        __, value = load.minimum("UK")
+        assert -30.0 < value < -8.0
+
+    def test_inner_london_drops_most(self, study):
+        dl = study.fig8()["dl_volume_mb"]
+        inner = dl.minimum("Inner London")[1]
+        outer = dl.minimum("Outer London")[1]
+        uk = dl.minimum("UK")[1]
+        assert inner < uk
+        assert inner < outer
+
+    def test_percentile_series_supported(self, study, feeds):
+        p90 = performance_series(
+            feeds, "dl_volume_mb", grouping="national",
+            percentile=90.0, labeled=study.labeled_kpis,
+        )
+        assert p90.percentile == 90.0
+        assert "UK" in p90.values
+
+
+class TestFig9Voice:
+    def test_voice_volume_spike_week12(self, study):
+        voice = study.fig9()["voice_volume_mb"]
+        week, value = voice.maximum("UK")
+        assert week in (12, 13)
+        assert 100.0 < value < 200.0
+
+    def test_simultaneous_users_track_volume(self, study):
+        fig9 = study.fig9()
+        users_peak = fig9["voice_users"].maximum("UK")[1]
+        assert users_peak > 80.0
+
+    def test_dl_loss_spikes_then_recovers_below_normal(self, study):
+        loss = study.fig9()["voice_dl_loss_rate"]
+        peak_week, peak = loss.maximum("UK")
+        assert peak > 100.0  # "increase of more than 100%"
+        assert 10 <= peak_week <= 12
+        assert loss.values["UK"][-1] < 0.0  # below normal at the end
+
+    def test_ul_loss_decreases(self, study):
+        ul_loss = study.fig9()["voice_ul_loss_rate"]
+        lockdown = ul_loss.values["UK"][ul_loss.weeks >= 14]
+        assert lockdown.mean() < 0.0
+
+
+class TestFig10Clusters:
+    def test_rural_dl_stable(self, study):
+        dl = study.fig10()["dl_volume_mb"]
+        rural_min = dl.minimum("Rural Residents")[1]
+        assert rural_min > -15.0
+
+    def test_cosmopolitan_users_drop_sharply(self, study):
+        users = study.fig10()["connected_users"]
+        cosmo = users.minimum("Cosmopolitans")[1]
+        assert cosmo < -25.0
+
+    def test_cosmopolitan_dl_drops_most(self, study):
+        dl = study.fig10()["dl_volume_mb"]
+        cosmo = dl.minimum("Cosmopolitans")[1]
+        for cluster in dl.values:
+            assert cosmo <= dl.minimum(cluster)[1] + 1e-9
+
+    def test_correlations_signs(self, study):
+        correlations = study.cluster_correlations()
+        assert correlations["Cosmopolitans"] > 0.9
+        assert correlations["Ethnicity Central"] > 0.6
+        assert correlations["Suburbanites"] < -0.3
+
+
+class TestFig11LondonDistricts:
+    def test_ec_wc_collapse(self, study):
+        dl = study.fig11()["dl_volume_mb"]
+        assert dl.minimum("EC")[1] < -55.0
+        assert dl.minimum("WC")[1] < -55.0
+
+    def test_north_detaches(self, study):
+        # Paper §5.1: N keeps stable DL volume while DL users rise.
+        dl = study.fig11()["dl_volume_mb"]
+        users = study.fig11()["dl_active_users"]
+        assert dl.minimum("N")[1] > -25.0
+        n_users = users.values["N"][
+            (users.weeks >= 10) & (users.weeks <= 14)
+        ]
+        assert n_users.max() > 0.0
+
+    def test_all_inner_london_areas_present(self, study):
+        dl = study.fig11()["dl_volume_mb"]
+        assert {"EC", "WC", "N", "E", "SE", "SW", "W", "NW"} <= set(
+            dl.values
+        )
+
+
+class TestFig12LondonClusters:
+    def test_only_london_clusters(self, study):
+        fig12 = study.fig12()["dl_volume_mb"]
+        assert set(fig12.values) - {"UK"} <= {
+            "Cosmopolitans",
+            "Ethnicity Central",
+            "Multicultural Metropolitans",
+        }
+
+    def test_cosmopolitans_sharpest_in_london(self, study):
+        fig12 = study.fig12()["dl_volume_mb"]
+        cosmo = fig12.minimum("Cosmopolitans")[1]
+        for cluster in fig12.values:
+            assert cosmo <= fig12.minimum(cluster)[1] + 1e-9
+
+    def test_multicultural_ul_increases(self, study):
+        fig12 = study.fig12()["ul_volume_mb"]
+        name = "Multicultural Metropolitans"
+        if name in fig12.values:
+            lockdown = fig12.values[name][fig12.weeks >= 13]
+            assert lockdown.max() > 5.0
+
+
+class TestApiValidation:
+    def test_unknown_grouping(self, study, feeds):
+        with pytest.raises(ValueError):
+            performance_series(feeds, "dl_volume_mb", grouping="nope")
+
+    def test_unknown_metric(self, study, feeds):
+        with pytest.raises(KeyError):
+            performance_series(
+                feeds, "nope", labeled=study.labeled_kpis
+            )
+
+    def test_restrict_county_filters(self, study, feeds):
+        series = performance_series(
+            feeds, "dl_volume_mb", grouping="district_area",
+            restrict_county="Inner London", labeled=study.labeled_kpis,
+        )
+        assert "M" not in series.values  # Manchester area excluded
+
+    def test_label_kpis_standalone(self, feeds):
+        labeled = label_kpis(feeds)
+        assert len(labeled) == len(feeds.radio_kpis)
+
+
+class TestRegionGroupingAndExport:
+    def test_region_grouping(self, study, feeds):
+        series = performance_series(
+            feeds, "dl_volume_mb", grouping="region",
+            labeled=study.labeled_kpis,
+        )
+        assert "London" in series.values
+        assert "Scotland" in series.values
+        # Every broad region drops under lockdown.
+        for region, values in series.values.items():
+            assert values[series.weeks >= 14].mean() < 5.0, region
+
+    def test_to_frame_long_format(self, study):
+        series = study.fig8()["dl_volume_mb"]
+        frame = series.to_frame()
+        assert frame.column_names == ("group", "week", "change_pct")
+        expected_rows = sum(
+            len(values) for values in series.values.values()
+        )
+        assert len(frame) == expected_rows
+
+    def test_to_frame_round_trips_values(self, study):
+        series = study.fig8()["dl_volume_mb"]
+        frame = series.to_frame()
+        uk = frame.filter(frame["group"] == "UK")
+        assert uk["change_pct"].tolist() == series.values["UK"].tolist()

@@ -1,0 +1,103 @@
+"""Tests for the Inner-London relocation matrix (Fig 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core import relocation_matrix
+
+
+@pytest.fixture(scope="module")
+def matrix(study):
+    return study.fig7()
+
+
+class TestRelocationMatrix:
+    def test_inner_london_row_first(self, matrix):
+        assert matrix.counties[0] == "Inner London"
+
+    def test_shape(self, matrix):
+        assert matrix.change_pct.shape == (
+            len(matrix.counties),
+            matrix.days.size,
+        )
+        assert len(matrix.counties) <= 11
+
+    def test_sustained_presence_decrease_after_lockdown(
+        self, matrix, calendar
+    ):
+        # Paper: a permanent ~10% decrease of Inner-London residents
+        # present in Inner London from week 13 onward.
+        weeks = calendar.weeks[matrix.days]
+        series = matrix.county_series("Inner London")
+        lockdown = series[weeks >= 14].mean()
+        assert -16.0 < lockdown < -4.0
+
+    def test_baseline_near_zero_on_weekdays(self, matrix, calendar):
+        # Weekdays only: pre-pandemic weekends legitimately dip (the
+        # weekend-away pattern the paper reports).
+        weeks = calendar.weeks[matrix.days]
+        weekday = ~calendar.is_weekend[matrix.days]
+        series = matrix.county_series("Inner London")
+        assert abs(series[(weeks == 9) & weekday].mean()) < 3.0
+
+    def test_away_share_rises_during_lockdown(self, matrix, calendar):
+        weeks = calendar.weeks[matrix.days]
+        baseline_days = np.flatnonzero(weeks == 9)
+        lockdown_days = np.flatnonzero(weeks == 15)
+        baseline = np.mean(
+            [matrix.away_share(int(d)) for d in baseline_days]
+        )
+        lockdown = np.mean(
+            [matrix.away_share(int(d)) for d in lockdown_days]
+        )
+        assert lockdown > baseline + 0.04
+
+    def test_receiving_counties_gain_residents(self, matrix, calendar):
+        # Relocation destinations must show a sustained increase.
+        weeks = calendar.weeks[matrix.days]
+        gains = []
+        for county in matrix.counties[1:]:
+            series = matrix.county_series(county)
+            gains.append(series[weeks >= 14].mean())
+        assert max(gains) > 10.0
+
+    def test_paper_destinations_in_matrix(self, matrix):
+        # Hampshire / Kent / East Sussex should rank among receivers.
+        assert {"Hampshire", "Kent", "East Sussex"} & set(matrix.counties)
+
+    def test_pre_lockdown_exodus_spike(self, matrix, calendar):
+        # March 21–22: trips out of London spike just before the order.
+        day_21 = calendar.day_of(__import__("datetime").date(2020, 3, 21))
+        column = np.flatnonzero(matrix.days == day_21)
+        assert column.size == 1
+        outbound = matrix.change_pct[1:, column[0]]
+        assert outbound.max() > 25.0
+
+    def test_weekend_away_pattern_disappears(self, matrix, calendar):
+        # Paper: pre-pandemic weekends show Londoners away; the pattern
+        # vanishes after the distancing recommendations.
+        weeks = calendar.weeks[matrix.days]
+        weekend = calendar.is_weekend[matrix.days]
+        series = matrix.county_series("Inner London")
+        pre = weeks <= 10
+        weekend_dip = (
+            series[pre & weekend].mean() - series[pre & ~weekend].mean()
+        )
+        assert weekend_dip < -1.0  # fewer residents present on weekends
+
+    def test_presence_counts_bounded_by_residents(self, matrix):
+        assert matrix.presence.max() <= matrix.num_residents
+
+    def test_to_frame(self, matrix):
+        frame = matrix.to_frame()
+        assert frame["county"].tolist() == matrix.counties
+        assert len(frame.column_names) == matrix.days.size + 1
+        first_day = str(int(matrix.days[0]))
+        assert frame[first_day].tolist() == matrix.change_pct[:, 0].tolist()
+
+    def test_custom_threshold_and_top(self, feeds, study):
+        small = relocation_matrix(
+            feeds, study.homes, top_counties=3,
+            presence_threshold_s=3600.0,
+        )
+        assert len(small.counties) <= 4

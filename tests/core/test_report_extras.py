@@ -1,0 +1,56 @@
+"""Tests for the scatter renderer and the full report."""
+
+import numpy as np
+import pytest
+
+from repro.core.report import scatter_plot
+
+
+class TestScatterPlot:
+    def test_basic_render(self):
+        x = np.linspace(0, 10, 50)
+        out = scatter_plot(x, 2 * x, x_label="in", y_label="out")
+        assert "in →" in out
+        assert "(y = out)" in out
+        assert "|" in out
+
+    def test_diagonal_occupies_corners(self):
+        x = np.array([0.0, 10.0])
+        y = np.array([0.0, 10.0])
+        lines = scatter_plot(x, y, width=10, height=5).split("\n")
+        assert "·" in lines[0]  # max-y point on the top row
+        assert "·" in lines[4]  # min-y point on the bottom row
+
+    def test_density_markers_escalate(self):
+        x = np.zeros(10)
+        y = np.zeros(10)
+        out = scatter_plot(x, y, width=10, height=5)
+        assert "●" in out
+
+    def test_constant_series_safe(self):
+        out = scatter_plot(np.ones(5), np.arange(5.0))
+        assert "|" in out
+
+    def test_empty(self):
+        assert scatter_plot(np.array([]), np.array([])) == "(no points)"
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            scatter_plot(np.ones(3), np.ones(4))
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            scatter_plot(np.ones(3), np.ones(3), width=4)
+
+
+class TestFullReport:
+    def test_full_report_contains_all_figures(self, study):
+        report = study.report(full=True)
+        for token in (
+            "Fig 2", "Fig 3", "Fig 4", "Fig 5", "Fig 6", "Fig 8",
+            "Fig 9", "Fig 10", "Fig 11", "Fig 12", "Headline numbers",
+        ):
+            assert token in report, token
+
+    def test_default_report_is_shorter(self, study):
+        assert len(study.report()) < len(study.report(full=True))

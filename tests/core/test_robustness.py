@@ -1,0 +1,42 @@
+"""Tests for the seed-sweep machinery (cheap: two tiny seeds)."""
+
+import pytest
+
+from repro.core.robustness import seed_sweep
+from repro.simulation.config import SimulationConfig
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return seed_sweep(
+        [3, 5], config_factory=SimulationConfig.tiny
+    )
+
+
+class TestSeedSweep:
+    def test_per_seed_summaries(self, sweep):
+        assert sweep.seeds == (3, 5)
+        assert len(sweep.per_seed) == 2
+
+    def test_values_aligned(self, sweep):
+        values = sweep.values("voice_volume_peak_pct")
+        assert values.shape == (2,)
+
+    def test_statistics(self, sweep):
+        metric = "gyration_change_lockdown_pct"
+        low, high = sweep.spread(metric)
+        assert low <= sweep.mean(metric) <= high
+        assert sweep.std(metric) >= 0
+
+    def test_stable_signs_on_core_findings(self, sweep):
+        assert sweep.stable_sign("gyration_change_lockdown_pct")
+        assert sweep.stable_sign("voice_volume_peak_pct")
+
+    def test_rows_cover_metrics(self, sweep):
+        rows = sweep.to_rows()
+        assert len(rows) == len(sweep.metrics())
+        assert all("mean" in row for row in rows)
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            seed_sweep([])

@@ -1,0 +1,92 @@
+"""Tests for weekly-rhythm and recovery-slope analyses."""
+
+import numpy as np
+import pytest
+
+from repro.core.recovery import rank_recoveries, recovery_slope
+from repro.core.report import heatmap
+from repro.core.seasonality import weekly_rhythm
+
+
+class TestWeeklyRhythm:
+    def test_lockdown_flattens_the_week(self, study, feeds):
+        fig3 = study.fig3()["gyration"]
+        rhythm = weekly_rhythm(
+            fig3.values["UK"], fig3.x, feeds.calendar
+        )
+        # Pre-pandemic weeks have a clear weekday > weekend gap
+        # (footnote 2 of the paper); lockdown shrinks it (residual
+        # essential commuting keeps some rhythm alive).
+        assert rhythm.gap_at(9) > 10.0
+        assert rhythm.gap_at(15) < rhythm.gap_at(9) * 0.8
+
+    def test_gap_accessor(self, study, feeds):
+        fig3 = study.fig3()["gyration"]
+        rhythm = weekly_rhythm(fig3.values["UK"], fig3.x, feeds.calendar)
+        assert rhythm.gap.shape == rhythm.weeks.shape
+        with pytest.raises(KeyError):
+            rhythm.gap_at(42)
+
+    def test_misaligned_rejected(self, feeds):
+        with pytest.raises(ValueError):
+            weekly_rhythm(np.ones(3), np.arange(4), feeds.calendar)
+
+
+class TestRecoverySlopes:
+    def test_london_recovers_faster_than_midlands(self, study):
+        fig5 = study.fig5()["gyration"]
+        london = recovery_slope(fig5, "Inner London")
+        midlands = recovery_slope(fig5, "West Midlands")
+        assert london.slope_pp_per_week > midlands.slope_pp_per_week
+
+    def test_ranking_order(self, study):
+        fig5 = study.fig5()["gyration"]
+        ranked = rank_recoveries(fig5)
+        slopes = [fit.slope_pp_per_week for fit in ranked]
+        assert slopes == sorted(slopes, reverse=True)
+        assert len(ranked) == len(fig5.values)
+
+    def test_slope_fit_on_synthetic_line(self, study):
+        fig5 = study.fig5()["gyration"]
+        fit = recovery_slope(fig5, "Inner London", 14, 19)
+        # The fit reproduces the series endpoints approximately.
+        predicted_19 = fit.intercept + fit.slope_pp_per_week * 19
+        actual_19 = fig5.at_week("Inner London", 19)
+        assert predicted_19 == pytest.approx(actual_19, abs=8.0)
+
+    def test_requires_weekly_series(self, study):
+        fig3 = study.fig3()["gyration"]
+        with pytest.raises(ValueError):
+            recovery_slope(fig3, "UK")
+
+    def test_window_too_small(self, study):
+        fig5 = study.fig5()["gyration"]
+        with pytest.raises(ValueError):
+            recovery_slope(fig5, "Inner London", 19, 19)
+
+
+class TestHeatmap:
+    def test_renders_rows(self):
+        matrix = np.array([[0.0, -50.0], [0.0, 120.0]])
+        out = heatmap(matrix, ["home", "away"], title="Fig 7")
+        assert "home" in out and "away" in out
+        assert "scale:" in out
+
+    def test_nan_marker(self):
+        out = heatmap(np.array([[np.nan, 1.0]]), ["row"])
+        assert "·" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            heatmap(np.zeros(3), ["a"])
+        with pytest.raises(ValueError):
+            heatmap(np.zeros((2, 2)), ["a"])
+
+    def test_fig7_heatmap_renders(self, study):
+        matrix = study.fig7()
+        out = heatmap(
+            matrix.change_pct,
+            matrix.counties,
+            title="Fig 7 — Inner-London residents per county",
+        )
+        assert "Inner London" in out

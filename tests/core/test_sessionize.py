@@ -1,0 +1,185 @@
+"""Tests for sessionization, including event-mode / dwell-mode parity."""
+
+import numpy as np
+import pytest
+
+from repro.core import sessionize_events
+from repro.frames import Frame
+from repro.network.signaling import DwellSegments, SignalingGenerator
+
+
+def events_frame(rows):
+    return Frame.from_rows(
+        rows, columns=["user_id", "site_id", "timestamp_s"]
+    )
+
+
+class TestSessionize:
+    def test_simple_two_segments(self):
+        events = events_frame(
+            [
+                {"user_id": 1, "site_id": 10, "timestamp_s": 0.0},
+                {"user_id": 1, "site_id": 20, "timestamp_s": 30_000.0},
+            ]
+        )
+        out = sessionize_events(events)
+        dwell = {
+            (u, s): d
+            for u, s, d in zip(out["user_id"], out["site_id"], out["dwell_s"])
+        }
+        assert dwell[(1, 10)] == pytest.approx(30_000.0)
+        assert dwell[(1, 20)] == pytest.approx(56_400.0)
+
+    def test_total_dwell_covers_day(self):
+        events = events_frame(
+            [
+                {"user_id": 1, "site_id": 10, "timestamp_s": 100.0},
+                {"user_id": 1, "site_id": 20, "timestamp_s": 40_000.0},
+                {"user_id": 1, "site_id": 10, "timestamp_s": 70_000.0},
+            ]
+        )
+        out = sessionize_events(events)
+        # Dwell from first event to end of day.
+        assert out["dwell_s"].sum() == pytest.approx(86_400.0 - 100.0)
+
+    def test_repeated_site_accumulates(self):
+        events = events_frame(
+            [
+                {"user_id": 1, "site_id": 10, "timestamp_s": 0.0},
+                {"user_id": 1, "site_id": 20, "timestamp_s": 20_000.0},
+                {"user_id": 1, "site_id": 10, "timestamp_s": 40_000.0},
+            ]
+        )
+        out = sessionize_events(events)
+        dwell = dict(zip(out["site_id"], out["dwell_s"]))
+        assert dwell[10] == pytest.approx(20_000.0 + 46_400.0)
+
+    def test_multiple_users_segmented(self):
+        events = events_frame(
+            [
+                {"user_id": 2, "site_id": 30, "timestamp_s": 0.0},
+                {"user_id": 1, "site_id": 10, "timestamp_s": 0.0},
+            ]
+        )
+        out = sessionize_events(events)
+        assert len(out) == 2
+        assert np.all(out["dwell_s"] == pytest.approx(86_400.0))
+
+    def test_unsorted_input_handled(self):
+        events = events_frame(
+            [
+                {"user_id": 1, "site_id": 20, "timestamp_s": 50_000.0},
+                {"user_id": 1, "site_id": 10, "timestamp_s": 0.0},
+            ]
+        )
+        out = sessionize_events(events)
+        dwell = dict(zip(out["site_id"], out["dwell_s"]))
+        assert dwell[10] == pytest.approx(50_000.0)
+
+    def test_empty_feed(self):
+        out = sessionize_events(
+            Frame(
+                {
+                    "user_id": np.empty(0, dtype=np.int64),
+                    "site_id": np.empty(0, dtype=np.int64),
+                    "timestamp_s": np.empty(0),
+                }
+            )
+        )
+        assert len(out) == 0
+
+    def test_custom_day_end(self):
+        events = events_frame(
+            [{"user_id": 1, "site_id": 10, "timestamp_s": 1000.0}]
+        )
+        out = sessionize_events(events, day_end_s=2000.0)
+        assert out["dwell_s"][0] == pytest.approx(1000.0)
+
+
+class TestEventDwellParity:
+    """The paper-critical consistency check: the passive-measurement
+    path (signalling events → sessionization) recovers the simulator's
+    ground-truth dwell times."""
+
+    def make_segments(self, seed=3, users=40):
+        rng = np.random.default_rng(seed)
+        rows = []
+        for user in range(users):
+            boundaries = np.sort(
+                rng.choice(np.arange(1, 24), size=3, replace=False)
+            ) * 3600.0
+            starts = np.concatenate([[0.0], boundaries])
+            ends = np.concatenate([boundaries, [86_400.0]])
+            sites = rng.choice(100, size=4, replace=False)
+            for site, start, end in zip(sites, starts, ends):
+                rows.append((user, site, start, end - start))
+        users_arr, sites_arr, starts_arr, durations_arr = map(
+            np.asarray, zip(*rows)
+        )
+        return DwellSegments(
+            user_ids=users_arr.astype(np.int64),
+            site_ids=sites_arr.astype(np.int64),
+            start_s=starts_arr.astype(np.float64),
+            duration_s=durations_arr.astype(np.float64),
+        )
+
+    def test_sessionized_dwell_matches_ground_truth(self):
+        segments = self.make_segments()
+        generator = SignalingGenerator()
+        feed = generator.generate_day(segments, np.random.default_rng(5))
+        out = sessionize_events(feed)
+
+        recovered = {
+            (int(u), int(s)): float(d)
+            for u, s, d in zip(
+                out["user_id"], out["site_id"], out["dwell_s"]
+            )
+        }
+        truth: dict[tuple[int, int], float] = {}
+        for u, s, d in zip(
+            segments.user_ids, segments.site_ids, segments.duration_s
+        ):
+            truth[(int(u), int(s))] = truth.get((int(u), int(s)), 0.0) + float(d)
+
+        assert set(recovered) == set(truth)
+        for key, expected in truth.items():
+            # Small offsets from in-segment events (auth +0.5s, detach
+            # -0.5s) are below a per-segment second.
+            assert recovered[key] == pytest.approx(expected, abs=5.0)
+
+    def test_parity_preserves_entropy(self):
+        from repro.core import mobility_entropy
+
+        segments = self.make_segments(seed=9)
+        generator = SignalingGenerator()
+        feed = generator.generate_day(segments, np.random.default_rng(2))
+        out = sessionize_events(feed)
+
+        def entropy_from(pairs):
+            users = sorted({u for u, _ in pairs})
+            k = max(sum(1 for key in pairs if key[0] == u) for u in users)
+            dwell = np.zeros((len(users), k))
+            sites = np.zeros((len(users), k), dtype=np.int64)
+            for row, user in enumerate(users):
+                items = [
+                    (s, d) for (u, s), d in pairs.items() if u == user
+                ]
+                for col, (site, duration) in enumerate(items):
+                    dwell[row, col] = duration
+                    sites[row, col] = site
+            return mobility_entropy(dwell, sites)
+
+        recovered = {
+            (int(u), int(s)): float(d)
+            for u, s, d in zip(
+                out["user_id"], out["site_id"], out["dwell_s"]
+            )
+        }
+        truth: dict[tuple[int, int], float] = {}
+        for u, s, d in zip(
+            segments.user_ids, segments.site_ids, segments.duration_s
+        ):
+            truth[(int(u), int(s))] = truth.get((int(u), int(s)), 0.0) + float(d)
+        np.testing.assert_allclose(
+            entropy_from(recovered), entropy_from(truth), atol=0.01
+        )

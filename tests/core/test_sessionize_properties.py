@@ -1,0 +1,78 @@
+"""Property-based tests for sessionization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import sessionize_events
+from repro.frames import Frame
+
+
+@st.composite
+def event_feeds(draw):
+    num_users = draw(st.integers(min_value=1, max_value=6))
+    rows = []
+    for user in range(num_users):
+        num_events = draw(st.integers(min_value=1, max_value=8))
+        times = sorted(
+            draw(
+                st.lists(
+                    st.floats(min_value=0, max_value=86_399),
+                    min_size=num_events,
+                    max_size=num_events,
+                )
+            )
+        )
+        for time in times:
+            site = draw(st.integers(min_value=0, max_value=4))
+            rows.append(
+                {"user_id": user, "site_id": site, "timestamp_s": time}
+            )
+    return Frame.from_rows(
+        rows, columns=["user_id", "site_id", "timestamp_s"]
+    )
+
+
+class TestSessionizeProperties:
+    @given(event_feeds())
+    @settings(max_examples=80, deadline=None)
+    def test_dwell_covers_first_event_to_day_end(self, events):
+        out = sessionize_events(events)
+        for user in np.unique(events["user_id"]):
+            first = events["timestamp_s"][events["user_id"] == user].min()
+            total = out["dwell_s"][out["user_id"] == user].sum()
+            assert total == pytest.approx(86_400.0 - first, abs=1e-6)
+
+    @given(event_feeds())
+    @settings(max_examples=80, deadline=None)
+    def test_dwell_non_negative(self, events):
+        out = sessionize_events(events)
+        assert np.all(out["dwell_s"] > 0)
+
+    @given(event_feeds())
+    @settings(max_examples=80, deadline=None)
+    def test_sites_subset_of_observed(self, events):
+        out = sessionize_events(events)
+        observed = set(events["site_id"].tolist())
+        assert set(out["site_id"].tolist()) <= observed
+
+    @given(event_feeds())
+    @settings(max_examples=60, deadline=None)
+    def test_order_invariant(self, events):
+        shuffled = events.take(
+            np.random.default_rng(0).permutation(len(events))
+        )
+        first = sessionize_events(events).sort_by(["user_id", "site_id"])
+        second = sessionize_events(shuffled).sort_by(
+            ["user_id", "site_id"]
+        )
+        assert first["user_id"].tolist() == second["user_id"].tolist()
+        assert np.allclose(first["dwell_s"], second["dwell_s"])
+
+    @given(event_feeds())
+    @settings(max_examples=60, deadline=None)
+    def test_unique_user_site_rows(self, events):
+        out = sessionize_events(events)
+        keys = list(zip(out["user_id"].tolist(), out["site_id"].tolist()))
+        assert len(keys) == len(set(keys))

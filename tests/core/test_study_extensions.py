@@ -1,0 +1,50 @@
+"""Tests for the study's extended convenience methods."""
+
+import pytest
+
+
+class TestVerdicts:
+    def test_verdicts_available(self, study):
+        verdicts = study.verdicts()
+        assert len(verdicts) >= 20
+        passed = sum(verdict.passed for verdict in verdicts)
+        assert passed / len(verdicts) >= 0.85
+
+    def test_verdict_objects(self, study):
+        verdict = study.verdicts()[0]
+        assert hasattr(verdict.target, "section")
+        assert isinstance(verdict.passed, bool)
+
+
+class TestRecoveryRanking:
+    def test_ranking_covers_regions(self, study):
+        ranked = study.recovery_ranking()
+        groups = {fit.group for fit in ranked}
+        assert "Inner London" in groups
+        assert "West Midlands" in groups
+
+    def test_london_above_midlands(self, study):
+        ranked = study.recovery_ranking()
+        position = {fit.group: i for i, fit in enumerate(ranked)}
+        assert position["Inner London"] < position["West Midlands"]
+
+
+class TestWeeklyRhythmMethod:
+    def test_rhythm_weeks(self, study):
+        rhythm = study.weekly_rhythm()
+        assert rhythm.weeks[0] == 9
+        assert rhythm.gap_at(9) > 0
+
+    def test_entropy_rhythm_also_available(self, study):
+        rhythm = study.weekly_rhythm("entropy")
+        assert rhythm.gap.shape == rhythm.weeks.shape
+
+
+class TestSummaryGrowthKeys:
+    def test_growth_framings_present(self, study):
+        summary = study.summary()
+        assert "data_years_rewound" in summary
+        assert "voice_years_of_growth" in summary
+        assert summary["voice_years_of_growth"] == pytest.approx(
+            7.0, abs=2.0
+        )

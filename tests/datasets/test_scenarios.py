@@ -1,0 +1,120 @@
+"""Tests for the canned scenario builders (at tiny scale)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CovidImpactStudy
+from repro.datasets.scenarios import no_lockdown_config
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import Simulator
+
+
+@pytest.fixture(scope="module")
+def factual():
+    return Simulator(SimulationConfig.tiny(seed=31)).run()
+
+
+@pytest.fixture(scope="module")
+def counterfactual():
+    config = no_lockdown_config(SimulationConfig.tiny(seed=31))
+    return Simulator(config).run()
+
+
+class TestNoLockdownCounterfactual:
+    def test_mobility_stays_flat(self, counterfactual):
+        study = CovidImpactStudy(counterfactual)
+        series = study.fig3()["gyration"]
+        weeks_of_day = counterfactual.calendar.weeks[series.x]
+        # Weekly means stay near baseline (daily values still show the
+        # ordinary weekday/weekend seasonality).
+        weekly = [
+            series.values["UK"][weeks_of_day == week].mean()
+            for week in range(10, 20)
+        ]
+        assert min(weekly) > -10.0
+        assert max(weekly) < 10.0
+
+    def test_factual_mobility_drops(self, factual):
+        study = CovidImpactStudy(factual)
+        gyration = study.fig3()["gyration"].values["UK"]
+        assert gyration.min() < -35.0
+
+    def test_no_voice_surge(self, counterfactual):
+        study = CovidImpactStudy(counterfactual)
+        voice = study.fig9()["voice_volume_mb"]
+        assert voice.maximum("UK")[1] < 30.0
+
+    def test_no_interconnect_incident(self, counterfactual):
+        assert counterfactual.interconnect_upgrade_day is None
+
+    def test_dl_volume_does_not_collapse(self, counterfactual):
+        study = CovidImpactStudy(counterfactual)
+        dl = study.fig8()["dl_volume_mb"]
+        assert dl.minimum("UK")[1] > -12.0
+
+
+class TestNoOpsResponseAblation:
+    def test_loss_never_recovers(self):
+        config = SimulationConfig.tiny(seed=31).with_overrides(
+            interconnect_detection_days=10_000
+        )
+        feeds = Simulator(config).run()
+        assert feeds.interconnect_upgrade_day is None
+        study = CovidImpactStudy(feeds)
+        loss = study.fig9()["voice_dl_loss_rate"]
+        # Without the capacity upgrade, loss stays elevated while the
+        # voice surge lasts.
+        late = loss.values["UK"][loss.weeks >= 14]
+        assert late.mean() > 50.0
+
+    def test_ops_response_restores_loss(self, factual):
+        study = CovidImpactStudy(factual)
+        loss = study.fig9()["voice_dl_loss_rate"]
+        late = loss.values["UK"][loss.weeks >= 14]
+        assert late.mean() < 20.0
+
+
+class TestPresets:
+    def test_tiny_preset_structure(self, factual):
+        assert factual.num_users > 1000
+        assert factual.topology.num_sites > 100
+        assert len(factual.radio_kpis) > 0
+
+    def test_config_attached(self, factual):
+        assert isinstance(factual.config, SimulationConfig)
+
+    def test_with_overrides(self):
+        config = SimulationConfig.tiny().with_overrides(seed=99)
+        assert config.seed == 99
+        assert config.num_users == SimulationConfig.tiny().num_users
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(num_users=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(target_site_count=0)
+
+
+class TestBuilderFunctions:
+    def test_uk_tiny_builder(self):
+        from repro.datasets import uk_tiny
+
+        feeds = uk_tiny(seed=17)
+        assert feeds.num_users > 1000
+        assert feeds.config.seed == 17
+
+    def test_london_focus_builder(self):
+        from repro.datasets import london_focus
+
+        feeds = london_focus(seed=17, num_users=1600)
+        assert feeds.config.num_users == 1600
+        assert feeds.config.target_site_count >= 100
+
+    def test_counterfactual_builders_exposed(self):
+        from repro import datasets
+
+        for name in (
+            "uk_default", "uk_small", "uk_tiny", "london_focus",
+            "counterfactual_no_lockdown", "counterfactual_no_ops_response",
+        ):
+            assert callable(getattr(datasets, name))

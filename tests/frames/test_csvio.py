@@ -1,0 +1,80 @@
+"""Unit tests for CSV round-trip."""
+
+import numpy as np
+import pytest
+
+from repro.frames import Frame, read_csv, write_csv
+from repro.frames.csvio import dumps_csv, loads_csv
+
+
+@pytest.fixture()
+def sample() -> Frame:
+    return Frame(
+        {
+            "cell": ["a", "b"],
+            "volume": [1.5, 2.25],
+            "users": np.array([3, 4], dtype=np.int64),
+        }
+    )
+
+
+class TestRoundTrip:
+    def test_file_round_trip(self, sample, tmp_path):
+        path = tmp_path / "feed.csv"
+        write_csv(sample, path)
+        back = read_csv(path)
+        assert back == sample
+
+    def test_string_round_trip(self, sample):
+        assert loads_csv(dumps_csv(sample)) == sample
+
+    def test_dtypes_inferred(self, sample):
+        back = loads_csv(dumps_csv(sample))
+        assert back["users"].dtype == np.int64
+        assert back["volume"].dtype == np.float64
+        assert back["cell"].dtype.kind == "U"
+
+    def test_empty_text(self):
+        assert len(loads_csv("")) == 0
+
+    def test_header_only(self):
+        frame = loads_csv("a,b\n")
+        assert frame.column_names == ("a", "b")
+        assert len(frame) == 0
+
+    def test_ragged_row_raises(self):
+        with pytest.raises(ValueError, match="fields"):
+            loads_csv("a,b\n1\n")
+
+    def test_mixed_ints_and_floats_become_float(self):
+        frame = loads_csv("x\n1\n2.5\n")
+        assert frame["x"].dtype == np.float64
+
+    def test_non_numeric_stays_string(self):
+        frame = loads_csv("x\n1\nhello\n")
+        assert frame["x"].dtype.kind == "U"
+
+
+class TestEdgeCases:
+    def test_commas_in_strings_quoted(self):
+        frame = Frame({"s": ["a,b", "plain"]})
+        assert loads_csv(dumps_csv(frame)) == frame
+
+    def test_quotes_in_strings(self):
+        frame = Frame({"s": ['say "hi"', "x"]})
+        assert loads_csv(dumps_csv(frame)) == frame
+
+    def test_bool_round_trip(self):
+        frame = Frame({"flag": np.array([True, False, True])})
+        back = loads_csv(dumps_csv(frame))
+        assert back["flag"].dtype == bool
+        assert back["flag"].tolist() == [True, False, True]
+
+    def test_bool_like_strings_with_other_values_stay_strings(self):
+        frame = loads_csv("x\nTrue\nmaybe\n")
+        assert frame["x"].dtype.kind == "U"
+
+    def test_negative_and_scientific_floats(self):
+        frame = Frame({"v": [-1.5, 2.5e-8]})
+        back = loads_csv(dumps_csv(frame))
+        assert np.allclose(back["v"], frame["v"])

@@ -1,0 +1,234 @@
+"""Unit tests for the Frame column-store."""
+
+import numpy as np
+import pytest
+
+from repro.frames import Frame, concat
+
+
+@pytest.fixture()
+def sample() -> Frame:
+    return Frame(
+        {
+            "cell": ["a", "b", "a", "c"],
+            "volume": [1.0, 2.0, 3.0, 4.0],
+            "users": [10, 20, 30, 40],
+        }
+    )
+
+
+class TestConstruction:
+    def test_empty_frame(self):
+        frame = Frame()
+        assert len(frame) == 0
+        assert frame.column_names == ()
+
+    def test_column_lengths_must_match(self):
+        with pytest.raises(ValueError, match="unequal lengths"):
+            Frame({"a": [1, 2], "b": [1]})
+
+    def test_scalar_column_rejected(self):
+        with pytest.raises(ValueError, match="scalar"):
+            Frame({"a": 3})
+
+    def test_2d_column_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            Frame({"a": np.zeros((2, 2))})
+
+    def test_object_strings_normalized(self):
+        frame = Frame({"s": np.array(["x", "yy"], dtype=object)})
+        assert frame["s"].dtype.kind == "U"
+
+    def test_from_rows(self):
+        frame = Frame.from_rows([{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        assert frame["a"].tolist() == [1, 2]
+        assert frame["b"].tolist() == ["x", "y"]
+
+    def test_from_rows_empty(self):
+        frame = Frame.from_rows([], columns=["a", "b"])
+        assert frame.column_names == ("a", "b")
+        assert len(frame) == 0
+
+    def test_from_rows_fixed_schema(self):
+        frame = Frame.from_rows(
+            [{"a": 1, "b": 2, "c": 3}], columns=["c", "a"]
+        )
+        assert frame.column_names == ("c", "a")
+
+
+class TestAccess:
+    def test_getitem_missing_column_raises(self, sample):
+        with pytest.raises(KeyError, match="available"):
+            sample["nope"]
+
+    def test_contains(self, sample):
+        assert "cell" in sample
+        assert "nope" not in sample
+
+    def test_row(self, sample):
+        assert sample.row(1) == {"cell": "b", "volume": 2.0, "users": 20}
+
+    def test_row_out_of_range(self, sample):
+        with pytest.raises(IndexError):
+            sample.row(4)
+
+    def test_negative_row(self, sample):
+        assert sample.row(-1)["cell"] == "c"
+
+    def test_iter_rows(self, sample):
+        rows = list(sample.iter_rows())
+        assert len(rows) == 4
+        assert rows[0]["users"] == 10
+
+    def test_repr_mentions_schema(self, sample):
+        assert "volume" in repr(sample)
+        assert "4 rows" in repr(sample)
+
+
+class TestRelationalOps:
+    def test_filter(self, sample):
+        out = sample.filter(sample["volume"] > 1.5)
+        assert out["cell"].tolist() == ["b", "a", "c"]
+
+    def test_filter_requires_bool(self, sample):
+        with pytest.raises(TypeError, match="boolean"):
+            sample.filter(np.array([1, 0, 1, 0]))
+
+    def test_filter_wrong_length(self, sample):
+        with pytest.raises(ValueError, match="does not match"):
+            sample.filter(np.array([True, False]))
+
+    def test_select_reorders(self, sample):
+        out = sample.select(["users", "cell"])
+        assert out.column_names == ("users", "cell")
+
+    def test_drop(self, sample):
+        out = sample.drop(["users"])
+        assert out.column_names == ("cell", "volume")
+
+    def test_drop_missing_raises(self, sample):
+        with pytest.raises(KeyError):
+            sample.drop(["nope"])
+
+    def test_take(self, sample):
+        out = sample.take([3, 0])
+        assert out["cell"].tolist() == ["c", "a"]
+
+    def test_head(self, sample):
+        assert len(sample.head(2)) == 2
+        assert len(sample.head(100)) == 4
+
+    def test_sort_by_single(self, sample):
+        out = sample.sort_by("cell")
+        assert out["cell"].tolist() == ["a", "a", "b", "c"]
+
+    def test_sort_by_multi_primary_first(self):
+        frame = Frame({"k": ["b", "a", "b", "a"], "v": [2, 2, 1, 1]})
+        out = frame.sort_by(["k", "v"])
+        assert out["k"].tolist() == ["a", "a", "b", "b"]
+        assert out["v"].tolist() == [1, 2, 1, 2]
+
+    def test_sort_descending(self, sample):
+        out = sample.sort_by("volume", descending=True)
+        assert out["volume"].tolist() == [4.0, 3.0, 2.0, 1.0]
+
+    def test_sort_no_keys(self, sample):
+        with pytest.raises(ValueError):
+            sample.sort_by([])
+
+    def test_unique(self, sample):
+        assert sample.unique("cell").tolist() == ["a", "b", "c"]
+
+    def test_mask_isin(self, sample):
+        mask = sample.mask_isin("cell", ["a", "c"])
+        assert mask.tolist() == [True, False, True, True]
+
+    def test_with_column_adds(self, sample):
+        out = sample.with_column("double", sample["volume"] * 2)
+        assert out["double"].tolist() == [2.0, 4.0, 6.0, 8.0]
+        assert "double" not in sample
+
+    def test_with_column_replaces(self, sample):
+        out = sample.with_column("users", [0, 0, 0, 0])
+        assert out["users"].tolist() == [0, 0, 0, 0]
+
+    def test_with_column_length_checked(self, sample):
+        with pytest.raises(ValueError, match="length"):
+            sample.with_column("x", [1, 2])
+
+    def test_rename(self, sample):
+        out = sample.rename({"volume": "dl_volume"})
+        assert "dl_volume" in out
+        assert "volume" not in out
+
+    def test_rename_missing_raises(self, sample):
+        with pytest.raises(KeyError):
+            sample.rename({"nope": "x"})
+
+
+class TestEquality:
+    def test_equal_frames(self):
+        left = Frame({"a": [1, 2]})
+        right = Frame({"a": [1, 2]})
+        assert left == right
+
+    def test_unequal_values(self):
+        assert Frame({"a": [1]}) != Frame({"a": [2]})
+
+    def test_unequal_schema(self):
+        assert Frame({"a": [1]}) != Frame({"b": [1]})
+
+    def test_eq_non_frame(self):
+        assert Frame({"a": [1]}) != 42
+
+
+class TestConcat:
+    def test_concat_two(self, sample):
+        out = concat([sample, sample])
+        assert len(out) == 8
+        assert out["cell"].tolist()[:4] == out["cell"].tolist()[4:]
+
+    def test_concat_empty_list(self):
+        assert len(concat([])) == 0
+
+    def test_concat_schema_mismatch(self):
+        with pytest.raises(ValueError, match="schema"):
+            concat([Frame({"a": [1]}), Frame({"b": [1]})])
+
+
+class TestPretty:
+    def test_pretty_contains_header_and_values(self, sample):
+        text = sample.to_pretty()
+        assert "cell" in text
+        assert "volume" in text
+
+    def test_pretty_truncates(self, sample):
+        text = sample.to_pretty(max_rows=2)
+        assert "more rows" in text
+
+    def test_pretty_empty(self):
+        assert Frame().to_pretty() == "(empty frame)"
+
+
+class TestDescribe:
+    def test_numeric_columns_only(self, sample):
+        stats = sample.describe()
+        assert stats["column"].tolist() == ["volume", "users"]
+
+    def test_statistics_correct(self, sample):
+        stats = sample.describe()
+        row = stats.row(0)
+        assert row["count"] == 4
+        assert row["mean"] == pytest.approx(2.5)
+        assert row["min"] == 1.0
+        assert row["max"] == 4.0
+        assert row["median"] == pytest.approx(2.5)
+
+    def test_empty_numeric_column(self):
+        frame = Frame({"v": np.array([], dtype=float)})
+        stats = frame.describe()
+        assert stats.row(0)["count"] == 0
+
+    def test_no_numeric_columns(self):
+        frame = Frame({"s": ["a", "b"]})
+        assert len(frame.describe()) == 0

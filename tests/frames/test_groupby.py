@@ -1,0 +1,139 @@
+"""Unit tests for group-by aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.frames import Frame, group_by
+
+
+@pytest.fixture()
+def kpis() -> Frame:
+    return Frame(
+        {
+            "cell": ["a", "a", "a", "b", "b", "c"],
+            "day": [1, 1, 2, 1, 2, 1],
+            "volume": [1.0, 3.0, 5.0, 2.0, 4.0, 10.0],
+            "users": [1, 2, 3, 4, 5, 6],
+        }
+    )
+
+
+class TestBasics:
+    def test_num_groups_single_key(self, kpis):
+        assert group_by(kpis, "cell").num_groups == 3
+
+    def test_num_groups_multi_key(self, kpis):
+        assert group_by(kpis, ["cell", "day"]).num_groups == 5
+
+    def test_requires_keys(self, kpis):
+        with pytest.raises(ValueError):
+            group_by(kpis, [])
+
+    def test_sizes(self, kpis):
+        sizes = group_by(kpis, "cell").sizes()
+        assert sizes["cell"].tolist() == ["a", "b", "c"]
+        assert sizes["count"].tolist() == [3, 2, 1]
+
+    def test_empty_frame(self):
+        frame = Frame({"k": np.array([], dtype=str), "v": np.array([], dtype=float)})
+        out = group_by(frame, "k").agg(total=("v", "sum"))
+        assert len(out) == 0
+
+
+class TestAggregations:
+    def test_sum(self, kpis):
+        out = group_by(kpis, "cell").agg(total=("volume", "sum"))
+        assert out["total"].tolist() == [9.0, 6.0, 10.0]
+
+    def test_mean(self, kpis):
+        out = group_by(kpis, "cell").agg(avg=("volume", "mean"))
+        assert out["avg"].tolist() == [3.0, 3.0, 10.0]
+
+    def test_median(self, kpis):
+        out = group_by(kpis, "cell").agg(med=("volume", "median"))
+        assert out["med"].tolist() == [3.0, 3.0, 10.0]
+
+    def test_min_max(self, kpis):
+        out = group_by(kpis, "cell").agg(
+            lo=("volume", "min"), hi=("volume", "max")
+        )
+        assert out["lo"].tolist() == [1.0, 2.0, 10.0]
+        assert out["hi"].tolist() == [5.0, 4.0, 10.0]
+
+    def test_count(self, kpis):
+        out = group_by(kpis, "cell").agg(n=("volume", "count"))
+        assert out["n"].tolist() == [3, 2, 1]
+
+    def test_std_matches_numpy(self, kpis):
+        out = group_by(kpis, "cell").agg(sd=("volume", "std"))
+        expected = np.std([1.0, 3.0, 5.0])
+        assert out["sd"][0] == pytest.approx(expected)
+
+    def test_first_last(self, kpis):
+        out = group_by(kpis, "cell").agg(
+            first_day=("day", "first"), last_day=("day", "last")
+        )
+        assert out["first_day"].tolist() == [1, 1, 1]
+        assert out["last_day"].tolist() == [2, 2, 1]
+
+    def test_nunique(self, kpis):
+        out = group_by(kpis, "cell").agg(days=("day", "nunique"))
+        assert out["days"].tolist() == [2, 2, 1]
+
+    def test_percentile(self, kpis):
+        out = group_by(kpis, "cell").agg(p90=("volume", ("percentile", 90)))
+        assert out["p90"][0] == pytest.approx(np.percentile([1, 3, 5], 90))
+
+    def test_callable(self, kpis):
+        out = group_by(kpis, "cell").agg(rng=("volume", np.ptp))
+        assert out["rng"].tolist() == [4.0, 2.0, 0.0]
+
+    def test_unknown_agg_raises(self, kpis):
+        with pytest.raises(ValueError, match="unknown aggregation"):
+            group_by(kpis, "cell").agg(x=("volume", "nope"))
+
+    def test_agg_without_specs_raises(self, kpis):
+        with pytest.raises(ValueError):
+            group_by(kpis, "cell").agg()
+
+    def test_multi_key_agg(self, kpis):
+        out = group_by(kpis, ["cell", "day"]).agg(total=("volume", "sum"))
+        by_key = {
+            (cell, day): value
+            for cell, day, value in zip(out["cell"], out["day"], out["total"])
+        }
+        assert by_key[("a", 1)] == 4.0
+        assert by_key[("b", 2)] == 4.0
+
+    def test_agg_matches_numpy_on_random_data(self):
+        rng = np.random.default_rng(7)
+        keys = rng.integers(0, 20, size=500)
+        values = rng.normal(size=500)
+        frame = Frame({"k": keys, "v": values})
+        out = group_by(frame, "k").agg(
+            med=("v", "median"), total=("v", "sum")
+        )
+        for key, med, total in zip(out["k"], out["med"], out["total"]):
+            chunk = values[keys == key]
+            assert med == pytest.approx(np.median(chunk))
+            assert total == pytest.approx(chunk.sum())
+
+
+class TestApply:
+    def test_apply_returns_keys_plus_values(self, kpis):
+        out = group_by(kpis, "cell").apply(
+            lambda group: {"span": float(group["volume"].max() - group["volume"].min())}
+        )
+        assert out["cell"].tolist() == ["a", "b", "c"]
+        assert out["span"].tolist() == [4.0, 2.0, 0.0]
+
+    def test_apply_empty(self):
+        frame = Frame({"k": np.array([], dtype=str)})
+        out = group_by(frame, "k").apply(lambda g: {"n": len(g)})
+        assert len(out) == 0
+
+    def test_group_indices_cover_all_rows(self, kpis):
+        order, starts, ends = group_by(kpis, "cell").group_indices()
+        assert sorted(order.tolist()) == list(range(6))
+        assert starts[0] == 0
+        assert ends[-1] == 6

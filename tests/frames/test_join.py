@@ -1,0 +1,93 @@
+"""Unit tests for frame joins."""
+
+import numpy as np
+import pytest
+
+from repro.frames import Frame, join
+
+
+@pytest.fixture()
+def cells() -> Frame:
+    return Frame(
+        {"cell": ["a", "b", "c"], "postcode": ["N1", "EC1", "SW3"]}
+    )
+
+
+@pytest.fixture()
+def kpis() -> Frame:
+    return Frame(
+        {"cell": ["a", "a", "b", "z"], "volume": [1.0, 2.0, 9.0, 7.0]}
+    )
+
+
+class TestInnerJoin:
+    def test_basic(self, kpis, cells):
+        out = join(kpis, cells, on="cell")
+        assert out["postcode"].tolist() == ["N1", "N1", "EC1"]
+        assert out["volume"].tolist() == [1.0, 2.0, 9.0]
+
+    def test_unmatched_left_rows_dropped(self, kpis, cells):
+        out = join(kpis, cells, on="cell")
+        assert "z" not in out["cell"].tolist()
+
+    def test_fanout_on_duplicate_right_keys(self):
+        left = Frame({"k": ["a"], "x": [1]})
+        right = Frame({"k": ["a", "a"], "y": [10, 20]})
+        out = join(left, right, on="k")
+        assert out["y"].tolist() == [10, 20]
+        assert out["x"].tolist() == [1, 1]
+
+    def test_multi_key(self):
+        left = Frame({"k1": ["a", "a"], "k2": [1, 2], "x": [0.5, 1.5]})
+        right = Frame({"k1": ["a"], "k2": [2], "y": [9]})
+        out = join(left, right, on=["k1", "k2"])
+        assert out["x"].tolist() == [1.5]
+        assert out["y"].tolist() == [9]
+
+    def test_name_collision_gets_suffix(self):
+        left = Frame({"k": ["a"], "v": [1]})
+        right = Frame({"k": ["a"], "v": [2]})
+        out = join(left, right, on="k")
+        assert out["v"].tolist() == [1]
+        assert out["v_right"].tolist() == [2]
+
+    def test_missing_key_raises(self, kpis, cells):
+        with pytest.raises(KeyError):
+            join(kpis, cells, on="nope")
+
+    def test_bad_how_raises(self, kpis, cells):
+        with pytest.raises(ValueError):
+            join(kpis, cells, on="cell", how="outer")
+
+
+class TestLeftJoin:
+    def test_unmatched_rows_kept_with_fill(self, kpis, cells):
+        out = join(kpis, cells, on="cell", how="left")
+        assert len(out) == 4
+        row = {
+            cell: postcode
+            for cell, postcode in zip(out["cell"], out["postcode"])
+        }
+        assert row["z"] == ""
+
+    def test_float_fill_is_nan(self):
+        left = Frame({"k": ["a", "b"]})
+        right = Frame({"k": ["a"], "v": [1.5]})
+        out = join(left, right, on="k", how="left")
+        values = dict(zip(out["k"], out["v"]))
+        assert values["a"] == 1.5
+        assert np.isnan(values["b"])
+
+    def test_int_fill_is_minus_one(self):
+        left = Frame({"k": ["a", "b"]})
+        right = Frame({"k": ["a"], "v": np.array([3], dtype=np.int64)})
+        out = join(left, right, on="k", how="left")
+        values = dict(zip(out["k"], out["v"]))
+        assert values["b"] == -1
+
+    def test_empty_right(self):
+        left = Frame({"k": ["a"], "x": [1]})
+        right = Frame({"k": np.array([], dtype=str), "y": np.array([], dtype=float)})
+        out = join(left, right, on="k", how="left")
+        assert len(out) == 1
+        assert np.isnan(out["y"][0])

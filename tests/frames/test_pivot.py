@@ -1,0 +1,64 @@
+"""Unit tests for the pivot reshape."""
+
+import numpy as np
+import pytest
+
+from repro.frames import Frame, pivot
+
+
+@pytest.fixture()
+def long_frame() -> Frame:
+    return Frame(
+        {
+            "county": ["Kent", "Kent", "Essex", "Essex", "Kent"],
+            "day": [1, 2, 1, 2, 1],
+            "visitors": [10.0, 20.0, 5.0, 7.0, 3.0],
+        }
+    )
+
+
+class TestPivot:
+    def test_sum_aggregation(self, long_frame):
+        wide = pivot(long_frame, "county", "day", "visitors")
+        assert wide["county"].tolist() == ["Essex", "Kent"]
+        assert wide["1"].tolist() == [5.0, 13.0]
+        assert wide["2"].tolist() == [7.0, 20.0]
+
+    def test_mean_aggregation(self, long_frame):
+        wide = pivot(
+            long_frame, "county", "day", "visitors", aggregate="mean"
+        )
+        assert wide["1"].tolist() == [5.0, 6.5]
+
+    def test_fill_for_missing_pairs(self):
+        frame = Frame(
+            {"k": ["a"], "c": [1], "v": [2.0]}
+        )
+        wide = pivot(frame, "k", "c", "v", fill=-1.0)
+        assert wide["1"].tolist() == [2.0]
+        sparse = Frame(
+            {"k": ["a", "b"], "c": [1, 2], "v": [2.0, 3.0]}
+        )
+        wide = pivot(sparse, "k", "c", "v", fill=-1.0)
+        by_key = dict(zip(wide["k"], wide["2"]))
+        assert by_key["a"] == -1.0
+        assert by_key["b"] == 3.0
+
+    def test_missing_column_rejected(self, long_frame):
+        with pytest.raises(KeyError):
+            pivot(long_frame, "nope", "day", "visitors")
+
+    def test_median_aggregation(self, long_frame):
+        wide = pivot(
+            long_frame, "county", "day", "visitors", aggregate="median"
+        )
+        assert wide["1"].tolist() == [5.0, 6.5]
+
+    def test_round_trip_totals(self, long_frame):
+        wide = pivot(long_frame, "county", "day", "visitors")
+        total = sum(
+            wide[name].sum() for name in wide.column_names
+            if name != "county"
+        )
+        assert total == pytest.approx(long_frame["visitors"].sum())
+

@@ -1,0 +1,102 @@
+"""Property-based tests for the frames substrate (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frames import Frame, concat, group_by, join
+from repro.frames.csvio import dumps_csv, loads_csv
+
+keys = st.lists(
+    st.sampled_from(["a", "b", "c", "d", "e"]), min_size=1, max_size=60
+)
+floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def keyed_frames(draw):
+    key_values = draw(keys)
+    size = len(key_values)
+    values = draw(
+        st.lists(floats, min_size=size, max_size=size)
+    )
+    return Frame({"k": key_values, "v": values})
+
+
+class TestGroupByProperties:
+    @given(keyed_frames())
+    @settings(max_examples=60, deadline=None)
+    def test_group_sums_partition_total(self, frame):
+        out = group_by(frame, "k").agg(total=("v", "sum"))
+        assert np.isclose(out["total"].sum(), frame["v"].sum())
+
+    @given(keyed_frames())
+    @settings(max_examples=60, deadline=None)
+    def test_group_counts_partition_rows(self, frame):
+        sizes = group_by(frame, "k").sizes()
+        assert sizes["count"].sum() == len(frame)
+
+    @given(keyed_frames())
+    @settings(max_examples=60, deadline=None)
+    def test_median_between_min_and_max(self, frame):
+        out = group_by(frame, "k").agg(
+            med=("v", "median"), lo=("v", "min"), hi=("v", "max")
+        )
+        assert np.all(out["lo"] <= out["med"] + 1e-12)
+        assert np.all(out["med"] <= out["hi"] + 1e-12)
+
+    @given(keyed_frames())
+    @settings(max_examples=60, deadline=None)
+    def test_groups_match_python_reference(self, frame):
+        out = group_by(frame, "k").agg(total=("v", "sum"))
+        reference = {}
+        for key, value in zip(frame["k"], frame["v"]):
+            reference[key] = reference.get(key, 0.0) + value
+        for key, total in zip(out["k"], out["total"]):
+            assert np.isclose(total, reference[key])
+
+
+class TestFrameProperties:
+    @given(keyed_frames())
+    @settings(max_examples=60, deadline=None)
+    def test_sort_is_permutation(self, frame):
+        out = frame.sort_by("v")
+        assert sorted(out["v"].tolist()) == sorted(frame["v"].tolist())
+        assert np.all(np.diff(out["v"]) >= 0)
+
+    @given(keyed_frames())
+    @settings(max_examples=60, deadline=None)
+    def test_filter_then_concat_recovers_rows(self, frame):
+        mask = frame["v"] >= 0
+        kept = frame.filter(mask)
+        dropped = frame.filter(~mask)
+        assert len(kept) + len(dropped) == len(frame)
+        merged = concat([kept, dropped])
+        assert sorted(merged["v"].tolist()) == sorted(frame["v"].tolist())
+
+    @given(keyed_frames())
+    @settings(max_examples=40, deadline=None)
+    def test_csv_round_trip(self, frame):
+        back = loads_csv(dumps_csv(frame))
+        assert back["k"].tolist() == frame["k"].tolist()
+        assert np.allclose(back["v"], frame["v"])
+
+
+class TestJoinProperties:
+    @given(keyed_frames())
+    @settings(max_examples=40, deadline=None)
+    def test_join_with_unique_right_preserves_rows(self, frame):
+        lookup = Frame(
+            {"k": ["a", "b", "c", "d", "e"], "tag": [1, 2, 3, 4, 5]}
+        )
+        out = join(frame, lookup, on="k")
+        assert len(out) == len(frame)
+
+    @given(keyed_frames())
+    @settings(max_examples=40, deadline=None)
+    def test_left_join_never_drops_rows(self, frame):
+        lookup = Frame({"k": ["a"], "tag": [1]})
+        out = join(frame, lookup, on="k", how="left")
+        assert len(out) == len(frame)

@@ -1,0 +1,82 @@
+"""Tests for rolling/seasonality helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frames.timeseries import (
+    deseasonalize,
+    rolling_mean,
+    rolling_median,
+    weekly_seasonality,
+)
+
+
+class TestRolling:
+    def test_constant_series_unchanged(self):
+        values = np.full(10, 3.0)
+        assert np.allclose(rolling_mean(values), 3.0)
+        assert np.allclose(rolling_median(values), 3.0)
+
+    def test_window_one_identity(self):
+        values = np.array([1.0, 5.0, 2.0])
+        assert np.allclose(rolling_mean(values, 1), values)
+        assert np.allclose(rolling_median(values, 1), values)
+
+    def test_centered_mean(self):
+        values = np.array([0.0, 3.0, 6.0])
+        out = rolling_mean(values, 3)
+        assert out[1] == pytest.approx(3.0)
+        assert out[0] == pytest.approx(1.5)  # partial edge window
+
+    def test_median_robust_to_spike(self):
+        values = np.array([1.0, 1.0, 100.0, 1.0, 1.0])
+        out = rolling_median(values, 5)
+        assert out[2] == pytest.approx(1.0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            rolling_mean(np.ones(3), 0)
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            rolling_mean(np.ones((2, 2)), 3)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e3, max_value=1e3),
+            min_size=3, max_size=40,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_rolling_mean_within_range(self, raw):
+        values = np.array(raw)
+        out = rolling_mean(values, 7)
+        assert out.min() >= values.min() - 1e-9
+        assert out.max() <= values.max() + 1e-9
+
+
+class TestSeasonality:
+    def make_weekly_series(self, weeks=6):
+        weekdays = np.tile(np.arange(7), weeks)
+        # Weekends systematically lower.
+        values = np.where(weekdays >= 5, 5.0, 10.0)
+        return values.astype(float), weekdays
+
+    def test_detects_weekend_dip(self):
+        values, weekdays = self.make_weekly_series()
+        pattern = weekly_seasonality(values, weekdays)
+        assert pattern[5] < pattern[1]
+        assert pattern[6] < pattern[1]
+
+    def test_deseasonalize_flattens(self):
+        values, weekdays = self.make_weekly_series()
+        flat = deseasonalize(values, weekdays)
+        middle = flat[7:-7]
+        assert middle.std() < values[7:-7].std()
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            weekly_seasonality(np.ones(5), np.zeros(4, dtype=int))
+

@@ -1,0 +1,104 @@
+"""Unit tests for coordinate helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import LatLon, haversine_km, pairwise_distance_km, weighted_centroid
+from repro.geo.coordinates import scatter_around
+
+uk_lats = st.floats(min_value=49.5, max_value=59.0)
+uk_lons = st.floats(min_value=-8.0, max_value=2.0)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_km(51.5, -0.12, 51.5, -0.12) == pytest.approx(0.0)
+
+    def test_london_manchester(self):
+        # Real-world distance is roughly 262 km.
+        distance = haversine_km(51.512, -0.118, 53.48, -2.24)
+        assert 250 < distance < 275
+
+    def test_vectorized_broadcast(self):
+        lats = np.array([51.0, 52.0, 53.0])
+        out = haversine_km(lats, 0.0, 51.0, 0.0)
+        assert out.shape == (3,)
+        assert out[0] == pytest.approx(0.0)
+        assert out[1] > 100
+
+    def test_one_degree_latitude_is_about_111km(self):
+        assert haversine_km(51.0, 0.0, 52.0, 0.0) == pytest.approx(111.2, rel=0.01)
+
+    @given(uk_lats, uk_lons, uk_lats, uk_lons)
+    @settings(max_examples=50, deadline=None)
+    def test_symmetry(self, lat1, lon1, lat2, lon2):
+        forward = haversine_km(lat1, lon1, lat2, lon2)
+        backward = haversine_km(lat2, lon2, lat1, lon1)
+        assert forward == pytest.approx(backward, abs=1e-9)
+
+    @given(uk_lats, uk_lons, uk_lats, uk_lons, uk_lats, uk_lons)
+    @settings(max_examples=50, deadline=None)
+    def test_triangle_inequality(self, lat1, lon1, lat2, lon2, lat3, lon3):
+        ab = haversine_km(lat1, lon1, lat2, lon2)
+        bc = haversine_km(lat2, lon2, lat3, lon3)
+        ac = haversine_km(lat1, lon1, lat3, lon3)
+        assert ac <= ab + bc + 1e-6
+
+
+class TestPairwise:
+    def test_matrix_shape_and_diagonal(self):
+        lats = np.array([51.0, 52.0, 53.0])
+        lons = np.array([0.0, -1.0, -2.0])
+        matrix = pairwise_distance_km(lats, lons)
+        assert matrix.shape == (3, 3)
+        assert np.allclose(np.diag(matrix), 0.0)
+        assert np.allclose(matrix, matrix.T)
+
+
+class TestCentroid:
+    def test_equal_weights_is_mean(self):
+        centroid = weighted_centroid(
+            np.array([50.0, 52.0]), np.array([0.0, 2.0]), np.array([1.0, 1.0])
+        )
+        assert centroid == pytest.approx((51.0, 1.0))
+
+    def test_weights_shift_centroid(self):
+        centroid = weighted_centroid(
+            np.array([50.0, 52.0]), np.array([0.0, 0.0]), np.array([3.0, 1.0])
+        )
+        assert centroid.lat == pytest.approx(50.5)
+
+    def test_zero_weights_raise(self):
+        with pytest.raises(ValueError):
+            weighted_centroid(
+                np.array([50.0]), np.array([0.0]), np.array([0.0])
+            )
+
+
+class TestScatter:
+    def test_count_and_locality(self):
+        rng = np.random.default_rng(1)
+        lats, lons = scatter_around(LatLon(51.5, -0.1), 10.0, 500, rng)
+        assert lats.shape == (500,)
+        distances = haversine_km(lats, lons, 51.5, -0.1)
+        # ~95% of gaussian mass within 2 sigma = radius.
+        assert np.mean(distances < 10.0) > 0.85
+
+    def test_concentration_tightens(self):
+        rng = np.random.default_rng(2)
+        loose_lats, loose_lons = scatter_around(
+            LatLon(51.5, -0.1), 10.0, 400, rng, concentration=1.0
+        )
+        tight_lats, tight_lons = scatter_around(
+            LatLon(51.5, -0.1), 10.0, 400, rng, concentration=4.0
+        )
+        loose = haversine_km(loose_lats, loose_lons, 51.5, -0.1).mean()
+        tight = haversine_km(tight_lats, tight_lons, 51.5, -0.1).mean()
+        assert tight < loose
+
+    def test_negative_count_raises(self):
+        rng = np.random.default_rng(3)
+        with pytest.raises(ValueError):
+            scatter_around(LatLon(51.5, -0.1), 10.0, -1, rng)

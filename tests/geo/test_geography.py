@@ -1,0 +1,179 @@
+"""Unit tests for the synthetic UK geography builder."""
+
+import numpy as np
+import pytest
+
+from repro.geo import (
+    OacCluster,
+    PostcodeLookup,
+    build_uk_geography,
+    haversine_km,
+    oac_table,
+)
+from repro.geo.build import DEFAULT_COUNTIES, STUDY_REGIONS
+from repro.frames import Frame
+
+
+@pytest.fixture(scope="module")
+def geography():
+    return build_uk_geography(seed=42)
+
+
+class TestOacCatalog:
+    def test_eight_supergroups(self):
+        assert len(oac_table()) == 8
+
+    def test_table_matches_paper_names(self):
+        names = {name for name, _ in oac_table()}
+        assert "Rural Residents" in names
+        assert "Cosmopolitans" in names
+        assert "Ethnicity Central" in names
+        assert "Hard-pressed Living" in names
+
+
+class TestGeographyStructure:
+    def test_study_regions_present(self, geography):
+        for region in STUDY_REGIONS:
+            assert region in geography.county_names
+
+    def test_relocation_counties_present(self, geography):
+        for county in ("Hampshire", "Kent", "East Sussex"):
+            assert county in geography.county_names
+
+    def test_district_codes_unique(self, geography):
+        codes = [d.code for d in geography.districts]
+        assert len(codes) == len(set(codes))
+
+    def test_inner_london_has_central_districts(self, geography):
+        codes = {d.code for d in geography.districts_in_county("Inner London")}
+        assert "EC1" in codes
+        assert "WC1" in codes
+        assert "N1" in codes
+        assert "SW1" in codes
+
+    def test_district_lookup(self, geography):
+        district = geography.district("EC1")
+        assert district.county == "Inner London"
+        assert district.region == "London"
+
+    def test_unknown_district_raises(self, geography):
+        with pytest.raises(KeyError):
+            geography.district("ZZ9")
+
+    def test_unknown_county_raises(self, geography):
+        with pytest.raises(KeyError):
+            geography.county("Atlantis")
+
+    def test_district_index(self, geography):
+        index = geography.district_index("EC1")
+        assert geography.districts[index].code == "EC1"
+        with pytest.raises(KeyError):
+            geography.district_index("ZZ9")
+
+    def test_districts_within_county_radius(self, geography):
+        for county in geography.counties:
+            for district in geography.districts_in_county(county.name):
+                distance = haversine_km(
+                    district.lat, district.lon,
+                    county.center.lat, county.center.lon,
+                )
+                assert distance < county.radius_km * 2.5
+
+    def test_deterministic_given_seed(self):
+        first = build_uk_geography(seed=7)
+        second = build_uk_geography(seed=7)
+        assert [d.code for d in first.districts] == [
+            d.code for d in second.districts
+        ]
+        assert [d.residents for d in first.districts] == [
+            d.residents for d in second.districts
+        ]
+
+    def test_different_seeds_differ(self):
+        first = build_uk_geography(seed=1)
+        second = build_uk_geography(seed=2)
+        assert [d.residents for d in first.districts] != [
+            d.residents for d in second.districts
+        ]
+
+
+class TestEngineeredContrasts:
+    def test_ec_wc_have_few_residents_high_attraction(self, geography):
+        inner = geography.districts_in_county("Inner London")
+        central = [d for d in inner if d.area_code in ("EC", "WC")]
+        residential = [d for d in inner if d.area_code in ("SW", "SE")]
+        assert central and residential
+        central_residents = np.mean([d.residents for d in central])
+        residential_residents = np.mean([d.residents for d in residential])
+        assert central_residents < residential_residents / 5
+        central_ratio = np.mean(
+            [d.daytime_attraction / max(d.residents, 1) for d in central]
+        )
+        residential_ratio = np.mean(
+            [d.daytime_attraction / max(d.residents, 1) for d in residential]
+        )
+        assert central_ratio > residential_ratio * 5
+
+    def test_inner_london_oac_mix(self, geography):
+        inner = geography.districts_in_county("Inner London")
+        clusters = {d.oac for d in inner}
+        assert OacCluster.COSMOPOLITANS in clusters
+        assert OacCluster.ETHNICITY_CENTRAL in clusters
+        assert OacCluster.RURAL_RESIDENTS not in clusters
+
+    def test_rural_counties_mostly_rural(self, geography):
+        rural = geography.districts_in_county("Devon")
+        rural += geography.districts_in_county("Cornwall")
+        rural += geography.districts_in_county("Norfolk")
+        share = np.mean(
+            [d.oac is OacCluster.RURAL_RESIDENTS for d in rural]
+        )
+        assert share > 0.3
+
+    def test_population_scale(self):
+        full = build_uk_geography(seed=5, population_scale=1.0)
+        half = build_uk_geography(seed=5, population_scale=0.5)
+        assert half.total_residents == pytest.approx(
+            full.total_residents * 0.5, rel=0.01
+        )
+
+    def test_lad_population_partitions_total(self, geography):
+        assert sum(geography.lad_population.values()) == geography.total_residents
+
+    def test_county_population_roughly_spec(self, geography):
+        for spec in DEFAULT_COUNTIES:
+            built = sum(
+                d.residents for d in geography.districts_in_county(spec.name)
+            )
+            assert built == pytest.approx(spec.population, rel=0.02)
+
+
+class TestPostcodeLookup:
+    def test_one_row_per_district(self, geography):
+        lookup = PostcodeLookup(geography)
+        assert len(lookup) == len(geography.districts)
+
+    def test_attach_joins_labels(self, geography):
+        lookup = PostcodeLookup(geography)
+        feed = Frame({"postcode": ["EC1", "SW1"], "volume": [1.0, 2.0]})
+        out = lookup.attach(feed)
+        labels = dict(zip(out["postcode"], out["county"]))
+        assert labels["EC1"] == "Inner London"
+
+    def test_attach_drops_unknown_codes(self, geography):
+        lookup = PostcodeLookup(geography)
+        feed = Frame({"postcode": ["EC1", "ZZ9"], "volume": [1.0, 2.0]})
+        assert len(lookup.attach(feed)) == 1
+
+    def test_attach_custom_key(self, geography):
+        lookup = PostcodeLookup(geography)
+        feed = Frame({"home": ["EC1"], "users": [5]})
+        out = lookup.attach(feed, on="home")
+        assert out["county"].tolist() == ["Inner London"]
+
+    def test_scalar_helpers(self, geography):
+        lookup = PostcodeLookup(geography)
+        assert lookup.county_of("EC1") == "Inner London"
+        assert lookup.region_of("EC1") == "London"
+        assert lookup.oac_of("EC1") is OacCluster.COSMOPOLITANS
+        assert lookup.lad_of("EC1").endswith("EC")

@@ -1,0 +1,89 @@
+"""Tests for profile mixes and geography internals."""
+
+import numpy as np
+import pytest
+
+from repro.geo import OacCluster, build_uk_geography
+from repro.geo.build import _PROFILE_MIXES, DEFAULT_COUNTIES
+
+
+class TestProfileMixes:
+    def test_all_profiles_used_by_counties(self):
+        used = {county.profile for county in DEFAULT_COUNTIES}
+        assert used == set(_PROFILE_MIXES)
+
+    def test_mix_weights_positive(self):
+        for profile, mix in _PROFILE_MIXES.items():
+            assert all(weight > 0 for weight in mix.values()), profile
+
+    def test_unpinned_districts_respect_profile(self):
+        geography = build_uk_geography(seed=13)
+        pinned_areas = {
+            (county.name, area.code)
+            for county in DEFAULT_COUNTIES
+            for area in county.areas
+            if area.oac is not None
+        }
+        spec_by_name = {county.name: county for county in DEFAULT_COUNTIES}
+        for district in geography.districts:
+            if (district.county, district.area_code) in pinned_areas:
+                continue
+            profile = spec_by_name[district.county].profile
+            assert district.oac in _PROFILE_MIXES[profile], (
+                district.code, profile,
+            )
+
+    def test_inner_london_three_clusters_only(self):
+        geography = build_uk_geography(seed=13)
+        clusters = {
+            district.oac
+            for district in geography.districts_in_county("Inner London")
+        }
+        assert clusters <= {
+            OacCluster.COSMOPOLITANS,
+            OacCluster.ETHNICITY_CENTRAL,
+            OacCluster.MULTICULTURAL_METROPOLITANS,
+        }
+
+    def test_nw_london_pinned_multicultural(self):
+        geography = build_uk_geography(seed=13)
+        nw = [
+            district
+            for district in geography.districts_in_county("Inner London")
+            if district.area_code == "NW"
+        ]
+        assert nw
+        assert all(
+            district.oac is OacCluster.MULTICULTURAL_METROPOLITANS
+            for district in nw
+        )
+
+
+class TestCountySpecs:
+    def test_county_names_unique(self):
+        names = [county.name for county in DEFAULT_COUNTIES]
+        assert len(names) == len(set(names))
+
+    def test_positive_populations_and_radii(self):
+        for county in DEFAULT_COUNTIES:
+            assert county.population > 0
+            assert county.radius_km > 0
+
+    def test_uk_bounding_box(self):
+        for county in DEFAULT_COUNTIES:
+            assert 49.5 < county.center.lat < 59.0
+            assert -6.5 < county.center.lon < 2.0
+
+    def test_every_region_has_a_county(self):
+        regions = {county.region for county in DEFAULT_COUNTIES}
+        assert {"London", "North West", "West Midlands",
+                "Yorkshire and the Humber", "South East",
+                "Scotland", "Wales"} <= regions
+
+    def test_attraction_ratio_ec_vs_residential(self):
+        inner = next(
+            county for county in DEFAULT_COUNTIES
+            if county.name == "Inner London"
+        )
+        by_code = {area.code: area for area in inner.areas}
+        assert by_code["EC"].attraction > by_code["SE"].attraction * 10

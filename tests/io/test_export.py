@@ -1,0 +1,67 @@
+"""Tests for the analysis CSV export."""
+
+import numpy as np
+import pytest
+
+from repro.core import CovidImpactStudy
+from repro.frames import read_csv
+from repro.io import export_analysis
+from repro.simulation.config import SimulationConfig
+
+
+@pytest.fixture(scope="module")
+def exported(tmp_path_factory):
+    study = CovidImpactStudy.run(SimulationConfig.tiny(seed=81))
+    path = tmp_path_factory.mktemp("export") / "analysis"
+    return study, export_analysis(study, path)
+
+
+EXPECTED_FILES = (
+    "mobility_daily.csv",
+    "mobility_weekly.csv",
+    "performance_weekly.csv",
+    "fig2_census.csv",
+    "fig4_cases.csv",
+    "fig7_matrix.csv",
+    "summary.csv",
+)
+
+
+class TestExport:
+    def test_all_files_written(self, exported):
+        __, path = exported
+        for name in EXPECTED_FILES:
+            assert (path / name).exists(), name
+
+    def test_daily_series_round_trip(self, exported):
+        study, path = exported
+        daily = read_csv(path / "mobility_daily.csv")
+        gyration = daily.filter(daily["metric"] == "gyration")
+        original = study.fig3()["gyration"].values["UK"]
+        assert np.allclose(
+            np.sort(gyration["change_pct"]), np.sort(original), atol=1e-4
+        )
+
+    def test_performance_covers_all_figures(self, exported):
+        __, path = exported
+        perf = read_csv(path / "performance_weekly.csv")
+        assert set(np.unique(perf["figure"]).tolist()) == {
+            "fig8", "fig9", "fig10", "fig11", "fig12",
+        }
+
+    def test_summary_matches_study(self, exported):
+        study, path = exported
+        table = read_csv(path / "summary.csv")
+        exported_values = dict(zip(table["metric"], table["value"]))
+        for key, value in study.summary().items():
+            assert exported_values[key] == pytest.approx(value, abs=1e-6)
+
+    def test_fig7_matrix_shape(self, exported):
+        study, path = exported
+        matrix = read_csv(path / "fig7_matrix.csv")
+        assert len(matrix) == len(study.fig7().counties)
+
+    def test_dates_in_daily_export(self, exported):
+        __, path = exported
+        daily = read_csv(path / "mobility_daily.csv")
+        assert daily["date"][0].startswith("2020-")

@@ -1,0 +1,96 @@
+"""Tests for feed persistence (save/load round trip)."""
+
+import numpy as np
+import pytest
+
+from repro.io import load_feeds, save_feeds
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import Simulator
+
+
+@pytest.fixture(scope="module")
+def run_feeds():
+    return Simulator(SimulationConfig.tiny(seed=21)).run()
+
+
+@pytest.fixture(scope="module")
+def reloaded(run_feeds, tmp_path_factory):
+    path = tmp_path_factory.mktemp("store") / "run"
+    save_feeds(run_feeds, path)
+    return load_feeds(path)
+
+
+class TestRoundTrip:
+    def test_kpis_identical(self, run_feeds, reloaded):
+        original = run_feeds.radio_kpis
+        back = reloaded.radio_kpis
+        assert len(back) == len(original)
+        assert np.allclose(
+            back["dl_volume_mb"], original["dl_volume_mb"]
+        )
+        assert back["postcode"].tolist() == original["postcode"].tolist()
+
+    def test_mobility_identical(self, run_feeds, reloaded):
+        assert np.array_equal(
+            reloaded.mobility.user_ids, run_feeds.mobility.user_ids
+        )
+        assert np.array_equal(
+            reloaded.mobility.anchor_sites,
+            run_feeds.mobility.anchor_sites,
+        )
+        for day in (0, 10, run_feeds.mobility.num_days - 1):
+            assert np.allclose(
+                reloaded.mobility.dwell(day), run_feeds.mobility.dwell(day)
+            )
+            assert np.allclose(
+                reloaded.mobility.night(day), run_feeds.mobility.night(day)
+            )
+
+    def test_world_rebuilt_identically(self, run_feeds, reloaded):
+        assert np.array_equal(
+            reloaded.agents.home_site, run_feeds.agents.home_site
+        )
+        assert reloaded.topology.num_sites == run_feeds.topology.num_sites
+        assert (
+            reloaded.geography.total_residents
+            == run_feeds.geography.total_residents
+        )
+
+    def test_upgrade_day_preserved(self, run_feeds, reloaded):
+        assert (
+            reloaded.interconnect_upgrade_day
+            == run_feeds.interconnect_upgrade_day
+        )
+
+    def test_analysis_matches_after_reload(self, run_feeds, reloaded):
+        from repro.core import CovidImpactStudy
+
+        original = CovidImpactStudy(run_feeds).fig3()["gyration"]
+        back = CovidImpactStudy(reloaded).fig3()["gyration"]
+        assert np.allclose(
+            original.values["UK"], back.values["UK"], atol=1e-3
+        )
+
+    def test_manifest_written(self, run_feeds, tmp_path):
+        path = save_feeds(run_feeds, tmp_path / "m")
+        assert (path / "manifest.json").exists()
+        assert (path / "config.pkl").exists()
+        assert (path / "radio_kpis.csv").exists()
+        assert (path / "mobility.npz").exists()
+
+    def test_configless_feeds_rejected(self, run_feeds, tmp_path):
+        import dataclasses
+
+        stripped = dataclasses.replace(run_feeds, config=None)
+        with pytest.raises(ValueError, match="config"):
+            save_feeds(stripped, tmp_path / "x")
+
+    def test_bad_version_rejected(self, run_feeds, tmp_path):
+        import json
+
+        path = save_feeds(run_feeds, tmp_path / "v")
+        manifest = json.loads((path / "manifest.json").read_text())
+        manifest["format_version"] = 99
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="version"):
+            load_feeds(path)

@@ -1,0 +1,40 @@
+"""Shared small-scale simulation fixtures for mobility tests."""
+
+import pytest
+
+from repro.geo import build_uk_geography
+from repro.mobility import (
+    BehaviorModel,
+    PandemicTimeline,
+    TrajectoryModel,
+    build_agents,
+)
+from repro.network import DeviceCatalog, build_subscriber_base, build_topology
+from repro.simulation import default_calendar
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    """A small but full-featured world shared by mobility tests."""
+    geography = build_uk_geography(seed=42)
+    topology = build_topology(geography, target_site_count=400, seed=42)
+    catalog = DeviceCatalog.generate(seed=42)
+    base = build_subscriber_base(
+        geography, topology, catalog, num_users=4000, seed=42
+    )
+    agents = build_agents(geography, topology, base, seed=42)
+    calendar = default_calendar()
+    timeline = PandemicTimeline()
+    behavior = BehaviorModel(agents, timeline, calendar, seed=42)
+    trajectories = TrajectoryModel(agents, behavior)
+    return {
+        "geography": geography,
+        "topology": topology,
+        "catalog": catalog,
+        "base": base,
+        "agents": agents,
+        "calendar": calendar,
+        "timeline": timeline,
+        "behavior": behavior,
+        "trajectories": trajectories,
+    }

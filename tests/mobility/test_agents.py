@@ -1,0 +1,138 @@
+"""Unit tests for the agent population builder."""
+
+import numpy as np
+import pytest
+
+from repro.geo import haversine_km
+from repro.mobility import AnchorSlot, build_agents
+from repro.mobility.agents import NUM_ANCHORS, WorkerType
+
+
+@pytest.fixture(scope="module")
+def agents(small_world):
+    return small_world["agents"]
+
+
+class TestAnchors:
+    def test_shapes(self, agents):
+        assert agents.anchor_sites.shape == (agents.num_users, NUM_ANCHORS)
+        assert agents.anchor_districts.shape == (agents.num_users, NUM_ANCHORS)
+
+    def test_home_anchor_is_home_site(self, agents):
+        assert np.array_equal(
+            agents.anchor_sites[:, AnchorSlot.HOME], agents.home_site
+        )
+
+    def test_only_study_users(self, agents, small_world):
+        base = small_world["base"]
+        assert agents.num_users == int(base.study_mask.sum())
+        assert np.all(np.isin(agents.user_ids, base.study_user_ids()))
+
+    def test_errand_close_to_home(self, agents, small_world):
+        geography = small_world["geography"]
+        lats = geography.district_lats
+        lons = geography.district_lons
+        home = agents.anchor_districts[:, AnchorSlot.HOME]
+        errand = agents.anchor_districts[:, AnchorSlot.ERRAND]
+        distances = haversine_km(
+            lats[home], lons[home], lats[errand], lons[errand]
+        )
+        assert np.median(distances) < 10.0
+
+    def test_trip_in_other_county(self, agents, small_world):
+        geography = small_world["geography"]
+        counties = np.array([d.county for d in geography.districts])
+        home_counties = counties[agents.anchor_districts[:, AnchorSlot.HOME]]
+        trip_counties = counties[agents.anchor_districts[:, AnchorSlot.TRIP]]
+        assert np.mean(home_counties == trip_counties) < 0.02
+
+    def test_relocation_secondary_same_district_as_primary(self, agents):
+        primary = agents.anchor_districts[:, AnchorSlot.RELOC_PRIMARY]
+        secondary = agents.anchor_districts[:, AnchorSlot.RELOC_SECONDARY]
+        assert np.array_equal(primary, secondary)
+
+    def test_work_farther_than_errand_on_average(self, agents, small_world):
+        geography = small_world["geography"]
+        lats = geography.district_lats
+        lons = geography.district_lons
+        home = agents.anchor_districts[:, AnchorSlot.HOME]
+
+        def mean_distance(slot):
+            target = agents.anchor_districts[:, slot]
+            return haversine_km(
+                lats[home], lons[home], lats[target], lons[target]
+            ).mean()
+
+        assert mean_distance(AnchorSlot.WORK) > mean_distance(AnchorSlot.ERRAND)
+        assert mean_distance(AnchorSlot.TRIP) > mean_distance(AnchorSlot.WORK)
+
+    def test_london_relocations_prefer_southern_leisure_counties(
+        self, small_world
+    ):
+        geography = small_world["geography"]
+        agents = small_world["agents"]
+        counties = np.array([d.county for d in geography.districts])
+        inner = agents.inner_london_mask
+        destinations = counties[
+            agents.anchor_districts[inner, AnchorSlot.RELOC_PRIMARY]
+        ]
+        __, counts = np.unique(destinations, return_counts=True)
+        top = {
+            county: count
+            for county, count in zip(
+                np.unique(destinations), counts
+            )
+        }
+        # The paper's destinations should rank highly.
+        expected = {"Hampshire", "Kent", "East Sussex", "Essex", "Surrey"}
+        top_counties = sorted(top, key=top.get, reverse=True)[:6]
+        assert expected & set(top_counties)
+
+
+class TestTraits:
+    def test_compliance_in_unit_interval(self, agents):
+        assert agents.compliance.min() >= 0.0
+        assert agents.compliance.max() <= 1.0
+        assert 0.7 < agents.compliance.mean() < 0.9
+
+    def test_worker_type_mix(self, agents):
+        commuters = np.mean(agents.worker_type == WorkerType.COMMUTER)
+        essential = np.mean(agents.worker_type == WorkerType.ESSENTIAL)
+        assert commuters == pytest.approx(0.55, abs=0.05)
+        assert essential == pytest.approx(0.15, abs=0.04)
+
+    def test_inner_london_relocation_rate_near_10pct(self, agents):
+        inner = agents.inner_london_mask
+        assert inner.sum() > 100
+        rate = agents.relocation_candidate[inner].mean()
+        assert 0.06 < rate < 0.18
+
+    def test_elsewhere_relocation_rate_low(self, agents):
+        outside = ~agents.inner_london_mask
+        rate = agents.relocation_candidate[outside].mean()
+        assert rate < 0.05
+
+    def test_students_more_common_in_cosmopolitan_homes(
+        self, agents, small_world
+    ):
+        geography = small_world["geography"]
+        from repro.geo import OacCluster
+
+        home_oac = np.array(
+            [geography.districts[d].oac for d in agents.home_district]
+        )
+        cosmo = home_oac == OacCluster.COSMOPOLITANS
+        if cosmo.sum() > 50 and (~cosmo).sum() > 50:
+            assert (
+                agents.is_student[cosmo].mean()
+                > agents.is_student[~cosmo].mean()
+            )
+
+    def test_deterministic(self, small_world):
+        geography = small_world["geography"]
+        topology = small_world["topology"]
+        base = small_world["base"]
+        first = build_agents(geography, topology, base, seed=7)
+        second = build_agents(geography, topology, base, seed=7)
+        assert np.array_equal(first.anchor_sites, second.anchor_sites)
+        assert np.array_equal(first.compliance, second.compliance)

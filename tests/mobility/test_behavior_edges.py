@@ -1,0 +1,140 @@
+"""Edge-case and configuration tests for the behaviour model."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.mobility import BehaviorModel, BehaviorSettings, PandemicTimeline
+
+
+def make_behavior(small_world, **settings_overrides):
+    defaults = BehaviorSettings(**settings_overrides)
+    return BehaviorModel(
+        small_world["agents"],
+        small_world["timeline"],
+        small_world["calendar"],
+        settings=defaults,
+        seed=99,
+    )
+
+
+class TestRelocationSchedule:
+    def test_relocators_never_trip(self, small_world):
+        behavior = small_world["behavior"]
+        calendar = small_world["calendar"]
+        # A lockdown-era weekend.
+        state = behavior.day_state(calendar.day_of(dt.date(2020, 4, 11)))
+        assert not (state.on_trip & state.relocated).any()
+
+    def test_students_leave_during_school_closure_window(self, small_world):
+        behavior = small_world["behavior"]
+        agents = small_world["agents"]
+        calendar = small_world["calendar"]
+        starts = behavior.relocation_start_days
+        students = agents.is_student & agents.relocation_candidate
+        if students.any():
+            student_starts = starts[students]
+            window = (
+                calendar.day_of(dt.date(2020, 3, 19)),
+                calendar.day_of(dt.date(2020, 3, 22)),
+            )
+            assert np.all(student_starts >= window[0])
+            assert np.all(student_starts <= window[1])
+
+    def test_some_relocators_return(self, small_world):
+        behavior = small_world["behavior"]
+        calendar = small_world["calendar"]
+        mid = behavior.day_state(calendar.day_of(dt.date(2020, 4, 10)))
+        late = behavior.day_state(calendar.day_of(dt.date(2020, 5, 9)))
+        assert late.relocated.sum() < mid.relocated.sum()
+
+    def test_non_candidates_never_relocate(self, small_world):
+        behavior = small_world["behavior"]
+        agents = small_world["agents"]
+        state = behavior.day_state(70)
+        assert not state.relocated[~agents.relocation_candidate].any()
+
+
+class TestRestrictionResponse:
+    def test_restriction_zero_before_pandemic(self, small_world):
+        behavior = small_world["behavior"]
+        calendar = small_world["calendar"]
+        state = behavior.day_state(calendar.day_of(dt.date(2020, 2, 10)))
+        assert state.restriction.max() == 0.0
+
+    def test_compliance_modulates_restriction(self, small_world):
+        behavior = small_world["behavior"]
+        agents = small_world["agents"]
+        calendar = small_world["calendar"]
+        state = behavior.day_state(calendar.day_of(dt.date(2020, 3, 31)))
+        strict = agents.compliance > 0.95
+        loose = agents.compliance < 0.5
+        if strict.any() and loose.any():
+            assert (
+                state.restriction[strict].mean()
+                > state.restriction[loose].mean()
+            )
+
+    def test_london_restriction_lower_in_week_19(self, small_world):
+        behavior = small_world["behavior"]
+        agents = small_world["agents"]
+        calendar = small_world["calendar"]
+        state = behavior.day_state(calendar.day_of(dt.date(2020, 5, 6)))
+        london = agents.home_region == "London"
+        midlands = agents.home_region == "West Midlands"
+        assert (
+            state.restriction[london].mean()
+            < state.restriction[midlands].mean()
+        )
+
+
+class TestSettingsOverrides:
+    def test_zero_wfh_keeps_commutes(self, small_world):
+        behavior = make_behavior(small_world, wfh_max=0.0)
+        calendar = small_world["calendar"]
+        before = behavior.day_state(calendar.day_of(dt.date(2020, 2, 25)))
+        during = behavior.day_state(calendar.day_of(dt.date(2020, 3, 31)))
+        # Without WFH, on-site work barely changes.
+        assert during.work_s.mean() > before.work_s.mean() * 0.8
+
+    def test_total_trip_suppression(self, small_world):
+        behavior = make_behavior(
+            small_world,
+            weekend_trip_probability=0.0,
+            london_weekend_trip_bonus=0.0,
+            pre_lockdown_exodus_probability=0.0,
+            late_april_trip_bonus=0.0,
+        )
+        calendar = small_world["calendar"]
+        for date in (dt.date(2020, 2, 15), dt.date(2020, 3, 21)):
+            state = behavior.day_state(calendar.day_of(date))
+            assert state.on_trip.sum() == 0
+
+    def test_noise_sigma_zero_is_deterministic_durations(self, small_world):
+        behavior = make_behavior(small_world, duration_noise_sigma=1e-9)
+        calendar = small_world["calendar"]
+        state = behavior.day_state(calendar.day_of(dt.date(2020, 2, 25)))
+        from repro.mobility.agents import WorkerType
+
+        agents = small_world["agents"]
+        commuters = agents.worker_type == WorkerType.COMMUTER
+        work_hours = state.work_s[commuters] / 3600.0
+        assert work_hours.std() < 0.01
+
+
+class TestTimelineOverride:
+    def test_flat_timeline_means_no_response(self, small_world):
+        flat = PandemicTimeline(
+            declared_level=0.0, distancing_level=0.0,
+            closures_level=0.0, lockdown_level=0.0,
+        )
+        behavior = BehaviorModel(
+            small_world["agents"], flat, small_world["calendar"], seed=5
+        )
+        calendar = small_world["calendar"]
+        before = behavior.day_state(calendar.day_of(dt.date(2020, 2, 25)))
+        during = behavior.day_state(calendar.day_of(dt.date(2020, 3, 31)))
+        assert during.work_s.mean() == pytest.approx(
+            before.work_s.mean(), rel=0.1
+        )

@@ -1,0 +1,151 @@
+"""Unit tests for the behaviour model and dwell assembly."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.mobility import AnchorSlot, NUM_BINS
+from repro.mobility.trajectories import BIN_SECONDS
+
+
+def day_of(small_world, date):
+    return small_world["calendar"].day_of(date)
+
+
+class TestBehavior:
+    def test_weekday_has_work(self, small_world):
+        state = small_world["behavior"].day_state(
+            day_of(small_world, dt.date(2020, 2, 25))
+        )
+        assert state.work_s.mean() > 3 * 3600
+
+    def test_weekend_has_no_work(self, small_world):
+        state = small_world["behavior"].day_state(
+            day_of(small_world, dt.date(2020, 2, 29))
+        )
+        assert state.work_s.max() == 0.0
+
+    def test_lockdown_cuts_work_and_social(self, small_world):
+        behavior = small_world["behavior"]
+        before = behavior.day_state(day_of(small_world, dt.date(2020, 2, 25)))
+        after = behavior.day_state(day_of(small_world, dt.date(2020, 3, 31)))
+        assert after.work_s.mean() < before.work_s.mean() * 0.55
+        assert after.social_s.mean() < before.social_s.mean() * 0.25
+
+    def test_lockdown_boosts_nearby_exercise(self, small_world):
+        behavior = small_world["behavior"]
+        before = behavior.day_state(day_of(small_world, dt.date(2020, 2, 25)))
+        after = behavior.day_state(day_of(small_world, dt.date(2020, 3, 31)))
+        assert after.nearby_s.mean() > before.nearby_s.mean()
+
+    def test_essential_workers_keep_commuting(self, small_world):
+        from repro.mobility.agents import WorkerType
+
+        agents = small_world["agents"]
+        state = small_world["behavior"].day_state(
+            day_of(small_world, dt.date(2020, 3, 31))
+        )
+        essential = agents.worker_type == WorkerType.ESSENTIAL
+        commuter = agents.worker_type == WorkerType.COMMUTER
+        assert (
+            state.work_s[essential].mean() > state.work_s[commuter].mean() * 2
+        )
+
+    def test_weekend_trips_common_before_rare_after(self, small_world):
+        behavior = small_world["behavior"]
+        before = behavior.day_state(day_of(small_world, dt.date(2020, 2, 15)))
+        after = behavior.day_state(day_of(small_world, dt.date(2020, 4, 4)))
+        assert before.on_trip.mean() > 0.04
+        assert after.on_trip.mean() < before.on_trip.mean() * 0.5
+
+    def test_pre_lockdown_exodus_from_inner_london(self, small_world):
+        behavior = small_world["behavior"]
+        agents = small_world["agents"]
+        state = behavior.day_state(day_of(small_world, dt.date(2020, 3, 21)))
+        inner = agents.inner_london_mask
+        assert state.on_trip[inner].mean() > state.on_trip[~inner].mean() + 0.04
+
+    def test_relocation_starts_around_lockdown(self, small_world):
+        behavior = small_world["behavior"]
+        agents = small_world["agents"]
+        before = behavior.day_state(day_of(small_world, dt.date(2020, 3, 10)))
+        during = behavior.day_state(day_of(small_world, dt.date(2020, 4, 10)))
+        assert before.relocated.sum() == 0
+        relocated_rate = during.relocated[agents.inner_london_mask].mean()
+        assert 0.05 < relocated_rate < 0.18
+
+    def test_relocation_sustained_to_study_end(self, small_world):
+        behavior = small_world["behavior"]
+        agents = small_world["agents"]
+        late = behavior.day_state(day_of(small_world, dt.date(2020, 5, 8)))
+        rate = late.relocated[agents.inner_london_mask].mean()
+        assert rate > 0.04  # most relocators have not returned
+
+    def test_deterministic_per_day(self, small_world):
+        behavior = small_world["behavior"]
+        first = behavior.day_state(30)
+        second = behavior.day_state(30)
+        assert np.array_equal(first.work_s, second.work_s)
+        assert np.array_equal(first.on_trip, second.on_trip)
+
+
+class TestTrajectories:
+    def test_dwell_partitions_the_day(self, small_world):
+        dwell = small_world["trajectories"].day_dwell(10)
+        totals = dwell.dwell_s.sum(axis=(1, 2))
+        assert np.allclose(totals, 86_400.0, atol=1.0)
+
+    def test_bins_partition_four_hours(self, small_world):
+        dwell = small_world["trajectories"].day_dwell(10)
+        per_bin = dwell.dwell_s.sum(axis=2)
+        assert np.allclose(per_bin, BIN_SECONDS, atol=1.0)
+        assert dwell.dwell_s.shape[1] == NUM_BINS
+
+    def test_dwell_non_negative(self, small_world):
+        dwell = small_world["trajectories"].day_dwell(40)
+        assert dwell.dwell_s.min() >= -1e-9
+
+    def test_nights_at_home_normally(self, small_world):
+        dwell = small_world["trajectories"].day_dwell(
+            day_of(small_world, dt.date(2020, 2, 25))
+        )
+        night = dwell.nighttime_dwell()
+        home_share = night[:, AnchorSlot.HOME] / night.sum(axis=1)
+        assert np.median(home_share) > 0.9
+
+    def test_relocated_users_fully_away(self, small_world):
+        behavior = small_world["behavior"]
+        day = day_of(small_world, dt.date(2020, 4, 10))
+        state = behavior.day_state(day)
+        dwell = small_world["trajectories"].day_dwell(day)
+        moved = state.relocated
+        if moved.any():
+            away = (
+                dwell.dwell_s[moved][:, :, AnchorSlot.RELOC_PRIMARY]
+                + dwell.dwell_s[moved][:, :, AnchorSlot.RELOC_SECONDARY]
+            ).sum(axis=1)
+            assert np.allclose(away, 86_400.0, atol=1.0)
+
+    def test_trip_users_fully_on_trip_anchor(self, small_world):
+        behavior = small_world["behavior"]
+        day = day_of(small_world, dt.date(2020, 2, 15))
+        state = behavior.day_state(day)
+        dwell = small_world["trajectories"].day_dwell(day)
+        if state.on_trip.any():
+            trip_time = dwell.dwell_s[
+                state.on_trip, :, AnchorSlot.TRIP
+            ].sum(axis=1)
+            assert np.allclose(trip_time, 86_400.0, atol=1.0)
+
+    def test_lockdown_increases_home_time(self, small_world):
+        trajectories = small_world["trajectories"]
+        before = trajectories.day_dwell(
+            day_of(small_world, dt.date(2020, 2, 25))
+        )
+        after = trajectories.day_dwell(
+            day_of(small_world, dt.date(2020, 3, 31))
+        )
+        home_before = before.daily_dwell()[:, AnchorSlot.HOME].mean()
+        home_after = after.daily_dwell()[:, AnchorSlot.HOME].mean()
+        assert home_after > home_before + 2 * 3600

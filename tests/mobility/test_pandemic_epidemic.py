@@ -1,0 +1,109 @@
+"""Unit tests for the pandemic timeline and epidemic curve."""
+
+import datetime as dt
+
+import pytest
+
+from repro.mobility import EpidemicCurve, PandemicTimeline, Phase
+
+
+@pytest.fixture(scope="module")
+def timeline():
+    return PandemicTimeline()
+
+
+class TestPhases:
+    @pytest.mark.parametrize(
+        ("date", "phase"),
+        [
+            (dt.date(2020, 2, 10), Phase.PRE_PANDEMIC),
+            (dt.date(2020, 3, 5), Phase.OUTBREAK),
+            (dt.date(2020, 3, 12), Phase.DECLARED),
+            (dt.date(2020, 3, 17), Phase.DISTANCING),
+            (dt.date(2020, 3, 21), Phase.CLOSURES),
+            (dt.date(2020, 3, 30), Phase.LOCKDOWN),
+            (dt.date(2020, 4, 20), Phase.RELAXATION),
+        ],
+    )
+    def test_phase_boundaries(self, timeline, date, phase):
+        assert timeline.phase(date) is phase
+
+    def test_restriction_zero_before_declaration(self, timeline):
+        assert timeline.restriction_level(dt.date(2020, 2, 20)) == 0.0
+        assert timeline.restriction_level(dt.date(2020, 3, 8)) == 0.0
+
+    def test_restriction_monotone_through_lockdown(self, timeline):
+        dates = [
+            dt.date(2020, 3, 8),
+            dt.date(2020, 3, 12),
+            dt.date(2020, 3, 17),
+            dt.date(2020, 3, 21),
+            dt.date(2020, 3, 25),
+        ]
+        levels = [timeline.restriction_level(date) for date in dates]
+        assert levels == sorted(levels)
+        assert levels[-1] == 1.0
+
+    def test_adherence_decays_after_week_15(self, timeline):
+        early = timeline.restriction_level(dt.date(2020, 4, 1))
+        late = timeline.restriction_level(dt.date(2020, 5, 8))
+        assert early == 1.0
+        assert 0.8 < late < 1.0
+
+
+class TestRegionalRelaxation:
+    def test_no_regional_difference_before_week_18(self, timeline):
+        date = dt.date(2020, 4, 15)
+        assert timeline.regional_multiplier("London", date) == 1.0
+        assert timeline.regional_multiplier("North West", date) == 1.0
+
+    def test_london_and_yorkshire_relax_faster(self, timeline):
+        date = dt.date(2020, 5, 6)  # week 19
+        london = timeline.regional_multiplier("London", date)
+        yorkshire = timeline.regional_multiplier(
+            "Yorkshire and the Humber", date
+        )
+        manchester = timeline.regional_multiplier("North West", date)
+        midlands = timeline.regional_multiplier("West Midlands", date)
+        assert london < manchester
+        assert yorkshire < midlands
+        assert manchester == 1.0
+        assert midlands == 1.0
+
+    def test_regional_restriction_composes(self, timeline):
+        date = dt.date(2020, 5, 6)
+        assert timeline.regional_restriction(
+            "London", date
+        ) < timeline.restriction_level(date)
+
+
+class TestEpidemicCurve:
+    def setup_method(self):
+        self.curve = EpidemicCurve()
+
+    def test_negligible_in_february(self):
+        assert self.curve.cumulative_cases(dt.date(2020, 2, 23)) < 300
+
+    def test_about_1000_cases_at_declaration(self):
+        cases = self.curve.cumulative_cases(dt.date(2020, 3, 11))
+        assert 400 < cases < 3000
+
+    def test_monotone_increasing(self):
+        dates = [
+            dt.date(2020, 2, 23) + dt.timedelta(days=offset)
+            for offset in range(0, 70, 7)
+        ]
+        series = [self.curve.cumulative_cases(date) for date in dates]
+        assert series == sorted(series)
+
+    def test_series_matches_scalar(self):
+        dates = (dt.date(2020, 3, 1), dt.date(2020, 4, 1))
+        series = self.curve.cumulative_series(dates)
+        assert series[0] == pytest.approx(self.curve.cumulative_cases(dates[0]))
+        assert series[1] == pytest.approx(self.curve.cumulative_cases(dates[1]))
+
+    def test_daily_new_positive(self):
+        assert self.curve.daily_new_cases(dt.date(2020, 4, 1)) > 0
+
+    def test_saturates_at_final_size(self):
+        assert self.curve.cumulative_cases(dt.date(2021, 1, 1)) <= 190_000

@@ -1,0 +1,157 @@
+"""Unit tests for the TAC catalog and subscriber base."""
+
+import numpy as np
+import pytest
+
+from repro.geo import build_uk_geography
+from repro.network import (
+    DeviceCatalog,
+    build_subscriber_base,
+    build_topology,
+)
+from repro.network.subscribers import NATIVE_MCC, NATIVE_MNC
+
+
+@pytest.fixture(scope="module")
+def geography():
+    return build_uk_geography(seed=42)
+
+
+@pytest.fixture(scope="module")
+def topology(geography):
+    return build_topology(geography, target_site_count=400, seed=42)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return DeviceCatalog.generate(seed=42)
+
+
+@pytest.fixture(scope="module")
+def base(geography, topology, catalog):
+    return build_subscriber_base(
+        geography, topology, catalog, num_users=5000, seed=42
+    )
+
+
+class TestDeviceCatalog:
+    def test_contains_smartphones_and_m2m(self, catalog):
+        assert catalog.smartphone_tacs.size > 0
+        assert catalog.m2m_tacs.size > 0
+
+    def test_tacs_are_eight_digits(self, catalog):
+        for tac in catalog.smartphone_tacs[:5]:
+            assert 10_000_000 <= tac < 100_000_000
+
+    def test_record_lookup(self, catalog):
+        tac = int(catalog.smartphone_tacs[0])
+        record = catalog.record(tac)
+        assert record.is_smartphone
+        assert record.manufacturer
+
+    def test_unknown_tac_raises(self, catalog):
+        with pytest.raises(KeyError):
+            catalog.record(1234)
+
+    def test_sample_respects_smartphone_share(self, catalog):
+        rng = np.random.default_rng(0)
+        tacs = catalog.sample_tacs(rng, 4000, smartphone_share=0.8)
+        share = catalog.is_smartphone(tacs).mean()
+        assert share == pytest.approx(0.8, abs=0.03)
+
+    def test_sample_share_validation(self, catalog):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            catalog.sample_tacs(rng, 10, smartphone_share=1.5)
+
+    def test_popularity_is_zipf_like(self, catalog):
+        rng = np.random.default_rng(1)
+        tacs = catalog.sample_tacs(rng, 5000, smartphone_share=1.0)
+        __, counts = np.unique(tacs, return_counts=True)
+        counts = np.sort(counts)[::-1]
+        # The most popular model dominates the tail.
+        assert counts[0] > counts[-1] * 3
+
+
+class TestSubscriberBase:
+    def test_population_size(self, base):
+        assert base.num_subscribers == 5000
+
+    def test_native_share(self, base):
+        assert base.is_native.mean() == pytest.approx(0.97, abs=0.01)
+
+    def test_native_plmn(self, base):
+        natives = base.is_native
+        assert np.all(base.mccs[natives] == NATIVE_MCC)
+        assert np.all(base.mncs[natives] == NATIVE_MNC)
+
+    def test_study_mask_excludes_roamers_and_m2m(self, base):
+        assert base.study_mask.sum() < base.num_subscribers
+        assert np.all(base.is_smartphone[base.study_mask])
+        assert np.all(base.is_native[base.study_mask])
+
+    def test_study_population_dominates(self, base):
+        # ~97% native × ~92% smartphones ≈ 89%.
+        share = base.study_mask.mean()
+        assert 0.80 < share < 0.95
+
+    def test_homes_follow_census(self, base, geography):
+        residents = geography.district_residents
+        counts = np.bincount(
+            base.home_district[base.study_mask],
+            minlength=len(geography.districts),
+        )
+        big = residents > np.percentile(residents, 80)
+        small = residents < np.percentile(residents, 20)
+        users_per_resident_big = counts[big].sum() / residents[big].sum()
+        users_per_resident_small = counts[small].sum() / max(
+            residents[small].sum(), 1
+        )
+        assert users_per_resident_big == pytest.approx(
+            users_per_resident_small, rel=0.5
+        )
+
+    def test_home_sites_live_in_home_district(self, base, topology):
+        site_district = topology.site_district_indices
+        sampled = np.random.default_rng(0).choice(
+            base.num_subscribers, size=500
+        )
+        for user in sampled:
+            assert site_district[base.home_site[user]] == base.home_district[user]
+
+    def test_roamers_concentrate_in_attractive_districts(
+        self, geography, topology, catalog
+    ):
+        base = build_subscriber_base(
+            geography, topology, catalog,
+            num_users=20_000, roamer_share=0.25, seed=11,
+        )
+        roamers = ~base.is_native
+        attraction = geography.district_attraction
+        per_capita_attraction = attraction / np.maximum(
+            geography.district_residents, 1
+        )
+        central = per_capita_attraction > np.percentile(per_capita_attraction, 90)
+        roamer_share_central = np.isin(
+            base.home_district[roamers], np.flatnonzero(central)
+        ).mean()
+        native_share_central = np.isin(
+            base.home_district[~roamers], np.flatnonzero(central)
+        ).mean()
+        assert roamer_share_central > native_share_central * 2
+
+    def test_zero_users_rejected(self, geography, topology, catalog):
+        with pytest.raises(ValueError):
+            build_subscriber_base(
+                geography, topology, catalog, num_users=0
+            )
+
+    def test_deterministic(self, geography, topology, catalog):
+        first = build_subscriber_base(
+            geography, topology, catalog, num_users=1000, seed=5
+        )
+        second = build_subscriber_base(
+            geography, topology, catalog, num_users=1000, seed=5
+        )
+        assert np.array_equal(first.home_site, second.home_site)
+        assert np.array_equal(first.tacs, second.tacs)

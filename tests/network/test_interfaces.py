@@ -1,0 +1,114 @@
+"""Tests for the 3GPP interface catalog and event enrichment."""
+
+import numpy as np
+import pytest
+
+from repro.frames import Frame
+from repro.network.interfaces import (
+    Domain,
+    INTERFACES,
+    interface_for,
+    monitored_elements,
+)
+from repro.network.rat import Rat
+from repro.network.signaling import EventType, attach_subscriber_context
+
+
+class TestInterfaceCatalog:
+    def test_figure1_interfaces_present(self):
+        names = {interface.name for interface in INTERFACES}
+        assert names == {"Gb", "A", "Iu-PS", "Iu-CS", "S1-MME", "S1-U"}
+
+    def test_monitored_elements(self):
+        elements = monitored_elements()
+        assert "MME" in elements
+        assert "SGSN" in elements
+        assert "MSC" in elements
+
+    def test_lte_control_plane_on_s1_mme(self):
+        for event in (EventType.ATTACH, EventType.TRACKING_AREA_UPDATE,
+                      EventType.SERVICE_REQUEST):
+            assert interface_for(Rat.LTE_4G, event).name == "S1-MME"
+
+    def test_2g_data_on_gb(self):
+        assert interface_for(Rat.GSM_2G, EventType.ATTACH).name == "Gb"
+
+    def test_2g_voice_service_on_a(self):
+        interface = interface_for(Rat.GSM_2G, EventType.SERVICE_REQUEST)
+        assert interface.name == "A"
+        assert interface.domain is Domain.CIRCUIT_SWITCHED
+
+    def test_3g_voice_service_on_iucs(self):
+        assert (
+            interface_for(Rat.UMTS_3G, EventType.SERVICE_REQUEST).name
+            == "Iu-CS"
+        )
+
+    def test_specs_are_3gpp(self):
+        assert all(
+            interface.spec.startswith("3GPP") for interface in INTERFACES
+        )
+
+
+class TestEnrichment:
+    def make_feed(self):
+        return Frame(
+            {
+                "user_id": np.array([0, 1, 2], dtype=np.int64),
+                "site_id": np.array([5, 6, 7], dtype=np.int64),
+                "timestamp_s": np.array([1.0, 2.0, 3.0]),
+                "event": np.array(
+                    [EventType.ATTACH.value, EventType.SERVICE_REQUEST.value,
+                     EventType.DETACH.value], dtype=np.int64,
+                ),
+                "result": np.array([1, 1, 1], dtype=np.int64),
+            }
+        )
+
+    def test_columns_added(self):
+        tacs = np.array([35_000_000, 35_000_001, 86_000_000])
+        mccs = np.array([234, 234, 208])
+        mncs = np.array([10, 10, 1])
+        out = attach_subscriber_context(
+            self.make_feed(), tacs, mccs, mncs, np.random.default_rng(0)
+        )
+        assert out["tac"].tolist() == tacs.tolist()
+        assert out["mcc"].tolist() == [234, 234, 208]
+        assert set(out.column_names) >= {
+            "tac", "mcc", "mnc", "rat", "interface",
+        }
+
+    def test_interfaces_match_rats(self):
+        tacs = np.zeros(3, dtype=np.int64)
+        mccs = np.full(3, 234)
+        mncs = np.full(3, 10)
+        out = attach_subscriber_context(
+            self.make_feed(), tacs, mccs, mncs, np.random.default_rng(1)
+        )
+        for rat, interface in zip(out["rat"], out["interface"]):
+            if rat == "4G":
+                assert interface == "S1-MME"
+            elif rat == "2G":
+                assert interface in ("Gb", "A")
+            else:
+                assert interface in ("Iu-PS", "Iu-CS")
+
+    def test_rat_shares_respected(self):
+        feed = Frame(
+            {
+                "user_id": np.zeros(4000, dtype=np.int64),
+                "site_id": np.zeros(4000, dtype=np.int64),
+                "timestamp_s": np.arange(4000, dtype=np.float64),
+                "event": np.full(4000, EventType.SERVICE_REQUEST.value),
+                "result": np.ones(4000, dtype=np.int64),
+            }
+        )
+        out = attach_subscriber_context(
+            feed,
+            np.zeros(1, dtype=np.int64),
+            np.full(1, 234),
+            np.full(1, 10),
+            np.random.default_rng(2),
+        )
+        share_4g = np.mean(out["rat"] == "4G")
+        assert share_4g == pytest.approx(0.75, abs=0.03)

@@ -1,0 +1,61 @@
+"""Unit tests for RAT profiles and the QCI catalog."""
+
+import pytest
+
+from repro.network.qci import (
+    ALL_BEARER_QCIS,
+    VOICE_QCI,
+    is_voice,
+    qci_catalog,
+    qci_class,
+)
+from repro.network.rat import RAT_PROFILES, Rat
+
+
+class TestRat:
+    def test_three_generations(self):
+        assert {rat.value for rat in Rat} == {"2G", "3G", "4G"}
+
+    def test_profiles_cover_all_rats(self):
+        assert set(RAT_PROFILES) == set(Rat)
+
+    def test_4g_dominates_attach_share(self):
+        # §2.4: users spend ~75% of the day on 4G cells.
+        assert RAT_PROFILES[Rat.LTE_4G].attach_share == pytest.approx(0.75)
+
+    def test_attach_shares_sum_to_one(self):
+        total = sum(profile.attach_share for profile in RAT_PROFILES.values())
+        assert total == pytest.approx(1.0)
+
+    def test_capacity_ordering(self):
+        capacity = {
+            rat: profile.sector_capacity_mbps
+            for rat, profile in RAT_PROFILES.items()
+        }
+        assert capacity[Rat.LTE_4G] > capacity[Rat.UMTS_3G] > capacity[Rat.GSM_2G]
+
+
+class TestQci:
+    def test_catalog_has_nine_classes(self):
+        assert len(qci_catalog()) == 9
+
+    def test_voice_is_qci_1(self):
+        assert VOICE_QCI == 1
+        assert is_voice(1)
+        assert not is_voice(8)
+
+    def test_all_bearers_are_one_through_eight(self):
+        assert ALL_BEARER_QCIS == tuple(range(1, 9))
+
+    def test_voice_class_is_gbr(self):
+        voice = qci_class(1)
+        assert voice.guaranteed_bitrate
+        assert voice.is_voice
+
+    def test_unknown_qci_raises(self):
+        with pytest.raises(KeyError):
+            qci_class(42)
+
+    def test_qci_values_unique(self):
+        values = [entry.qci for entry in qci_catalog()]
+        assert len(values) == len(set(values))

@@ -1,0 +1,115 @@
+"""Unit tests for signalling event generation."""
+
+import numpy as np
+import pytest
+
+from repro.network.signaling import (
+    DwellSegments,
+    EventType,
+    MOBILITY_EVENTS,
+    SignalingGenerator,
+)
+
+
+def make_segments() -> DwellSegments:
+    # Two users; user 0 visits three sites, user 1 stays at one.
+    return DwellSegments(
+        user_ids=np.array([0, 0, 0, 1], dtype=np.int64),
+        site_ids=np.array([10, 20, 10, 30], dtype=np.int64),
+        start_s=np.array([0.0, 32_400.0, 61_200.0, 0.0]),
+        duration_s=np.array([32_400.0, 28_800.0, 25_200.0, 86_400.0]),
+    )
+
+
+@pytest.fixture()
+def feed():
+    generator = SignalingGenerator()
+    return generator.generate_day(make_segments(), np.random.default_rng(1))
+
+
+class TestGenerator:
+    def test_sorted_by_user_then_time(self, feed):
+        users = feed["user_id"]
+        times = feed["timestamp_s"]
+        for index in range(1, len(feed)):
+            assert (users[index], times[index]) >= (
+                users[index - 1], times[index - 1]
+            )
+
+    def test_every_segment_start_has_mobility_event(self, feed):
+        mobility_values = {event.value for event in MOBILITY_EVENTS}
+        starts = {(0, 0.0), (0, 32_400.0), (0, 61_200.0), (1, 0.0)}
+        observed = {
+            (int(user), float(time))
+            for user, time, event in zip(
+                feed["user_id"], feed["timestamp_s"], feed["event"]
+            )
+            if int(event) in mobility_values
+        }
+        assert starts <= observed
+
+    def test_first_event_per_user_is_attach(self, feed):
+        for user in (0, 1):
+            rows = feed.filter(feed["user_id"] == user)
+            assert rows["event"][0] == EventType.ATTACH.value
+
+    def test_attach_accompanied_by_authentication(self, feed):
+        auth = feed.filter(feed["event"] == EventType.AUTHENTICATION.value)
+        assert set(auth["user_id"].tolist()) == {0, 1}
+
+    def test_in_segment_events_inside_segment(self, feed):
+        service = feed.filter(
+            feed["event"] == EventType.SERVICE_REQUEST.value
+        )
+        for user, site, time in zip(
+            service["user_id"], service["site_id"], service["timestamp_s"]
+        ):
+            if user == 0 and site == 20:
+                assert 32_400.0 <= time <= 61_200.0
+
+    def test_timestamps_within_day(self, feed):
+        assert feed["timestamp_s"].min() >= 0
+        assert feed["timestamp_s"].max() <= 86_400.0
+
+    def test_result_codes_mostly_success(self):
+        generator = SignalingGenerator(failure_rate=0.1)
+        segments = DwellSegments(
+            user_ids=np.repeat(np.arange(200), 2),
+            site_ids=np.tile(np.array([1, 2]), 200),
+            start_s=np.tile(np.array([0.0, 43_200.0]), 200),
+            duration_s=np.tile(np.array([43_200.0, 43_200.0]), 200),
+        )
+        feed = generator.generate_day(segments, np.random.default_rng(2))
+        assert feed["result"].mean() == pytest.approx(0.9, abs=0.03)
+
+    def test_event_rate_scales_with_dwell(self):
+        generator = SignalingGenerator(
+            service_request_rate_per_hour=4.0,
+            idle_transition_rate_per_hour=0.0,
+        )
+        segments = DwellSegments(
+            user_ids=np.array([0], dtype=np.int64),
+            site_ids=np.array([1], dtype=np.int64),
+            start_s=np.array([0.0]),
+            duration_s=np.array([36_000.0]),  # 10 hours
+        )
+        feed = generator.generate_day(segments, np.random.default_rng(3))
+        service = feed.filter(
+            feed["event"] == EventType.SERVICE_REQUEST.value
+        )
+        assert 20 <= len(service) <= 60  # Poisson(40)
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            SignalingGenerator(service_request_rate_per_hour=-1)
+        with pytest.raises(ValueError):
+            SignalingGenerator(failure_rate=1.0)
+
+    def test_segment_column_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            DwellSegments(
+                user_ids=np.array([0, 1]),
+                site_ids=np.array([1]),
+                start_s=np.array([0.0, 1.0]),
+                duration_s=np.array([1.0, 1.0]),
+            )

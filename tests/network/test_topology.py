@@ -1,0 +1,112 @@
+"""Unit tests for the radio topology builder."""
+
+import numpy as np
+import pytest
+
+from repro.geo import build_uk_geography, haversine_km
+from repro.network import Rat, build_topology
+
+
+@pytest.fixture(scope="module")
+def geography():
+    return build_uk_geography(seed=42)
+
+
+@pytest.fixture(scope="module")
+def topology(geography):
+    return build_topology(geography, target_site_count=600, seed=42)
+
+
+class TestDeployment:
+    def test_site_count_near_target(self, topology):
+        # Rounding + the ≥1-site floor can overshoot a little.
+        assert 550 <= topology.num_sites <= 900
+
+    def test_every_district_covered(self, geography, topology):
+        covered = set(topology.site_district_indices.tolist())
+        assert covered == set(range(len(geography.districts)))
+
+    def test_all_sites_have_4g(self, topology):
+        for site in topology.sites:
+            assert Rat.LTE_4G in site.rats
+
+    def test_central_london_denser_than_residents_imply(self, geography, topology):
+        # EC has ~30x fewer residents than SW but comparable deployment
+        # because of daytime attraction.
+        ec = geography.district_index("EC1")
+        sw = geography.district_index("SW1")
+        ec_sites = topology.sites_in_district(ec).size
+        sw_sites = topology.sites_in_district(sw).size
+        ec_residents = geography.districts[ec].residents
+        sw_residents = geography.districts[sw].residents
+        assert ec_residents < sw_residents / 5
+        assert ec_sites > sw_sites / 4
+
+    def test_sites_near_district_centroid(self, geography, topology):
+        for site in topology.sites[:200]:
+            district = geography.districts[site.district_index]
+            assert haversine_km(site.lat, site.lon, district.lat, district.lon) < 15
+
+    def test_cells_reference_valid_sites(self, topology):
+        site_ids = {site.site_id for site in topology.sites}
+        for cell in topology.cells:
+            assert cell.site_id in site_ids
+
+    def test_cell_capacity_positive(self, topology):
+        assert all(cell.capacity_mbps > 0 for cell in topology.cells)
+
+    def test_site_to_4g_cell_map_complete(self, topology):
+        assert len(topology.site_to_4g_cell) == topology.num_sites
+
+    def test_deterministic(self, geography):
+        first = build_topology(geography, target_site_count=300, seed=9)
+        second = build_topology(geography, target_site_count=300, seed=9)
+        assert first.num_sites == second.num_sites
+        assert np.array_equal(first.site_lats, second.site_lats)
+
+
+class TestSnapshots:
+    def test_snapshot_is_deterministic_per_day(self, topology):
+        first = topology.snapshot(3)
+        second = topology.snapshot(3)
+        assert np.array_equal(first, second)
+
+    def test_snapshot_differs_across_days(self, topology):
+        # Outages move around day to day.
+        day3 = topology.snapshot(3)
+        day4 = topology.snapshot(4)
+        assert not np.array_equal(day3, day4) or day3.all()
+
+    def test_most_sites_active(self, topology):
+        active = topology.snapshot(10)
+        assert active.mean() > 0.97
+
+    def test_late_activations_inactive_early(self, geography):
+        topology = build_topology(
+            geography, target_site_count=400, seed=3,
+            late_activation_share=0.3, study_days=50,
+        )
+        late = topology.site_activation_days > 25
+        assert late.any()
+        early_snapshot = topology.snapshot(0)
+        assert not early_snapshot[late].any()
+
+    def test_sites_in_unknown_district_empty(self, topology):
+        assert topology.sites_in_district(10_000).size == 0
+
+
+class TestSnapshotFrame:
+    def test_one_row_per_site(self, topology):
+        frame = topology.snapshot_frame(5)
+        assert len(frame) == topology.num_sites
+        assert set(frame.column_names) == {
+            "site_id", "postcode", "lat", "lon", "rats", "active",
+        }
+
+    def test_status_matches_snapshot(self, topology):
+        frame = topology.snapshot_frame(5)
+        assert np.array_equal(frame["active"], topology.snapshot(5))
+
+    def test_rats_strings(self, topology):
+        frame = topology.snapshot_frame(0)
+        assert all("4G" in rats for rats in frame["rats"])

@@ -1,0 +1,78 @@
+"""Unit tests for the study calendar."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.simulation import StudyCalendar, default_calendar
+from repro.simulation.clock import BASELINE_WEEK
+
+
+@pytest.fixture(scope="module")
+def calendar():
+    return default_calendar()
+
+
+class TestCalendar:
+    def test_window(self, calendar):
+        assert calendar.first_day == dt.date(2020, 2, 3)
+        assert calendar.last_day == dt.date(2020, 5, 10)
+        assert calendar.num_days == 98
+
+    def test_weeks_cover_6_to_19(self, calendar):
+        assert calendar.study_weeks == tuple(range(6, 20))
+
+    def test_analysis_weeks_start_at_baseline(self, calendar):
+        assert calendar.analysis_weeks[0] == BASELINE_WEEK
+        assert calendar.analysis_weeks == tuple(range(9, 20))
+
+    def test_week9_is_late_february(self, calendar):
+        days = calendar.days_in_week(9)
+        assert len(days) == 7
+        assert calendar.date_of(int(days[0])) == dt.date(2020, 2, 24)
+        assert calendar.date_of(int(days[-1])) == dt.date(2020, 3, 1)
+
+    def test_lockdown_is_week_13(self, calendar):
+        lockdown_day = calendar.day_of(calendar.key_dates.lockdown)
+        assert calendar.iso_week(lockdown_day) == 13
+        assert calendar.weekdays[lockdown_day] == 0  # Monday
+
+    def test_pandemic_declared_week_11(self, calendar):
+        day = calendar.day_of(calendar.key_dates.pandemic_declared)
+        assert calendar.iso_week(day) == 11
+
+    def test_weekend_flags(self, calendar):
+        # Feb 8-9 2020 are Saturday/Sunday.
+        assert calendar.is_weekend[calendar.day_of(dt.date(2020, 2, 8))]
+        assert calendar.is_weekend[calendar.day_of(dt.date(2020, 2, 9))]
+        assert not calendar.is_weekend[calendar.day_of(dt.date(2020, 2, 10))]
+
+    def test_two_weekend_days_per_week(self, calendar):
+        for week in calendar.study_weeks:
+            days = calendar.days_in_week(week)
+            assert calendar.is_weekend[days].sum() == 2
+
+    def test_february_days_for_home_detection(self, calendar):
+        february = calendar.february_days
+        assert len(february) == 27  # Feb 3 .. Feb 29
+        assert all(calendar.date_of(int(d)).month == 2 for d in february)
+
+    def test_date_day_round_trip(self, calendar):
+        for day in (0, 13, 97):
+            assert calendar.day_of(calendar.date_of(day)) == day
+
+    def test_out_of_range_day(self, calendar):
+        with pytest.raises(IndexError):
+            calendar.date_of(98)
+
+    def test_out_of_range_date(self, calendar):
+        with pytest.raises(KeyError):
+            calendar.day_of(dt.date(2020, 6, 1))
+
+    def test_weeks_array_monotone_per_day(self, calendar):
+        assert np.all(np.diff(calendar.weeks) >= 0)
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            StudyCalendar(num_days=0)

@@ -1,0 +1,124 @@
+"""Conservation properties of the engine's spatial scatters.
+
+Every user is attached somewhere at every instant, and every megabyte
+of demand lands on exactly one cell — the scatters must conserve both.
+These tests run a tiny simulation with hourly KPIs retained and check
+the invariants against first principles.
+"""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import Simulator, build_world
+
+
+@pytest.fixture(scope="module")
+def world_and_feeds():
+    config = SimulationConfig(
+        num_users=600, target_site_count=80, seed=61,
+        keep_hourly_kpis=True,
+    )
+    world = build_world(config)
+    feeds = Simulator(config).run()
+    return world, feeds
+
+
+class TestConservation:
+    def test_connected_users_sum_to_population(self, world_and_feeds):
+        world, feeds = world_and_feeds
+        hourly = feeds.hourly_kpis
+        num_study = world.agents.num_users
+        for day in (3, 40, 90):
+            for hour in (3, 12, 20):
+                rows = hourly.filter(
+                    (hourly["day"] == day) & (hourly["hour"] == hour)
+                )
+                total = rows["connected_users"].sum()
+                # Outages remove a fraction of a percent of presence.
+                assert total == pytest.approx(num_study, rel=0.02)
+
+    def test_voice_minutes_conserved_per_day(self, world_and_feeds):
+        world, feeds = world_and_feeds
+        hourly = feeds.hourly_kpis
+        calendar = feeds.calendar
+        voice = world.voice_model
+        multipliers = voice.user_minute_multipliers(
+            world.agents.num_users
+        )
+        for day in (5, 55):
+            date = calendar.date_of(day)
+            expected_minutes = (
+                multipliers.sum()
+                * voice.settings.base_minutes_per_day
+                * voice.minutes_multiplier(date)
+            )
+            rows = hourly.filter(hourly["day"] == day)
+            measured_minutes = rows["voice_users"].sum() * 60.0
+            assert measured_minutes == pytest.approx(
+                expected_minutes, rel=0.02
+            )
+
+    def test_dl_volume_bounded_by_total_demand(self, world_and_feeds):
+        world, feeds = world_and_feeds
+        hourly = feeds.hourly_kpis
+        demand = world.demand_model
+        multipliers = demand.user_demand_multipliers(
+            world.agents.num_users
+        )
+        day = feeds.calendar.day_of(dt.date(2020, 2, 25))
+        params = demand.day_parameters(dt.date(2020, 2, 25))
+        ceiling = (
+            demand.base_daily_dl_mb()
+            * multipliers.sum()
+            * params.demand_multiplier
+        )
+        rows = hourly.filter(hourly["day"] == day)
+        measured = rows["dl_volume_mb"].sum()
+        # Cellular DL is the offload-discounted share of total demand
+        # (plus the comparatively small voice volume).
+        assert measured < ceiling
+        assert measured > ceiling * 0.25
+
+    def test_lockdown_moves_volume_not_users(self, world_and_feeds):
+        __, feeds = world_and_feeds
+        hourly = feeds.hourly_kpis
+        calendar = feeds.calendar
+        before = calendar.day_of(dt.date(2020, 2, 25))
+        during = calendar.day_of(dt.date(2020, 3, 31))
+        connected_before = hourly.filter(hourly["day"] == before)[
+            "connected_users"
+        ].sum()
+        connected_during = hourly.filter(hourly["day"] == during)[
+            "connected_users"
+        ].sum()
+        dl_before = hourly.filter(hourly["day"] == before)[
+            "dl_volume_mb"
+        ].sum()
+        dl_during = hourly.filter(hourly["day"] == during)[
+            "dl_volume_mb"
+        ].sum()
+        # Users don't leave the network — their traffic does.
+        assert connected_during == pytest.approx(
+            connected_before, rel=0.03
+        )
+        assert dl_during < dl_before * 0.9
+
+    def test_median_reduction_matches_numpy(self, world_and_feeds):
+        __, feeds = world_and_feeds
+        hourly = feeds.hourly_kpis
+        daily = feeds.radio_kpis
+        cell = int(daily["cell_id"][0])
+        day = 10
+        hours = hourly.filter(
+            (hourly["cell_id"] == cell) & (hourly["day"] == day)
+        )
+        row = daily.filter(
+            (daily["cell_id"] == cell) & (daily["day"] == day)
+        )
+        for metric in ("dl_volume_mb", "radio_load_pct", "voice_users"):
+            assert row[metric][0] == pytest.approx(
+                np.median(hours[metric])
+            )

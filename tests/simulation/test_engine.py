@@ -1,0 +1,148 @@
+"""Integration tests for the simulation engine and its feeds."""
+
+import numpy as np
+import pytest
+
+from repro.network.signaling import EventType
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import Simulator, build_world
+
+
+@pytest.fixture(scope="module")
+def feeds():
+    config = SimulationConfig.tiny(seed=41)
+    return Simulator(config).run()
+
+
+class TestFeedsStructure:
+    def test_kpi_rows_cover_all_cells_and_days(self, feeds):
+        expected = feeds.topology.num_sites * feeds.calendar.num_days
+        assert len(feeds.radio_kpis) == expected
+
+    def test_kpi_metrics_non_negative(self, feeds):
+        kpis = feeds.radio_kpis
+        for metric in (
+            "dl_volume_mb", "ul_volume_mb", "dl_active_users",
+            "radio_load_pct", "voice_volume_mb",
+        ):
+            assert kpis[metric].min() >= 0, metric
+
+    def test_radio_load_bounded(self, feeds):
+        assert feeds.radio_kpis["radio_load_pct"].max() <= 100.0
+
+    def test_mobility_days_match_calendar(self, feeds):
+        assert feeds.mobility.num_days == feeds.calendar.num_days
+
+    def test_daily_dwell_partitions_day(self, feeds):
+        dwell = feeds.mobility.dwell(5)
+        assert np.allclose(dwell.sum(axis=1), 86_400.0, atol=1.0)
+
+    def test_night_dwell_subset_of_day(self, feeds):
+        night = feeds.mobility.night(5)
+        day = feeds.mobility.dwell(5)
+        assert np.all(night <= day + 1e-3)
+
+    def test_night_observation_dropout(self, feeds):
+        # Some users are unobserved at night (zero rows).
+        night = feeds.mobility.night(5)
+        unobserved_share = (night.sum(axis=1) == 0).mean()
+        assert 0.25 < unobserved_share < 0.6
+
+    def test_cell_info_consistent(self, feeds):
+        info = feeds.cell_info()
+        assert len(info) == feeds.topology.num_sites
+        kpi_cells = set(np.unique(feeds.radio_kpis["cell_id"]).tolist())
+        assert kpi_cells == set(info["cell_id"].tolist())
+
+    def test_rat_time_rows(self, feeds):
+        assert len(feeds.rat_time) == feeds.calendar.num_days * 3
+
+    def test_interconnect_upgrade_happened(self, feeds):
+        assert feeds.interconnect_upgrade_day is not None
+        date = feeds.calendar.date_of(feeds.interconnect_upgrade_day)
+        # Ops response lands around mid-March (weeks 11–13).
+        assert 11 <= date.isocalendar().week <= 13
+
+    def test_determinism(self):
+        first = Simulator(SimulationConfig.tiny(seed=77)).run()
+        second = Simulator(SimulationConfig.tiny(seed=77)).run()
+        assert np.allclose(
+            first.radio_kpis["dl_volume_mb"],
+            second.radio_kpis["dl_volume_mb"],
+        )
+        assert np.allclose(
+            first.mobility.dwell(30), second.mobility.dwell(30)
+        )
+
+    def test_seed_changes_output(self):
+        first = Simulator(SimulationConfig.tiny(seed=1)).run()
+        second = Simulator(SimulationConfig.tiny(seed=2)).run()
+        # Different seeds change the world itself (deployment sizes)
+        # and the measured totals.
+        assert (
+            first.radio_kpis["dl_volume_mb"].sum()
+            != pytest.approx(second.radio_kpis["dl_volume_mb"].sum())
+        )
+
+
+class TestOptionalOutputs:
+    def test_hourly_kpis_when_requested(self):
+        config = SimulationConfig(
+            num_users=400, target_site_count=60, seed=3,
+            keep_hourly_kpis=True,
+        )
+        feeds = Simulator(config).run()
+        hourly = feeds.hourly_kpis
+        assert hourly is not None
+        # One row per (site, day, hour); the ≥1-site-per-district floor
+        # means the deployment exceeds the nominal target.
+        assert len(hourly) == (
+            feeds.topology.num_sites * feeds.calendar.num_days * 24
+        )
+        # Daily medians must equal the median over the stored hours.
+        day0 = hourly.filter(
+            (hourly["day"] == 0) & (hourly["cell_id"] == hourly["cell_id"][0])
+        )
+        daily = feeds.radio_kpis.filter(
+            (feeds.radio_kpis["day"] == 0)
+            & (feeds.radio_kpis["cell_id"] == hourly["cell_id"][0])
+        )
+        assert daily["dl_volume_mb"][0] == pytest.approx(
+            np.median(day0["dl_volume_mb"])
+        )
+
+    def test_bin_dwell_when_requested(self):
+        config = SimulationConfig(
+            num_users=300, target_site_count=50, seed=4,
+            keep_bin_dwell=True,
+        )
+        feeds = Simulator(config).run()
+        assert feeds.mobility.bin_dwell is not None
+        assert feeds.mobility.bin_dwell[0].shape[1] == 6
+
+    def test_signaling_when_requested(self):
+        config = SimulationConfig(
+            num_users=200, target_site_count=40, seed=5,
+            emit_signaling=True,
+        )
+        feeds = Simulator(config).run()
+        assert feeds.signaling is not None
+        day0 = feeds.signaling[0]
+        assert len(day0) > 200
+        events = set(np.unique(day0["event"]).tolist())
+        assert EventType.ATTACH.value in events
+        assert EventType.SERVICE_REQUEST.value in events
+
+
+class TestWorldBuilder:
+    def test_build_world_deterministic(self):
+        config = SimulationConfig.tiny(seed=9)
+        first = build_world(config)
+        second = build_world(config)
+        assert np.array_equal(
+            first.agents.anchor_sites, second.agents.anchor_sites
+        )
+
+    def test_world_holds_config(self):
+        config = SimulationConfig.tiny(seed=9)
+        assert build_world(config).config is config

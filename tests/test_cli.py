@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_args(self):
+        args = build_parser().parse_args(
+            ["simulate", "--preset", "tiny", "--seed", "3", "--out", "x"]
+        )
+        assert args.preset == "tiny"
+        assert args.seed == 3
+
+    def test_bad_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "--preset", "huge", "--out", "x"]
+            )
+
+
+class TestCommands:
+    @pytest.fixture(scope="class")
+    def run_dir(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "run"
+        out = io.StringIO()
+        code = main(
+            [
+                "simulate", "--preset", "tiny", "--seed", "13",
+                "--users", "800", "--out", str(path),
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "saved" in text
+        assert "simulated day" in text  # progress meter
+        return path
+
+    def test_summary(self, run_dir):
+        out = io.StringIO()
+        assert main(["summary", "--feeds", str(run_dir)], out=out) == 0
+        text = out.getvalue()
+        assert "gyration_change_lockdown_pct" in text
+        assert "voice_volume_peak_pct" in text
+
+    def test_analyze(self, run_dir):
+        out = io.StringIO()
+        assert main(["analyze", "--feeds", str(run_dir)], out=out) == 0
+        text = out.getvalue()
+        assert "Fig 3" in text
+        assert "Fig 9" in text
+
+    def test_verdict(self, run_dir):
+        out = io.StringIO()
+        assert main(["verdict", "--feeds", str(run_dir)], out=out) == 0
+        text = out.getvalue()
+        assert "targets inside the band" in text
+
+    def test_export(self, run_dir, tmp_path):
+        out = io.StringIO()
+        target = tmp_path / "csvs"
+        code = main(
+            ["export", "--feeds", str(run_dir), "--out", str(target)],
+            out=out,
+        )
+        assert code == 0
+        assert (target / "summary.csv").exists()
+        assert (target / "performance_weekly.csv").exists()
+
+    def test_report_without_saving(self):
+        out = io.StringIO()
+        code = main(
+            ["report", "--preset", "tiny", "--seed", "5", "--users", "600"],
+            out=out,
+        )
+        assert code == 0
+        assert "Headline numbers" in out.getvalue()

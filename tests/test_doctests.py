@@ -1,0 +1,26 @@
+"""Run the library's doctest examples as part of the suite."""
+
+import doctest
+import importlib
+
+import pytest
+
+MODULE_NAMES = (
+    "repro.core.annual_context",
+    "repro.core.metrics",
+    "repro.frames.frame",
+    "repro.frames.groupby",
+    "repro.frames.join",
+    "repro.frames.pivot",
+    "repro.geo.coordinates",
+)
+
+
+@pytest.mark.parametrize("name", MODULE_NAMES)
+def test_module_doctests(name):
+    # importlib is required: some module names are shadowed by the
+    # functions their package re-exports (e.g. repro.frames.join).
+    module = importlib.import_module(name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures"
+    assert results.attempted > 0, "module lost its doctest examples"

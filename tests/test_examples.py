@@ -1,0 +1,39 @@
+"""Smoke tests: the example scripts run end to end.
+
+Only the two cheapest examples run here (the others exercise the same
+code paths at larger scale); each is executed as a real subprocess, the
+way a user would run it.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+@pytest.mark.slow
+def test_quickstart_runs():
+    out = run_example("quickstart.py", "7")
+    assert "targets inside the band" in out
+    assert "Headline numbers" in out
+
+
+@pytest.mark.slow
+def test_measurement_pipeline_runs():
+    out = run_example("measurement_pipeline.py")
+    assert "sessionizing" in out
+    assert "pipelines agree" in out

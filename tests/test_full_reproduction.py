@@ -1,0 +1,23 @@
+"""The flagship test: the full-scale reproduction verdict.
+
+Runs the default configuration end to end and requires EVERY
+machine-readable paper target to fall inside its acceptance band. This
+is the repository's headline claim, executed.
+"""
+
+import pytest
+
+from repro import CovidImpactStudy, SimulationConfig
+
+
+@pytest.mark.slow
+def test_default_scale_reproduces_all_targets():
+    study = CovidImpactStudy.run(SimulationConfig.default(seed=2020))
+    verdicts = study.verdicts()
+    failed = [
+        (verdict.target.key, verdict.measured)
+        for verdict in verdicts
+        if not verdict.passed
+    ]
+    assert not failed, failed
+    assert len(verdicts) == 26

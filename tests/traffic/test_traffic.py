@@ -1,0 +1,174 @@
+"""Tests for the traffic layer: applications, demand, voice, profiles."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.mobility import PandemicTimeline
+from repro.traffic import (
+    APP_MIX,
+    DemandModel,
+    VoiceModel,
+    activity_hour_profile,
+    hour_weights_within_bins,
+    mix_summary,
+)
+from repro.traffic.profiles import (
+    BIN_OF_HOUR,
+    traffic_hour_profile,
+    voice_hour_profile,
+)
+
+BASELINE = dt.date(2020, 2, 25)
+LOCKDOWN = dt.date(2020, 3, 31)
+
+
+@pytest.fixture(scope="module")
+def timeline():
+    return PandemicTimeline()
+
+
+class TestApplications:
+    def test_dl_shares_sum_to_one(self):
+        assert sum(app.dl_share for app in APP_MIX) == pytest.approx(1.0)
+
+    def test_streaming_is_asymmetric_conferencing_symmetric(self):
+        by_name = {app.name: app for app in APP_MIX}
+        assert by_name["video-streaming"].ul_dl_ratio < 0.1
+        assert by_name["conferencing-voip"].ul_dl_ratio > 0.5
+
+    def test_mix_summary_baseline(self):
+        mix = mix_summary(0.0)
+        assert mix["dl_demand"] == pytest.approx(1.0)
+        assert 0.1 < mix["ul_dl_ratio"] < 0.25
+        assert 0.15 < mix["home_cellular_share"] < 0.35
+
+    def test_lockdown_grows_total_demand(self):
+        assert mix_summary(1.0)["dl_demand"] > 1.02
+
+    def test_lockdown_raises_ul_ratio(self):
+        # Symmetric apps surge → aggregate UL:DL rises.
+        assert mix_summary(1.0)["ul_dl_ratio"] > mix_summary(0.0)["ul_dl_ratio"]
+
+    def test_lockdown_lowers_app_rate(self):
+        # Provider throttling (week 12) lowers the mean session rate.
+        assert (
+            mix_summary(1.0)["app_rate_mbps"]
+            < mix_summary(0.0)["app_rate_mbps"]
+        )
+
+    def test_home_ul_ratio_differs_from_away(self):
+        mix = mix_summary(1.0)
+        assert mix["home_ul_dl_ratio"] != pytest.approx(
+            mix["ul_dl_ratio"], rel=0.01
+        )
+
+    def test_restriction_validated(self):
+        with pytest.raises(ValueError):
+            mix_summary(1.5)
+
+
+class TestDemandModel:
+    def test_baseline_parameters(self, timeline):
+        model = DemandModel(timeline)
+        params = model.day_parameters(BASELINE)
+        assert params.demand_multiplier == pytest.approx(1.0)
+        assert 0 < params.home_cellular_share < 0.5
+
+    def test_lockdown_deepens_offload(self, timeline):
+        model = DemandModel(timeline)
+        before = model.day_parameters(BASELINE)
+        after = model.day_parameters(LOCKDOWN)
+        assert after.home_cellular_share < before.home_cellular_share
+        assert after.home_activity < before.home_activity
+
+    def test_news_bump_in_outbreak(self, timeline):
+        model = DemandModel(timeline)
+        outbreak = model.day_parameters(dt.date(2020, 3, 4))
+        assert outbreak.demand_multiplier > 1.05
+
+    def test_user_multipliers_mean_one_heavy_tail(self, timeline):
+        model = DemandModel(timeline)
+        draws = model.user_demand_multipliers(40_000)
+        assert draws.mean() == pytest.approx(1.0, abs=0.05)
+        assert np.percentile(draws, 99) > 3.0
+
+    def test_blended_home_factors(self, timeline):
+        model = DemandModel(timeline)
+        params = model.day_parameters(LOCKDOWN)
+        share, activity = params.blended_home_factors(
+            np.array([1.0, 0.0])
+        )
+        assert share[0] == pytest.approx(params.home_cellular_share)
+        assert share[1] == pytest.approx(params.poor_wifi_cellular_share)
+        assert activity[1] > activity[0]
+
+    def test_deterministic_multipliers(self, timeline):
+        first = DemandModel(timeline, seed=5).user_demand_multipliers(100)
+        second = DemandModel(timeline, seed=5).user_demand_multipliers(100)
+        assert np.array_equal(first, second)
+
+
+class TestVoiceModel:
+    def test_baseline_multiplier_one(self, timeline):
+        model = VoiceModel(timeline)
+        assert model.minutes_multiplier(BASELINE) == pytest.approx(1.0)
+
+    def test_surge_peaks_in_week_12(self, timeline):
+        model = VoiceModel(timeline)
+        week12 = model.minutes_multiplier(dt.date(2020, 3, 18))
+        assert week12 > 2.0
+        assert week12 > model.minutes_multiplier(dt.date(2020, 3, 12))
+
+    def test_surge_persists_then_settles(self, timeline):
+        model = VoiceModel(timeline)
+        early = model.minutes_multiplier(dt.date(2020, 4, 10))
+        late = model.minutes_multiplier(dt.date(2020, 5, 8))
+        assert early > late >= model.settings.relaxation_floor
+
+    def test_day_minutes(self, timeline):
+        model = VoiceModel(timeline)
+        assert model.day_minutes_per_user(BASELINE) == pytest.approx(
+            model.settings.base_minutes_per_day
+        )
+
+    def test_volume_constants(self, timeline):
+        dl, ul = VoiceModel(timeline).volume_mb_per_minute()
+        assert dl > 0 and ul > 0
+
+
+class TestProfiles:
+    def test_traffic_profile_normalized(self):
+        assert traffic_hour_profile().sum() == pytest.approx(1.0)
+
+    def test_voice_profile_normalized(self):
+        assert voice_hour_profile().sum() == pytest.approx(1.0)
+
+    def test_night_trough(self):
+        profile = traffic_hour_profile()
+        assert profile[3] < profile[20]
+
+    def test_activity_profile_max_one(self):
+        assert activity_hour_profile().max() == pytest.approx(1.0)
+
+    def test_bin_of_hour(self):
+        assert BIN_OF_HOUR[0] == 0
+        assert BIN_OF_HOUR[23] == 5
+        assert len(BIN_OF_HOUR) == 24
+
+    def test_hour_weights_sum_per_bin(self):
+        weights = hour_weights_within_bins(traffic_hour_profile())
+        for bin_index in range(6):
+            hours = slice(bin_index * 4, bin_index * 4 + 4)
+            assert weights[hours].sum() == pytest.approx(1.0)
+
+    def test_hour_weights_validates_shape(self):
+        with pytest.raises(ValueError):
+            hour_weights_within_bins(np.ones(10))
+
+    def test_zero_bin_handled(self):
+        profile = np.ones(24)
+        profile[0:4] = 0.0
+        weights = hour_weights_within_bins(profile)
+        assert weights[0:4].sum() == pytest.approx(1.0)

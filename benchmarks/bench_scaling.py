@@ -7,13 +7,21 @@ headline gyration drop (should be scale-stable). It also records the
 simulation cost per scale, which is what a user trades off.
 """
 
+import json
+import os
+import time
+from pathlib import Path
+
 import pytest
 
+from conftest import bench_config
 from repro.core import CovidImpactStudy
 from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import Simulator
 
 SCALES = (1_500, 5_000, 12_000)
+WORKER_SWEEP = ((1, 1), (2, 2), (4, 4))  # (num_shards, workers)
+RESULTS_PATH = Path(__file__).parent / "results" / "parallel_scaling.json"
 
 
 def run_scale(num_users: int) -> dict:
@@ -53,3 +61,62 @@ def test_scaling_convergence(benchmark):
     assert max(gyration) - min(gyration) < 12.0
     voice = [row["voice_peak"] for row in rows]
     assert all(110 < value < 190 for value in voice)
+
+
+def run_layout(num_shards: int, workers: int) -> float:
+    """Wall-clock seconds of one engine run at a shard layout."""
+    config = bench_config(
+        num_shards=num_shards,
+        workers=workers,
+        num_users=3_000,
+        target_site_count=200,
+    )
+    start = time.perf_counter()
+    Simulator(config).run()
+    return time.perf_counter() - start
+
+
+def test_parallel_worker_sweep(benchmark):
+    """Sweep workers ∈ {1, 2, 4}; record speedup over serial as JSON."""
+
+    def sweep() -> list[dict]:
+        rows = []
+        for num_shards, workers in WORKER_SWEEP:
+            seconds = run_layout(num_shards, workers)
+            rows.append(
+                {
+                    "num_shards": num_shards,
+                    "workers": workers,
+                    "seconds": seconds,
+                    "speedup_vs_serial": rows[0]["seconds"] / seconds
+                    if rows
+                    else 1.0,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report = {
+        "config": {"num_users": 3_000, "target_site_count": 200},
+        "cpu_count": os.cpu_count(),
+        "sweep": rows,
+    }
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    print("\nParallel worker sweep (speedup vs serial)")
+    print(f"{'shards':>8}{'workers':>9}{'seconds':>10}{'speedup':>9}")
+    for row in rows:
+        print(
+            f"{row['num_shards']:>8}{row['workers']:>9}"
+            f"{row['seconds']:>10.2f}{row['speedup_vs_serial']:>9.2f}"
+        )
+
+    assert all(row["seconds"] > 0 for row in rows)
+    # Process-pool speedup needs the cores to exist; on smaller boxes
+    # the sweep still records timings but does not assert the ratio.
+    if (os.cpu_count() or 1) >= 4:
+        assert rows[-1]["speedup_vs_serial"] >= 1.5, (
+            "workers=4 failed to reach 1.5x over serial: "
+            f"{rows[-1]['speedup_vs_serial']:.2f}x"
+        )

@@ -23,10 +23,26 @@ from repro.simulation.engine import Simulator
 BENCH_SEED = 2020
 
 
+def bench_config(
+    *, num_shards: int = 1, workers: int = 1, **overrides
+) -> SimulationConfig:
+    """The benchmark configuration, with optional parallelism keys.
+
+    ``num_shards``/``workers`` select a shard layout for the engine
+    (see :mod:`repro.simulation.sharding`); any other keyword is passed
+    through as a :class:`SimulationConfig` field override.
+    """
+    config = SimulationConfig.small(seed=BENCH_SEED)
+    if overrides:
+        config = config.with_overrides(**overrides)
+    if num_shards != 1 or workers != 1:
+        config = config.with_parallelism(num_shards, workers=workers)
+    return config
+
+
 @pytest.fixture(scope="session")
 def feeds():
-    config = SimulationConfig.small(seed=BENCH_SEED)
-    return Simulator(config).run()
+    return Simulator(bench_config()).run()
 
 
 @pytest.fixture(scope="session")

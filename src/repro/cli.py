@@ -88,6 +88,20 @@ def _add_preset_args(parser: argparse.ArgumentParser) -> None:
         "--users", type=int, default=None,
         help="override the preset's user count",
     )
+    parser.add_argument(
+        "--shards", type=int, default=None,
+        help=(
+            "partition the agents into this many deterministic shards "
+            "(default: 1, or the worker count when --workers is given)"
+        ),
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help=(
+            "run the shard day loops on this many processes "
+            "(default: 1 = in-process)"
+        ),
+    )
 
 
 def _config_from_args(args: argparse.Namespace):
@@ -104,6 +118,10 @@ def _config_from_args(args: argparse.Namespace):
             num_users=args.users,
             target_site_count=max(100, args.users // 18),
         )
+    if args.shards is not None or args.workers is not None:
+        workers = args.workers if args.workers is not None else 1
+        shards = args.shards if args.shards is not None else max(workers, 1)
+        config = config.with_parallelism(shards, workers=workers)
     return config
 
 

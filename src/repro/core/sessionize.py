@@ -2,10 +2,12 @@
 
 The paper "associate[s] each (anonymized) user to a radio tower
 throughout the time they are connected" (§2.3) from passive control-
-plane captures. :func:`sessionize_events` rebuilds that association
-from an event feed: within a user's day, the device is attributed to
-the tower of its most recent event until the next event at a different
-tower; the final segment extends to end of day.
+plane captures. :func:`sessionize_segments` rebuilds that association
+from an event feed as explicit attribution segments: within a user's
+day, the device is attributed to the tower of its most recent event
+until the next event; the final segment extends to end of day.
+:func:`sessionize_events` reduces the segments to per-(user, tower)
+dwell seconds.
 
 This is the measurement path of the *event-mode* pipeline; the
 dwell-mode pipeline gets the same quantities directly from the
@@ -18,9 +20,73 @@ import numpy as np
 
 from repro.frames import Frame
 
-__all__ = ["sessionize_events"]
+__all__ = ["sessionize_events", "sessionize_segments"]
 
 DAY_SECONDS = 86_400.0
+
+
+def _empty_segments() -> Frame:
+    return Frame(
+        {
+            "user_id": np.empty(0, dtype=np.int64),
+            "site_id": np.empty(0, dtype=np.int64),
+            "start_s": np.empty(0, dtype=np.float64),
+            "end_s": np.empty(0, dtype=np.float64),
+        }
+    )
+
+
+def sessionize_segments(
+    events: Frame, day_end_s: float = DAY_SECONDS
+) -> Frame:
+    """Attribute the observation window to towers, one segment per event.
+
+    Parameters
+    ----------
+    events:
+        Frame with columns ``user_id``, ``site_id``, ``timestamp_s``
+        (seconds since midnight). Other columns are ignored. Events need
+        not be sorted.
+    day_end_s:
+        Close the final open segment of each user at this timestamp.
+
+    Returns
+    -------
+    Frame with columns ``user_id``, ``site_id``, ``start_s``, ``end_s``,
+    sorted by ``(user_id, start_s, site_id)`` — one row per event. For
+    each user the segments chain without gaps or overlaps from the
+    user's first event to ``day_end_s``: each segment ends where the
+    next begins, so they partition the observed window. Simultaneous
+    events yield zero-length segments (``end_s == start_s``) for all
+    but the last, which carries the attribution forward.
+    """
+    if len(events) == 0:
+        return _empty_segments()
+    # Tie-break simultaneous events on site id so attribution is
+    # deterministic regardless of feed ordering.
+    ordered = events.sort_by(["user_id", "timestamp_s", "site_id"])
+    users = ordered["user_id"]
+    sites = ordered["site_id"]
+    times = ordered["timestamp_s"].astype(np.float64)
+
+    count = len(ordered)
+    end = np.empty(count, dtype=np.float64)
+    end[:-1] = times[1:]
+    end[-1] = day_end_s
+    last_of_user = np.ones(count, dtype=bool)
+    last_of_user[:-1] = users[:-1] != users[1:]
+    end[last_of_user] = day_end_s
+    # An event past day_end_s closes immediately (zero-length segment),
+    # matching the historical clamp of negative dwell to zero.
+    end = np.maximum(end, times)
+    return Frame(
+        {
+            "user_id": users,
+            "site_id": sites,
+            "start_s": times,
+            "end_s": end,
+        }
+    )
 
 
 def sessionize_events(events: Frame, day_end_s: float = DAY_SECONDS) -> Frame:
@@ -40,7 +106,8 @@ def sessionize_events(events: Frame, day_end_s: float = DAY_SECONDS) -> Frame:
     Frame with columns ``user_id``, ``site_id``, ``dwell_s`` — one row
     per (user, tower) with positive dwell.
     """
-    if len(events) == 0:
+    segments = sessionize_segments(events, day_end_s=day_end_s)
+    if len(segments) == 0:
         return Frame(
             {
                 "user_id": np.empty(0, dtype=np.int64),
@@ -48,25 +115,13 @@ def sessionize_events(events: Frame, day_end_s: float = DAY_SECONDS) -> Frame:
                 "dwell_s": np.empty(0, dtype=np.float64),
             }
         )
-    # Tie-break simultaneous events on site id so attribution is
-    # deterministic regardless of feed ordering.
-    ordered = events.sort_by(["user_id", "timestamp_s", "site_id"])
-    users = ordered["user_id"]
-    sites = ordered["site_id"]
-    times = ordered["timestamp_s"].astype(np.float64)
-
-    count = len(ordered)
-    next_time = np.empty(count, dtype=np.float64)
-    next_time[:-1] = times[1:]
-    next_time[-1] = day_end_s
-    last_of_user = np.ones(count, dtype=bool)
-    last_of_user[:-1] = users[:-1] != users[1:]
-    next_time[last_of_user] = day_end_s
-    durations = np.maximum(next_time - times, 0.0)
-
     # Aggregate per (user, site).
     keyed = Frame(
-        {"user_id": users, "site_id": sites, "dwell_s": durations}
+        {
+            "user_id": segments["user_id"],
+            "site_id": segments["site_id"],
+            "dwell_s": segments["end_s"] - segments["start_s"],
+        }
     )
     from repro.frames import group_by
 

@@ -60,6 +60,9 @@ def save_feeds(feeds: DataFeeds, directory: str | Path) -> Path:
     with open(path / _CONFIG, "wb") as handle:
         pickle.dump(feeds.config, handle)
 
+    from repro.simulation.sharding import parallelism_of
+
+    parallelism = parallelism_of(feeds.config)
     manifest = {
         "format_version": 1,
         "num_users": int(mobility.num_users),
@@ -68,6 +71,13 @@ def save_feeds(feeds: DataFeeds, directory: str | Path) -> Path:
         "first_day": feeds.calendar.first_day.isoformat(),
         "last_day": feeds.calendar.last_day.isoformat(),
         "interconnect_upgrade_day": feeds.interconnect_upgrade_day,
+        # Shard layout the run executed with. Results are independent
+        # of it (see repro.simulation.sharding), recorded as
+        # provenance for performance forensics on persisted runs.
+        "parallelism": {
+            "num_shards": parallelism.num_shards,
+            "workers": parallelism.workers,
+        },
     }
     (path / _MANIFEST).write_text(
         json.dumps(manifest, indent=2), encoding="utf-8"

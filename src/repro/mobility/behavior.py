@@ -98,6 +98,28 @@ class DayState:
     relocated: np.ndarray  # living at the relocation anchors
     restriction: np.ndarray  # effective per-user restriction that day
 
+    def take(self, indices: np.ndarray | None) -> "DayState":
+        """The state restricted to a subset of users (``None`` = all).
+
+        The full-population state is always computed first — every
+        random draw is index-aligned with the agent population — so a
+        sliced state is bitwise identical to the corresponding rows of
+        the full one regardless of how the population is partitioned
+        (the shard-count-invariance contract of
+        :mod:`repro.simulation.sharding`).
+        """
+        if indices is None:
+            return self
+        return DayState(
+            work_s=self.work_s[indices],
+            errand_s=self.errand_s[indices],
+            nearby_s=self.nearby_s[indices],
+            social_s=self.social_s[indices],
+            on_trip=self.on_trip[indices],
+            relocated=self.relocated[indices],
+            restriction=self.restriction[indices],
+        )
+
 
 class BehaviorModel:
     """Day-by-day behaviour driven by the pandemic timeline."""

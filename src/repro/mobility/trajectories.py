@@ -78,11 +78,26 @@ class TrajectoryModel:
         self._agents = agents
         self._behavior = behavior
 
-    def day_dwell(self, day: int) -> DayDwell:
-        """Assemble the dwell matrix for one simulation day."""
+    def day_dwell(
+        self, day: int, indices: np.ndarray | None = None
+    ) -> DayDwell:
+        """Assemble the dwell matrix for one simulation day.
+
+        ``indices`` restricts the output to a subset of users (a shard
+        of the population).  The behavioural state is always drawn for
+        the full population and then sliced, so every row of a sharded
+        dwell matrix is bitwise identical to the same row of the full
+        one — the property the parallel engine's merge relies on.
+        """
         agents = self._agents
-        state = self._behavior.day_state(day)
-        count = agents.num_users
+        state = self._behavior.day_state(day).take(indices)
+        if indices is None:
+            user_ids = agents.user_ids
+            anchor_sites = agents.anchor_sites
+        else:
+            user_ids = agents.user_ids[indices]
+            anchor_sites = agents.anchor_sites[indices]
+        count = int(user_ids.shape[0])
         dwell = np.zeros((count, NUM_BINS, NUM_ANCHORS), dtype=np.float64)
 
         durations = {
@@ -126,7 +141,7 @@ class TrajectoryModel:
 
         return DayDwell(
             day=day,
-            user_ids=agents.user_ids,
-            anchor_sites=agents.anchor_sites,
+            user_ids=user_ids,
+            anchor_sites=anchor_sites,
             dwell_s=dwell,
         )

@@ -117,6 +117,64 @@ class KpiAccumulator:
             )
             self._hourly_frames.append(Frame(data))
 
+    def add_day(
+        self, day: int, metrics: dict[str, np.ndarray], num_hours: int
+    ) -> None:
+        """Push a whole day of per-cell metric blocks and finalize it.
+
+        Each metric is either ``(num_hours, num_cells)`` or a
+        ``(num_cells,)`` vector that is broadcast over the hours (a
+        metric constant within the day).  The daily reduction is the
+        same per-cell median over hours as the ``add_hour`` +
+        ``finalize_day`` path — ``np.median`` over the hour axis — so
+        both paths produce bitwise-identical daily frames.  The bulk
+        form exists for the engine's vectorized day loop, where pushing
+        24 separate hourly dictionaries dominated small-array overhead.
+        """
+        if self._pending_day is not None:
+            raise ValueError(
+                f"day {self._pending_day} is still pending; finalize it first"
+            )
+        missing = set(KPI_COLUMNS) - set(metrics)
+        if missing:
+            raise ValueError(f"missing KPI metrics: {sorted(missing)}")
+        blocks: dict[str, np.ndarray] = {}
+        for name in KPI_COLUMNS:
+            block = np.asarray(metrics[name], dtype=np.float64)
+            if block.ndim == 1:
+                block = np.broadcast_to(
+                    block, (num_hours, self.num_cells)
+                )
+            if block.shape != (num_hours, self.num_cells):
+                raise ValueError(
+                    f"metric {name} has shape {block.shape}, expected "
+                    f"({num_hours}, {self.num_cells})"
+                )
+            blocks[name] = block
+        data = {
+            "cell_id": self._cell_ids,
+            "postcode": self._postcodes,
+            "day": np.full(self.num_cells, day, dtype=np.int64),
+        }
+        for name in KPI_COLUMNS:
+            data[name] = np.median(blocks[name], axis=0)
+        self._daily_frames.append(Frame(data))
+        if self._keep_hourly:
+            for hour in range(num_hours):
+                hourly = {
+                    "cell_id": self._cell_ids,
+                    "postcode": self._postcodes,
+                    "day": np.full(self.num_cells, day, dtype=np.int64),
+                    "hour": np.full(self.num_cells, hour, dtype=np.int64),
+                }
+                hourly.update(
+                    {
+                        name: np.ascontiguousarray(blocks[name][hour])
+                        for name in KPI_COLUMNS
+                    }
+                )
+                self._hourly_frames.append(Frame(hourly))
+
     def finalize_day(self) -> None:
         """Reduce the pending day's hours to per-cell medians."""
         if self._pending_day is None:

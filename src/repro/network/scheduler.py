@@ -53,7 +53,7 @@ class SchedulerSettings:
 
 @dataclass
 class HourlyRadioKpis:
-    """Vectorized per-cell KPIs for one hour."""
+    """Vectorized per-cell KPIs for one hour (or an (hours, cells) block)."""
 
     served_dl_mb: np.ndarray
     served_ul_mb: np.ndarray
@@ -102,6 +102,32 @@ class CellScheduler:
         app_rate_dl_mbps: np.ndarray,
     ) -> HourlyRadioKpis:
         """Schedule one hour across all cells (arrays are per-cell)."""
+        return self.schedule_hours(
+            capacity_mbps=capacity_mbps,
+            offered_dl_mb=offered_dl_mb,
+            offered_ul_mb=offered_ul_mb,
+            active_users=active_users,
+            app_rate_dl_mbps=app_rate_dl_mbps,
+        )
+
+    def schedule_hours(
+        self,
+        capacity_mbps: np.ndarray,
+        offered_dl_mb: np.ndarray,
+        offered_ul_mb: np.ndarray,
+        active_users: np.ndarray,
+        app_rate_dl_mbps: np.ndarray,
+    ) -> HourlyRadioKpis:
+        """Schedule a block of hours across all cells in one shot.
+
+        The offered-load arrays may be ``(num_cells,)`` for a single
+        hour or ``(num_hours, num_cells)`` for a whole day;
+        ``capacity_mbps`` and ``app_rate_dl_mbps`` are per-cell and
+        broadcast over hours.  Every operation is elementwise, so the
+        blocked form is bitwise identical to scheduling the hours one
+        at a time — which is what lets the engine vectorize its hourly
+        loop without disturbing the serial-equivalence contract.
+        """
         settings = self._settings
         capacity_mb_per_hour = capacity_mbps * 3600.0 / 8.0
         served_dl = np.minimum(offered_dl_mb, capacity_mb_per_hour)
@@ -126,7 +152,7 @@ class CellScheduler:
         fair_share = np.divide(
             capacity_mbps,
             np.maximum(active_users, 1.0),
-            out=np.zeros_like(capacity_mbps),
+            out=np.zeros(np.shape(served_dl), dtype=np.float64),
             where=capacity_mbps > 0,
         )
         degradation = 1.0 - settings.load_penalty * radio_load

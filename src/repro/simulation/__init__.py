@@ -18,6 +18,7 @@ from repro.simulation.clock import KeyDates, StudyCalendar, default_calendar
 __all__ = [
     "DataFeeds",
     "KeyDates",
+    "ParallelismSettings",
     "SimulationConfig",
     "Simulator",
     "StudyCalendar",
@@ -28,6 +29,10 @@ _LAZY = {
     "SimulationConfig": ("repro.simulation.config", "SimulationConfig"),
     "Simulator": ("repro.simulation.engine", "Simulator"),
     "DataFeeds": ("repro.simulation.feeds", "DataFeeds"),
+    "ParallelismSettings": (
+        "repro.simulation.sharding",
+        "ParallelismSettings",
+    ),
 }
 
 

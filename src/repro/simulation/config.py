@@ -8,6 +8,7 @@ from repro.mobility.behavior import BehaviorSettings
 from repro.mobility.pandemic import PandemicTimeline
 from repro.network.scheduler import SchedulerSettings
 from repro.simulation.clock import StudyCalendar, default_calendar
+from repro.simulation.sharding import ParallelismSettings
 from repro.traffic.demand import DemandSettings
 from repro.traffic.voice import VoiceSettings
 
@@ -57,6 +58,14 @@ class SimulationConfig:
     # ~16M of ~22M users (§2.3).
     night_observation_probability: float = 0.58
 
+    # Sharded/parallel execution (see repro.simulation.sharding for the
+    # determinism contract). num_shards=1, workers=1 is the serial
+    # engine; workers=1 with num_shards>1 runs the sharded math in
+    # process; workers>1 fans the shards out over a process pool.
+    parallelism: ParallelismSettings = field(
+        default_factory=ParallelismSettings
+    )
+
     # Heavyweight optional outputs.
     keep_hourly_kpis: bool = False
     keep_bin_dwell: bool = False
@@ -72,6 +81,25 @@ class SimulationConfig:
             raise ValueError("target_site_count must be positive")
         if not 0.0 < self.interconnect_baseline_utilization < 1.5:
             raise ValueError("interconnect utilization must be in (0, 1.5)")
+        if not isinstance(self.parallelism, ParallelismSettings):
+            raise TypeError(
+                "parallelism must be a ParallelismSettings instance"
+            )
+
+    def with_parallelism(
+        self, num_shards: int, workers: int | None = None
+    ) -> "SimulationConfig":
+        """A copy running ``num_shards`` shards on ``workers`` processes.
+
+        ``workers`` defaults to ``num_shards`` (one process per shard,
+        capped by the pool at pool-creation time).
+        """
+        return self.with_overrides(
+            parallelism=ParallelismSettings(
+                num_shards=num_shards,
+                workers=num_shards if workers is None else workers,
+            )
+        )
 
     # -- presets -----------------------------------------------------------
     @classmethod

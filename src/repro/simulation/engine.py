@@ -16,6 +16,22 @@ substrate:
 The spatial scatters use ``np.bincount`` over the flattened
 (user × anchor) axis, which keeps a ~20k-user, ~1k-site, 98-day run in
 the tens of seconds on a laptop.
+
+Sharded execution
+-----------------
+The per-user part of the day loop (dwell assembly and the bincount
+scatters) is embarrassingly parallel across agents.  When the
+configuration's ``parallelism`` block asks for it, the engine
+partitions the population into ``num_shards`` deterministic shards
+(:mod:`repro.simulation.sharding`), runs the shard day loops — in
+process for ``workers=1``, on a ``ProcessPoolExecutor`` otherwise —
+and reduces the shard payloads back into the exact arrays the serial
+loop produces.  Everything with global coupling (the voice
+interconnect, the load proxy, the per-cell scheduler, the daily-median
+KPI reduction, the nighttime-observability dropout) runs in the
+coordinator on the merged accumulators, so KPIs are exact rather than
+approximated.  See :mod:`repro.simulation.sharding` for the
+bitwise-vs-allclose determinism contract.
 """
 
 from __future__ import annotations
@@ -42,6 +58,14 @@ from repro.network.subscribers import build_subscriber_base
 from repro.network.topology import build_topology
 from repro.simulation.config import SimulationConfig
 from repro.simulation.feeds import DataFeeds, MobilityFeed
+from repro.simulation.sharding import (
+    MergedDay,
+    ShardDayLoad,
+    ShardResult,
+    merge_day_loads,
+    parallelism_of,
+    shard_user_indices,
+)
 from repro.traffic.demand import DemandModel
 from repro.traffic.profiles import (
     BIN_OF_HOUR,
@@ -70,7 +94,9 @@ class World:
 
     Fully deterministic given the configuration — which is what lets
     :mod:`repro.io` reload persisted feeds without re-running the day
-    loop: the world is rebuilt, the measured arrays are loaded.
+    loop: the world is rebuilt, the measured arrays are loaded.  The
+    same determinism is what lets every pool worker rebuild an
+    identical world from the configuration alone.
     """
 
     config: SimulationConfig
@@ -138,6 +164,228 @@ def build_world(config: SimulationConfig) -> World:
     )
 
 
+@dataclass
+class _RunContext:
+    """A world plus the per-run derived arrays the day loop consumes.
+
+    Deterministic given the configuration, so every pool worker can
+    rebuild an identical context from the configuration alone.
+    """
+
+    world: World
+    demand_mult: np.ndarray  # per-user demand heterogeneity
+    voice_mult: np.ndarray  # per-user calling heterogeneity
+    wifi_quality: np.ndarray  # per-user home-WiFi quality
+    bin_traffic_share: np.ndarray
+    bin_voice_share: np.ndarray
+    mb_dl: float
+    mb_ul: float
+
+    @classmethod
+    def from_world(cls, world: World) -> "_RunContext":
+        from repro.geo.oac import OAC_DEFINITIONS
+
+        agents = world.agents
+        num_users = agents.num_users
+        # Home-WiFi quality per user, from the home district's OAC
+        # (drives how much at-home usage stays on cellular).
+        wifi_by_district = np.array(
+            [
+                OAC_DEFINITIONS[district.oac].home_wifi_quality
+                for district in world.geography.districts
+            ]
+        )
+        mb_dl, mb_ul = world.voice_model.volume_mb_per_minute()
+        return cls(
+            world=world,
+            demand_mult=world.demand_model.user_demand_multipliers(
+                num_users
+            ),
+            voice_mult=world.voice_model.user_minute_multipliers(num_users),
+            wifi_quality=wifi_by_district[agents.home_district],
+            bin_traffic_share=np.add.reduceat(
+                traffic_hour_profile(), np.arange(0, HOURS_PER_DAY, 4)
+            ),
+            bin_voice_share=np.add.reduceat(
+                voice_hour_profile(), np.arange(0, HOURS_PER_DAY, 4)
+            ),
+            mb_dl=mb_dl,
+            mb_ul=mb_ul,
+        )
+
+
+def _take(array: np.ndarray, indices: np.ndarray | None) -> np.ndarray:
+    return array if indices is None else array[indices]
+
+
+def _compute_shard(
+    context: _RunContext, indices: np.ndarray | None
+) -> ShardResult:
+    """Run the per-user part of the day loop for one shard.
+
+    ``indices`` selects the shard's rows of the agent population
+    (``None`` = all users, the serial path).  Everything here is either
+    a row-wise operation on per-user arrays (bitwise identical for any
+    partition) or a ``np.bincount`` scatter onto sites (reduced across
+    shards by summation).
+    """
+    world = context.world
+    config = world.config
+    calendar = config.calendar
+    agents = world.agents
+    trajectories = world.trajectories
+    demand_model = world.demand_model
+    voice_model = world.voice_model
+    num_sites = world.topology.num_sites
+
+    anchor_sites = _take(agents.anchor_sites, indices)
+    flat_sites = anchor_sites.ravel()
+    demand_mult = _take(context.demand_mult, indices)
+    voice_mult = _take(context.voice_mult, indices)
+    wifi_quality = _take(context.wifi_quality, indices)
+    base_dl_mb = demand_model.base_daily_dl_mb()
+    base_minutes = voice_model.settings.base_minutes_per_day
+
+    keep_dwell = config.keep_bin_dwell or config.emit_signaling
+    keep_sectors = config.keep_sector_kpis
+    if keep_sectors:
+        # Per-sector attachment: each (user, site) pair lands on a
+        # stable sector of the site's 3-sector deployment.
+        user_ids = _take(agents.user_ids, indices)
+        user_grid = np.repeat(
+            user_ids[:, None], anchor_sites.shape[1], axis=1
+        )
+        sector_of_anchor = (user_grid * 7 + anchor_sites * 13) % 3
+        flat_sectors = (anchor_sites * 3 + sector_of_anchor).ravel()
+        sector_width = num_sites * 3
+
+    days: list[ShardDayLoad] = []
+    for day in range(calendar.num_days):
+        date = calendar.date_of(day)
+        dwell = trajectories.day_dwell(day, indices=indices)
+
+        params = demand_model.day_parameters(date)
+        user_dl_mb = (
+            base_dl_mb * demand_mult * params.demand_multiplier
+        )
+        user_voice_min = (
+            base_minutes
+            * voice_mult
+            * voice_model.minutes_multiplier(date)
+        )
+        home_cell_share, home_activity = params.blended_home_factors(
+            wifi_quality
+        )
+        # (users × anchors) context factors: home-like slots get the
+        # user's blended at-home factors, away slots are full cellular.
+        cell_factor = np.where(
+            _HOME_LIKE_SLOTS[None, :], home_cell_share[:, None], 1.0
+        )
+        act_factor = np.where(
+            _HOME_LIKE_SLOTS[None, :], home_activity[:, None], 1.0
+        )
+        ul_ratio_factor = np.where(
+            _HOME_LIKE_SLOTS, params.home_ul_dl_ratio, params.ul_dl_ratio
+        )
+
+        presence = np.zeros((num_sites, NUM_BINS))
+        activity = np.zeros((num_sites, NUM_BINS))
+        dl_mb = np.zeros((num_sites, NUM_BINS))
+        ul_mb = np.zeros((num_sites, NUM_BINS))
+        voice_minutes = np.zeros((num_sites, NUM_BINS))
+        for bin_index in range(NUM_BINS):
+            bin_dwell = dwell.dwell_s[:, bin_index, :]
+            share = bin_dwell / BIN_SECONDS
+            presence[:, bin_index] = np.bincount(
+                flat_sites, weights=bin_dwell.ravel(),
+                minlength=num_sites,
+            )
+            activity[:, bin_index] = np.bincount(
+                flat_sites,
+                weights=(bin_dwell * act_factor).ravel(),
+                minlength=num_sites,
+            )
+            dl_weights = (
+                share
+                * user_dl_mb[:, None]
+                * context.bin_traffic_share[bin_index]
+                * cell_factor
+            )
+            dl_mb[:, bin_index] = np.bincount(
+                flat_sites, weights=dl_weights.ravel(),
+                minlength=num_sites,
+            )
+            ul_mb[:, bin_index] = np.bincount(
+                flat_sites,
+                weights=(dl_weights * ul_ratio_factor[None, :]).ravel(),
+                minlength=num_sites,
+            )
+            voice_weights = (
+                share
+                * user_voice_min[:, None]
+                * context.bin_voice_share[bin_index]
+            )
+            voice_minutes[:, bin_index] = np.bincount(
+                flat_sites, weights=voice_weights.ravel(),
+                minlength=num_sites,
+            )
+
+        load = ShardDayLoad(
+            presence=presence,
+            activity=activity,
+            dl_mb=dl_mb,
+            ul_mb=ul_mb,
+            voice_minutes=voice_minutes,
+            daily_dwell=dwell.daily_dwell().astype(np.float32),
+            night_dwell=dwell.nighttime_dwell().astype(np.float32),
+            total_connected_s=float(dwell.dwell_s.sum()),
+            dwell_s=dwell.dwell_s if keep_dwell else None,
+        )
+
+        if keep_sectors:
+            daily_dwell_s = dwell.daily_dwell()
+            daily_dl_flat = (
+                daily_dwell_s / 86_400.0
+                * user_dl_mb[:, None]
+                * cell_factor
+            ).ravel()
+            daily_voice_flat = (
+                daily_dwell_s / 86_400.0 * user_voice_min[:, None]
+            ).ravel()
+            load.sector_presence = np.bincount(
+                flat_sectors, weights=daily_dwell_s.ravel(),
+                minlength=sector_width,
+            )
+            load.sector_dl = np.bincount(
+                flat_sectors, weights=daily_dl_flat,
+                minlength=sector_width,
+            )
+            load.sector_voice = np.bincount(
+                flat_sectors, weights=daily_voice_flat,
+                minlength=sector_width,
+            ) * (context.mb_dl + context.mb_ul)
+
+        days.append(load)
+
+    return ShardResult(indices=indices, days=days)
+
+
+# -- process-pool plumbing --------------------------------------------------
+# Workers rebuild the (deterministic) world once per process via the
+# pool initializer, then serve any number of shards from it.
+_WORKER_CONTEXT: _RunContext | None = None
+
+
+def _pool_init(config: SimulationConfig) -> None:  # pragma: no cover
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = _RunContext.from_world(build_world(config))
+
+
+def _pool_compute(indices: np.ndarray) -> ShardResult:  # pragma: no cover
+    assert _WORKER_CONTEXT is not None, "pool worker not initialized"
+    return _compute_shard(_WORKER_CONTEXT, indices)
+
+
 class Simulator:
     """End-to-end synthetic measurement-study run."""
 
@@ -155,35 +403,78 @@ class Simulator:
         after each simulated day — used by the CLI to show a meter.
         """
         config = self._config
-        calendar = config.calendar
         world = build_world(config)
+        context = _RunContext.from_world(world)
+        parallelism = parallelism_of(config)
+
+        if parallelism.num_shards <= 1:
+            shard_indices: list[np.ndarray | None] = [None]
+        else:
+            shard_indices = list(
+                shard_user_indices(
+                    world.agents.user_ids, parallelism.num_shards
+                )
+            )
+        results = self._execute_shards(context, shard_indices, parallelism)
+        return self._assemble_feeds(
+            context, shard_indices, results, progress
+        )
+
+    # -- shard execution ---------------------------------------------------
+    def _execute_shards(
+        self,
+        context: _RunContext,
+        shard_indices: list[np.ndarray | None],
+        parallelism,
+    ) -> list[ShardResult]:
+        if parallelism.uses_pool and len(shard_indices) > 1:
+            try:
+                return self._execute_pool(shard_indices, parallelism)
+            except (OSError, ValueError, RuntimeError, ImportError):
+                # No usable process pool (sandboxed platform, missing
+                # semaphores, ...): degrade to the in-process path, which
+                # produces identical results.
+                pass
+        return [
+            _compute_shard(context, indices) for indices in shard_indices
+        ]
+
+    def _execute_pool(
+        self,
+        shard_indices: list[np.ndarray | None],
+        parallelism,
+    ) -> list[ShardResult]:
+        from concurrent.futures import ProcessPoolExecutor
+
+        workers = min(parallelism.workers, len(shard_indices))
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_pool_init,
+            initargs=(self._config,),
+        ) as pool:
+            return list(pool.map(_pool_compute, shard_indices))
+
+    # -- merge + global stages ---------------------------------------------
+    def _assemble_feeds(
+        self,
+        context: _RunContext,
+        shard_indices: list[np.ndarray | None],
+        results: list[ShardResult],
+        progress,
+    ) -> DataFeeds:
+        config = self._config
+        world = context.world
+        calendar = config.calendar
         geography = world.geography
         topology = world.topology
-        catalog = world.catalog
-        base = world.base
         agents = world.agents
-        trajectories = world.trajectories
         demand_model = world.demand_model
         voice_model = world.voice_model
         scheduler = world.scheduler
-        epidemic = world.epidemic
 
         num_users = agents.num_users
         num_sites = topology.num_sites
-        demand_mult = demand_model.user_demand_multipliers(num_users)
-        voice_mult = voice_model.user_minute_multipliers(num_users)
-
-        # Home-WiFi quality per user, from the home district's OAC
-        # (drives how much at-home usage stays on cellular).
-        from repro.geo.oac import OAC_DEFINITIONS
-
-        wifi_by_district = np.array(
-            [
-                OAC_DEFINITIONS[district.oac].home_wifi_quality
-                for district in geography.districts
-            ]
-        )
-        wifi_quality = wifi_by_district[agents.home_district]
+        mb_dl, mb_ul = context.mb_dl, context.mb_ul
 
         # Per-user RAT connected-time shares (§2.4's 75%-on-4G).
         rat_rng = np.random.default_rng(
@@ -195,9 +486,8 @@ class Simulator:
         rat_shares = rat_rng.dirichlet(rat_alphas, size=num_users)
 
         # Interconnect dimensioned against pre-pandemic voice volume.
-        mb_dl, mb_ul = voice_model.volume_mb_per_minute()
         baseline_voice_mb = (
-            voice_mult.sum()
+            context.voice_mult.sum()
             * voice_model.settings.base_minutes_per_day
             * (mb_dl + mb_ul)
         )
@@ -243,29 +533,8 @@ class Simulator:
         traffic_w = hour_weights_within_bins(traffic_hour_profile())
         act_profile = activity_hour_profile()
         voice_w = hour_weights_within_bins(voice_hour_profile())
-        bin_traffic_share = np.add.reduceat(
-            traffic_hour_profile(), np.arange(0, HOURS_PER_DAY, 4)
-        )
-        bin_voice_share = np.add.reduceat(
-            voice_hour_profile(), np.arange(0, HOURS_PER_DAY, 4)
-        )
 
-        flat_sites = agents.anchor_sites.ravel()
-
-        # Per-sector attachment: each (user, site) pair lands on a
-        # stable sector of the site's 3-sector deployment.
         sector_rows: list[Frame] = []
-        if config.keep_sector_kpis:
-            user_grid = np.repeat(
-                agents.user_ids[:, None], agents.anchor_sites.shape[1],
-                axis=1,
-            )
-            sector_of_anchor = (
-                user_grid * 7 + agents.anchor_sites * 13
-            ) % 3
-            flat_sectors = (
-                agents.anchor_sites * 3 + sector_of_anchor
-            ).ravel()
         rat_time_rows: list[dict] = []
         day_rng = np.random.default_rng(
             np.random.SeedSequence(entropy=config.seed, spawn_key=(10,))
@@ -278,13 +547,15 @@ class Simulator:
 
         for day in range(calendar.num_days):
             date = calendar.date_of(day)
-            dwell = trajectories.day_dwell(day)
-            mobility.daily_dwell.append(
-                dwell.daily_dwell().astype(np.float32)
+            merged: MergedDay = merge_day_loads(
+                num_users,
+                shard_indices,
+                [result.days[day] for result in results],
             )
+            mobility.daily_dwell.append(merged.daily_dwell)
             # Nighttime observability: phones that stay idle all night
             # produce no signalling, so the probes cannot place them.
-            night = dwell.nighttime_dwell().astype(np.float32)
+            night = merged.night_dwell
             unobserved = (
                 night_rng.random(num_users)
                 >= config.night_observation_probability
@@ -292,76 +563,16 @@ class Simulator:
             night[unobserved] = 0.0
             mobility.night_dwell.append(night)
             if mobility.bin_dwell is not None:
-                mobility.bin_dwell.append(dwell.dwell_s.astype(np.float32))
+                mobility.bin_dwell.append(
+                    merged.dwell_s.astype(np.float32)
+                )
 
             params = demand_model.day_parameters(date)
-            user_dl_mb = (
-                demand_model.base_daily_dl_mb()
-                * demand_mult
-                * params.demand_multiplier
-            )
-            user_voice_min = (
-                voice_model.settings.base_minutes_per_day
-                * voice_mult
-                * voice_model.minutes_multiplier(date)
-            )
-            home_cell_share, home_activity = params.blended_home_factors(
-                wifi_quality
-            )
-            # (users × anchors) context factors: home-like slots get the
-            # user's blended at-home factors, away slots are full cellular.
-            cell_factor = np.where(
-                _HOME_LIKE_SLOTS[None, :], home_cell_share[:, None], 1.0
-            )
-            act_factor = np.where(
-                _HOME_LIKE_SLOTS[None, :], home_activity[:, None], 1.0
-            )
-
-            ul_ratio_factor = np.where(
-                _HOME_LIKE_SLOTS, params.home_ul_dl_ratio,
-                params.ul_dl_ratio,
-            )
-            presence = np.zeros((num_sites, NUM_BINS))
-            activity = np.zeros((num_sites, NUM_BINS))
-            dl_mb = np.zeros((num_sites, NUM_BINS))
-            ul_mb = np.zeros((num_sites, NUM_BINS))
-            voice_minutes = np.zeros((num_sites, NUM_BINS))
-            for bin_index in range(NUM_BINS):
-                bin_dwell = dwell.dwell_s[:, bin_index, :]
-                share = bin_dwell / BIN_SECONDS
-                presence[:, bin_index] = np.bincount(
-                    flat_sites, weights=bin_dwell.ravel(),
-                    minlength=num_sites,
-                )
-                activity[:, bin_index] = np.bincount(
-                    flat_sites,
-                    weights=(bin_dwell * act_factor).ravel(),
-                    minlength=num_sites,
-                )
-                dl_weights = (
-                    share
-                    * user_dl_mb[:, None]
-                    * bin_traffic_share[bin_index]
-                    * cell_factor
-                )
-                dl_mb[:, bin_index] = np.bincount(
-                    flat_sites, weights=dl_weights.ravel(),
-                    minlength=num_sites,
-                )
-                ul_mb[:, bin_index] = np.bincount(
-                    flat_sites,
-                    weights=(dl_weights * ul_ratio_factor[None, :]).ravel(),
-                    minlength=num_sites,
-                )
-                voice_weights = (
-                    share
-                    * user_voice_min[:, None]
-                    * bin_voice_share[bin_index]
-                )
-                voice_minutes[:, bin_index] = np.bincount(
-                    flat_sites, weights=voice_weights.ravel(),
-                    minlength=num_sites,
-                )
+            presence = merged.presence
+            activity = merged.activity
+            dl_mb = merged.dl_mb
+            ul_mb = merged.ul_mb
+            voice_minutes = merged.voice_minutes
 
             # Topology snapshot: inactive sites carry no traffic today.
             active_sites = topology.snapshot(day)
@@ -372,29 +583,7 @@ class Simulator:
             voice_minutes[~active_sites] = 0.0
 
             if config.keep_sector_kpis:
-                daily_dwell_flat = dwell.daily_dwell().ravel()
-                daily_dl_flat = (
-                    dwell.daily_dwell() / 86_400.0
-                    * user_dl_mb[:, None]
-                    * cell_factor
-                ).ravel()
-                daily_voice_flat = (
-                    dwell.daily_dwell() / 86_400.0
-                    * user_voice_min[:, None]
-                ).ravel()
-                width = num_sites * 3
-                sector_presence = np.bincount(
-                    flat_sectors, weights=daily_dwell_flat,
-                    minlength=width,
-                )
-                sector_dl = np.bincount(
-                    flat_sectors, weights=daily_dl_flat, minlength=width
-                )
-                sector_voice = np.bincount(
-                    flat_sectors, weights=daily_voice_flat,
-                    minlength=width,
-                ) * (mb_dl + mb_ul)
-                occupied = sector_presence > 0
+                occupied = merged.sector_presence > 0
                 indices = np.flatnonzero(occupied)
                 sector_rows.append(
                     Frame(
@@ -405,10 +594,10 @@ class Simulator:
                             "site_id": indices // 3,
                             "sector": indices % 3,
                             "connected_users": (
-                                sector_presence[indices] / 86_400.0
+                                merged.sector_presence[indices] / 86_400.0
                             ),
-                            "dl_volume_mb": sector_dl[indices],
-                            "voice_volume_mb": sector_voice[indices],
+                            "dl_volume_mb": merged.sector_dl[indices],
+                            "voice_volume_mb": merged.sector_voice[indices],
                         }
                     )
                 )
@@ -429,62 +618,59 @@ class Simulator:
                 0.0, 0.10, size=num_sites
             )
 
-            for hour in range(HOURS_PER_DAY):
-                bin_index = int(BIN_OF_HOUR[hour])
-                dl_hour = dl_mb[:, bin_index] * traffic_w[hour]
-                voice_min_hour = voice_minutes[:, bin_index] * voice_w[hour]
-                voice_dl_hour = voice_min_hour * mb_dl
-                voice_ul_hour = voice_min_hour * mb_ul
-                # All-bearer volumes include the QCI-1 voice bearer.
-                total_dl_hour = dl_hour + voice_dl_hour
-                total_ul_hour = (
-                    ul_mb[:, bin_index] * traffic_w[hour] + voice_ul_hour
-                )
-                connected = presence[:, bin_index] / BIN_SECONDS
-                # Active DL users: present users weighted by the
-                # context-dependent probability of cellular activity,
-                # scaled by the day's overall demand level.
-                active_users = (
-                    activity[:, bin_index]
-                    / BIN_SECONDS
-                    * params.peak_activity_probability
-                    * act_profile[hour]
-                    * np.sqrt(params.demand_multiplier)
-                )
-                kpis = scheduler.schedule_hour(
-                    capacity_mbps=capacity_mbps,
-                    offered_dl_mb=total_dl_hour,
-                    offered_ul_mb=total_ul_hour,
-                    active_users=active_users,
-                    app_rate_dl_mbps=app_rate_cells,
-                )
-                accumulator.add_hour(
-                    day,
-                    hour,
-                    {
-                        "dl_volume_mb": kpis.served_dl_mb,
-                        "ul_volume_mb": kpis.served_ul_mb,
-                        "dl_active_users": kpis.dl_active_users,
-                        "radio_load_pct": kpis.radio_load_pct,
-                        "user_dl_throughput_mbps": (
-                            kpis.user_dl_throughput_mbps
-                        ),
-                        "active_seconds": kpis.active_seconds,
-                        "connected_users": connected,
-                        "voice_volume_mb": voice_dl_hour + voice_ul_hour,
-                        "voice_users": voice_min_hour / 60.0,
-                        "voice_ul_loss_rate": (
-                            ul_loss_today * loss_noise[0]
-                        ),
-                        "voice_dl_loss_rate": (
-                            dl_loss_today * loss_noise[1]
-                        ),
-                    },
-                )
-            accumulator.finalize_day()
+            # All 24 hours scheduled in one vectorized block: every
+            # operation is elementwise over (hour, cell), so the block
+            # is bitwise identical to the historical hour-at-a-time
+            # loop.  (hours, cells) orientation throughout.
+            dl_hour = dl_mb.T[BIN_OF_HOUR] * traffic_w[:, None]
+            voice_min_hour = voice_minutes.T[BIN_OF_HOUR] * voice_w[:, None]
+            voice_dl_hour = voice_min_hour * mb_dl
+            voice_ul_hour = voice_min_hour * mb_ul
+            # All-bearer volumes include the QCI-1 voice bearer.
+            total_dl_hour = dl_hour + voice_dl_hour
+            total_ul_hour = (
+                ul_mb.T[BIN_OF_HOUR] * traffic_w[:, None] + voice_ul_hour
+            )
+            connected = presence.T[BIN_OF_HOUR] / BIN_SECONDS
+            # Active DL users: present users weighted by the
+            # context-dependent probability of cellular activity,
+            # scaled by the day's overall demand level.
+            active_users = (
+                activity.T[BIN_OF_HOUR]
+                / BIN_SECONDS
+                * params.peak_activity_probability
+                * act_profile[:, None]
+                * np.sqrt(params.demand_multiplier)
+            )
+            kpis = scheduler.schedule_hours(
+                capacity_mbps=capacity_mbps,
+                offered_dl_mb=total_dl_hour,
+                offered_ul_mb=total_ul_hour,
+                active_users=active_users,
+                app_rate_dl_mbps=app_rate_cells,
+            )
+            accumulator.add_day(
+                day,
+                {
+                    "dl_volume_mb": kpis.served_dl_mb,
+                    "ul_volume_mb": kpis.served_ul_mb,
+                    "dl_active_users": kpis.dl_active_users,
+                    "radio_load_pct": kpis.radio_load_pct,
+                    "user_dl_throughput_mbps": (
+                        kpis.user_dl_throughput_mbps
+                    ),
+                    "active_seconds": kpis.active_seconds,
+                    "connected_users": connected,
+                    "voice_volume_mb": voice_dl_hour + voice_ul_hour,
+                    "voice_users": voice_min_hour / 60.0,
+                    "voice_ul_loss_rate": ul_loss_today * loss_noise[0],
+                    "voice_dl_loss_rate": dl_loss_today * loss_noise[1],
+                },
+                num_hours=HOURS_PER_DAY,
+            )
 
             # RAT connected-time feed (§2.4's 75%-on-4G measurement).
-            total_connected_s = float(dwell.dwell_s.sum())
+            total_connected_s = merged.total_connected_s
             for rat_index, rat in enumerate(Rat):
                 rat_time_rows.append(
                     {
@@ -504,8 +690,9 @@ class Simulator:
                 progress(day, calendar.num_days)
 
             if signaling_frames is not None:
-                segments = _dwell_to_segments(dwell.dwell_s, agents.anchor_sites,
-                                              agents.user_ids)
+                segments = _dwell_to_segments(
+                    merged.dwell_s, agents.anchor_sites, agents.user_ids
+                )
                 signaling_frames[day] = signaling_generator.generate_day(
                     segments,
                     np.random.default_rng(
@@ -520,13 +707,13 @@ class Simulator:
             geography=geography,
             lookup=PostcodeLookup(geography),
             topology=topology,
-            catalog=catalog,
-            base=base,
+            catalog=world.catalog,
+            base=world.base,
             agents=agents,
             mobility=mobility,
             radio_kpis=accumulator.daily_frame(),
             rat_time=Frame.from_rows(rat_time_rows),
-            epidemic=epidemic,
+            epidemic=world.epidemic,
             hourly_kpis=(
                 accumulator.hourly_frame() if config.keep_hourly_kpis else None
             ),

@@ -87,6 +87,19 @@ class DataFeeds:
     def num_users(self) -> int:
         return self.mobility.num_users
 
+    @property
+    def parallelism(self):
+        """The shard layout the producing run executed with.
+
+        A :class:`~repro.simulation.sharding.ParallelismSettings` (the
+        serial default when the config predates sharded execution).
+        Provenance only — feed contents are independent of the layout
+        per the contract in :mod:`repro.simulation.sharding`.
+        """
+        from repro.simulation.sharding import parallelism_of
+
+        return parallelism_of(self.config)
+
     def cell_info(self) -> Frame:
         """Cell → (site, postcode) metadata for merges."""
         sites = self.topology.sites

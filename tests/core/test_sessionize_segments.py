@@ -1,0 +1,191 @@
+"""Property-based tests for attribution segments (sessionize_segments).
+
+Two structural invariants back the event-mode pipeline:
+
+- **partition** — per user, the segments chain gaplessly from the
+  user's first event to the end of the observation window, so dwell
+  is neither dropped nor double-counted;
+- **split invariance** — sessionizing the stream in pieces (by user
+  subsets, or by a time split with a carried-over attribution event)
+  yields the same per-(user, tower) dwell as sessionizing the whole
+  stream, which is exactly what licenses sharded processing of the
+  signalling feed.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import sessionize_events, sessionize_segments
+from repro.frames import Frame, concat
+
+DAY_END = 86_400.0
+
+
+@st.composite
+def event_feeds(draw):
+    """Feeds with integer timestamps so split-sum comparisons are exact."""
+    num_users = draw(st.integers(min_value=1, max_value=6))
+    rows = []
+    for user in range(num_users):
+        num_events = draw(st.integers(min_value=1, max_value=10))
+        times = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=86_399),
+                min_size=num_events,
+                max_size=num_events,
+            )
+        )
+        for time in times:
+            site = draw(st.integers(min_value=0, max_value=4))
+            rows.append(
+                {
+                    "user_id": user,
+                    "site_id": site,
+                    "timestamp_s": float(time),
+                }
+            )
+    return Frame.from_rows(
+        rows, columns=["user_id", "site_id", "timestamp_s"]
+    )
+
+
+def dwell_map(out: Frame) -> dict[tuple[int, int], float]:
+    return {
+        (int(u), int(s)): float(d)
+        for u, s, d in zip(out["user_id"], out["site_id"], out["dwell_s"])
+    }
+
+
+class TestSegmentsPartitionWindow:
+    @given(event_feeds())
+    @settings(max_examples=80, deadline=None)
+    def test_segments_partition_first_event_to_day_end(self, events):
+        segments = sessionize_segments(events)
+        for user in np.unique(events["user_id"]):
+            mask = segments["user_id"] == user
+            starts = segments["start_s"][mask]
+            ends = segments["end_s"][mask]
+            first = events["timestamp_s"][events["user_id"] == user].min()
+            # Chained: each segment ends where the next begins; the
+            # chain spans [first event, day end] with no gap or overlap.
+            assert starts[0] == first
+            assert np.array_equal(ends[:-1], starts[1:])
+            assert ends[-1] == DAY_END
+            assert np.all(ends >= starts)
+            assert (ends - starts).sum() == pytest.approx(
+                DAY_END - first, abs=1e-6
+            )
+
+    @given(event_feeds())
+    @settings(max_examples=60, deadline=None)
+    def test_one_segment_per_event_with_its_site(self, events):
+        segments = sessionize_segments(events)
+        assert len(segments) == len(events)
+        expected = sorted(
+            zip(
+                events["user_id"].tolist(),
+                events["timestamp_s"].tolist(),
+                events["site_id"].tolist(),
+            )
+        )
+        actual = list(
+            zip(
+                segments["user_id"].tolist(),
+                segments["start_s"].tolist(),
+                segments["site_id"].tolist(),
+            )
+        )
+        assert actual == expected
+
+    @given(event_feeds())
+    @settings(max_examples=60, deadline=None)
+    def test_events_reduce_to_segment_sums(self, events):
+        segments = sessionize_segments(events)
+        truth: dict[tuple[int, int], float] = {}
+        for u, s, a, b in zip(
+            segments["user_id"],
+            segments["site_id"],
+            segments["start_s"],
+            segments["end_s"],
+        ):
+            key = (int(u), int(s))
+            truth[key] = truth.get(key, 0.0) + float(b - a)
+        truth = {k: v for k, v in truth.items() if v > 0}
+        assert dwell_map(sessionize_events(events)) == pytest.approx(truth)
+
+    def test_empty_feed(self):
+        empty = Frame(
+            {
+                "user_id": np.empty(0, dtype=np.int64),
+                "site_id": np.empty(0, dtype=np.int64),
+                "timestamp_s": np.empty(0),
+            }
+        )
+        assert len(sessionize_segments(empty)) == 0
+
+    def test_event_past_day_end_zero_length(self):
+        events = Frame.from_rows(
+            [{"user_id": 1, "site_id": 3, "timestamp_s": 500.0}],
+            columns=["user_id", "site_id", "timestamp_s"],
+        )
+        segments = sessionize_segments(events, day_end_s=100.0)
+        assert segments["start_s"][0] == segments["end_s"][0] == 500.0
+
+
+class TestSplitInvariance:
+    @given(event_feeds(), st.integers(min_value=2, max_value=5))
+    @settings(max_examples=60, deadline=None)
+    def test_user_shard_split_invariant(self, events, num_shards):
+        # Processing disjoint user subsets independently and stacking
+        # the results is identical to processing the whole stream: the
+        # exact property sharded execution relies on.
+        whole = sessionize_events(events).sort_by(["user_id", "site_id"])
+        shards = [
+            events.filter(events["user_id"] % num_shards == shard)
+            for shard in range(num_shards)
+        ]
+        parts = [
+            sessionize_events(shard) for shard in shards if len(shard)
+        ]
+        stacked = concat(parts).sort_by(["user_id", "site_id"])
+        assert whole.column_names == stacked.column_names
+        assert np.array_equal(whole["user_id"], stacked["user_id"])
+        assert np.array_equal(whole["site_id"], stacked["site_id"])
+        assert np.array_equal(whole["dwell_s"], stacked["dwell_s"])
+
+    @given(event_feeds(), st.integers(min_value=1, max_value=86_398))
+    @settings(max_examples=60, deadline=None)
+    def test_time_split_with_carryover_invariant(self, events, cut_int):
+        # Split the day at t (never an event time: events are integral,
+        # t is half-integral). The first half is sessionized with the
+        # window closed at t; the second half gets one carried-over
+        # event per user at t for the tower attributed when the cut
+        # fell. Dwell sums must recombine to the unsplit result.
+        cut = cut_int + 0.5
+        before = events.filter(events["timestamp_s"] < cut)
+        after = events.filter(events["timestamp_s"] > cut)
+
+        carryover_rows = []
+        segments = sessionize_segments(before, day_end_s=cut)
+        for user in np.unique(before["user_id"]):
+            mask = segments["user_id"] == user
+            carryover_rows.append(
+                {
+                    "user_id": int(user),
+                    # The open segment at the cut is the user's last.
+                    "site_id": int(segments["site_id"][mask][-1]),
+                    "timestamp_s": cut,
+                }
+            )
+        carryover = Frame.from_rows(
+            carryover_rows, columns=["user_id", "site_id", "timestamp_s"]
+        )
+
+        first = dwell_map(sessionize_events(before, day_end_s=cut))
+        second = dwell_map(sessionize_events(concat([carryover, after])))
+        combined: dict[tuple[int, int], float] = dict(first)
+        for key, value in second.items():
+            combined[key] = combined.get(key, 0.0) + value
+        assert combined == pytest.approx(dwell_map(sessionize_events(events)))

@@ -1,0 +1,30 @@
+"""Regenerate the golden fingerprint pinned by test_golden_fingerprint.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/simulation/regen_golden.py
+
+and paste the printed dictionary over ``GOLDEN`` in
+``tests/simulation/test_golden_fingerprint.py``.  Do this only when a
+numerics change is *intentional* — the diff of the digests is the
+reviewable record that the engine's outputs moved.
+"""
+
+import pprint
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1].parent))
+
+from tests.simulation.harness import feeds_fingerprint, run_config
+from tests.simulation.test_golden_fingerprint import golden_config
+
+
+def main() -> None:
+    fingerprint = feeds_fingerprint(run_config(golden_config()))
+    print("GOLDEN = ", end="")
+    pprint.pprint(fingerprint, sort_dicts=True)
+
+
+if __name__ == "__main__":
+    main()

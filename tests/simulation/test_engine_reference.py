@@ -27,6 +27,8 @@ from repro.traffic.profiles import (
 DAY = 10
 HOUR = 18
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def setup():

@@ -1,0 +1,72 @@
+"""Golden regression: the engine's numerics, pinned.
+
+A tiny configuration is run end to end and every measured output array
+is reduced to a SHA256 digest of its values rounded to six decimals
+(:func:`tests.simulation.harness.feeds_fingerprint`).  The digests are
+checked in below.  If this test fails, the engine's numerics drifted:
+either an unintended behaviour change slipped in (fix it), or the
+change is intentional — then regenerate with::
+
+    PYTHONPATH=src python tests/simulation/regen_golden.py
+
+and commit the new digests alongside the change that moved them.
+"""
+
+import datetime as dt
+
+from repro.simulation.clock import StudyCalendar
+from repro.simulation.config import SimulationConfig
+
+from tests.simulation.harness import feeds_fingerprint, run_config
+
+GOLDEN = {
+    "interconnect_upgrade_day": "bdbd509d27c12bad72fcdecc2bf363de24fd6e8bef9508ceb3fd8c4253c35d2d",
+    "mobility.daily_dwell": "ae12100c08a9f111512d10216e50525f18f84e6f5a4291815d8cf980f64dcd9c",
+    "mobility.night_dwell": "7886381ba25eae6b9d7e9a520e6264a5e6c2ec49a81e72db748b111987c99036",
+    "radio_kpis.active_seconds": "0061472343940066a4be4004b6d642529c8d6001356ec28b7c39fab54720706b",
+    "radio_kpis.cell_id": "9a8b19ed17a37007597d4a98bb9bab7f151309acd0d4b2d22ce2024c3d8d5006",
+    "radio_kpis.connected_users": "8ee2feb17cee0b962601bc26468972ba344bcf685e0d3a11589efc66ed4a03c0",
+    "radio_kpis.day": "ab2cfa86c082ee7ff8cd840a694edffdd2040864fbbaa61de933f5f448b88ff1",
+    "radio_kpis.dl_active_users": "78c675857202b90c3ff473c48c107758ea8f8324f25cccd3cb0cf0686cb3a643",
+    "radio_kpis.dl_volume_mb": "f0c8d7b462469cc1d703e51e94d7d2bc0b547ea47f3d2746e26f3c6885bb858c",
+    "radio_kpis.postcode": "7eb87ccb4242b7f69927b3b408994ad85e460c7a756d28518ed6d85d31031747",
+    "radio_kpis.radio_load_pct": "60a337d21a3a950437071332484ea14659149c8e710fa110dfeea6b237257d63",
+    "radio_kpis.ul_volume_mb": "e1bd967e4fb75e76d7d2bbef881c1359c64771be43ed3624711aefd2c04d4922",
+    "radio_kpis.user_dl_throughput_mbps": "00d2cc4263cbf90ee1a44eea05398d388eaccf7bc0fdbc6ade9be93e1a864fc9",
+    "radio_kpis.voice_dl_loss_rate": "e8f7f20b4c89defd26305587672eb7ebba478868535aeb01ba2a15042f6fc30d",
+    "radio_kpis.voice_ul_loss_rate": "4312eed5957efcbcf5fd22ccf014ae6c5f8d0dee87042a0ac5fd20b8b95ed44a",
+    "radio_kpis.voice_users": "cab399047992167e515d9fcbfb345fccf31ab92b495612973d15f85b62d617a9",
+    "radio_kpis.voice_volume_mb": "75f7ee4496d8929064e0e199465d7c1013572c98d5d09cc61ab2bda1ba198f62",
+    "rat_time.connected_seconds": "973ad5de0d3d03c06d5da8865655545db3a4ec56745bbe2fea01aca62a4eb17c",
+    "rat_time.day": "e5acb6e1c07e215e273cacc0e714dfedabbf4565f685f019ee97a7fe5ed1213d",
+    "rat_time.rat": "50338a04af7b87616ca0b501dc11aad445eed86f44f00bff25995e5273d9c91c",
+}
+
+
+def golden_config() -> SimulationConfig:
+    """The pinned configuration (small, fast, structurally complete)."""
+    calendar = StudyCalendar(first_day=dt.date(2020, 2, 17), num_days=21)
+    return SimulationConfig(
+        num_users=180,
+        target_site_count=35,
+        seed=1234,
+        calendar=calendar,
+    )
+
+
+def test_engine_numerics_match_golden_fingerprint():
+    fingerprint = feeds_fingerprint(run_config(golden_config()))
+    drifted = {
+        name: (GOLDEN.get(name), digest)
+        for name, digest in fingerprint.items()
+        if GOLDEN.get(name) != digest
+    }
+    missing = set(GOLDEN) - set(fingerprint)
+    assert not drifted and not missing, (
+        "Engine numerics drifted from the golden fingerprint.\n"
+        f"Changed arrays: {sorted(drifted)}\n"
+        f"Arrays no longer produced: {sorted(missing)}\n"
+        "If this change is intentional, regenerate the digests with\n"
+        "    PYTHONPATH=src python tests/simulation/regen_golden.py\n"
+        "and commit them with the change that moved the numerics."
+    )

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.baseline import daily_pct_change, weekly_mean
+from repro.core.baseline import daily_pct_change, weekly_mean_stack
 from repro.core.statistics import MobilityDailyMetrics
 from repro.geo.build import STUDY_REGIONS
 from repro.simulation.feeds import DataFeeds
@@ -138,29 +138,37 @@ def _grouped_series(
 ) -> dict[str, MobilitySeries]:
     days = _analysis_days(feeds)
     weeks_of_day = _analysis_weeks_of_days(feeds)
+    populated = [
+        (name, mask) for name, mask in groups.items() if mask.any()
+    ]
+    if not populated:
+        raise ValueError("no non-empty groups")
     out: dict[str, MobilitySeries] = {}
     for metric in METRICS:
         national_daily = metrics.daily_mean(metric)[days]
         national_baseline = float(
             national_daily[weeks_of_day == baseline_week].mean()
         )
-        values: dict[str, np.ndarray] = {}
-        weeks_axis: np.ndarray | None = None
-        for name, mask in groups.items():
-            if not mask.any():
-                continue
-            daily = metrics.daily_mean_subset(metric, mask)[days]
-            change = daily_pct_change(
-                daily, weeks_of_day, baseline_value=national_baseline
-            )
-            weeks_axis, weekly = weekly_mean(change, weeks_of_day)
-            values[name] = weekly
-        if weeks_axis is None:
-            raise ValueError("no non-empty groups")
+        # Stack every group's percent-change series and reduce the day
+        # axis to weeks in one pass (see weekly_mean_stack).
+        changes = np.stack(
+            [
+                daily_pct_change(
+                    metrics.daily_mean_subset(metric, mask)[days],
+                    weeks_of_day,
+                    baseline_value=national_baseline,
+                )
+                for _, mask in populated
+            ]
+        )
+        weeks_axis, weekly = weekly_mean_stack(changes, weeks_of_day)
         out[metric] = MobilitySeries(
             metric=metric,
             granularity="weekly",
             x=weeks_axis,
-            values=values,
+            values={
+                name: weekly[row]
+                for row, (name, _) in enumerate(populated)
+            },
         )
     return out

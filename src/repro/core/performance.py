@@ -14,7 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.baseline import weekly_median_delta
-from repro.frames import Frame
+from repro.frames import Frame, kernels
 from repro.geo.build import STUDY_REGIONS
 from repro.simulation.clock import BASELINE_WEEK
 from repro.simulation.feeds import DataFeeds
@@ -169,37 +169,99 @@ def performance_series(
         )
         series["UK"] = national
     if grouping == "region":
-        for region in np.unique(analysis["region"]):
-            mask = analysis["region"] == region
-            axis, series[str(region)] = weekly_median_delta(
-                values[mask], weeks[mask], baseline_week,
-                percentile=percentile,
-            )
+        labels, wanted = analysis["region"], None
     elif grouping == "county":
-        for county in counties or STUDY_REGIONS:
-            mask = analysis["county"] == county
-            if not mask.any():
-                continue
-            axis, series[county] = weekly_median_delta(
-                values[mask], weeks[mask], baseline_week,
-                percentile=percentile,
-            )
+        labels, wanted = analysis["county"], list(counties or STUDY_REGIONS)
     elif grouping == "district_area":
-        for area in np.unique(analysis["area"]):
-            mask = analysis["area"] == area
-            axis, series[str(area)] = weekly_median_delta(
-                values[mask], weeks[mask], baseline_week,
-                percentile=percentile,
-            )
+        labels, wanted = analysis["area"], None
     elif grouping == "oac":
-        for cluster in np.unique(analysis["oac"]):
-            mask = analysis["oac"] == cluster
-            axis, series[str(cluster)] = weekly_median_delta(
-                values[mask], weeks[mask], baseline_week,
-                percentile=percentile,
-            )
+        labels, wanted = analysis["oac"], None
+    else:
+        labels = None
+    if labels is not None:
+        for name, group_axis, deltas in _grouped_weekly_delta(
+            values, weeks, labels, wanted, baseline_week, percentile
+        ):
+            axis, series[name] = group_axis, deltas
     if axis is None:
         raise ValueError("no data for the requested slice")
     return WeeklySeries(
         metric=metric, weeks=axis, values=series, percentile=percentile
     )
+
+
+def _grouped_weekly_delta(
+    values: np.ndarray,
+    weeks: np.ndarray,
+    labels: np.ndarray,
+    wanted: list[str] | None,
+    baseline_week: int,
+    percentile: float,
+) -> list[tuple[str, np.ndarray, np.ndarray]]:
+    """Weekly percentile-delta series for every label in one kernel pass.
+
+    Factorizes (label, week) to composite segment codes and computes
+    every group's weekly percentile with a single sort, instead of
+    rescanning the observation array once per label per week. Labels
+    with no rows are skipped; ``wanted`` restricts and orders the
+    output (default: all labels in sorted order).
+    """
+    if kernels.use_naive():
+        names = wanted if wanted is not None else np.unique(labels).tolist()
+        out = []
+        for name in names:
+            mask = labels == name
+            if not mask.any():
+                continue
+            group_axis, deltas = weekly_median_delta(
+                values[mask], weeks[mask], baseline_week,
+                percentile=percentile,
+            )
+            out.append((str(name), group_axis, deltas))
+        return out
+
+    label_keys, label_codes = np.unique(labels, return_inverse=True)
+    week_keys, week_codes = np.unique(weeks, return_inverse=True)
+    composite = label_codes.astype(np.int64) * week_keys.size + week_codes
+    order = np.lexsort((values, composite))
+    sorted_composite = composite[order]
+    boundaries = np.ones(sorted_composite.size, dtype=bool)
+    boundaries[1:] = sorted_composite[1:] != sorted_composite[:-1]
+    starts = np.flatnonzero(boundaries)
+    ends = np.append(starts[1:], sorted_composite.size)
+    cell_codes = sorted_composite[starts]
+    per_cell = kernels.presorted_percentile(
+        np.asarray(values, dtype=np.float64)[order], starts, ends, percentile
+    )
+    cell_labels = cell_codes // week_keys.size
+    cell_weeks = week_keys[cell_codes % week_keys.size]
+
+    if wanted is not None:
+        positions = np.searchsorted(label_keys, wanted)
+        selected = [
+            (name, position)
+            for name, position in zip(wanted, positions)
+            if position < label_keys.size and label_keys[position] == name
+        ]
+    else:
+        selected = [
+            (str(name), position)
+            for position, name in enumerate(label_keys.tolist())
+        ]
+
+    out = []
+    for name, position in selected:
+        cells = np.flatnonzero(cell_labels == position)
+        if cells.size == 0:
+            continue
+        group_axis = cell_weeks[cells]
+        group_values = per_cell[cells]
+        in_baseline = np.flatnonzero(group_axis == baseline_week)
+        if in_baseline.size == 0:
+            raise ValueError(f"no observations in week {baseline_week}")
+        baseline_value = float(group_values[in_baseline[0]])
+        if baseline_value == 0:
+            raise ValueError("baseline value is zero")
+        deltas = (group_values / baseline_value - 1.0) * 100.0
+        out.append((str(name), group_axis, deltas))
+    return out

@@ -59,13 +59,15 @@ def top_tower_filter(dwell: np.ndarray, top_towers: int) -> np.ndarray:
 
     The paper keeps the top-20 towers per user (§2.3). With more anchor
     towers than the cut-off this selects the most-visited ones; with
-    fewer it is the identity.
+    fewer it is the identity. The result is always a fresh array —
+    never a view of or alias to ``dwell`` — so callers may mutate it
+    freely regardless of which branch was taken.
     """
     if top_towers <= 0:
         raise ValueError("top_towers must be positive")
     rows, k = dwell.shape
     if k <= top_towers:
-        return dwell
+        return dwell.copy()
     # Indices of the (k - top) smallest entries per row → zeroed.
     cut = k - top_towers
     smallest = np.argpartition(dwell, cut - 1, axis=1)[:, :cut]

@@ -13,10 +13,15 @@ The public surface:
 - :func:`group_by` / :class:`GroupBy` — split-apply-combine with the
   aggregations the paper's pipeline uses (sum, mean, median, count,
   percentiles, ...).
-- :func:`join` — hash joins (inner / left) on one or more key columns.
+- :func:`join` — equi-joins (inner / left) on one or more key columns.
 - :func:`read_csv` / :func:`write_csv` — simple CSV round-trip with
   dtype inference.
 - :func:`concat` — stack frames with identical schemas.
+
+Grouped order statistics, joins and pivots run on the vectorized
+segment kernels of :mod:`repro.frames.kernels`; set
+``REPRO_FRAMES_NAIVE=1`` to select the original per-group reference
+loops (the oracle the differential test suite compares against).
 """
 
 from repro.frames.frame import Frame, concat

@@ -2,9 +2,11 @@
 
 The implementation sorts rows by the key columns once (``np.lexsort``)
 and then aggregates contiguous group slices. Sum-like reductions use
-``reduceat``; order statistics (median, percentiles) sort each group
-slice, which is fast enough for the group cardinalities this project
-produces (cells × days, users × days, ...).
+``reduceat``; order statistics (median, percentiles, nunique) use the
+vectorized segment kernels of :mod:`repro.frames.kernels` — one more
+sort pass over the whole column, then index arithmetic, never a
+per-group Python loop. Set ``REPRO_FRAMES_NAIVE=1`` to fall back to the original
+per-group slicing loops (the reference oracle for differential tests).
 """
 
 from __future__ import annotations
@@ -14,6 +16,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.frames import kernels
 from repro.frames.frame import Frame
 
 __all__ = ["GroupBy", "group_by"]
@@ -22,8 +25,7 @@ __all__ = ["GroupBy", "group_by"]
 # ("percentile", q), or a callable invoked with the group's values.
 AggSpec = tuple[str, Any]
 
-_REDUCEAT_OPS = {
-    "sum": np.add,
+_MINMAX_OPS = {
     "min": np.minimum,
     "max": np.maximum,
 }
@@ -134,9 +136,11 @@ def _aggregate(
 ) -> np.ndarray:
     """Aggregate presorted ``values`` over groups delimited by starts/ends."""
     if starts.size == 0:
-        return np.empty(0, dtype=values.dtype if how != "count" else np.int64)
-    if isinstance(how, str) and how in _REDUCEAT_OPS:
-        return _REDUCEAT_OPS[how].reduceat(values, starts)
+        return np.empty(0, dtype=_empty_dtype(values.dtype, how))
+    if how == "sum":
+        return kernels.segment_sum(values, starts)
+    if isinstance(how, str) and how in _MINMAX_OPS:
+        return _MINMAX_OPS[how].reduceat(values, starts)
     if how == "count":
         return (ends - starts).astype(np.int64)
     if how == "mean":
@@ -154,20 +158,41 @@ def _aggregate(
     if how == "last":
         return values[ends - 1]
     if how == "median":
-        return _per_group(values, starts, ends, np.median)
+        if kernels.use_naive():
+            return _per_group(values, starts, ends, np.median)
+        return kernels.segment_median(values, starts, ends)
     if how == "nunique":
-        return np.array(
-            [np.unique(values[s:e]).size for s, e in zip(starts, ends)],
-            dtype=np.int64,
-        )
+        if kernels.use_naive():
+            return np.array(
+                [np.unique(values[s:e]).size for s, e in zip(starts, ends)],
+                dtype=np.int64,
+            )
+        return kernels.segment_nunique(values, starts, ends)
     if isinstance(how, tuple) and len(how) == 2 and how[0] == "percentile":
         quantile = float(how[1])
-        return _per_group(
-            values, starts, ends, lambda chunk: np.percentile(chunk, quantile)
-        )
+        if kernels.use_naive():
+            return _per_group(
+                values, starts, ends,
+                lambda chunk: np.percentile(chunk, quantile),
+            )
+        return kernels.segment_percentile(values, starts, ends, quantile)
     if callable(how):
         return _per_group(values, starts, ends, how)
     raise ValueError(f"unknown aggregation {how!r}")
+
+
+def _empty_dtype(dtype: np.dtype, how: Any) -> np.dtype:
+    """Result dtype of an aggregation over zero groups."""
+    if how in ("count", "nunique"):
+        return np.dtype(np.int64)
+    if how == "sum":
+        return kernels.sum_accumulator_dtype(dtype)
+    if how in ("min", "max", "first", "last"):
+        return dtype
+    if how == "median" and np.issubdtype(dtype, np.inexact):
+        return dtype  # np.median keeps float32 inputs in float32
+    # mean/std/percentile and callables all produce float64.
+    return np.dtype(np.float64)
 
 
 def _per_group(

@@ -1,0 +1,253 @@
+"""Vectorized segment kernels for the frames substrate.
+
+The hot reductions of the analysis path — per-group order statistics,
+distinct counts, weekly percentile tables — all share one shape: a value
+column partitioned into contiguous segments (groups sorted together),
+reduced segment by segment. The naive implementation slices the column
+per group and calls numpy once per slice; fine for hundreds of groups,
+ruinous for the hundreds of thousands a country-scale feed produces.
+
+This module provides the vectorized counterparts. The key trick is a
+single ``np.lexsort`` of the *whole* column keyed by segment id, after
+which every per-segment order statistic becomes index arithmetic on one
+flat array:
+
+- :func:`segment_median` / :func:`segment_percentile` — select the
+  bracketing order statistics of every segment at once and interpolate
+  with the exact formula numpy uses internally, so results are **bitwise
+  identical** to ``np.median`` / ``np.percentile`` per group.
+- :func:`segment_nunique` — adjacent-difference flags on the
+  within-segment sorted values, summed with ``np.add.reduceat``.
+- :func:`segment_sum` — ``reduceat`` in a wide accumulator dtype
+  (int64 / float64) so bool columns count and int32 columns don't wrap.
+
+Every caller keeps its original per-group loop behind the
+``REPRO_FRAMES_NAIVE=1`` environment switch; the loops serve as the
+reference oracle for the differential test suite
+(``tests/frames/test_kernels_differential.py``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = [
+    "use_naive",
+    "segment_ids",
+    "sort_within_segments",
+    "segment_sum",
+    "sum_accumulator_dtype",
+    "segment_median",
+    "segment_percentile",
+    "segment_nunique",
+    "presorted_median",
+    "presorted_percentile",
+]
+
+
+def use_naive() -> bool:
+    """True when ``REPRO_FRAMES_NAIVE=1`` selects the reference loops."""
+    return os.environ.get("REPRO_FRAMES_NAIVE", "") not in ("", "0")
+
+
+def segment_ids(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+    """Segment index of every row, given segment start/end offsets."""
+    return np.repeat(np.arange(starts.size, dtype=np.intp), ends - starts)
+
+
+def _float64_image(values: np.ndarray) -> np.ndarray | None:
+    """An order-preserving, exactly-invertible float64 view of ``values``.
+
+    Returns ``None`` when no such image exists — floats containing NaN
+    (complex sort moves NaNs to the end of the whole array, not the
+    segment), 64-bit integers beyond 2**53, strings — and the caller
+    must take the generic lexsort path instead.
+    """
+    kind = values.dtype.kind
+    if kind == "f":
+        if np.isnan(values).any():
+            return None
+        return values.astype(np.float64, copy=False)
+    if kind == "b":
+        return values.astype(np.float64)
+    if kind in "iu":
+        if values.dtype.itemsize <= 4 or values.size == 0:
+            return values.astype(np.float64)
+        low, high = int(values.min()), int(values.max())
+        if -(2**53) <= low and high <= 2**53:
+            return values.astype(np.float64)
+    return None
+
+
+def sort_within_segments(
+    values: np.ndarray, starts: np.ndarray, ends: np.ndarray
+) -> np.ndarray:
+    """Sort ``values`` inside each contiguous segment (one sort pass).
+
+    ``values`` must already be grouped so each segment is contiguous;
+    the returned array keeps the segment layout with values ascending
+    (NaNs last, as numpy sorts them) inside every segment.
+
+    When the values have an exact float64 image, the (segment, value)
+    pair is packed into a complex128 array — numpy sorts complex
+    lexicographically by (real, imag), so a single sort replaces the
+    two stable passes of a lexsort. Otherwise falls back to
+    ``np.lexsort``.
+    """
+    ids = segment_ids(starts, ends)
+    image = _float64_image(values)
+    if image is None:
+        order = np.lexsort((values, ids))
+        return values[order]
+    packed = np.empty(values.size, dtype=np.complex128)
+    packed.real = ids
+    packed.imag = image
+    packed.sort()
+    # .imag is a strided view into the complex buffer; astype with an
+    # unconditional copy yields a compact array and frees the pack.
+    return packed.imag.astype(values.dtype)
+
+
+# ----------------------------------------------------------------------
+# Sums
+# ----------------------------------------------------------------------
+def sum_accumulator_dtype(dtype: np.dtype) -> np.dtype:
+    """Wide accumulator for a ``sum`` over ``dtype`` values.
+
+    Bools and signed ints accumulate in int64 (a bool sum is a count,
+    not a logical OR; int32 sums must not wrap), unsigned ints in
+    uint64, floats in float64.
+    """
+    dtype = np.dtype(dtype)
+    if dtype == bool or np.issubdtype(dtype, np.signedinteger):
+        return np.dtype(np.int64)
+    if np.issubdtype(dtype, np.unsignedinteger):
+        return np.dtype(np.uint64)
+    if np.issubdtype(dtype, np.floating):
+        return np.dtype(np.float64)
+    return dtype
+
+
+def segment_sum(values: np.ndarray, starts: np.ndarray) -> np.ndarray:
+    """Per-segment sum accumulated in a wide dtype."""
+    accumulator = sum_accumulator_dtype(values.dtype)
+    return np.add.reduceat(values.astype(accumulator, copy=False), starts)
+
+
+# ----------------------------------------------------------------------
+# Order statistics
+# ----------------------------------------------------------------------
+def _nan_segments(
+    sorted_values: np.ndarray, ends: np.ndarray
+) -> np.ndarray | None:
+    """Mask of segments containing NaN (NaNs sort to the segment end)."""
+    if not np.issubdtype(sorted_values.dtype, np.inexact):
+        return None
+    mask = np.isnan(sorted_values[ends - 1])
+    return mask if mask.any() else None
+
+
+def presorted_median(
+    sorted_values: np.ndarray, starts: np.ndarray, ends: np.ndarray
+) -> np.ndarray:
+    """Per-segment median of within-segment sorted values.
+
+    Replicates ``np.median`` exactly: the mean of the middle one or two
+    elements, computed in the input dtype for floats and in float64 for
+    integer/bool inputs; segments containing NaN yield NaN.
+    """
+    counts = ends - starts
+    half = counts // 2
+    odd = (counts % 2) == 1
+    upper = sorted_values[starts + half]
+    lower = sorted_values[starts + np.where(odd, half, np.maximum(half - 1, 0))]
+    if np.issubdtype(sorted_values.dtype, np.inexact):
+        out = np.where(odd, upper, (lower + upper) / 2)
+    else:
+        lower64 = lower.astype(np.float64)
+        upper64 = upper.astype(np.float64)
+        out = np.where(odd, upper64, (lower64 + upper64) / 2)
+    nan_mask = _nan_segments(sorted_values, ends)
+    if nan_mask is not None:
+        out[nan_mask] = np.nan
+    return out
+
+
+def presorted_percentile(
+    sorted_values: np.ndarray,
+    starts: np.ndarray,
+    ends: np.ndarray,
+    q: float,
+) -> np.ndarray:
+    """Per-segment linear-interpolation percentile of sorted values.
+
+    Replicates ``np.percentile(..., method="linear")`` bit for bit: the
+    virtual index is ``q/100 * (n - 1)``, the bracketing values are
+    interpolated with numpy's ``_lerp`` (which switches to the
+    ``b - diff * (1 - t)`` form at ``t >= 0.5``), and the products are
+    taken in the same dtypes numpy would use.
+    """
+    q = float(q)
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("Percentiles must be in the range [0, 100]")
+    counts = ends - starts
+    last = counts - 1
+    virtual = np.true_divide(q, 100.0) * last
+    previous = np.floor(virtual).astype(np.intp)
+    above = virtual >= last
+    previous = np.where(above, last, previous)
+    nxt = np.minimum(previous + 1, last)
+    gamma = virtual - previous
+    a = sorted_values[starts + previous]
+    b = sorted_values[starts + nxt]
+    diff = b - a
+    out = np.asarray(a + diff * gamma, dtype=np.float64)
+    upper_branch = gamma >= 0.5
+    if upper_branch.any():
+        out[upper_branch] = (b - diff * (1.0 - gamma))[upper_branch]
+    nan_mask = _nan_segments(sorted_values, ends)
+    if nan_mask is not None:
+        out[nan_mask] = np.nan
+    return out
+
+
+def segment_median(
+    values: np.ndarray, starts: np.ndarray, ends: np.ndarray
+) -> np.ndarray:
+    """Per-segment median of segment-contiguous (unsorted) values."""
+    return presorted_median(
+        sort_within_segments(values, starts, ends), starts, ends
+    )
+
+
+def segment_percentile(
+    values: np.ndarray, starts: np.ndarray, ends: np.ndarray, q: float
+) -> np.ndarray:
+    """Per-segment percentile of segment-contiguous (unsorted) values."""
+    return presorted_percentile(
+        sort_within_segments(values, starts, ends), starts, ends, q
+    )
+
+
+# ----------------------------------------------------------------------
+# Distinct counts
+# ----------------------------------------------------------------------
+def segment_nunique(
+    values: np.ndarray, starts: np.ndarray, ends: np.ndarray
+) -> np.ndarray:
+    """Per-segment count of distinct values.
+
+    Matches ``np.unique(...).size`` per group, including numpy's
+    collapsing of NaNs to a single distinct value.
+    """
+    sorted_values = sort_within_segments(values, starts, ends)
+    is_new = np.ones(sorted_values.size, dtype=np.int64)
+    if sorted_values.size > 1:
+        same = sorted_values[1:] == sorted_values[:-1]
+        if np.issubdtype(sorted_values.dtype, np.inexact):
+            same |= np.isnan(sorted_values[1:]) & np.isnan(sorted_values[:-1])
+        is_new[1:] = ~same
+        is_new[starts] = 1
+    return np.add.reduceat(is_new, starts)

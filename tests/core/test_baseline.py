@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import daily_pct_change, weekly_median_delta
-from repro.core.baseline import weekly_mean
+from repro.core.baseline import weekly_mean, weekly_mean_stack
 
 
 class TestDailyPctChange:
@@ -59,6 +59,39 @@ class TestWeeklyMean:
         out_weeks, means = weekly_mean(values, weeks)
         assert out_weeks.tolist() == [9, 10]
         assert means.tolist() == [2.0, 15.0]
+
+    def test_unsorted_weeks(self):
+        values = np.array([10.0, 1.0, 20.0, 3.0])
+        weeks = np.array([10, 9, 10, 9])
+        out_weeks, means = weekly_mean(values, weeks)
+        assert out_weeks.tolist() == [9, 10]
+        assert means.tolist() == [2.0, 15.0]
+
+    def test_naive_switch_matches(self, monkeypatch):
+        values = np.arange(21, dtype=np.float64)
+        weeks = np.repeat([9, 10, 11], 7)
+        fast = weekly_mean(values, weeks)
+        monkeypatch.setenv("REPRO_FRAMES_NAIVE", "1")
+        slow = weekly_mean(values, weeks)
+        assert np.array_equal(fast[0], slow[0])
+        assert np.array_equal(fast[1], slow[1])
+
+
+class TestWeeklyMeanStack:
+    def test_matches_per_row_weekly_mean(self):
+        rng = np.random.default_rng(3)
+        series = rng.normal(size=(4, 21))
+        weeks = np.repeat([9, 10, 11], 7)
+        stack_weeks, stacked = weekly_mean_stack(series, weeks)
+        assert stacked.shape == (4, 3)
+        for row in range(4):
+            row_weeks, row_means = weekly_mean(series[row], weeks)
+            assert np.array_equal(stack_weeks, row_weeks)
+            assert np.array_equal(stacked[row], row_means)
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            weekly_mean_stack(np.zeros((2, 5)), np.array([9, 9, 10]))
 
 
 class TestWeeklyMedianDelta:

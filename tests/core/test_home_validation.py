@@ -104,3 +104,20 @@ class TestTopTowerFilter:
     def test_rejects_zero(self):
         with pytest.raises(ValueError):
             top_tower_filter(np.array([[1.0]]), 0)
+
+    def test_identity_branch_returns_a_copy(self):
+        """Regression: with k <= top_towers the input array itself was
+        returned, so mutating the result corrupted the caller's feed."""
+        dwell = np.array([[3.0, 2.0, 1.0]])
+        out = top_tower_filter(dwell, 20)
+        assert out is not dwell
+        assert not np.shares_memory(out, dwell)
+        out[0, 0] = -1.0
+        assert dwell[0, 0] == 3.0
+
+    def test_filtering_branch_never_aliases(self):
+        dwell = np.array([[5.0, 1.0, 4.0, 2.0]])
+        out = top_tower_filter(dwell, 2)
+        assert not np.shares_memory(out, dwell)
+        out[0, 0] = -1.0
+        assert dwell[0, 0] == 5.0

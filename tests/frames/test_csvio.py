@@ -55,6 +55,55 @@ class TestRoundTrip:
         assert frame["x"].dtype.kind == "U"
 
 
+class TestMissingValues:
+    """Regression: one empty cell used to demote a whole numeric column
+    to strings, and bare "nan"/"inf" text parsed as floats."""
+
+    def test_empty_cell_in_float_column_becomes_nan(self):
+        frame = loads_csv("x\n1.5\n\n2.5\n")
+        assert frame["x"].dtype == np.float64
+        assert frame["x"][0] == 1.5
+        assert np.isnan(frame["x"][1])
+        assert frame["x"][2] == 2.5
+
+    def test_empty_cell_promotes_int_column_to_float(self):
+        frame = loads_csv("x\n1\n\n3\n")
+        assert frame["x"].dtype == np.float64
+        assert np.isnan(frame["x"][1])
+        assert frame["x"][[0, 2]].tolist() == [1.0, 3.0]
+
+    def test_nan_string_stays_string(self):
+        frame = loads_csv("x\n1.5\nnan\n")
+        assert frame["x"].dtype.kind == "U"
+        assert frame["x"].tolist() == ["1.5", "nan"]
+
+    def test_inf_strings_stay_strings(self):
+        for text in ("inf", "-inf", "Infinity"):
+            frame = loads_csv(f"x\n1.0\n{text}\n")
+            assert frame["x"].dtype.kind == "U", text
+
+    def test_underscored_numbers_stay_strings(self):
+        frame = loads_csv("x\n1_000\n2\n")
+        assert frame["x"].dtype.kind == "U"
+
+    def test_nan_round_trip(self):
+        frame = Frame({"v": [1.0, np.nan, 3.0]})
+        back = loads_csv(dumps_csv(frame))
+        assert back["v"].dtype == np.float64
+        assert back["v"][0] == 1.0 and back["v"][2] == 3.0
+        assert np.isnan(back["v"][1])
+
+    def test_all_empty_column_stays_string(self):
+        frame = loads_csv("x,y\n,1\n,2\n")
+        assert frame["x"].dtype.kind == "U"
+        assert frame["y"].dtype == np.int64
+
+    def test_scientific_notation_still_floats(self):
+        frame = loads_csv("x\n1e3\n-2.5E-8\n.5\n+3.\n")
+        assert frame["x"].dtype == np.float64
+        assert frame["x"][0] == 1e3
+
+
 class TestEdgeCases:
     def test_commas_in_strings_quoted(self):
         frame = Frame({"s": ["a,b", "plain"]})

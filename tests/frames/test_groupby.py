@@ -119,6 +119,90 @@ class TestAggregations:
             assert total == pytest.approx(chunk.sum())
 
 
+class TestSumDtypePromotion:
+    """Regression: ``sum`` must accumulate in a wide dtype.
+
+    ``np.add.reduceat`` in the input dtype turned a bool sum into a
+    logical OR and let int32 sums wrap around.
+    """
+
+    def test_bool_sum_counts_trues(self):
+        frame = Frame(
+            {"k": [0, 0, 0, 1], "flag": np.array([True, True, True, False])}
+        )
+        out = group_by(frame, "k").agg(trues=("flag", "sum"))
+        assert out["trues"].tolist() == [3, 0]
+        assert out["trues"].dtype == np.int64
+
+    def test_int32_sum_does_not_overflow(self):
+        big = np.array([2_000_000_000, 2_000_000_000], dtype=np.int32)
+        frame = Frame({"k": [0, 0], "v": big})
+        out = group_by(frame, "k").agg(total=("v", "sum"))
+        assert out["total"].tolist() == [4_000_000_000]
+        assert out["total"].dtype == np.int64
+
+    def test_uint32_sum_accumulates_in_uint64(self):
+        big = np.array([4_000_000_000, 4_000_000_000], dtype=np.uint32)
+        frame = Frame({"k": [0, 0], "v": big})
+        out = group_by(frame, "k").agg(total=("v", "sum"))
+        assert out["total"].tolist() == [8_000_000_000]
+        assert out["total"].dtype == np.uint64
+
+    def test_float32_sum_accumulates_in_float64(self):
+        frame = Frame(
+            {"k": [0, 0], "v": np.array([1e8, 1.0], dtype=np.float32)}
+        )
+        out = group_by(frame, "k").agg(total=("v", "sum"))
+        assert out["total"].dtype == np.float64
+        assert out["total"][0] == 1e8 + 1.0
+
+
+class TestEmptyFrameDtypes:
+    """Regression: aggregating zero groups must use the result dtype
+    the non-empty path would produce (mean of ints is float64, not
+    int64)."""
+
+    @staticmethod
+    def empty(dtype=np.int64):
+        return Frame(
+            {"k": np.array([], dtype=str), "v": np.array([], dtype=dtype)}
+        )
+
+    def test_mean_and_std_are_float64(self):
+        out = group_by(self.empty(), "k").agg(
+            avg=("v", "mean"), sd=("v", "std")
+        )
+        assert out["avg"].dtype == np.float64
+        assert out["sd"].dtype == np.float64
+
+    def test_percentile_is_float64(self):
+        out = group_by(self.empty(), "k").agg(p=("v", ("percentile", 75)))
+        assert out["p"].dtype == np.float64
+
+    def test_median_of_ints_is_float64(self):
+        out = group_by(self.empty(), "k").agg(med=("v", "median"))
+        assert out["med"].dtype == np.float64
+
+    def test_median_of_float32_stays_float32(self):
+        out = group_by(self.empty(np.float32), "k").agg(med=("v", "median"))
+        assert out["med"].dtype == np.float32
+
+    def test_sum_of_bools_is_int64(self):
+        out = group_by(self.empty(bool), "k").agg(total=("v", "sum"))
+        assert out["total"].dtype == np.int64
+
+    def test_count_and_nunique_are_int64(self):
+        out = group_by(self.empty(), "k").agg(
+            n=("v", "count"), distinct=("v", "nunique")
+        )
+        assert out["n"].dtype == np.int64
+        assert out["distinct"].dtype == np.int64
+
+    def test_min_keeps_input_dtype(self):
+        out = group_by(self.empty(np.int32), "k").agg(lo=("v", "min"))
+        assert out["lo"].dtype == np.int32
+
+
 class TestApply:
     def test_apply_returns_keys_plus_values(self, kpis):
         out = group_by(kpis, "cell").apply(

@@ -91,3 +91,31 @@ class TestLeftJoin:
         out = join(left, right, on="k", how="left")
         assert len(out) == 1
         assert np.isnan(out["y"][0])
+
+    def test_preserves_left_row_order(self):
+        """Regression: unmatched rows used to be appended after all
+        matched rows, silently reordering the left frame."""
+        left = Frame({"k": ["x", "a", "y", "b"], "pos": [0, 1, 2, 3]})
+        right = Frame({"k": ["a", "b"], "v": [10.0, 20.0]})
+        out = join(left, right, on="k", how="left")
+        assert out["k"].tolist() == ["x", "a", "y", "b"]
+        assert out["pos"].tolist() == [0, 1, 2, 3]
+        filled = out["v"]
+        assert np.isnan(filled[0]) and np.isnan(filled[2])
+        assert filled[1] == 10.0 and filled[3] == 20.0
+
+    def test_preserves_left_row_order_with_fanout(self):
+        left = Frame({"k": ["z", "a"], "pos": [0, 1]})
+        right = Frame({"k": ["a", "a"], "v": [1.0, 2.0]})
+        out = join(left, right, on="k", how="left")
+        assert out["pos"].tolist() == [0, 1, 1]
+        assert np.isnan(out["v"][0])
+        assert out["v"][1:].tolist() == [1.0, 2.0]
+
+    def test_naive_oracle_preserves_left_row_order(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FRAMES_NAIVE", "1")
+        left = Frame({"k": ["x", "a"], "pos": [0, 1]})
+        right = Frame({"k": ["a"], "v": [10.0]})
+        out = join(left, right, on="k", how="left")
+        assert out["pos"].tolist() == [0, 1]
+        assert np.isnan(out["v"][0]) and out["v"][1] == 10.0

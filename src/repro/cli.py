@@ -11,6 +11,12 @@ Usage (after ``pip install -e .``)::
 ``summary`` reload a persisted run and print the full figure report or
 just the headline numbers; ``report`` does simulate + analyze in one
 shot without touching disk.
+
+Pass ``--telemetry`` to ``simulate``, ``analyze``, or ``report`` to
+record span timings and counters for the command and print the phase
+table after the normal output (see ``docs/OBSERVABILITY.md``). On
+``simulate`` the snapshot is additionally persisted into the run's
+``manifest.json``.
 """
 
 from __future__ import annotations
@@ -43,11 +49,13 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--out", required=True, help="directory to save the run into"
     )
+    _add_telemetry_arg(simulate)
 
     analyze = commands.add_parser(
         "analyze", help="reload a run and print the full figure report"
     )
     analyze.add_argument("--feeds", required=True, help="saved-run directory")
+    _add_telemetry_arg(analyze)
 
     summary = commands.add_parser(
         "summary", help="reload a run and print the headline numbers"
@@ -58,6 +66,7 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="simulate and print the report without saving"
     )
     _add_preset_args(report)
+    _add_telemetry_arg(report)
 
     verdict = commands.add_parser(
         "verdict",
@@ -104,6 +113,16 @@ def _add_preset_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_telemetry_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help=(
+            "record span timings and counters for this command and "
+            "print the phase table after the output"
+        ),
+    )
+
+
 def _config_from_args(args: argparse.Namespace):
     from repro.simulation.config import SimulationConfig
 
@@ -128,7 +147,24 @@ def _config_from_args(args: argparse.Namespace):
 def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if not getattr(args, "telemetry", False):
+        return _run_command(args, out)
 
+    from repro import telemetry
+    from repro.telemetry import render_phase_table
+
+    telemetry.enable()
+    try:
+        code = _run_command(args, out)
+        if code == 0:
+            print(file=out)
+            print(render_phase_table(telemetry.snapshot()), file=out)
+        return code
+    finally:
+        telemetry.disable()
+
+
+def _run_command(args: argparse.Namespace, out) -> int:
     if args.command == "simulate":
         from repro.io import save_feeds
         from repro.simulation.engine import Simulator

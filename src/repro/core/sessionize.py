@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
 from repro.frames import Frame
 
 __all__ = ["sessionize_events", "sessionize_segments"]
@@ -36,6 +37,7 @@ def _empty_segments() -> Frame:
     )
 
 
+@telemetry.timed("sessionize_segments")
 def sessionize_segments(
     events: Frame, day_end_s: float = DAY_SECONDS
 ) -> Frame:
@@ -89,6 +91,7 @@ def sessionize_segments(
     )
 
 
+@telemetry.timed("sessionize_events")
 def sessionize_events(events: Frame, day_end_s: float = DAY_SECONDS) -> Frame:
     """Reduce one day's event feed to per-(user, tower) dwell seconds.
 

@@ -15,6 +15,7 @@ from functools import cache, cached_property
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.correlation import (
     EntropyCasesResult,
     cluster_users_volume_correlation,
@@ -73,20 +74,33 @@ class CovidImpactStudy:
         return self._feeds
 
     # -- shared intermediates ------------------------------------------------
+    # Each stage runs under a telemetry span (recorded only while
+    # repro.telemetry is enabled). Spans fire on first computation —
+    # cached re-reads cost nothing — and nest by call stack, so the
+    # phase table shows each stage under whichever artifact actually
+    # triggered it.
     @cached_property
     def metrics(self) -> MobilityDailyMetrics:
         """Per-user-day entropy/gyration over the whole window."""
-        return compute_daily_metrics(
-            self._feeds, gyration_mode=self._gyration_mode
-        )
+        with telemetry.span("metrics") as sp:
+            result = compute_daily_metrics(
+                self._feeds, gyration_mode=self._gyration_mode
+            )
+            sp.add(
+                "user_days",
+                self._feeds.num_users * self._feeds.mobility.num_days,
+            )
+            return result
 
     @cached_property
     def homes(self) -> HomeDetectionResult:
-        return detect_homes(self._feeds)
+        with telemetry.span("home_detection"):
+            return detect_homes(self._feeds)
 
     @cached_property
     def labeled_kpis(self):
-        return label_kpis(self._feeds)
+        with telemetry.span("label_kpis"):
+            return label_kpis(self._feeds)
 
     # -- paper artifacts ------------------------------------------------------
     def table1(self) -> list[tuple[str, str]]:
@@ -96,11 +110,13 @@ class CovidImpactStudy:
     @cache
     def fig2(self) -> HomeValidation:
         """Fig 2: inferred vs census LAD populations."""
-        return validate_against_census(self._feeds, self.homes)
+        with telemetry.span("fig2"):
+            return validate_against_census(self._feeds, self.homes)
 
     @cached_property
     def _fig3(self) -> dict[str, MobilitySeries]:
-        return national_mobility(self.metrics, self._feeds)
+        with telemetry.span("fig3"):
+            return national_mobility(self.metrics, self._feeds)
 
     def fig3(self) -> dict[str, MobilitySeries]:
         """Fig 3: national daily gyration/entropy change."""
@@ -108,86 +124,97 @@ class CovidImpactStudy:
 
     def fig4(self) -> EntropyCasesResult:
         """Fig 4: entropy change vs cumulative confirmed cases."""
-        return entropy_cases_correlation(self._fig3, self._feeds)
+        with telemetry.span("fig4"):
+            return entropy_cases_correlation(self._fig3, self._feeds)
 
     @cache
     def fig5(self) -> dict[str, MobilitySeries]:
         """Fig 5: regional mobility (five high-density regions)."""
-        return regional_mobility(self.metrics, self._feeds)
+        with telemetry.span("fig5"):
+            return regional_mobility(self.metrics, self._feeds)
 
     @cache
     def fig6(self) -> dict[str, MobilitySeries]:
         """Fig 6: mobility per geodemographic cluster."""
-        return geodemographic_mobility(self.metrics, self._feeds)
+        with telemetry.span("fig6"):
+            return geodemographic_mobility(self.metrics, self._feeds)
 
     @cache
     def fig7(self) -> RelocationMatrix:
         """Fig 7: the Inner-London relocation mobility matrix."""
-        return relocation_matrix(self._feeds, self.homes)
+        with telemetry.span("fig7"):
+            return relocation_matrix(self._feeds, self.homes)
 
     @cache
     def fig8(self) -> dict[str, WeeklySeries]:
         """Fig 8: UK + regional series for every data-traffic KPI."""
-        return {
-            metric: performance_series(
-                self._feeds, metric, grouping="county",
-                labeled=self.labeled_kpis,
-            )
-            for metric in PERF_METRICS
-        }
+        with telemetry.span("fig8"):
+            return {
+                metric: performance_series(
+                    self._feeds, metric, grouping="county",
+                    labeled=self.labeled_kpis,
+                )
+                for metric in PERF_METRICS
+            }
 
     @cache
     def fig9(self) -> dict[str, WeeklySeries]:
         """Fig 9: national voice-traffic series (QCI = 1)."""
-        return voice_series(self._feeds, labeled=self.labeled_kpis)
+        with telemetry.span("fig9"):
+            return voice_series(self._feeds, labeled=self.labeled_kpis)
 
     @cache
     def fig10(self) -> dict[str, WeeklySeries]:
         """Fig 10: network performance per geodemographic cluster."""
-        return {
-            metric: performance_series(
-                self._feeds, metric, grouping="oac",
-                labeled=self.labeled_kpis,
-            )
-            for metric in PERF_METRICS
-        }
+        with telemetry.span("fig10"):
+            return {
+                metric: performance_series(
+                    self._feeds, metric, grouping="oac",
+                    labeled=self.labeled_kpis,
+                )
+                for metric in PERF_METRICS
+            }
 
     @cache
     def fig11(self) -> dict[str, WeeklySeries]:
         """Fig 11: Inner-London postal-district network performance."""
-        return {
-            metric: performance_series(
-                self._feeds, metric, grouping="district_area",
-                restrict_county="Inner London",
-                labeled=self.labeled_kpis,
-            )
-            for metric in PERF_METRICS
-        }
+        with telemetry.span("fig11"):
+            return {
+                metric: performance_series(
+                    self._feeds, metric, grouping="district_area",
+                    restrict_county="Inner London",
+                    labeled=self.labeled_kpis,
+                )
+                for metric in PERF_METRICS
+            }
 
     @cache
     def fig12(self) -> dict[str, WeeklySeries]:
         """Fig 12: London network performance per OAC cluster."""
-        return {
-            metric: performance_series(
-                self._feeds, metric, grouping="oac",
-                restrict_county="Inner London",
-                labeled=self.labeled_kpis,
-            )
-            for metric in PERF_METRICS
-        }
+        with telemetry.span("fig12"):
+            return {
+                metric: performance_series(
+                    self._feeds, metric, grouping="oac",
+                    restrict_county="Inner London",
+                    labeled=self.labeled_kpis,
+                )
+                for metric in PERF_METRICS
+            }
 
     @cache
     def rat_share(self) -> dict[str, float]:
         """§2.4: connected-time share per RAT."""
-        return rat_time_share(self._feeds.rat_time)
+        with telemetry.span("rat_share"):
+            return rat_time_share(self._feeds.rat_time)
 
     @cache
     def cluster_correlations(self) -> dict[str, float]:
         """§4.4: users-vs-DL-volume correlation per cluster."""
-        fig10 = self.fig10()
-        return cluster_users_volume_correlation(
-            fig10["connected_users"], fig10["dl_volume_mb"]
-        )
+        with telemetry.span("cluster_correlations"):
+            fig10 = self.fig10()
+            return cluster_users_volume_correlation(
+                fig10["connected_users"], fig10["dl_volume_mb"]
+            )
 
     def verdicts(self):
         """Score this run against every machine-readable paper target."""
@@ -211,6 +238,7 @@ class CovidImpactStudy:
         )
 
     # -- headline numbers -----------------------------------------------------
+    @telemetry.timed("summary")
     def summary(self) -> dict[str, float]:
         """Every takeaway number of the paper, measured on this run."""
         feeds = self._feeds
@@ -329,6 +357,7 @@ class CovidImpactStudy:
         mask = (series.weeks >= 10) & (series.weeks <= 14)
         return float(series.values["N"][mask].max())
 
+    @telemetry.timed("report")
     def report(self, full: bool = False) -> str:
         """Printable study report: every figure as a text panel.
 

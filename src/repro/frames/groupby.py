@@ -16,6 +16,7 @@ from typing import Any
 
 import numpy as np
 
+from repro import telemetry
 from repro.frames import kernels
 from repro.frames.frame import Frame
 
@@ -90,6 +91,10 @@ class GroupBy:
         if not specs:
             raise ValueError("agg needs at least one aggregation spec")
         total = self._frame.num_rows
+        if telemetry.enabled():
+            telemetry.count("frames.group_by.calls")
+            telemetry.count("frames.group_by.rows_in", total)
+            telemetry.count("frames.group_by.groups_out", self.num_groups)
         ends = np.append(self._starts[1:], total)
         data = self._key_frame()
         for out_name, (source, how) in specs.items():
@@ -159,26 +164,42 @@ def _aggregate(
         return values[ends - 1]
     if how == "median":
         if kernels.use_naive():
+            _count_dispatch(naive=True)
             return _per_group(values, starts, ends, np.median)
+        _count_dispatch(naive=False)
         return kernels.segment_median(values, starts, ends)
     if how == "nunique":
         if kernels.use_naive():
+            _count_dispatch(naive=True)
             return np.array(
                 [np.unique(values[s:e]).size for s, e in zip(starts, ends)],
                 dtype=np.int64,
             )
+        _count_dispatch(naive=False)
         return kernels.segment_nunique(values, starts, ends)
     if isinstance(how, tuple) and len(how) == 2 and how[0] == "percentile":
         quantile = float(how[1])
         if kernels.use_naive():
+            _count_dispatch(naive=True)
             return _per_group(
                 values, starts, ends,
                 lambda chunk: np.percentile(chunk, quantile),
             )
+        _count_dispatch(naive=False)
         return kernels.segment_percentile(values, starts, ends, quantile)
     if callable(how):
         return _per_group(values, starts, ends, how)
     raise ValueError(f"unknown aggregation {how!r}")
+
+
+def _count_dispatch(naive: bool) -> None:
+    """Tally which path served a kernelized aggregation (fast vs oracle)."""
+    if telemetry.enabled():
+        telemetry.count(
+            "frames.group_by.naive_aggs"
+            if naive
+            else "frames.group_by.kernel_aggs"
+        )
 
 
 def _empty_dtype(dtype: np.dtype, how: Any) -> np.dtype:

@@ -22,6 +22,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.frames import kernels
 from repro.frames.frame import Frame
 
@@ -70,10 +71,20 @@ def join(
         if name not in left or name not in right:
             raise KeyError(f"join key {name!r} missing from one side")
 
-    if kernels.use_naive():
+    naive = kernels.use_naive()
+    if naive:
         left_rows, right_rows = _match_naive(left, right, keys, how)
     else:
         left_rows, right_rows = _match_factorized(left, right, keys, how)
+    if telemetry.enabled():
+        telemetry.count("frames.join.calls")
+        telemetry.count(
+            "frames.join.rows_in", left.num_rows + right.num_rows
+        )
+        telemetry.count("frames.join.rows_out", int(left_rows.size))
+        telemetry.count(
+            "frames.join.naive" if naive else "frames.join.factorized"
+        )
     return _gather(left, right, keys, suffix, left_rows, right_rows)
 
 

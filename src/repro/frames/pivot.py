@@ -11,6 +11,7 @@ from typing import Any
 
 import numpy as np
 
+from repro import telemetry
 from repro.frames import kernels
 from repro.frames.frame import Frame
 from repro.frames.groupby import group_by
@@ -62,7 +63,17 @@ def pivot(
     row_keys = np.unique(frame[index])
     column_keys = np.unique(frame[columns])
     grid = np.full((row_keys.size, column_keys.size), fill, dtype=np.float64)
-    if kernels.use_naive():
+    naive = kernels.use_naive()
+    if telemetry.enabled():
+        telemetry.count("frames.pivot.calls")
+        telemetry.count("frames.pivot.rows_in", frame.num_rows)
+        telemetry.count("frames.pivot.cells_out", int(grid.size))
+        telemetry.count(
+            "frames.pivot.naive_scatter"
+            if naive
+            else "frames.pivot.vector_scatter"
+        )
+    if naive:
         row_position = {key: i for i, key in enumerate(row_keys.tolist())}
         column_position = {
             key: i for i, key in enumerate(column_keys.tolist())

@@ -23,6 +23,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import telemetry
 from repro.frames import read_csv, write_csv
 from repro.geo.nspl import PostcodeLookup
 from repro.simulation.feeds import DataFeeds, MobilityFeed
@@ -46,45 +47,54 @@ def save_feeds(feeds: DataFeeds, directory: str | Path) -> Path:
     path = Path(directory)
     path.mkdir(parents=True, exist_ok=True)
 
-    write_csv(feeds.radio_kpis, path / _KPIS)
-    write_csv(feeds.rat_time, path / _RAT)
+    with telemetry.span("save_feeds") as sp:
+        write_csv(feeds.radio_kpis, path / _KPIS)
+        write_csv(feeds.rat_time, path / _RAT)
 
-    mobility = feeds.mobility
-    np.savez_compressed(
-        path / _MOBILITY,
-        user_ids=mobility.user_ids,
-        anchor_sites=mobility.anchor_sites,
-        daily_dwell=np.stack(mobility.daily_dwell),
-        night_dwell=np.stack(mobility.night_dwell),
-    )
-    with open(path / _CONFIG, "wb") as handle:
-        pickle.dump(feeds.config, handle)
+        mobility = feeds.mobility
+        np.savez_compressed(
+            path / _MOBILITY,
+            user_ids=mobility.user_ids,
+            anchor_sites=mobility.anchor_sites,
+            daily_dwell=np.stack(mobility.daily_dwell),
+            night_dwell=np.stack(mobility.night_dwell),
+        )
+        with open(path / _CONFIG, "wb") as handle:
+            pickle.dump(feeds.config, handle)
 
-    from repro.simulation.sharding import parallelism_of
+        from repro.simulation.sharding import parallelism_of
 
-    parallelism = parallelism_of(feeds.config)
-    manifest = {
-        "format_version": 1,
-        "num_users": int(mobility.num_users),
-        "num_days": int(mobility.num_days),
-        "num_kpi_rows": len(feeds.radio_kpis),
-        "first_day": feeds.calendar.first_day.isoformat(),
-        "last_day": feeds.calendar.last_day.isoformat(),
-        "interconnect_upgrade_day": feeds.interconnect_upgrade_day,
-        # Shard layout the run executed with. Results are independent
-        # of it (see repro.simulation.sharding), recorded as
-        # provenance for performance forensics on persisted runs.
-        "parallelism": {
-            "num_shards": parallelism.num_shards,
-            "workers": parallelism.workers,
-        },
-    }
-    (path / _MANIFEST).write_text(
-        json.dumps(manifest, indent=2), encoding="utf-8"
-    )
+        parallelism = parallelism_of(feeds.config)
+        manifest = {
+            "format_version": 1,
+            "num_users": int(mobility.num_users),
+            "num_days": int(mobility.num_days),
+            "num_kpi_rows": len(feeds.radio_kpis),
+            "first_day": feeds.calendar.first_day.isoformat(),
+            "last_day": feeds.calendar.last_day.isoformat(),
+            "interconnect_upgrade_day": feeds.interconnect_upgrade_day,
+            # Shard layout the run executed with. Results are independent
+            # of it (see repro.simulation.sharding), recorded as
+            # provenance for performance forensics on persisted runs.
+            "parallelism": {
+                "num_shards": parallelism.num_shards,
+                "workers": parallelism.workers,
+            },
+        }
+        # Telemetry captured while the run simulated travels with the
+        # run: a snapshot is plain JSON data, so it lands verbatim in
+        # the manifest and round-trips through load_feeds.
+        if feeds.telemetry is not None:
+            manifest["telemetry"] = feeds.telemetry
+        sp.add("kpi_rows", len(feeds.radio_kpis))
+        sp.add("rat_rows", len(feeds.rat_time))
+        (path / _MANIFEST).write_text(
+            json.dumps(manifest, indent=2), encoding="utf-8"
+        )
     return path
 
 
+@telemetry.timed("load_feeds")
 def load_feeds(directory: str | Path) -> DataFeeds:
     """Reload a run saved by :func:`save_feeds`."""
     path = Path(directory)
@@ -128,4 +138,5 @@ def load_feeds(directory: str | Path) -> DataFeeds:
             int(upgrade) if upgrade is not None else None
         ),
         config=config,
+        telemetry=manifest.get("telemetry"),
     )

@@ -32,6 +32,17 @@ KPI reduction, the nighttime-observability dropout) runs in the
 coordinator on the merged accumulators, so KPIs are exact rather than
 approximated.  See :mod:`repro.simulation.sharding` for the
 bitwise-vs-allclose determinism contract.
+
+Observability
+-------------
+With :mod:`repro.telemetry` enabled, a run records a ``simulate`` span
+tree — world build, run-context derivation, shard execution (with
+per-shard dwell-assembly and scatter spans, merged across the process
+pool), the per-day reductions (shard merge, voice interconnect,
+scheduler, signalling) and the final KPI reduction — and attaches the
+snapshot to ``feeds.telemetry``.  Telemetry never influences results:
+every span is a pure timer around unchanged code, and a disabled run
+pays one ``None`` check per instrumented site.
 """
 
 from __future__ import annotations
@@ -40,6 +51,7 @@ import numpy as np
 
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.frames import Frame
 from repro.geo.build import build_uk_geography
 from repro.geo.nspl import PostcodeLookup
@@ -228,12 +240,17 @@ def _compute_shard(
     a row-wise operation on per-user arrays (bitwise identical for any
     partition) or a ``np.bincount`` scatter onto sites (reduced across
     shards by summation).
+
+    Telemetry: the whole loop runs under a ``shard`` span (counting the
+    shard's users and days), with the dwell assembly and the bincount
+    scatters timed per day.  Summed across shards, the counters equal
+    the serial run's — the merge contract telemetry shares with the
+    data itself.
     """
     world = context.world
     config = world.config
     calendar = config.calendar
     agents = world.agents
-    trajectories = world.trajectories
     demand_model = world.demand_model
     voice_model = world.voice_model
     num_sites = world.topology.num_sites
@@ -259,40 +276,90 @@ def _compute_shard(
         flat_sectors = (anchor_sites * 3 + sector_of_anchor).ravel()
         sector_width = num_sites * 3
 
+    shard_span = telemetry.span(
+        "shard",
+        users=int(anchor_sites.shape[0]),
+        days=int(calendar.num_days),
+    )
     days: list[ShardDayLoad] = []
-    for day in range(calendar.num_days):
-        date = calendar.date_of(day)
+    with shard_span:
+        for day in range(calendar.num_days):
+            days.append(
+                _compute_shard_day(
+                    context, indices, day,
+                    flat_sites=flat_sites,
+                    demand_mult=demand_mult,
+                    voice_mult=voice_mult,
+                    wifi_quality=wifi_quality,
+                    base_dl_mb=base_dl_mb,
+                    base_minutes=base_minutes,
+                    keep_dwell=keep_dwell,
+                    sector_scatter=(
+                        (flat_sectors, sector_width) if keep_sectors else None
+                    ),
+                )
+            )
+    return ShardResult(indices=indices, days=days)
+
+
+def _compute_shard_day(
+    context: _RunContext,
+    indices: np.ndarray | None,
+    day: int,
+    *,
+    flat_sites: np.ndarray,
+    demand_mult: np.ndarray,
+    voice_mult: np.ndarray,
+    wifi_quality: np.ndarray,
+    base_dl_mb: float,
+    base_minutes: float,
+    keep_dwell: bool,
+    sector_scatter: tuple[np.ndarray, int] | None,
+) -> ShardDayLoad:
+    """One day of one shard: dwell assembly plus the bincount scatters."""
+    world = context.world
+    calendar = world.config.calendar
+    trajectories = world.trajectories
+    demand_model = world.demand_model
+    voice_model = world.voice_model
+    num_sites = world.topology.num_sites
+
+    date = calendar.date_of(day)
+    with telemetry.span("dwell_assembly") as dwell_span:
         dwell = trajectories.day_dwell(day, indices=indices)
+        dwell_span.add("dwell_cells", int(dwell.dwell_s.size))
 
-        params = demand_model.day_parameters(date)
-        user_dl_mb = (
-            base_dl_mb * demand_mult * params.demand_multiplier
-        )
-        user_voice_min = (
-            base_minutes
-            * voice_mult
-            * voice_model.minutes_multiplier(date)
-        )
-        home_cell_share, home_activity = params.blended_home_factors(
-            wifi_quality
-        )
-        # (users × anchors) context factors: home-like slots get the
-        # user's blended at-home factors, away slots are full cellular.
-        cell_factor = np.where(
-            _HOME_LIKE_SLOTS[None, :], home_cell_share[:, None], 1.0
-        )
-        act_factor = np.where(
-            _HOME_LIKE_SLOTS[None, :], home_activity[:, None], 1.0
-        )
-        ul_ratio_factor = np.where(
-            _HOME_LIKE_SLOTS, params.home_ul_dl_ratio, params.ul_dl_ratio
-        )
+    params = demand_model.day_parameters(date)
+    user_dl_mb = (
+        base_dl_mb * demand_mult * params.demand_multiplier
+    )
+    user_voice_min = (
+        base_minutes
+        * voice_mult
+        * voice_model.minutes_multiplier(date)
+    )
+    home_cell_share, home_activity = params.blended_home_factors(
+        wifi_quality
+    )
+    # (users × anchors) context factors: home-like slots get the
+    # user's blended at-home factors, away slots are full cellular.
+    cell_factor = np.where(
+        _HOME_LIKE_SLOTS[None, :], home_cell_share[:, None], 1.0
+    )
+    act_factor = np.where(
+        _HOME_LIKE_SLOTS[None, :], home_activity[:, None], 1.0
+    )
+    ul_ratio_factor = np.where(
+        _HOME_LIKE_SLOTS, params.home_ul_dl_ratio, params.ul_dl_ratio
+    )
 
-        presence = np.zeros((num_sites, NUM_BINS))
-        activity = np.zeros((num_sites, NUM_BINS))
-        dl_mb = np.zeros((num_sites, NUM_BINS))
-        ul_mb = np.zeros((num_sites, NUM_BINS))
-        voice_minutes = np.zeros((num_sites, NUM_BINS))
+    presence = np.zeros((num_sites, NUM_BINS))
+    activity = np.zeros((num_sites, NUM_BINS))
+    dl_mb = np.zeros((num_sites, NUM_BINS))
+    ul_mb = np.zeros((num_sites, NUM_BINS))
+    voice_minutes = np.zeros((num_sites, NUM_BINS))
+    scatter_span = telemetry.span("scatter")
+    with scatter_span:
         for bin_index in range(NUM_BINS):
             bin_dwell = dwell.dwell_s[:, bin_index, :]
             share = bin_dwell / BIN_SECONDS
@@ -329,20 +396,25 @@ def _compute_shard(
                 flat_sites, weights=voice_weights.ravel(),
                 minlength=num_sites,
             )
-
-        load = ShardDayLoad(
-            presence=presence,
-            activity=activity,
-            dl_mb=dl_mb,
-            ul_mb=ul_mb,
-            voice_minutes=voice_minutes,
-            daily_dwell=dwell.daily_dwell().astype(np.float32),
-            night_dwell=dwell.nighttime_dwell().astype(np.float32),
-            total_connected_s=float(dwell.dwell_s.sum()),
-            dwell_s=dwell.dwell_s if keep_dwell else None,
+        scatter_span.add(
+            "scattered_weights", int(flat_sites.size) * 5 * NUM_BINS
         )
 
-        if keep_sectors:
+    load = ShardDayLoad(
+        presence=presence,
+        activity=activity,
+        dl_mb=dl_mb,
+        ul_mb=ul_mb,
+        voice_minutes=voice_minutes,
+        daily_dwell=dwell.daily_dwell().astype(np.float32),
+        night_dwell=dwell.nighttime_dwell().astype(np.float32),
+        total_connected_s=float(dwell.dwell_s.sum()),
+        dwell_s=dwell.dwell_s if keep_dwell else None,
+    )
+
+    if sector_scatter is not None:
+        flat_sectors, sector_width = sector_scatter
+        with telemetry.span("sector_scatter"):
             daily_dwell_s = dwell.daily_dwell()
             daily_dl_flat = (
                 daily_dwell_s / 86_400.0
@@ -365,25 +437,36 @@ def _compute_shard(
                 minlength=sector_width,
             ) * (context.mb_dl + context.mb_ul)
 
-        days.append(load)
-
-    return ShardResult(indices=indices, days=days)
+    return load
 
 
 # -- process-pool plumbing --------------------------------------------------
 # Workers rebuild the (deterministic) world once per process via the
-# pool initializer, then serve any number of shards from it.
+# pool initializer, then serve any number of shards from it.  When the
+# coordinator has telemetry enabled, each worker records into its own
+# recorder and ships a snapshot back on every ShardResult; the recorder
+# is reset between shards so a worker serving several shards never
+# double-reports.
 _WORKER_CONTEXT: _RunContext | None = None
 
 
-def _pool_init(config: SimulationConfig) -> None:  # pragma: no cover
+def _pool_init(
+    config: SimulationConfig, record_telemetry: bool = False
+) -> None:  # pragma: no cover
     global _WORKER_CONTEXT
     _WORKER_CONTEXT = _RunContext.from_world(build_world(config))
+    if record_telemetry:
+        telemetry.enable()
 
 
 def _pool_compute(indices: np.ndarray) -> ShardResult:  # pragma: no cover
     assert _WORKER_CONTEXT is not None, "pool worker not initialized"
-    return _compute_shard(_WORKER_CONTEXT, indices)
+    result = _compute_shard(_WORKER_CONTEXT, indices)
+    recorder = telemetry.active()
+    if recorder is not None:
+        result.telemetry = recorder.snapshot()
+        recorder.reset()
+    return result
 
 
 class Simulator:
@@ -401,24 +484,54 @@ class Simulator:
 
         ``progress``, if given, is called as ``progress(day, num_days)``
         after each simulated day — used by the CLI to show a meter.
+
+        When :mod:`repro.telemetry` is enabled, the run records a
+        ``simulate`` span tree (world build, shard execution, per-day
+        reductions) and attaches the final snapshot to
+        ``feeds.telemetry``, which :func:`repro.io.save_feeds` persists
+        into the run manifest.
         """
         config = self._config
-        world = build_world(config)
-        context = _RunContext.from_world(world)
-        parallelism = parallelism_of(config)
+        with telemetry.span(
+            "simulate",
+            users=int(config.num_users),
+            days=int(config.calendar.num_days),
+        ) as run_span:
+            with telemetry.span("build_world") as world_span:
+                world = build_world(config)
+                world_span.add("sites", int(world.topology.num_sites))
+            with telemetry.span("run_context"):
+                context = _RunContext.from_world(world)
+            parallelism = parallelism_of(config)
 
-        if parallelism.num_shards <= 1:
-            shard_indices: list[np.ndarray | None] = [None]
-        else:
-            shard_indices = list(
-                shard_user_indices(
-                    world.agents.user_ids, parallelism.num_shards
+            if parallelism.num_shards <= 1:
+                shard_indices: list[np.ndarray | None] = [None]
+            else:
+                shard_indices = list(
+                    shard_user_indices(
+                        world.agents.user_ids, parallelism.num_shards
+                    )
                 )
+            run_span.add("shards", len(shard_indices))
+            with telemetry.span("shard_execution") as shard_span:
+                results = self._execute_shards(
+                    context, shard_indices, parallelism
+                )
+            # Pool workers record into their own process; their
+            # snapshots ride home on the ShardResult and merge under
+            # the span that dispatched them.  (In-process shards
+            # recorded straight into the active recorder instead.)
+            for result in results:
+                if result.telemetry is not None:
+                    telemetry.absorb(
+                        result.telemetry, prefix=shard_span.path
+                    )
+            feeds = self._assemble_feeds(
+                context, shard_indices, results, progress
             )
-        results = self._execute_shards(context, shard_indices, parallelism)
-        return self._assemble_feeds(
-            context, shard_indices, results, progress
-        )
+        if telemetry.enabled():
+            feeds.telemetry = telemetry.snapshot()
+        return feeds
 
     # -- shard execution ---------------------------------------------------
     def _execute_shards(
@@ -450,7 +563,7 @@ class Simulator:
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_pool_init,
-            initargs=(self._config,),
+            initargs=(self._config, telemetry.enabled()),
         ) as pool:
             return list(pool.map(_pool_compute, shard_indices))
 
@@ -547,11 +660,12 @@ class Simulator:
 
         for day in range(calendar.num_days):
             date = calendar.date_of(day)
-            merged: MergedDay = merge_day_loads(
-                num_users,
-                shard_indices,
-                [result.days[day] for result in results],
-            )
+            with telemetry.span("merge_shards"):
+                merged: MergedDay = merge_day_loads(
+                    num_users,
+                    shard_indices,
+                    [result.days[day] for result in results],
+                )
             mobility.daily_dwell.append(merged.daily_dwell)
             # Nighttime observability: phones that stay idle all night
             # produce no signalling, so the probes cannot place them.
@@ -603,8 +717,10 @@ class Simulator:
                 )
 
             # Voice interconnect (daily) and radio-side UL loss.
-            total_voice_mb = voice_minutes.sum() * (mb_dl + mb_ul)
-            dl_loss_today = interconnect.process_day(total_voice_mb)
+            with telemetry.span("voice_interconnect") as voice_span:
+                total_voice_mb = voice_minutes.sum() * (mb_dl + mb_ul)
+                dl_loss_today = interconnect.process_day(total_voice_mb)
+                voice_span.add("offered_voice_mb", float(total_voice_mb))
             if interconnect.upgraded and upgrade_day is None:
                 upgrade_day = day
             total_dl_today = dl_mb.sum()
@@ -642,13 +758,17 @@ class Simulator:
                 * act_profile[:, None]
                 * np.sqrt(params.demand_multiplier)
             )
-            kpis = scheduler.schedule_hours(
-                capacity_mbps=capacity_mbps,
-                offered_dl_mb=total_dl_hour,
-                offered_ul_mb=total_ul_hour,
-                active_users=active_users,
-                app_rate_dl_mbps=app_rate_cells,
-            )
+            with telemetry.span("scheduler") as sched_span:
+                kpis = scheduler.schedule_hours(
+                    capacity_mbps=capacity_mbps,
+                    offered_dl_mb=total_dl_hour,
+                    offered_ul_mb=total_ul_hour,
+                    active_users=active_users,
+                    app_rate_dl_mbps=app_rate_cells,
+                )
+                sched_span.add(
+                    "cell_hours", int(num_sites) * HOURS_PER_DAY
+                )
             accumulator.add_day(
                 day,
                 {
@@ -690,18 +810,25 @@ class Simulator:
                 progress(day, calendar.num_days)
 
             if signaling_frames is not None:
-                segments = _dwell_to_segments(
-                    merged.dwell_s, agents.anchor_sites, agents.user_ids
-                )
-                signaling_frames[day] = signaling_generator.generate_day(
-                    segments,
-                    np.random.default_rng(
-                        np.random.SeedSequence(
-                            entropy=config.seed, spawn_key=(11, day)
-                        )
-                    ),
-                )
+                with telemetry.span("signaling") as signal_span:
+                    segments = _dwell_to_segments(
+                        merged.dwell_s, agents.anchor_sites, agents.user_ids
+                    )
+                    signaling_frames[day] = signaling_generator.generate_day(
+                        segments,
+                        np.random.default_rng(
+                            np.random.SeedSequence(
+                                entropy=config.seed, spawn_key=(11, day)
+                            )
+                        ),
+                    )
+                    signal_span.add(
+                        "events", len(signaling_frames[day])
+                    )
 
+        with telemetry.span("kpi_reduction") as kpi_span:
+            radio_kpis = accumulator.daily_frame()
+            kpi_span.add("kpi_rows", len(radio_kpis))
         return DataFeeds(
             calendar=calendar,
             geography=geography,
@@ -711,7 +838,7 @@ class Simulator:
             base=world.base,
             agents=agents,
             mobility=mobility,
-            radio_kpis=accumulator.daily_frame(),
+            radio_kpis=radio_kpis,
             rat_time=Frame.from_rows(rat_time_rows),
             epidemic=world.epidemic,
             hourly_kpis=(

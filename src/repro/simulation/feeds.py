@@ -82,6 +82,9 @@ class DataFeeds:
     # The configuration that produced the feeds (provenance; lets
     # repro.io rebuild the deterministic world when reloading).
     config: object | None = None
+    # Telemetry snapshot of the producing run (set by the engine when
+    # repro.telemetry is enabled; persisted into manifest.json).
+    telemetry: dict | None = None
 
     @property
     def num_users(self) -> int:

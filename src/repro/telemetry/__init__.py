@@ -1,0 +1,83 @@
+"""Lightweight, dependency-free observability for the pipeline.
+
+The simulate→analyze pipeline is instrumented end to end with this
+package: hierarchical span timers (context-manager and decorator APIs
+over monotonic clocks, with per-span counters for rows/events/bytes),
+a process-wide counter registry, and a JSON-serializable run report
+that merges across the process-pool boundary of the sharded engine.
+
+Three rules shape the design:
+
+1. **Off by default, free when off.**  Nothing records until
+   :func:`enable` installs a recorder; every instrumented call site
+   pays exactly one ``None`` check while disabled (:func:`span` hands
+   back a shared no-op object, :func:`count` returns immediately).
+2. **Plain data out.**  A recorder's :func:`snapshot` is a nested dict
+   of ints, floats and strings — picklable across
+   ``ProcessPoolExecutor``, mergeable with
+   :func:`~repro.telemetry.report.merge_snapshots`, and persisted
+   verbatim into the run ``manifest.json`` by :mod:`repro.io.store`.
+3. **Paths tell the story.**  Span names nest by call stack into
+   ``/``-joined paths (``simulate/shard_execution/shard/scatter``), so
+   the phase table reads as a profile of where the run actually spent
+   its time.
+
+Typical use — the same calls the engine, frames kernels and study
+driver make internally:
+
+>>> from repro import telemetry
+>>> recorder = telemetry.enable()
+>>> with telemetry.span("demo", rows=120) as sp:
+...     sp.add("rows", 40)
+...     telemetry.count("demo.calls")
+>>> snap = telemetry.snapshot()
+>>> snap["spans"]["demo"]["counters"]["rows"]
+160
+>>> snap["counters"]["demo.calls"]
+1
+>>> telemetry.disable() is recorder
+True
+
+See ``docs/OBSERVABILITY.md`` for the guide: the span/counter API, how
+shard telemetry merges, and how to read the ``--telemetry`` table.
+"""
+
+from repro.telemetry.spans import (
+    NOOP_SPAN,
+    Span,
+    TelemetryRecorder,
+    absorb,
+    active,
+    count,
+    disable,
+    enable,
+    enabled,
+    snapshot,
+    span,
+    swap,
+    timed,
+)
+from repro.telemetry.report import (
+    empty_snapshot,
+    merge_snapshots,
+    render_phase_table,
+)
+
+__all__ = [
+    "NOOP_SPAN",
+    "Span",
+    "TelemetryRecorder",
+    "absorb",
+    "active",
+    "count",
+    "disable",
+    "enable",
+    "enabled",
+    "empty_snapshot",
+    "merge_snapshots",
+    "render_phase_table",
+    "snapshot",
+    "span",
+    "swap",
+    "timed",
+]

@@ -1,0 +1,144 @@
+"""Run reports: merging snapshots and rendering the phase table.
+
+A *snapshot* (produced by
+:meth:`~repro.telemetry.spans.TelemetryRecorder.snapshot`) is a plain
+JSON-serializable dict::
+
+    {"version": 1,
+     "spans":    {"simulate/build_world": {"calls": 1,
+                                           "seconds": 0.5,
+                                           "counters": {"sites": 40}}},
+     "counters": {"frames.join.rows_in": 1200}}
+
+:func:`merge_snapshots` reduces any number of snapshots into one by
+summing calls, seconds and counters key-wise — the reduction is
+associative and commutative for the integer-valued counters shard
+workers produce, which is what makes per-shard telemetry safe to merge
+in any order (the same property :mod:`repro.simulation.sharding` relies
+on for the data itself).
+
+>>> left = {"version": 1, "counters": {"rows": 2},
+...         "spans": {"shard": {"calls": 1, "seconds": 0.5,
+...                             "counters": {"users": 100}}}}
+>>> right = {"version": 1, "counters": {"rows": 3},
+...          "spans": {"shard": {"calls": 1, "seconds": 0.25,
+...                              "counters": {"users": 140}}}}
+>>> merged = merge_snapshots(left, right)
+>>> merged["spans"]["shard"]["calls"], merged["counters"]["rows"]
+(2, 5)
+>>> merged["spans"]["shard"]["counters"]["users"]
+240
+
+:func:`render_phase_table` turns a snapshot into the aligned text table
+the CLI prints under ``--telemetry``: one row per span path (children
+indented under their parents), then the process-wide counters.
+
+>>> print(render_phase_table(merged))  # doctest: +NORMALIZE_WHITESPACE
+phase                                        calls     seconds  counters
+shard                                            2       0.750  users=240
+<BLANKLINE>
+counter                                                   total
+rows                                                          5
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.spans import SNAPSHOT_VERSION
+
+__all__ = ["empty_snapshot", "merge_snapshots", "render_phase_table"]
+
+_PHASE_WIDTH = 44
+_COUNTER_WIDTH = 56
+
+
+def empty_snapshot() -> dict:
+    """A snapshot with nothing recorded (the merge identity)."""
+    return {"version": SNAPSHOT_VERSION, "spans": {}, "counters": {}}
+
+
+def merge_snapshots(*snapshots: dict | None) -> dict:
+    """Key-wise sum of snapshots; ``None`` entries are skipped.
+
+    Associative: ``merge(merge(a, b), c)`` equals ``merge(a, merge(b,
+    c))`` exactly whenever the summed values are integers (counters,
+    call counts) and up to float association for seconds.
+    """
+    merged = empty_snapshot()
+    spans = merged["spans"]
+    counters = merged["counters"]
+    for snapshot in snapshots:
+        if not snapshot:
+            continue
+        for path, stats in snapshot.get("spans", {}).items():
+            target = spans.setdefault(
+                path, {"calls": 0, "seconds": 0.0, "counters": {}}
+            )
+            target["calls"] += stats.get("calls", 0)
+            target["seconds"] += stats.get("seconds", 0.0)
+            tallies = target["counters"]
+            for name, value in stats.get("counters", {}).items():
+                tallies[name] = tallies.get(name, 0) + value
+        for name, value in snapshot.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+    return merged
+
+
+def _format_value(value) -> str:
+    """Counters print as ints when integral, compactly otherwise."""
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def _format_counters(counters: dict) -> str:
+    return " ".join(
+        f"{name}={_format_value(value)}"
+        for name, value in sorted(counters.items())
+    )
+
+
+def render_phase_table(snapshot: dict | None) -> str:
+    """The per-phase timing/counter table, as aligned text.
+
+    Span paths are sorted by their components, which places every child
+    directly under its parent; indentation shows the nesting depth.
+    Seconds are the *inclusive* wall-clock total of the span (children
+    are counted inside their parents), so a parent row is always at
+    least the sum of its children.
+    """
+    if not snapshot or (
+        not snapshot.get("spans") and not snapshot.get("counters")
+    ):
+        return "telemetry: nothing recorded"
+    lines: list[str] = []
+    spans = snapshot.get("spans", {})
+    if spans:
+        lines.append(
+            f"{'phase':<{_PHASE_WIDTH}}{'calls':>6}{'seconds':>12}"
+            "  counters"
+        )
+        for path in sorted(spans, key=lambda p: p.split("/")):
+            stats = spans[path]
+            depth = path.count("/")
+            label = "  " * depth + path.rsplit("/", 1)[-1]
+            row = (
+                f"{label:<{_PHASE_WIDTH}}{stats['calls']:>6}"
+                f"{stats['seconds']:>12.3f}"
+            )
+            counters = _format_counters(stats.get("counters", {}))
+            lines.append(f"{row}  {counters}".rstrip())
+    counters = snapshot.get("counters", {})
+    if counters:
+        if lines:
+            lines.append("")
+        lines.append(f"{'counter':<{_COUNTER_WIDTH}}{'total':>7}")
+        for name in sorted(counters):
+            lines.append(
+                f"{name:<{_COUNTER_WIDTH}}"
+                f"{_format_value(counters[name]):>7}"
+            )
+    return "\n".join(lines)

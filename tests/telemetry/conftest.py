@@ -1,0 +1,18 @@
+"""Telemetry tests share one process-wide recorder switch.
+
+Every test starts and ends with telemetry disabled so a failing test
+cannot leak an active recorder into its neighbours (the module-global
+switch is exactly the kind of state pytest ordering would otherwise
+smear across tests).
+"""
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_disabled():
+    telemetry.disable()
+    yield
+    telemetry.disable()

@@ -1,0 +1,117 @@
+"""Snapshot merging and phase-table rendering.
+
+Merge associativity is the property that makes per-shard telemetry
+shard-layout-independent: counters and call counts are integers (exact
+under any grouping) and the seconds used here are exact binary
+fractions, so associativity can be asserted with ``==`` rather than
+``allclose`` — the same discipline the engine's own shard-equivalence
+suite applies to integer aggregates.
+"""
+
+import itertools
+
+from repro.telemetry import (
+    TelemetryRecorder,
+    empty_snapshot,
+    merge_snapshots,
+    render_phase_table,
+)
+
+
+def shard_snapshot(users, seconds, joins):
+    """A worker-shaped snapshot with exact binary-fraction seconds."""
+    return {
+        "version": 1,
+        "spans": {
+            "shard": {
+                "calls": 1,
+                "seconds": seconds,
+                "counters": {"users": users},
+            },
+            "shard/scatter": {
+                "calls": 7,
+                "seconds": seconds / 2,
+                "counters": {},
+            },
+        },
+        "counters": {"frames.join.calls": joins},
+    }
+
+
+SHARDS = [
+    shard_snapshot(100, 0.5, 3),
+    shard_snapshot(60, 0.25, 2),
+    shard_snapshot(45, 1.75, 8),
+    shard_snapshot(35, 0.125, 1),
+]
+
+
+def test_merge_is_associative_and_commutative():
+    a, b, c = SHARDS[:3]
+    left_first = merge_snapshots(merge_snapshots(a, b), c)
+    right_first = merge_snapshots(a, merge_snapshots(b, c))
+    flat = merge_snapshots(a, b, c)
+    assert left_first == right_first == flat
+    for permutation in itertools.permutations(SHARDS[:3]):
+        assert merge_snapshots(*permutation) == flat
+
+
+def test_merge_identity_and_none_skipping():
+    snap = SHARDS[0]
+    assert merge_snapshots(snap, empty_snapshot()) == merge_snapshots(snap)
+    assert merge_snapshots(None, snap, None) == merge_snapshots(snap)
+    assert merge_snapshots() == empty_snapshot()
+    assert merge_snapshots(None) == empty_snapshot()
+
+
+def test_merge_totals_match_shard_sums():
+    merged = merge_snapshots(*SHARDS)
+    shard = merged["spans"]["shard"]
+    assert shard["calls"] == len(SHARDS)
+    assert shard["counters"]["users"] == 100 + 60 + 45 + 35
+    assert shard["seconds"] == 0.5 + 0.25 + 1.75 + 0.125  # exact
+    assert merged["counters"]["frames.join.calls"] == 3 + 2 + 8 + 1
+    assert merged["spans"]["shard/scatter"]["calls"] == 7 * len(SHARDS)
+
+
+def test_render_empty_snapshot():
+    assert render_phase_table(None) == "telemetry: nothing recorded"
+    assert render_phase_table(empty_snapshot()) == (
+        "telemetry: nothing recorded"
+    )
+
+
+def test_render_indents_children_under_parents():
+    recorder = TelemetryRecorder(clock=iter(range(20)).__next__)
+    with recorder.span("simulate", days=98):
+        with recorder.span("shard_execution"):
+            with recorder.span("shard"):
+                pass
+    recorder.count("frames.join.calls", 3)
+    table = render_phase_table(recorder.snapshot())
+    lines = table.splitlines()
+    assert lines[0].startswith("phase")
+    assert lines[1].startswith("simulate ")
+    assert "days=98" in lines[1]
+    assert lines[2].startswith("  shard_execution")
+    assert lines[3].startswith("    shard")
+    assert lines[-2].startswith("counter")
+    assert lines[-1].startswith("frames.join.calls")
+    assert lines[-1].rstrip().endswith("3")
+
+
+def test_render_sorts_counters_within_a_row():
+    snap = {
+        "version": 1,
+        "spans": {
+            "phase": {
+                "calls": 1,
+                "seconds": 0.5,
+                "counters": {"zeta": 1, "alpha": 2.0, "mid": 2.5},
+            }
+        },
+        "counters": {},
+    }
+    row = render_phase_table(snap).splitlines()[1]
+    # Alphabetical order; integral floats print as ints.
+    assert row.rstrip().endswith("alpha=2 mid=2.5 zeta=1")

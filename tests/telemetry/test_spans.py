@@ -1,0 +1,219 @@
+"""Recorder semantics: span nesting, timing, counters, the global switch.
+
+Timing tests use injected fake clocks (an iterator of floats) so every
+assertion is exact — no sleeps, no tolerance bands. The one wall-clock
+test asserts only monotonicity, which ``perf_counter`` guarantees.
+"""
+
+import time
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import NOOP_SPAN, TelemetryRecorder
+
+
+def ticking(*values):
+    """A clock returning the given instants in order."""
+    iterator = iter(values)
+    return lambda: float(next(iterator))
+
+
+# ----------------------------------------------------------------------
+# Span nesting and timing
+# ----------------------------------------------------------------------
+def test_nested_spans_record_slash_paths():
+    recorder = TelemetryRecorder(clock=ticking(0, 1, 2, 3))
+    with recorder.span("simulate"):
+        with recorder.span("build_world"):
+            pass
+    snap = recorder.snapshot()
+    assert set(snap["spans"]) == {"simulate", "simulate/build_world"}
+    assert snap["spans"]["simulate/build_world"]["seconds"] == 1.0
+    assert snap["spans"]["simulate"]["seconds"] == 3.0
+
+
+def test_same_path_accumulates_calls_and_seconds():
+    recorder = TelemetryRecorder(clock=ticking(0, 1, 10, 13))
+    for _ in range(2):
+        with recorder.span("scatter"):
+            pass
+    stats = recorder.snapshot()["spans"]["scatter"]
+    assert stats["calls"] == 2
+    assert stats["seconds"] == 4.0  # (1 - 0) + (13 - 10)
+
+
+def test_same_name_different_stack_is_a_different_path():
+    recorder = TelemetryRecorder(clock=ticking(*range(8)))
+    with recorder.span("a"):
+        with recorder.span("work"):
+            pass
+    with recorder.span("b"):
+        with recorder.span("work"):
+            pass
+    assert set(recorder.snapshot()["spans"]) == {
+        "a", "a/work", "b", "b/work"
+    }
+
+
+def test_parent_seconds_cover_children():
+    recorder = TelemetryRecorder(clock=ticking(0, 1, 4, 5, 9, 11))
+    with recorder.span("parent"):
+        with recorder.span("child"):
+            pass
+        with recorder.span("child"):
+            pass
+    spans = recorder.snapshot()["spans"]
+    assert spans["parent"]["seconds"] >= spans["parent/child"]["seconds"]
+
+
+def test_wall_clock_timing_is_monotone():
+    recorder = TelemetryRecorder()  # real perf_counter
+    with recorder.span("outer"):
+        with recorder.span("inner"):
+            time.sleep(0.002)
+    spans = recorder.snapshot()["spans"]
+    assert spans["outer/inner"]["seconds"] > 0.0
+    assert spans["outer"]["seconds"] >= spans["outer/inner"]["seconds"]
+
+
+def test_span_path_survives_exit():
+    recorder = TelemetryRecorder(clock=ticking(0, 1, 2, 3))
+    with recorder.span("outer") as outer:
+        with recorder.span("inner") as inner:
+            assert inner.path == "outer/inner"
+    assert outer.path == "outer"
+    assert inner.path == "outer/inner"
+
+
+# ----------------------------------------------------------------------
+# Counters
+# ----------------------------------------------------------------------
+def test_span_counters_seed_and_accumulate():
+    recorder = TelemetryRecorder(clock=ticking(0, 1, 2, 3))
+    for day in range(2):
+        with recorder.span("day", rows=10) as sp:
+            sp.add("rows", 5)
+            sp.add("bytes", 100)
+    counters = recorder.snapshot()["spans"]["day"]["counters"]
+    assert counters == {"rows": 30, "bytes": 200}
+
+
+def test_process_counters_sum():
+    recorder = TelemetryRecorder()
+    recorder.count("joins")
+    recorder.count("joins", 4)
+    assert recorder.snapshot()["counters"]["joins"] == 5
+
+
+def test_snapshot_is_a_deep_copy():
+    recorder = TelemetryRecorder(clock=ticking(0, 1))
+    with recorder.span("phase", rows=1):
+        pass
+    snap = recorder.snapshot()
+    snap["spans"]["phase"]["counters"]["rows"] = 999
+    snap["counters"]["new"] = 1
+    fresh = recorder.snapshot()
+    assert fresh["spans"]["phase"]["counters"]["rows"] == 1
+    assert "new" not in fresh["counters"]
+
+
+# ----------------------------------------------------------------------
+# The global switch and its no-op path
+# ----------------------------------------------------------------------
+def test_disabled_span_is_the_shared_noop_singleton():
+    assert not telemetry.enabled()
+    first = telemetry.span("anything", rows=1)
+    second = telemetry.span("else")
+    assert first is NOOP_SPAN and second is NOOP_SPAN
+    with first as sp:
+        sp.add("rows", 10)  # swallowed
+    assert telemetry.snapshot() is None
+
+
+def test_disabled_count_and_absorb_are_noops():
+    telemetry.count("rows", 5)
+    telemetry.absorb({"version": 1, "counters": {"rows": 1}, "spans": {}})
+    assert telemetry.snapshot() is None
+
+
+def test_enable_records_and_disable_returns_recorder():
+    recorder = telemetry.enable()
+    assert telemetry.enabled()
+    assert telemetry.active() is recorder
+    with telemetry.span("phase"):
+        telemetry.count("rows", 2)
+    snap = telemetry.snapshot()
+    assert snap["spans"]["phase"]["calls"] == 1
+    assert snap["counters"]["rows"] == 2
+    assert telemetry.disable() is recorder
+    assert not telemetry.enabled()
+
+
+def test_swap_installs_and_returns_previous():
+    first = telemetry.enable()
+    second = TelemetryRecorder()
+    assert telemetry.swap(second) is first
+    assert telemetry.active() is second
+    assert telemetry.swap(None) is second
+    assert not telemetry.enabled()
+
+
+def test_timed_decorator_paths_and_disabled_passthrough():
+    @telemetry.timed("square")
+    def square(x):
+        return x * x
+
+    assert square(3) == 9  # disabled: plain call
+    telemetry.enable()
+    with telemetry.span("analyze"):
+        assert square(4) == 16
+    snap = telemetry.snapshot()
+    assert snap["spans"]["analyze/square"]["calls"] == 1
+    telemetry.disable()
+
+
+def test_reset_clears_but_refuses_open_spans():
+    recorder = TelemetryRecorder(clock=ticking(0, 1, 2, 3))
+    with recorder.span("phase"):
+        pass
+    recorder.count("rows")
+    recorder.reset()
+    assert recorder.snapshot() == {
+        "version": 1, "spans": {}, "counters": {}
+    }
+    span = recorder.span("open")
+    span.__enter__()
+    with pytest.raises(RuntimeError):
+        recorder.reset()
+    span.__exit__(None, None, None)
+
+
+# ----------------------------------------------------------------------
+# Absorb (the cross-process merge primitive)
+# ----------------------------------------------------------------------
+def test_absorb_prefixes_spans_and_merges_counters_flat():
+    worker = TelemetryRecorder(clock=ticking(0, 2))
+    with worker.span("shard", users=100):
+        worker.count("frames.join.calls", 3)
+    coordinator = TelemetryRecorder(clock=ticking(0, 1))
+    with coordinator.span("simulate") as sp:
+        pass
+    coordinator.absorb(worker.snapshot(), prefix=sp.path)
+    snap = coordinator.snapshot()
+    assert snap["spans"]["simulate/shard"]["counters"]["users"] == 100
+    assert snap["counters"]["frames.join.calls"] == 3
+
+
+def test_absorb_twice_accumulates():
+    worker = TelemetryRecorder(clock=ticking(0, 2))
+    with worker.span("shard", users=100):
+        pass
+    snapshot = worker.snapshot()
+    coordinator = TelemetryRecorder()
+    coordinator.absorb(snapshot)
+    coordinator.absorb(snapshot)
+    stats = coordinator.snapshot()["spans"]["shard"]
+    assert stats["calls"] == 2
+    assert stats["seconds"] == 4.0
+    assert stats["counters"]["users"] == 200

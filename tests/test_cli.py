@@ -1,9 +1,11 @@
 """Tests for the command-line interface."""
 
 import io
+import json
 
 import pytest
 
+from repro import telemetry
 from repro.cli import build_parser, main
 
 
@@ -83,3 +85,38 @@ class TestCommands:
         )
         assert code == 0
         assert "Headline numbers" in out.getvalue()
+
+
+class TestTelemetryFlag:
+    def test_report_prints_phase_table(self):
+        out = io.StringIO()
+        code = main(
+            [
+                "report", "--preset", "tiny", "--seed", "3",
+                "--users", "600", "--telemetry",
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "Headline numbers" in text  # the normal output survives
+        table = text[text.index("phase"):]
+        for row in ("simulate", "build_world", "shard", "report"):
+            assert row in table
+        assert not telemetry.enabled()  # the CLI cleans up after itself
+
+    def test_simulate_persists_snapshot(self, tmp_path):
+        out = io.StringIO()
+        path = tmp_path / "run"
+        code = main(
+            [
+                "simulate", "--preset", "tiny", "--seed", "3",
+                "--users", "600", "--out", str(path), "--telemetry",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "phase" in out.getvalue()
+        manifest = json.loads((path / "manifest.json").read_text())
+        assert "simulate" in manifest["telemetry"]["spans"]
+        assert not telemetry.enabled()

@@ -1,0 +1,95 @@
+"""The documentation is part of the suite.
+
+Two guarantees:
+
+- every fenced ``python`` block containing doctest examples (``>>>``)
+  in the top-level guides and ``docs/`` actually runs and produces the
+  shown output, so documented behaviour cannot drift from the code;
+- every relative markdown link between README, DESIGN.md,
+  EXPERIMENTS.md and ``docs/`` resolves to a file that exists, so the
+  cross-reference web cannot silently rot.
+
+Blocks within one document share a namespace and run top to bottom —
+exactly how a reader consumes them — so later examples may build on
+earlier imports.
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+from pathlib import Path
+
+import pytest
+
+from repro import telemetry
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DOC_FILES = sorted(
+    [
+        REPO_ROOT / "README.md",
+        REPO_ROOT / "DESIGN.md",
+        REPO_ROOT / "EXPERIMENTS.md",
+        *(REPO_ROOT / "docs").glob("*.md"),
+    ],
+    key=lambda path: path.name,
+)
+
+_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+# [text](target) — excluding images and bare URLs; target split from
+# an optional #anchor.
+_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _doctest_blocks(path: Path) -> list[str]:
+    return [
+        block
+        for block in _FENCE.findall(path.read_text(encoding="utf-8"))
+        if ">>>" in block
+    ]
+
+
+@pytest.mark.parametrize(
+    "path", DOC_FILES, ids=lambda path: path.name
+)
+def test_markdown_doctests(path):
+    blocks = _doctest_blocks(path)
+    if not blocks:
+        pytest.skip(f"{path.name} has no doctest examples")
+    parser = doctest.DocTestParser()
+    runner = doctest.DocTestRunner(verbose=False)
+    namespace: dict = {}
+    try:
+        for index, block in enumerate(blocks):
+            test = parser.get_doctest(
+                block, namespace, f"{path.name}[{index}]", str(path), 0
+            )
+            runner.run(test, clear_globs=False)
+            # DocTest copies its globals; carry definitions forward so
+            # later blocks can build on earlier ones, as a reader would.
+            namespace.update(test.globs)
+    finally:
+        telemetry.disable()  # a failing example must not leak a recorder
+    assert runner.failures == 0, (
+        f"{runner.failures} doctest failure(s) in {path.name}"
+    )
+    assert runner.tries > 0
+
+
+@pytest.mark.parametrize(
+    "path", DOC_FILES, ids=lambda path: path.name
+)
+def test_markdown_links_resolve(path):
+    text = path.read_text(encoding="utf-8")
+    broken = []
+    for target in _LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            broken.append(target)
+    assert not broken, f"{path.name} links to missing files: {broken}"

@@ -13,6 +13,9 @@ MODULE_NAMES = (
     "repro.frames.join",
     "repro.frames.pivot",
     "repro.geo.coordinates",
+    "repro.telemetry",
+    "repro.telemetry.report",
+    "repro.telemetry.spans",
 )
 
 

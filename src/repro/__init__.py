@@ -35,21 +35,32 @@ Packages
 
 Quickstart
 ----------
->>> from repro import CovidImpactStudy, SimulationConfig  # doctest: +SKIP
->>> study = CovidImpactStudy.run(SimulationConfig.small())  # doctest: +SKIP
->>> study.summary()["voice_volume_peak_pct"]  # doctest: +SKIP
+>>> from repro import api, SimulationConfig  # doctest: +SKIP
+>>> run = api.simulate(SimulationConfig.small(), out="runs/s")  # doctest: +SKIP
+>>> run.study().summary()["voice_volume_peak_pct"]  # doctest: +SKIP
 143.5
+
+The :mod:`repro.api` facade (:class:`~repro.api.Run`) unifies the whole
+lifecycle — simulate, save, load, resume, analyze — over the lower
+layers, which remain importable individually.
 """
 
 from repro.simulation.config import SimulationConfig
 
 __version__ = "1.0.0"
 
-__all__ = ["CovidImpactStudy", "SimulationConfig", "Simulator", "__version__"]
+__all__ = [
+    "CovidImpactStudy",
+    "Run",
+    "SimulationConfig",
+    "Simulator",
+    "api",
+    "__version__",
+]
 
 
 def __getattr__(name: str):
-    # Lazy: CovidImpactStudy/Simulator pull in the full stack.
+    # Lazy: these pull in the full stack.
     if name == "CovidImpactStudy":
         from repro.core.study import CovidImpactStudy
 
@@ -58,4 +69,12 @@ def __getattr__(name: str):
         from repro.simulation.engine import Simulator
 
         return Simulator
+    if name == "Run":
+        from repro.api import Run
+
+        return Run
+    if name == "api":
+        import repro.api
+
+        return repro.api
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,187 @@
+"""One front door for the simulate → persist → analyze lifecycle.
+
+Historically, driving a run meant importing from three modules —
+``Simulator`` from :mod:`repro.simulation.engine`,
+``save_feeds``/``load_feeds`` from :mod:`repro.io`, and
+``CovidImpactStudy`` from :mod:`repro.core` — and wiring them together
+by hand.  This module folds that lifecycle into a single :class:`Run`
+handle:
+
+>>> from repro import api  # doctest: +SKIP
+>>> run = api.simulate(SimulationConfig.small(), out="runs/s")  # doctest: +SKIP
+>>> run.study().summary()["voice_volume_peak_pct"]  # doctest: +SKIP
+143.5
+>>> again = api.Run.load("runs/s")  # doctest: +SKIP
+
+- :func:`simulate` runs the engine; given ``out`` it checkpoints into
+  and persists to that directory (crash-safe by default — see
+  :mod:`repro.simulation.checkpoint`);
+- :meth:`Run.load` reopens a persisted run; :meth:`Run.save` persists
+  (or re-homes) one; :meth:`Run.study` hands back a cached
+  :class:`~repro.core.study.CovidImpactStudy`;
+- :func:`resume` (and :meth:`Run.resume`) completes a run whose
+  producing process died, from its per-day checkpoints, bitwise
+  identical to an uninterrupted run.
+
+Everything raises :class:`~repro.io.store.RunStoreError` subtypes with
+the offending file named, so a broken run directory is a one-line
+diagnosis rather than a pickle traceback.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = ["Run", "load", "resume", "simulate"]
+
+
+class Run:
+    """A completed simulation run: its feeds, and (optionally) its home.
+
+    Construct through :func:`simulate`, :meth:`load`, or
+    :func:`resume` rather than directly.  The handle is cheap: the
+    analysis object is built lazily and cached.
+    """
+
+    def __init__(self, feeds, directory: str | Path | None = None) -> None:
+        if feeds is None:
+            raise ValueError("a Run wraps a produced DataFeeds bundle")
+        self._feeds = feeds
+        self._directory = None if directory is None else Path(directory)
+        self._study = None
+
+    def __repr__(self) -> str:
+        home = "in memory" if self._directory is None else self._directory
+        return (
+            f"Run({self._feeds.num_users} users x "
+            f"{self._feeds.calendar.num_days} days, {home})"
+        )
+
+    # -- state -------------------------------------------------------------
+    @property
+    def feeds(self):
+        """The :class:`~repro.simulation.feeds.DataFeeds` bundle."""
+        return self._feeds
+
+    @property
+    def config(self):
+        """The configuration that produced the run."""
+        return self._feeds.config
+
+    @property
+    def directory(self) -> Path | None:
+        """Where the run is persisted (``None`` for in-memory runs)."""
+        return self._directory
+
+    # -- lifecycle ---------------------------------------------------------
+    @classmethod
+    def load(cls, directory: str | Path) -> "Run":
+        """Reopen a persisted run directory.
+
+        Raises :class:`~repro.io.store.RunStoreError` when the
+        directory is missing, interrupted (use :func:`resume`), or
+        corrupt — naming the offending file.
+        """
+        from repro.io import load_feeds
+
+        return cls(load_feeds(directory), directory)
+
+    def save(self, directory: str | Path | None = None) -> Path:
+        """Persist the run (defaults to the directory it came from)."""
+        from repro.io import save_feeds
+
+        target = self._directory if directory is None else Path(directory)
+        if target is None:
+            raise ValueError(
+                "this run has no home directory; pass one to save(...)"
+            )
+        path = save_feeds(self._feeds, target)
+        self._directory = path
+        return path
+
+    def resume(self) -> "Run":
+        """No-op for a completed run handle (kept for lifecycle symmetry).
+
+        The useful form is the module-level :func:`resume`, which
+        completes an *interrupted* directory; a :class:`Run` instance
+        always wraps finished feeds already.
+        """
+        return self
+
+    # -- analysis ----------------------------------------------------------
+    def study(self):
+        """The paper's analysis over this run's feeds (cached)."""
+        if self._study is None:
+            from repro.core import CovidImpactStudy
+
+            self._study = CovidImpactStudy(self._feeds)
+        return self._study
+
+
+def simulate(
+    config=None,
+    out: str | Path | None = None,
+    *,
+    checkpoint: bool = True,
+    progress=None,
+) -> Run:
+    """Run the simulator and return a :class:`Run` handle.
+
+    With ``out``, the run checkpoints into and persists to that
+    directory: if the process dies mid-run, :func:`resume` completes it
+    from the last finished day.  Checkpoints are removed once the run
+    is saved; pass ``checkpoint=False`` to skip them entirely.
+    """
+    from repro.simulation.config import SimulationConfig
+    from repro.simulation.engine import Simulator
+
+    simulator = Simulator(config or SimulationConfig())
+    if out is None:
+        return Run(simulator.run(progress=progress))
+    feeds = simulator.run(
+        progress=progress,
+        checkpoint_dir=out if checkpoint else None,
+    )
+    run = Run(feeds, out)
+    run.save()
+    _clear_checkpoints(out)
+    return run
+
+
+def resume(directory: str | Path, progress=None) -> Run:
+    """Complete an interrupted run directory and return its handle.
+
+    Restores every checkpointed shard-day, computes the missing ones
+    (bitwise-identical to an uninterrupted run), persists the feeds,
+    and removes the checkpoints.  A directory that already holds a
+    finished run is simply loaded.
+    """
+    from repro.io.store import RunStoreError
+    from repro.simulation.checkpoint import CheckpointStore
+    from repro.simulation.engine import Simulator
+
+    try:
+        return Run.load(directory)
+    except RunStoreError:
+        # Not loadable as a finished run: resume if there are
+        # checkpoints to resume from, otherwise surface the precise
+        # load error (missing/corrupt file) untouched.
+        if not CheckpointStore.present(directory):
+            raise
+    feeds = Simulator.resume(directory, progress=progress)
+    run = Run(feeds, directory)
+    run.save()
+    _clear_checkpoints(directory)
+    return run
+
+
+def load(directory: str | Path) -> Run:
+    """Alias for :meth:`Run.load`."""
+    return Run.load(directory)
+
+
+def _clear_checkpoints(directory: str | Path) -> None:
+    from repro.simulation.checkpoint import CheckpointStore
+
+    if CheckpointStore.present(directory):
+        CheckpointStore.open(directory).clear()

@@ -3,14 +3,26 @@
 Usage (after ``pip install -e .``)::
 
     python -m repro simulate --preset small --seed 7 --out runs/small7
-    python -m repro analyze --feeds runs/small7
-    python -m repro summary --feeds runs/small7
+    python -m repro analyze runs/small7
+    python -m repro summary runs/small7
     python -m repro report --preset tiny --seed 3
 
 ``simulate`` runs the engine and persists the feeds; ``analyze`` /
 ``summary`` reload a persisted run and print the full figure report or
 just the headline numbers; ``report`` does simulate + analyze in one
-shot without touching disk.
+shot without touching disk (or, given a run directory, reports on it).
+
+Every feed-consuming subcommand (``analyze``, ``summary``, ``report``,
+``verdict``, ``export``) takes the run directory as its positional
+argument; the historical ``--feeds`` flag still works as a deprecated
+alias and warns.
+
+``simulate --out DIR`` checkpoints every completed shard-day under
+``DIR/checkpoints`` while running (disable with ``--no-checkpoint``).
+If the run dies — a crashed worker, a kill -9, a full disk —
+``simulate --resume DIR`` restores the completed days and computes
+only the rest, bitwise-identical to an uninterrupted run.  Checkpoints
+are removed once the feeds are saved.
 
 Pass ``--telemetry`` to ``simulate``, ``analyze``, or ``report`` to
 record span timings and counters for the command and print the phase
@@ -23,6 +35,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 from collections.abc import Sequence
 
 __all__ = ["main", "build_parser"]
@@ -47,24 +60,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_preset_args(simulate)
     simulate.add_argument(
-        "--out", required=True, help="directory to save the run into"
+        "--out", help="directory to save the run into"
+    )
+    simulate.add_argument(
+        "--resume", metavar="DIR",
+        help=(
+            "complete an interrupted run from its checkpoints (uses "
+            "the configuration stored with them; other simulate "
+            "options are ignored)"
+        ),
+    )
+    simulate.add_argument(
+        "--no-checkpoint", action="store_true",
+        help=(
+            "do not write per-day checkpoints while running (an "
+            "interrupted run cannot be resumed)"
+        ),
     )
     _add_telemetry_arg(simulate)
 
     analyze = commands.add_parser(
         "analyze", help="reload a run and print the full figure report"
     )
-    analyze.add_argument("--feeds", required=True, help="saved-run directory")
+    _add_rundir_args(analyze)
     _add_telemetry_arg(analyze)
 
     summary = commands.add_parser(
         "summary", help="reload a run and print the headline numbers"
     )
-    summary.add_argument("--feeds", required=True, help="saved-run directory")
+    _add_rundir_args(summary)
 
     report = commands.add_parser(
-        "report", help="simulate and print the report without saving"
+        "report",
+        help=(
+            "print the report for a run directory, or simulate one "
+            "in memory and report on it"
+        ),
     )
+    _add_rundir_args(report, required=False)
     _add_preset_args(report)
     _add_telemetry_arg(report)
 
@@ -72,17 +105,31 @@ def build_parser() -> argparse.ArgumentParser:
         "verdict",
         help="reload a run and score it against every paper target",
     )
-    verdict.add_argument("--feeds", required=True, help="saved-run directory")
+    _add_rundir_args(verdict)
 
     export = commands.add_parser(
         "export",
         help="reload a run and write every figure's series as CSVs",
     )
-    export.add_argument("--feeds", required=True, help="saved-run directory")
+    _add_rundir_args(export)
     export.add_argument(
         "--out", required=True, help="directory for the CSV bundle"
     )
     return parser
+
+
+def _add_rundir_args(
+    parser: argparse.ArgumentParser, required: bool = True
+) -> None:
+    parser.add_argument(
+        "rundir", nargs="?", default=None,
+        help="saved-run directory"
+        + ("" if required else " (omit to simulate in memory)"),
+    )
+    parser.add_argument(
+        "--feeds", dest="feeds", default=None, metavar="DIR",
+        help="deprecated alias for the positional run directory",
+    )
 
 
 def _add_preset_args(parser: argparse.ArgumentParser) -> None:
@@ -123,6 +170,48 @@ def _add_telemetry_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+class _CliError(Exception):
+    """A usage or runtime error the CLI reports as a message + exit 2/1."""
+
+    def __init__(self, message: str, code: int = 1) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def _resolve_rundir(args: argparse.Namespace, required: bool = True):
+    """The run directory of a feed-consuming command.
+
+    Prefers the positional form; honours the deprecated ``--feeds``
+    alias with a warning.
+    """
+    positional = getattr(args, "rundir", None)
+    legacy = getattr(args, "feeds", None)
+    if positional is not None and legacy is not None:
+        raise _CliError(
+            f"{args.command}: give the run directory once — positionally "
+            "(--feeds is a deprecated alias)",
+            code=2,
+        )
+    if legacy is not None:
+        warnings.warn(
+            "--feeds is deprecated; pass the run directory as a "
+            "positional argument",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        print(
+            f"note: --feeds is deprecated; use 'repro {args.command} "
+            f"{legacy}'",
+            file=sys.stderr,
+        )
+        return legacy
+    if positional is None and required:
+        raise _CliError(
+            f"{args.command}: a run directory is required", code=2
+        )
+    return positional
+
+
 def _config_from_args(args: argparse.Namespace):
     from repro.simulation.config import SimulationConfig
 
@@ -147,46 +236,85 @@ def _config_from_args(args: argparse.Namespace):
 def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    if not getattr(args, "telemetry", False):
-        return _run_command(args, out)
-
-    from repro import telemetry
-    from repro.telemetry import render_phase_table
-
-    telemetry.enable()
     try:
-        code = _run_command(args, out)
-        if code == 0:
-            print(file=out)
-            print(render_phase_table(telemetry.snapshot()), file=out)
-        return code
-    finally:
-        telemetry.disable()
+        if not getattr(args, "telemetry", False):
+            return _run_command(args, out)
+
+        from repro import telemetry
+        from repro.telemetry import render_phase_table
+
+        telemetry.enable()
+        try:
+            code = _run_command(args, out)
+            if code == 0:
+                print(file=out)
+                print(render_phase_table(telemetry.snapshot()), file=out)
+            return code
+        finally:
+            telemetry.disable()
+    except _CliError as err:
+        print(f"error: {err}", file=out)
+        return err.code
+
+
+def _run_simulate(args: argparse.Namespace, out) -> int:
+    from repro.io import RunStoreError, save_feeds
+    from repro.simulation.checkpoint import CheckpointStore
+    from repro.simulation.engine import Simulator
+    from repro.simulation.faults import ShardExecutionError
+
+    def progress(day: int, total: int) -> None:
+        if day % 14 == 0 or day == total - 1:
+            print(f"  simulated day {day + 1}/{total}", file=out)
+
+    if args.resume is not None and args.out is not None:
+        raise _CliError(
+            "simulate: --resume already names the run directory; "
+            "--out is not allowed with it",
+            code=2,
+        )
+    if args.resume is None and args.out is None:
+        raise _CliError(
+            "simulate: one of --out or --resume is required", code=2
+        )
+
+    target = args.resume if args.resume is not None else args.out
+    try:
+        if args.resume is not None:
+            feeds = Simulator.resume(target, progress=progress)
+        else:
+            feeds = Simulator(_config_from_args(args)).run(
+                progress=progress,
+                checkpoint_dir=None if args.no_checkpoint else target,
+            )
+    except ShardExecutionError as err:
+        raise _CliError(
+            f"{err}\nresume with: python -m repro simulate --resume "
+            f"{target}"
+        ) from err
+    except RunStoreError as err:
+        raise _CliError(str(err)) from err
+
+    path = save_feeds(feeds, target)
+    if CheckpointStore.present(target):
+        CheckpointStore.open(target).clear()
+    print(
+        f"saved {feeds.num_users} users x "
+        f"{feeds.calendar.num_days} days to {path}",
+        file=out,
+    )
+    return 0
 
 
 def _run_command(args: argparse.Namespace, out) -> int:
     if args.command == "simulate":
-        from repro.io import save_feeds
-        from repro.simulation.engine import Simulator
-
-        def progress(day: int, total: int) -> None:
-            if day % 14 == 0 or day == total - 1:
-                print(f"  simulated day {day + 1}/{total}", file=out)
-
-        feeds = Simulator(_config_from_args(args)).run(progress=progress)
-        path = save_feeds(feeds, args.out)
-        print(
-            f"saved {feeds.num_users} users x "
-            f"{feeds.calendar.num_days} days to {path}",
-            file=out,
-        )
-        return 0
+        return _run_simulate(args, out)
 
     if args.command == "export":
         from repro.core import CovidImpactStudy
         from repro.io import export_analysis, load_feeds
 
-        study = CovidImpactStudy(load_feeds(args.feeds))
+        study = CovidImpactStudy(_load(load_feeds, _resolve_rundir(args)))
         path = export_analysis(study, args.out)
         print(f"wrote figure CSVs to {path}", file=out)
         return 0
@@ -195,7 +323,7 @@ def _run_command(args: argparse.Namespace, out) -> int:
         from repro.core import CovidImpactStudy
         from repro.io import load_feeds
 
-        study = CovidImpactStudy(load_feeds(args.feeds))
+        study = CovidImpactStudy(_load(load_feeds, _resolve_rundir(args)))
         if args.command == "analyze":
             print(study.report(), file=out)
         elif args.command == "summary":
@@ -215,12 +343,26 @@ def _run_command(args: argparse.Namespace, out) -> int:
 
     if args.command == "report":
         from repro.core import CovidImpactStudy
+        from repro.io import load_feeds
 
-        study = CovidImpactStudy.run(_config_from_args(args))
+        rundir = _resolve_rundir(args, required=False)
+        if rundir is not None:
+            study = CovidImpactStudy(_load(load_feeds, rundir))
+        else:
+            study = CovidImpactStudy.run(_config_from_args(args))
         print(study.report(), file=out)
         return 0
 
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _load(load_feeds, directory):
+    from repro.io import RunStoreError
+
+    try:
+        return load_feeds(directory)
+    except RunStoreError as err:
+        raise _CliError(str(err)) from err
 
 
 if __name__ == "__main__":  # pragma: no cover

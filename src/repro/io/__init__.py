@@ -11,6 +11,6 @@ measurements.
 """
 
 from repro.io.export import export_analysis
-from repro.io.store import load_feeds, save_feeds
+from repro.io.store import RunStoreError, load_feeds, save_feeds
 
-__all__ = ["export_analysis", "load_feeds", "save_feeds"]
+__all__ = ["RunStoreError", "export_analysis", "load_feeds", "save_feeds"]

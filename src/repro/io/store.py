@@ -8,11 +8,19 @@ Layout of a saved run::
       radio_kpis.csv       # daily per-cell KPI medians
       rat_time.csv         # RAT connected-time feed
       mobility.npz         # user ids, anchor sites, dwell stacks
+      checkpoints/         # per-shard-day partial state, while running
 
 The world (geography, topology, subscriber base, agents) is *not*
 stored: it is a pure function of the configuration and is rebuilt on
 load, which keeps saved runs small and guarantees the reloaded bundle
 is exactly what the simulator produced.
+
+Every way a run directory can be wrong — missing, interrupted, a file
+deleted, truncated or bit-flipped — surfaces as :class:`RunStoreError`
+naming the offending file, never as a leaked ``KeyError`` /
+``FileNotFoundError`` / pickle traceback.  An interrupted run (a
+``checkpoints/`` store but no ``manifest.json`` yet) gets a dedicated
+message pointing at ``--resume``.
 """
 
 from __future__ import annotations
@@ -28,13 +36,28 @@ from repro.frames import read_csv, write_csv
 from repro.geo.nspl import PostcodeLookup
 from repro.simulation.feeds import DataFeeds, MobilityFeed
 
-__all__ = ["save_feeds", "load_feeds"]
+__all__ = ["RunStoreError", "save_feeds", "load_feeds"]
 
 _MANIFEST = "manifest.json"
 _CONFIG = "config.pkl"
 _KPIS = "radio_kpis.csv"
 _RAT = "rat_time.csv"
 _MOBILITY = "mobility.npz"
+
+_MOBILITY_KEYS = ("user_ids", "anchor_sites", "daily_dwell", "night_dwell")
+
+
+class RunStoreError(ValueError):
+    """A saved-run directory is missing, partial, or corrupt.
+
+    ``path`` names the offending file or directory.  Subclasses
+    ``ValueError`` so code written against the historical error type
+    keeps working.
+    """
+
+    def __init__(self, message: str, *, path: str | Path | None = None):
+        super().__init__(message)
+        self.path = None if path is None else Path(path)
 
 
 def save_feeds(feeds: DataFeeds, directory: str | Path) -> Path:
@@ -94,32 +117,139 @@ def save_feeds(feeds: DataFeeds, directory: str | Path) -> Path:
     return path
 
 
+def _read_manifest(path: Path) -> dict:
+    manifest_path = path / _MANIFEST
+    if not manifest_path.exists():
+        from repro.simulation.checkpoint import CheckpointStore
+
+        if CheckpointStore.present(path):
+            raise RunStoreError(
+                f"{path} is an interrupted run: it has checkpoints but "
+                f"no {_MANIFEST} yet — complete it with "
+                f"'python -m repro simulate --resume {path}'",
+                path=manifest_path,
+            )
+        raise RunStoreError(
+            f"{path} is not a saved run: missing {manifest_path}",
+            path=manifest_path,
+        )
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as err:
+        raise RunStoreError(
+            f"unreadable manifest {manifest_path}: {err}",
+            path=manifest_path,
+        ) from err
+    if manifest.get("format_version") != 1:
+        raise RunStoreError(
+            f"unsupported feed-store version "
+            f"{manifest.get('format_version')!r} in {manifest_path}",
+            path=manifest_path,
+        )
+    for key in ("num_users", "num_days"):
+        if not isinstance(manifest.get(key), int):
+            raise RunStoreError(
+                f"manifest {manifest_path} is missing {key!r}",
+                path=manifest_path,
+            )
+    return manifest
+
+
+def _read_config(path: Path):
+    config_path = path / _CONFIG
+    if not config_path.exists():
+        raise RunStoreError(
+            f"saved run {path} is missing {config_path}", path=config_path
+        )
+    try:
+        with open(config_path, "rb") as handle:
+            return pickle.load(handle)
+    except (pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError, IndexError, OSError) as err:
+        raise RunStoreError(
+            f"unreadable config {config_path}: {err}", path=config_path
+        ) from err
+
+
+def _read_mobility(path: Path) -> MobilityFeed:
+    mobility_path = path / _MOBILITY
+    if not mobility_path.exists():
+        raise RunStoreError(
+            f"saved run {path} is missing {mobility_path}",
+            path=mobility_path,
+        )
+    try:
+        with np.load(mobility_path) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+    except Exception as err:
+        raise RunStoreError(
+            f"corrupt mobility archive {mobility_path}: {err}",
+            path=mobility_path,
+        ) from err
+    missing = [key for key in _MOBILITY_KEYS if key not in arrays]
+    if missing:
+        raise RunStoreError(
+            f"mobility archive {mobility_path} is missing arrays: "
+            f"{missing}",
+            path=mobility_path,
+        )
+    daily = arrays["daily_dwell"]
+    night = arrays["night_dwell"]
+    return MobilityFeed(
+        user_ids=arrays["user_ids"],
+        anchor_sites=arrays["anchor_sites"],
+        daily_dwell=[daily[index] for index in range(daily.shape[0])],
+        night_dwell=[night[index] for index in range(night.shape[0])],
+    )
+
+
+def _read_frame(path: Path, name: str):
+    frame_path = path / name
+    if not frame_path.exists():
+        raise RunStoreError(
+            f"saved run {path} is missing {frame_path}", path=frame_path
+        )
+    try:
+        return read_csv(frame_path)
+    except Exception as err:
+        raise RunStoreError(
+            f"corrupt feed {frame_path}: {err}", path=frame_path
+        ) from err
+
+
 @telemetry.timed("load_feeds")
 def load_feeds(directory: str | Path) -> DataFeeds:
-    """Reload a run saved by :func:`save_feeds`."""
+    """Reload a run saved by :func:`save_feeds`.
+
+    Raises :class:`RunStoreError` naming the offending file when the
+    directory is missing, interrupted, partial, or corrupt.
+    """
     path = Path(directory)
-    manifest = json.loads((path / _MANIFEST).read_text(encoding="utf-8"))
-    if manifest.get("format_version") != 1:
-        raise ValueError(
-            f"unsupported feed-store version {manifest.get('format_version')}"
+    if not path.is_dir():
+        raise RunStoreError(
+            f"run directory {path} does not exist", path=path
         )
-    with open(path / _CONFIG, "rb") as handle:
-        config = pickle.load(handle)
+    manifest = _read_manifest(path)
+    config = _read_config(path)
 
     from repro.simulation.engine import build_world
 
     world = build_world(config)
-    archive = np.load(path / _MOBILITY)
-    daily = archive["daily_dwell"]
-    night = archive["night_dwell"]
-    mobility = MobilityFeed(
-        user_ids=archive["user_ids"],
-        anchor_sites=archive["anchor_sites"],
-        daily_dwell=[daily[index] for index in range(daily.shape[0])],
-        night_dwell=[night[index] for index in range(night.shape[0])],
-    )
+    mobility = _read_mobility(path)
     if mobility.num_users != manifest["num_users"]:
-        raise ValueError("stored mobility arrays do not match manifest")
+        raise RunStoreError(
+            f"mobility archive {path / _MOBILITY} holds "
+            f"{mobility.num_users} users but the manifest promises "
+            f"{manifest['num_users']}",
+            path=path / _MOBILITY,
+        )
+    if mobility.num_days != manifest["num_days"]:
+        raise RunStoreError(
+            f"mobility archive {path / _MOBILITY} holds "
+            f"{mobility.num_days} days but the manifest promises "
+            f"{manifest['num_days']}",
+            path=path / _MOBILITY,
+        )
 
     upgrade = manifest.get("interconnect_upgrade_day")
     return DataFeeds(
@@ -131,8 +261,8 @@ def load_feeds(directory: str | Path) -> DataFeeds:
         base=world.base,
         agents=world.agents,
         mobility=mobility,
-        radio_kpis=read_csv(path / _KPIS),
-        rat_time=read_csv(path / _RAT),
+        radio_kpis=_read_frame(path, _KPIS),
+        rat_time=_read_frame(path, _RAT),
         epidemic=world.epidemic,
         interconnect_upgrade_day=(
             int(upgrade) if upgrade is not None else None

@@ -16,9 +16,14 @@ turn need the calendar (a circular dependency at import time only).
 from repro.simulation.clock import KeyDates, StudyCalendar, default_calendar
 
 __all__ = [
+    "CheckpointError",
+    "CheckpointStore",
     "DataFeeds",
+    "FaultPlan",
     "KeyDates",
     "ParallelismSettings",
+    "RecoverySettings",
+    "ShardExecutionError",
     "SimulationConfig",
     "Simulator",
     "StudyCalendar",
@@ -32,6 +37,14 @@ _LAZY = {
     "ParallelismSettings": (
         "repro.simulation.sharding",
         "ParallelismSettings",
+    ),
+    "CheckpointError": ("repro.simulation.checkpoint", "CheckpointError"),
+    "CheckpointStore": ("repro.simulation.checkpoint", "CheckpointStore"),
+    "FaultPlan": ("repro.simulation.faults", "FaultPlan"),
+    "RecoverySettings": ("repro.simulation.faults", "RecoverySettings"),
+    "ShardExecutionError": (
+        "repro.simulation.faults",
+        "ShardExecutionError",
     ),
 }
 

@@ -8,6 +8,7 @@ from repro.mobility.behavior import BehaviorSettings
 from repro.mobility.pandemic import PandemicTimeline
 from repro.network.scheduler import SchedulerSettings
 from repro.simulation.clock import StudyCalendar, default_calendar
+from repro.simulation.faults import RecoverySettings
 from repro.simulation.sharding import ParallelismSettings
 from repro.traffic.demand import DemandSettings
 from repro.traffic.voice import VoiceSettings
@@ -66,6 +67,18 @@ class SimulationConfig:
         default_factory=ParallelismSettings
     )
 
+    # Failure handling of the sharded engine: how often a failed shard
+    # is retried and the capped exponential backoff between attempts
+    # (see repro.simulation.faults). Purely operational — results are
+    # independent of every field.
+    recovery: RecoverySettings = field(default_factory=RecoverySettings)
+
+    # Deterministic fault-injection plan (repro.simulation.faults
+    # grammar), e.g. "kill:shard=2,day=60". None = no faults. The
+    # REPRO_FAULTS environment variable overrides it. Test harness
+    # only: decides whether an attempt fails, never what it computes.
+    fault_spec: str | None = None
+
     # Heavyweight optional outputs.
     keep_hourly_kpis: bool = False
     keep_bin_dwell: bool = False
@@ -85,6 +98,8 @@ class SimulationConfig:
             raise TypeError(
                 "parallelism must be a ParallelismSettings instance"
             )
+        if not isinstance(self.recovery, RecoverySettings):
+            raise TypeError("recovery must be a RecoverySettings instance")
 
     def with_parallelism(
         self, num_shards: int, workers: int | None = None

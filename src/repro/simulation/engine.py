@@ -33,6 +33,23 @@ coordinator on the merged accumulators, so KPIs are exact rather than
 approximated.  See :mod:`repro.simulation.sharding` for the
 bitwise-vs-allclose determinism contract.
 
+Fault tolerance
+---------------
+Long runs survive failures instead of discarding them.  With a
+checkpoint directory attached (``Simulator.run(checkpoint_dir=...)``,
+the CLI's default for ``simulate --out``), every completed shard-day is
+persisted through :mod:`repro.simulation.checkpoint` as it is produced;
+an interrupted run restarted over the same directory
+(:meth:`Simulator.resume`, CLI ``simulate --resume``) restores the
+completed days and computes only the missing ones, bitwise-identical
+to an uninterrupted run.  Failed shards are retried with capped
+exponential backoff (the configuration's ``recovery`` block), a broken
+process pool degrades to in-process execution instead of aborting, and
+a shard that keeps failing raises
+:class:`~repro.simulation.faults.ShardExecutionError` with its
+completed days already checkpointed.  All of it is testable through
+the deterministic fault plan of :mod:`repro.simulation.faults`.
+
 Observability
 -------------
 With :mod:`repro.telemetry` enabled, a run records a ``simulate`` span
@@ -40,12 +57,17 @@ tree — world build, run-context derivation, shard execution (with
 per-shard dwell-assembly and scatter spans, merged across the process
 pool), the per-day reductions (shard merge, voice interconnect,
 scheduler, signalling) and the final KPI reduction — and attaches the
-snapshot to ``feeds.telemetry``.  Telemetry never influences results:
-every span is a pure timer around unchanged code, and a disabled run
-pays one ``None`` check per instrumented site.
+snapshot to ``feeds.telemetry``.  Recovery events land in counters:
+``engine.shard_retries``, ``engine.pool_degradations``,
+``engine.checkpoint_days_saved`` / ``_restored`` and
+``engine.faults_injected``.  Telemetry never influences results: every
+span is a pure timer around unchanged code, and a disabled run pays
+one ``None`` check per instrumented site.
 """
 
 from __future__ import annotations
+
+import time
 
 import numpy as np
 
@@ -68,7 +90,14 @@ from repro.network.scheduler import CellScheduler
 from repro.network.signaling import DwellSegments, SignalingGenerator
 from repro.network.subscribers import build_subscriber_base
 from repro.network.topology import build_topology
+from repro.simulation.checkpoint import CheckpointError, CheckpointStore
 from repro.simulation.config import SimulationConfig
+from repro.simulation.faults import (
+    FaultPlan,
+    ShardExecutionError,
+    corrupt_file,
+    recovery_of,
+)
 from repro.simulation.feeds import DataFeeds, MobilityFeed
 from repro.simulation.sharding import (
     MergedDay,
@@ -231,7 +260,13 @@ def _take(array: np.ndarray, indices: np.ndarray | None) -> np.ndarray:
 
 
 def _compute_shard(
-    context: _RunContext, indices: np.ndarray | None
+    context: _RunContext,
+    indices: np.ndarray | None,
+    *,
+    shard_index: int = 0,
+    checkpoint: CheckpointStore | None = None,
+    faults: FaultPlan | None = None,
+    attempt: int = 0,
 ) -> ShardResult:
     """Run the per-user part of the day loop for one shard.
 
@@ -240,6 +275,14 @@ def _compute_shard(
     a row-wise operation on per-user arrays (bitwise identical for any
     partition) or a ``np.bincount`` scatter onto sites (reduced across
     shards by summation).
+
+    With a ``checkpoint`` store attached, days already persisted for
+    ``shard_index`` are restored instead of recomputed (bitwise
+    identical — each day is a pure function of the configuration and
+    NPZ round-trips arrays exactly), and every freshly computed day is
+    persisted before moving on.  ``faults`` is the deterministic
+    fault-injection hook; ``attempt`` is the retry ordinal the
+    ``flaky`` fault counts against.
 
     Telemetry: the whole loop runs under a ``shard`` span (counting the
     shard's users and days), with the dwell assembly and the bincount
@@ -284,21 +327,41 @@ def _compute_shard(
     days: list[ShardDayLoad] = []
     with shard_span:
         for day in range(calendar.num_days):
-            days.append(
-                _compute_shard_day(
-                    context, indices, day,
-                    flat_sites=flat_sites,
-                    demand_mult=demand_mult,
-                    voice_mult=voice_mult,
-                    wifi_quality=wifi_quality,
-                    base_dl_mb=base_dl_mb,
-                    base_minutes=base_minutes,
-                    keep_dwell=keep_dwell,
-                    sector_scatter=(
-                        (flat_sectors, sector_width) if keep_sectors else None
-                    ),
+            if checkpoint is not None:
+                restored = checkpoint.load_day(
+                    shard_index, day, missing_ok=True
                 )
+                if restored is not None:
+                    telemetry.count("engine.checkpoint_days_restored")
+                    days.append(restored)
+                    continue
+            if faults is not None:
+                faults.check(
+                    shard_index, day, attempt,
+                    in_pool=_WORKER_CONTEXT is not None,
+                )
+            load = _compute_shard_day(
+                context, indices, day,
+                flat_sites=flat_sites,
+                demand_mult=demand_mult,
+                voice_mult=voice_mult,
+                wifi_quality=wifi_quality,
+                base_dl_mb=base_dl_mb,
+                base_minutes=base_minutes,
+                keep_dwell=keep_dwell,
+                sector_scatter=(
+                    (flat_sectors, sector_width) if keep_sectors else None
+                ),
             )
+            if checkpoint is not None:
+                checkpoint.save_day(shard_index, day, load)
+                telemetry.count("engine.checkpoint_days_saved")
+                if faults is not None and faults.should_poison(
+                    shard_index, day
+                ):
+                    telemetry.count("engine.faults_injected")
+                    corrupt_file(checkpoint.day_path(shard_index, day))
+            days.append(load)
     return ShardResult(indices=indices, days=days)
 
 
@@ -449,6 +512,14 @@ def _compute_shard_day(
 # double-reports.
 _WORKER_CONTEXT: _RunContext | None = None
 
+#: Sleep used between retry attempts; module-level so recovery tests
+#: can monkeypatch it with a fake clock.
+_RETRY_SLEEP = time.sleep
+
+
+class _PoolLost(Exception):
+    """Internal: the process pool died or never started — degrade."""
+
 
 def _pool_init(
     config: SimulationConfig, record_telemetry: bool = False
@@ -459,9 +530,29 @@ def _pool_init(
         telemetry.enable()
 
 
-def _pool_compute(indices: np.ndarray) -> ShardResult:  # pragma: no cover
+def _pool_compute(task: tuple) -> ShardResult:  # pragma: no cover
+    """Run one shard task in a pool worker.
+
+    ``task`` is ``(shard_index, indices, attempt, run_directory)`` —
+    plain picklable pieces; the worker reopens the checkpoint store
+    (safe: the (shard, day) file space is partitioned across tasks)
+    and rebuilds the fault plan from its copy of the configuration.
+    """
     assert _WORKER_CONTEXT is not None, "pool worker not initialized"
-    result = _compute_shard(_WORKER_CONTEXT, indices)
+    shard_index, indices, attempt, run_directory = task
+    checkpoint = (
+        CheckpointStore.open(run_directory)
+        if run_directory is not None
+        else None
+    )
+    faults = FaultPlan.active(_WORKER_CONTEXT.world.config)
+    result = _compute_shard(
+        _WORKER_CONTEXT, indices,
+        shard_index=shard_index,
+        checkpoint=checkpoint,
+        faults=faults,
+        attempt=attempt,
+    )
     recorder = telemetry.active()
     if recorder is not None:
         result.telemetry = recorder.snapshot()
@@ -479,11 +570,33 @@ class Simulator:
     def config(self) -> SimulationConfig:
         return self._config
 
-    def run(self, progress=None) -> DataFeeds:
+    @classmethod
+    def resume(cls, directory, progress=None) -> DataFeeds:
+        """Complete an interrupted checkpointed run.
+
+        Reads the configuration persisted in ``<directory>/checkpoints``
+        (clearing any stored fault plan — the injected failure must not
+        refire on the restart) and re-runs over the same checkpoint
+        store: completed days are restored, missing ones computed.  The
+        result is bitwise-identical to an uninterrupted run.
+        """
+        store = CheckpointStore.open(directory)
+        config = store.load_config()
+        if getattr(config, "fault_spec", None) is not None:
+            config = config.with_overrides(fault_spec=None)
+        return cls(config).run(progress=progress, checkpoint_dir=directory)
+
+    def run(self, progress=None, *, checkpoint_dir=None) -> DataFeeds:
         """Execute the full simulation and return the data feeds.
 
         ``progress``, if given, is called as ``progress(day, num_days)``
         after each simulated day — used by the CLI to show a meter.
+
+        ``checkpoint_dir``, if given, attaches a
+        :class:`~repro.simulation.checkpoint.CheckpointStore` under that
+        run directory: every completed shard-day is persisted as it is
+        produced, and days already checkpointed there (an interrupted
+        earlier run) are restored instead of recomputed.
 
         When :mod:`repro.telemetry` is enabled, the run records a
         ``simulate`` span tree (world build, shard execution, per-day
@@ -497,6 +610,11 @@ class Simulator:
             users=int(config.num_users),
             days=int(config.calendar.num_days),
         ) as run_span:
+            checkpoint = (
+                CheckpointStore.attach(checkpoint_dir, config)
+                if checkpoint_dir is not None
+                else None
+            )
             with telemetry.span("build_world") as world_span:
                 world = build_world(config)
                 world_span.add("sites", int(world.topology.num_sites))
@@ -515,7 +633,7 @@ class Simulator:
             run_span.add("shards", len(shard_indices))
             with telemetry.span("shard_execution") as shard_span:
                 results = self._execute_shards(
-                    context, shard_indices, parallelism
+                    context, shard_indices, parallelism, checkpoint
                 )
             # Pool workers record into their own process; their
             # snapshots ride home on the ShardResult and merge under
@@ -539,33 +657,143 @@ class Simulator:
         context: _RunContext,
         shard_indices: list[np.ndarray | None],
         parallelism,
+        checkpoint: CheckpointStore | None = None,
     ) -> list[ShardResult]:
+        """Run every shard, surviving worker failures.
+
+        Transient failures are retried with the configuration's capped
+        exponential backoff (in the pool and in process alike).  A pool
+        that dies — or never starts on a sandboxed platform — degrades
+        to the in-process path, which produces identical results;
+        shards the pool already finished are kept.  A shard that fails
+        beyond its retry budget raises
+        :class:`~repro.simulation.faults.ShardExecutionError`; with a
+        checkpoint store attached its completed days survive for
+        ``--resume``.
+        """
+        recovery = recovery_of(self._config)
+        faults = FaultPlan.active(self._config)
+        results: dict[int, ShardResult] = {}
         if parallelism.uses_pool and len(shard_indices) > 1:
             try:
-                return self._execute_pool(shard_indices, parallelism)
-            except (OSError, ValueError, RuntimeError, ImportError):
+                self._execute_pool(
+                    shard_indices, results, parallelism, recovery,
+                    checkpoint,
+                )
+            except _PoolLost:
                 # No usable process pool (sandboxed platform, missing
-                # semaphores, ...): degrade to the in-process path, which
-                # produces identical results.
-                pass
-        return [
-            _compute_shard(context, indices) for indices in shard_indices
-        ]
+                # semaphores, a worker hard-crashed, ...): degrade to
+                # the in-process path, which produces identical
+                # results.
+                telemetry.count("engine.pool_degradations")
+        for shard_index, indices in enumerate(shard_indices):
+            if shard_index in results:
+                continue
+            results[shard_index] = self._compute_with_retries(
+                context, shard_index, indices, recovery, checkpoint,
+                faults,
+            )
+        return [results[index] for index in range(len(shard_indices))]
+
+    def _compute_with_retries(
+        self,
+        context: _RunContext,
+        shard_index: int,
+        indices: np.ndarray | None,
+        recovery,
+        checkpoint: CheckpointStore | None,
+        faults: FaultPlan | None,
+    ) -> ShardResult:
+        attempt = 0
+        while True:
+            try:
+                return _compute_shard(
+                    context, indices,
+                    shard_index=shard_index,
+                    checkpoint=checkpoint,
+                    faults=faults,
+                    attempt=attempt,
+                )
+            except CheckpointError:
+                # A corrupt checkpoint never heals by retrying; surface
+                # the precise file immediately.
+                raise
+            except Exception as err:
+                if attempt >= recovery.max_retries:
+                    raise ShardExecutionError(
+                        shard_index, attempt + 1
+                    ) from err
+                telemetry.count("engine.shard_retries")
+                _RETRY_SLEEP(recovery.delay(attempt))
+                attempt += 1
 
     def _execute_pool(
         self,
         shard_indices: list[np.ndarray | None],
+        results: dict[int, ShardResult],
         parallelism,
-    ) -> list[ShardResult]:
-        from concurrent.futures import ProcessPoolExecutor
+        recovery,
+        checkpoint: CheckpointStore | None,
+    ) -> None:
+        """Fan shard tasks over a process pool, retrying failed ones.
 
+        Fills ``results`` in place so shards finished before a pool
+        loss are kept by the degraded path.  Raises :class:`_PoolLost`
+        when the pool cannot be created or breaks mid-run.
+        """
+        from concurrent.futures import FIRST_COMPLETED, wait
+        from concurrent.futures.process import BrokenProcessPool
+
+        run_directory = (
+            None if checkpoint is None else str(checkpoint.run_directory)
+        )
         workers = min(parallelism.workers, len(shard_indices))
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_pool_init,
-            initargs=(self._config, telemetry.enabled()),
-        ) as pool:
-            return list(pool.map(_pool_compute, shard_indices))
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_pool_init,
+                initargs=(self._config, telemetry.enabled()),
+            ) as pool:
+                tasks = {
+                    pool.submit(
+                        _pool_compute,
+                        (index, indices, 0, run_directory),
+                    ): (index, indices, 0)
+                    for index, indices in enumerate(shard_indices)
+                }
+                while tasks:
+                    done, _ = wait(
+                        set(tasks), return_when=FIRST_COMPLETED
+                    )
+                    for future in done:
+                        index, indices, attempt = tasks.pop(future)
+                        try:
+                            results[index] = future.result()
+                        except BrokenProcessPool as err:
+                            raise _PoolLost from err
+                        except CheckpointError:
+                            raise
+                        except Exception as err:
+                            if attempt >= recovery.max_retries:
+                                raise ShardExecutionError(
+                                    index, attempt + 1
+                                ) from err
+                            telemetry.count("engine.shard_retries")
+                            _RETRY_SLEEP(recovery.delay(attempt))
+                            retry = (index, indices, attempt + 1)
+                            tasks[
+                                pool.submit(
+                                    _pool_compute, (*retry, run_directory)
+                                )
+                            ] = retry
+        except (_PoolLost, ShardExecutionError, CheckpointError):
+            raise
+        except (OSError, ValueError, RuntimeError, ImportError) as err:
+            # The pool itself is unusable (could not start, lost its
+            # semaphores, ...) — not a task failure.
+            raise _PoolLost from err
 
     # -- merge + global stages ---------------------------------------------
     def _assemble_feeds(

@@ -1,9 +1,9 @@
-"""Tests for feed persistence (save/load round trip)."""
+"""Tests for feed persistence (save/load round trip, precise errors)."""
 
 import numpy as np
 import pytest
 
-from repro.io import load_feeds, save_feeds
+from repro.io import RunStoreError, load_feeds, save_feeds
 from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import Simulator
 
@@ -94,3 +94,99 @@ class TestRoundTrip:
         (path / "manifest.json").write_text(json.dumps(manifest))
         with pytest.raises(ValueError, match="version"):
             load_feeds(path)
+
+
+class TestPreciseErrors:
+    """Broken run directories diagnose themselves.
+
+    Every failure mode — missing directory, missing file, truncated
+    pickle, corrupt archive, manifest lies — must raise
+    :class:`RunStoreError` *naming the offending file*, never a leaked
+    ``KeyError`` / ``FileNotFoundError`` / pickle traceback.
+    """
+
+    @pytest.fixture
+    def saved(self, run_feeds, tmp_path):
+        return save_feeds(run_feeds, tmp_path / "run")
+
+    def test_is_a_value_error(self):
+        # Backwards compatibility: historical callers catch ValueError.
+        assert issubclass(RunStoreError, ValueError)
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(RunStoreError, match="does not exist"):
+            load_feeds(tmp_path / "never-saved")
+
+    def test_missing_manifest(self, saved):
+        (saved / "manifest.json").unlink()
+        with pytest.raises(RunStoreError, match="manifest.json"):
+            load_feeds(saved)
+
+    def test_interrupted_run_points_at_resume(self, saved):
+        # checkpoints/ present but no manifest = an interrupted
+        # simulate; the error must say how to finish it.
+        (saved / "manifest.json").unlink()
+        (saved / "checkpoints").mkdir()
+        (saved / "checkpoints" / "state.json").write_text("{}")
+        with pytest.raises(RunStoreError, match="--resume"):
+            load_feeds(saved)
+
+    def test_garbled_manifest(self, saved):
+        (saved / "manifest.json").write_text("{not json")
+        with pytest.raises(RunStoreError, match="manifest.json"):
+            load_feeds(saved)
+
+    def test_manifest_missing_counts(self, saved):
+        import json
+
+        manifest = json.loads((saved / "manifest.json").read_text())
+        del manifest["num_users"]
+        (saved / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(RunStoreError, match="num_users"):
+            load_feeds(saved)
+
+    def test_missing_config(self, saved):
+        (saved / "config.pkl").unlink()
+        with pytest.raises(RunStoreError, match="config.pkl"):
+            load_feeds(saved)
+
+    def test_truncated_config(self, saved):
+        blob = (saved / "config.pkl").read_bytes()
+        (saved / "config.pkl").write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(RunStoreError, match="config.pkl"):
+            load_feeds(saved)
+
+    def test_missing_mobility(self, saved):
+        (saved / "mobility.npz").unlink()
+        with pytest.raises(RunStoreError, match="mobility.npz"):
+            load_feeds(saved)
+
+    def test_corrupt_mobility(self, saved):
+        (saved / "mobility.npz").write_bytes(b"\x00" * 64)
+        with pytest.raises(RunStoreError, match="mobility.npz"):
+            load_feeds(saved)
+
+    def test_mobility_missing_arrays(self, saved):
+        np.savez(saved / "mobility.npz", user_ids=np.arange(3))
+        with pytest.raises(RunStoreError, match="anchor_sites"):
+            load_feeds(saved)
+
+    def test_manifest_mobility_disagreement(self, saved):
+        import json
+
+        manifest = json.loads((saved / "manifest.json").read_text())
+        manifest["num_users"] = manifest["num_users"] + 1
+        (saved / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(RunStoreError, match="manifest promises"):
+            load_feeds(saved)
+
+    def test_missing_kpis(self, saved):
+        (saved / "radio_kpis.csv").unlink()
+        with pytest.raises(RunStoreError, match="radio_kpis.csv"):
+            load_feeds(saved)
+
+    def test_error_carries_the_path(self, saved):
+        (saved / "rat_time.csv").unlink()
+        with pytest.raises(RunStoreError) as excinfo:
+            load_feeds(saved)
+        assert excinfo.value.path == saved / "rat_time.csv"

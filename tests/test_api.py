@@ -1,0 +1,128 @@
+"""Tests for the :mod:`repro.api` facade.
+
+The facade's promise is one front door for the whole lifecycle —
+simulate, save, load, resume, analyze — with crash-safety on by
+default and precise errors from broken run directories.  These tests
+drive each lifecycle edge through :class:`repro.api.Run` and check the
+handle stays consistent with the lower layers it wraps.
+"""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.io import RunStoreError
+from repro.simulation.checkpoint import CheckpointStore
+from repro.simulation.clock import StudyCalendar
+from repro.simulation.config import SimulationConfig
+from repro.simulation.faults import RecoverySettings, ShardExecutionError
+
+_CALENDAR = StudyCalendar(first_day=dt.date(2020, 2, 24), num_days=14)
+
+
+def _config(**overrides):
+    return SimulationConfig.tiny(seed=11).with_overrides(
+        num_users=160,
+        target_site_count=40,
+        calendar=_CALENDAR,
+        recovery=RecoverySettings(max_retries=0),
+        **overrides,
+    )
+
+
+class TestSimulate:
+    def test_in_memory(self):
+        run = api.simulate(_config())
+        assert run.directory is None
+        assert run.config.seed == 11
+        assert run.feeds.calendar.num_days == 14
+
+    def test_persisted(self, tmp_path):
+        rundir = tmp_path / "run"
+        run = api.simulate(_config(), out=rundir)
+        assert run.directory == rundir
+        assert (rundir / "manifest.json").exists()
+        # Checkpoints served their purpose and are gone.
+        assert not CheckpointStore.present(rundir)
+
+    def test_top_level_reexport(self):
+        import repro
+
+        assert repro.Run is api.Run
+        assert repro.api is api
+
+
+class TestRunHandle:
+    def test_load_round_trip(self, tmp_path):
+        rundir = tmp_path / "run"
+        run = api.simulate(_config(), out=rundir)
+        back = api.Run.load(rundir)
+        assert np.array_equal(
+            back.feeds.mobility.user_ids, run.feeds.mobility.user_ids
+        )
+        assert "users" in repr(back)
+
+    def test_study_is_cached(self, tmp_path):
+        run = api.simulate(_config())
+        assert run.study() is run.study()
+
+    def test_save_rehomes(self, tmp_path):
+        run = api.simulate(_config())
+        with pytest.raises(ValueError, match="directory"):
+            run.save()
+        path = run.save(tmp_path / "elsewhere")
+        assert run.directory == path
+        assert (path / "manifest.json").exists()
+
+    def test_wrapping_nothing_rejected(self):
+        with pytest.raises(ValueError):
+            api.Run(None)
+
+    def test_load_alias(self, tmp_path):
+        rundir = tmp_path / "run"
+        api.simulate(_config(), out=rundir)
+        assert api.load(rundir).directory == rundir
+
+
+class TestResume:
+    def _interrupt(self, rundir):
+        with pytest.raises(ShardExecutionError):
+            api.simulate(
+                _config(fault_spec="kill:day=9"), out=rundir
+            )
+
+    def test_completes_an_interrupted_run(self, tmp_path):
+        rundir = tmp_path / "run"
+        self._interrupt(rundir)
+        assert CheckpointStore.present(rundir)
+
+        # Loading the interrupted directory names the problem...
+        with pytest.raises(RunStoreError, match="--resume"):
+            api.Run.load(rundir)
+
+        # ...and resume() finishes it, bitwise what simulate produces.
+        run = api.resume(rundir)
+        assert (rundir / "manifest.json").exists()
+        assert not CheckpointStore.present(rundir)
+        clean = api.simulate(_config())
+        for day in (0, 9, 13):  # before, at, and past the kill point
+            assert np.array_equal(
+                run.feeds.mobility.dwell(day),
+                clean.feeds.mobility.dwell(day),
+            )
+
+    def test_on_a_finished_run_just_loads(self, tmp_path):
+        rundir = tmp_path / "run"
+        api.simulate(_config(), out=rundir)
+        run = api.resume(rundir)
+        assert run.directory == rundir
+
+    def test_run_resume_is_identity(self, tmp_path):
+        run = api.simulate(_config())
+        assert run.resume() is run
+
+    def test_nothing_to_resume_surfaces_load_error(self, tmp_path):
+        with pytest.raises(RunStoreError, match="does not exist"):
+            api.resume(tmp_path / "nowhere")

@@ -48,21 +48,21 @@ class TestCommands:
 
     def test_summary(self, run_dir):
         out = io.StringIO()
-        assert main(["summary", "--feeds", str(run_dir)], out=out) == 0
+        assert main(["summary", str(run_dir)], out=out) == 0
         text = out.getvalue()
         assert "gyration_change_lockdown_pct" in text
         assert "voice_volume_peak_pct" in text
 
     def test_analyze(self, run_dir):
         out = io.StringIO()
-        assert main(["analyze", "--feeds", str(run_dir)], out=out) == 0
+        assert main(["analyze", str(run_dir)], out=out) == 0
         text = out.getvalue()
         assert "Fig 3" in text
         assert "Fig 9" in text
 
     def test_verdict(self, run_dir):
         out = io.StringIO()
-        assert main(["verdict", "--feeds", str(run_dir)], out=out) == 0
+        assert main(["verdict", str(run_dir)], out=out) == 0
         text = out.getvalue()
         assert "targets inside the band" in text
 
@@ -70,7 +70,7 @@ class TestCommands:
         out = io.StringIO()
         target = tmp_path / "csvs"
         code = main(
-            ["export", "--feeds", str(run_dir), "--out", str(target)],
+            ["export", str(run_dir), "--out", str(target)],
             out=out,
         )
         assert code == 0
@@ -85,6 +85,126 @@ class TestCommands:
         )
         assert code == 0
         assert "Headline numbers" in out.getvalue()
+
+    def test_report_on_a_run_dir(self, run_dir):
+        out = io.StringIO()
+        assert main(["report", str(run_dir)], out=out) == 0
+        assert "Headline numbers" in out.getvalue()
+
+
+class TestFeedsAlias:
+    """--feeds still works everywhere, but deprecated and warning."""
+
+    @pytest.fixture(scope="class")
+    def run_dir(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("alias") / "run"
+        out = io.StringIO()
+        assert main(
+            [
+                "simulate", "--preset", "tiny", "--seed", "13",
+                "--users", "600", "--out", str(path),
+            ],
+            out=out,
+        ) == 0
+        return path
+
+    def test_alias_warns_and_works(self, run_dir, capsys):
+        out = io.StringIO()
+        with pytest.warns(DeprecationWarning, match="positional"):
+            assert main(["summary", "--feeds", str(run_dir)], out=out) == 0
+        assert "gyration_change_lockdown_pct" in out.getvalue()
+        assert "deprecated" in capsys.readouterr().err
+
+    def test_positional_does_not_warn(self, run_dir):
+        import warnings
+
+        out = io.StringIO()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert main(["summary", str(run_dir)], out=out) == 0
+
+    def test_both_forms_rejected(self, run_dir):
+        out = io.StringIO()
+        code = main(
+            ["summary", str(run_dir), "--feeds", str(run_dir)], out=out
+        )
+        assert code == 2
+        assert "once" in out.getvalue()
+
+
+class TestErrorPaths:
+    def test_rundir_required(self):
+        for command in ("analyze", "summary", "verdict"):
+            out = io.StringIO()
+            assert main([command], out=out) == 2
+            assert "required" in out.getvalue()
+
+    def test_simulate_needs_out_or_resume(self):
+        out = io.StringIO()
+        assert main(["simulate"], out=out) == 2
+        assert "--out or --resume" in out.getvalue()
+
+    def test_simulate_rejects_out_with_resume(self, tmp_path):
+        out = io.StringIO()
+        code = main(
+            ["simulate", "--resume", str(tmp_path), "--out", str(tmp_path)],
+            out=out,
+        )
+        assert code == 2
+
+    def test_missing_run_dir_is_one_line(self, tmp_path):
+        out = io.StringIO()
+        assert main(["analyze", str(tmp_path / "nope")], out=out) == 1
+        text = out.getvalue()
+        assert "does not exist" in text
+        assert "Traceback" not in text
+
+
+class TestCrashAndResume:
+    def test_interrupt_then_resume(self, tmp_path, monkeypatch):
+        # A deterministic kill via the REPRO_FAULTS environment hook
+        # aborts the run; the CLI reports the resume command; running
+        # it completes the directory into a loadable run.
+        path = tmp_path / "run"
+        argv = [
+            "simulate", "--preset", "tiny", "--seed", "13",
+            "--users", "600", "--out", str(path),
+        ]
+        monkeypatch.setenv("REPRO_FAULTS", "kill:day=5")
+        out = io.StringIO()
+        assert main(argv, out=out) == 1
+        assert "--resume" in out.getvalue()
+        assert not (path / "manifest.json").exists()
+        assert (path / "checkpoints").is_dir()
+
+        monkeypatch.delenv("REPRO_FAULTS")
+        out = io.StringIO()
+        assert main(["simulate", "--resume", str(path)], out=out) == 0
+        assert "saved" in out.getvalue()
+        assert (path / "manifest.json").exists()
+        assert not (path / "checkpoints").exists()  # cleaned up
+
+        out = io.StringIO()
+        assert main(["summary", str(path)], out=out) == 0
+
+    def test_no_checkpoint_flag(self, tmp_path):
+        path = tmp_path / "run"
+        out = io.StringIO()
+        code = main(
+            [
+                "simulate", "--preset", "tiny", "--seed", "13",
+                "--users", "600", "--out", str(path), "--no-checkpoint",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert not (path / "checkpoints").exists()
+
+    def test_resume_without_checkpoints_fails_cleanly(self, tmp_path):
+        out = io.StringIO()
+        code = main(["simulate", "--resume", str(tmp_path / "x")], out=out)
+        assert code == 1
+        assert "nothing to resume" in out.getvalue()
 
 
 class TestTelemetryFlag:

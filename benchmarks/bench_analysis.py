@@ -1,0 +1,154 @@
+"""Analysis-path benchmark: cold vs warm CLI, batched vs per-day kernels.
+
+Two claims are measured and gated:
+
+1. **The artifact cache.**  A warm ``analyze`` — every artifact served
+   from ``<run>/cache/analysis/`` keyed on the manifest digests, no
+   feeds loaded — must be at least 5x faster than the cold run that
+   populated it, with *byte-identical* printed output.
+2. **Batched daily metrics.**  ``compute_daily_metrics`` flattening
+   several days per kernel call must reproduce the per-day oracle
+   bitwise (the speedup itself is recorded, not gated: at benchmark
+   scale it is bounded by cache locality, not call overhead).
+
+Results land as JSON in ``benchmarks/results/analysis.json``.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_analysis.py -q
+"""
+
+import io
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.cli import main
+from repro.core.statistics import (
+    _compute_daily_metrics_loop,
+    compute_daily_metrics,
+)
+from repro.io import load_feeds
+
+RESULTS_PATH = Path(__file__).parent / "results" / "analysis.json"
+BENCH_SEED = 2020
+BENCH_USERS = 2_000
+
+#: Acceptance floor for the warm/cold analyze ratio.  In practice the
+#: warm path is orders of magnitude faster (it reads one NPZ entry
+#: instead of loading feeds and recomputing 15 artifacts); 5x is the
+#: contract.
+MIN_WARM_SPEEDUP = 5.0
+
+
+def _cli(argv) -> str:
+    out = io.StringIO()
+    code = main(argv, out=out)
+    assert code == 0, out.getvalue()
+    return out.getvalue()
+
+
+def bench_cache(rundir: Path) -> dict:
+    _cli([
+        "simulate", "--preset", "tiny", "--seed", str(BENCH_SEED),
+        "--users", str(BENCH_USERS), "--out", str(rundir),
+    ])
+
+    start = time.perf_counter()
+    cold_text = _cli(["analyze", str(rundir)])
+    cold_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm_text = _cli(["analyze", str(rundir)])
+    warm_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    nocache_text = _cli(["analyze", str(rundir), "--no-cache"])
+    nocache_s = time.perf_counter() - start
+
+    store = rundir / "cache" / "analysis"
+    entries = list(store.glob("*.npz"))
+    return {
+        "cold_seconds": cold_s,
+        "warm_seconds": warm_s,
+        "no_cache_seconds": nocache_s,
+        "warm_speedup": cold_s / warm_s,
+        "byte_identical": warm_text == cold_text == nocache_text,
+        "cache_entries": len(entries),
+        "cache_bytes": sum(path.stat().st_size for path in entries),
+    }
+
+
+def bench_batched_metrics(rundir: Path) -> dict:
+    feeds = load_feeds(rundir)
+    # Warm both paths once (allocator, page faults) before timing.
+    compute_daily_metrics(feeds, batch_days=1)
+
+    start = time.perf_counter()
+    loop = _compute_daily_metrics_loop(feeds, "weighted", 20)
+    loop_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batched = compute_daily_metrics(feeds)
+    batched_s = time.perf_counter() - start
+
+    return {
+        "users": feeds.mobility.num_users,
+        "days": feeds.mobility.num_days,
+        "loop_seconds": loop_s,
+        "batched_seconds": batched_s,
+        "speedup": loop_s / batched_s,
+        "bitwise_identical": bool(
+            np.array_equal(loop.entropy, batched.entropy)
+            and np.array_equal(loop.gyration_km, batched.gyration_km)
+        ),
+    }
+
+
+def test_analysis_bench(tmp_path):
+    rundir = tmp_path / "run"
+    report = {
+        "seed": BENCH_SEED,
+        "users": BENCH_USERS,
+        "cpu_count": os.cpu_count(),
+        "cache": bench_cache(rundir),
+        "batched_metrics": bench_batched_metrics(rundir),
+    }
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    cache = report["cache"]
+    metrics = report["batched_metrics"]
+    print("\nAnalysis pipeline benchmark")
+    print(
+        f"  analyze: cold {cache['cold_seconds']:.3f}s -> warm "
+        f"{cache['warm_seconds']:.3f}s ({cache['warm_speedup']:.1f}x), "
+        f"--no-cache {cache['no_cache_seconds']:.3f}s, "
+        f"{cache['cache_entries']} entries / {cache['cache_bytes']} B"
+    )
+    print(
+        f"  daily metrics: loop {metrics['loop_seconds']:.3f}s, batched "
+        f"{metrics['batched_seconds']:.3f}s ({metrics['speedup']:.2f}x)"
+    )
+
+    assert cache["byte_identical"], (
+        "cold, warm and --no-cache analyze output diverged"
+    )
+    assert cache["cache_entries"] > 0
+    assert cache["warm_speedup"] >= MIN_WARM_SPEEDUP, (
+        f"warm analyze only {cache['warm_speedup']:.1f}x faster "
+        f"than cold (< {MIN_WARM_SPEEDUP}x)"
+    )
+    assert metrics["bitwise_identical"], (
+        "batched daily metrics diverged from the per-day oracle"
+    )
+
+
+if __name__ == "__main__":
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as scratch:
+        test_analysis_bench(Path(scratch))

@@ -1,0 +1,26 @@
+"""Analysis-side infrastructure: the persistent artifact cache.
+
+:mod:`repro.core` computes the paper's artifacts; this package makes
+recomputing them across processes unnecessary.  See
+:mod:`repro.analysis.cache` for the content-addressed store that
+:class:`~repro.core.study.CovidImpactStudy`, :mod:`repro.api` and the
+CLI share.
+"""
+
+from repro.analysis.cache import (
+    CODE_EPOCHS,
+    DEFAULT_GYRATION_MODE,
+    ArtifactCache,
+    artifact_key,
+    report_params,
+    summary_params,
+)
+
+__all__ = [
+    "CODE_EPOCHS",
+    "DEFAULT_GYRATION_MODE",
+    "ArtifactCache",
+    "artifact_key",
+    "report_params",
+    "summary_params",
+]

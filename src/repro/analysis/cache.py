@@ -1,0 +1,406 @@
+"""Persistent content-addressed cache for analysis artifacts.
+
+Reproducing the paper's figures is a pure function of (a) the feed
+payloads of a run, (b) the analysis code, and (c) a handful of
+parameters (``gyration_mode``, the KPI percentile, ...).  This module
+keys every artifact — the per-user-day metrics matrix, each figure's
+payload, the headline summary, the rendered report — on exactly those
+three things and stores the result under ``<run>/cache/analysis/``, so
+*no process ever computes the same artifact twice*:
+
+- **Keys** are SHA-256 over the per-feed payload digests recorded in
+  ``manifest.json`` by :func:`repro.io.store.save_feeds`, a per-artifact
+  *code-epoch* tag (bumped when an implementation changes semantics),
+  and the JSON-canonicalized parameters.  Different runs, parameters or
+  code generations can never collide.
+- **Entries** are single NPZ files written atomically (``*.tmp`` +
+  ``os.replace``, the checkpoint-store pattern), holding the artifact
+  decomposed into a JSON structure tree plus its numpy arrays, and a
+  SHA-256 payload checksum.  No pickle: a cache file cannot execute
+  code, and a stale or truncated entry simply fails validation.
+- **Failure is always a miss.**  A corrupt, stale, unreadable or
+  undecodable entry falls back to recomputation — the cache can be
+  deleted (``python -m repro cache <run> --clear``) or bit-flipped at
+  any time without breaking an analysis.
+- **Telemetry**: ``cache.hits`` / ``cache.misses`` /
+  ``cache.bytes_written`` (plus ``cache.corrupt_entries``) count
+  against the process-wide registry when :mod:`repro.telemetry` is
+  enabled.
+
+Cached payloads round-trip bitwise: arrays keep their exact dtype and
+bytes through NPZ, scalars and strings through JSON, so a warm study is
+byte-identical to a cold one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import threading
+from functools import lru_cache
+from pathlib import Path
+
+import numpy as np
+
+from repro import telemetry
+
+__all__ = [
+    "ArtifactCache",
+    "CODE_EPOCHS",
+    "DEFAULT_GYRATION_MODE",
+    "artifact_key",
+    "report_params",
+    "summary_params",
+]
+
+CACHE_SUBDIR = Path("cache") / "analysis"
+FORMAT_VERSION = 1
+
+#: The study's default gyration mode; shared with the CLI so both sides
+#: derive identical cache keys without importing the study driver.
+DEFAULT_GYRATION_MODE = "weighted"
+
+#: Per-artifact code generations.  Bump an entry whenever the code that
+#: produces the artifact changes its output; persisted entries written
+#: under the old epoch then silently stop matching (they key on the
+#: epoch) instead of serving stale results.
+CODE_EPOCHS = {
+    "metrics": 1,
+    "homes": 1,
+    "labeled_kpis": 1,
+    "fig2": 1,
+    "fig3": 1,
+    "fig4": 1,
+    "fig5": 1,
+    "fig6": 1,
+    "fig7": 1,
+    "fig8": 1,
+    "fig9": 1,
+    "fig10": 1,
+    "fig11": 1,
+    "fig12": 1,
+    "rat_share": 1,
+    "cluster_correlations": 1,
+    "summary": 1,
+    "report": 1,
+}
+
+
+def summary_params(gyration_mode: str = DEFAULT_GYRATION_MODE) -> dict:
+    """Cache parameters of the ``summary`` artifact."""
+    return {"gyration_mode": gyration_mode}
+
+
+def report_params(
+    full: bool, gyration_mode: str = DEFAULT_GYRATION_MODE
+) -> dict:
+    """Cache parameters of the ``report`` artifact."""
+    return {"full": bool(full), "gyration_mode": gyration_mode}
+
+
+def artifact_key(
+    artifact: str, feed_digests: dict[str, str], params: dict
+) -> str:
+    """The content address of one artifact: SHA-256 over its inputs."""
+    material = json.dumps(
+        {
+            "format": FORMAT_VERSION,
+            "artifact": artifact,
+            "epoch": CODE_EPOCHS.get(artifact, 0),
+            "feeds": dict(sorted(feed_digests.items())),
+            "params": params,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+class CacheCodecError(ValueError):
+    """A payload cannot be encoded to / decoded from a cache entry."""
+
+
+# ---------------------------------------------------------------------------
+# Codec: arbitrary study payloads <-> (JSON tree, named numpy arrays).
+#
+# The tree holds scalars/strings/containers as JSON; every array is
+# hoisted into the NPZ under a generated name the tree references.
+# Known result dataclasses and Frame are encoded structurally, by
+# field — not pickled — so decoding reconstructs them through their
+# real constructors.
+# ---------------------------------------------------------------------------
+_LITERALS = (type(None), bool, int, float, str)
+
+
+@lru_cache(maxsize=1)
+def _dataclass_registry() -> dict[str, type]:
+    # Imported lazily: repro.core pulls in the whole analysis layer,
+    # and the cache must stay importable from anywhere inside it.
+    from repro.core.correlation import EntropyCasesResult
+    from repro.core.home import HomeDetectionResult
+    from repro.core.mobility_series import MobilitySeries
+    from repro.core.performance import WeeklySeries
+    from repro.core.relocation import RelocationMatrix
+    from repro.core.statistics import MobilityDailyMetrics
+    from repro.core.validation import HomeValidation
+
+    return {
+        cls.__name__: cls
+        for cls in (
+            EntropyCasesResult,
+            HomeDetectionResult,
+            HomeValidation,
+            MobilityDailyMetrics,
+            MobilitySeries,
+            RelocationMatrix,
+            WeeklySeries,
+        )
+    }
+
+
+def _frame_type():
+    from repro.frames import Frame
+
+    return Frame
+
+
+def _encode(value, arrays: dict[str, np.ndarray]):
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, (int, float)) and not isinstance(value, np.generic):
+        return value
+    if isinstance(value, np.ndarray):
+        name = f"a{len(arrays)}"
+        arrays[name] = value
+        return {"__kind__": "array", "ref": name}
+    if isinstance(value, np.generic):
+        name = f"a{len(arrays)}"
+        arrays[name] = np.asarray(value)
+        return {"__kind__": "npscalar", "ref": name}
+    if isinstance(value, (list, tuple)):
+        return {
+            "__kind__": "list" if isinstance(value, list) else "tuple",
+            "items": [_encode(item, arrays) for item in value],
+        }
+    if isinstance(value, dict):
+        return {
+            "__kind__": "dict",
+            "items": [
+                [_encode(key, arrays), _encode(item, arrays)]
+                for key, item in value.items()
+            ],
+        }
+    if isinstance(value, _frame_type()):
+        return {
+            "__kind__": "frame",
+            "columns": [
+                [name, _encode(value[name], arrays)]
+                for name in value.column_names
+            ],
+        }
+    registry = _dataclass_registry()
+    cls = type(value)
+    if cls.__name__ in registry and cls is registry[cls.__name__]:
+        import dataclasses
+
+        return {
+            "__kind__": "dataclass",
+            "type": cls.__name__,
+            "fields": {
+                field.name: _encode(getattr(value, field.name), arrays)
+                for field in dataclasses.fields(cls)
+            },
+        }
+    raise CacheCodecError(f"cannot cache payloads of type {cls.__name__}")
+
+
+def _decode(tree, arrays: dict[str, np.ndarray]):
+    if isinstance(tree, _LITERALS):
+        return tree
+    if not isinstance(tree, dict):
+        raise CacheCodecError(f"malformed cache tree node {tree!r}")
+    kind = tree.get("__kind__")
+    if kind in ("array", "npscalar"):
+        ref = tree.get("ref")
+        if ref not in arrays:
+            raise CacheCodecError(f"cache entry is missing array {ref!r}")
+        array = arrays[ref]
+        return array[()] if kind == "npscalar" else array
+    if kind in ("list", "tuple"):
+        items = [_decode(item, arrays) for item in tree["items"]]
+        return items if kind == "list" else tuple(items)
+    if kind == "dict":
+        return {
+            _decode(key, arrays): _decode(item, arrays)
+            for key, item in tree["items"]
+        }
+    if kind == "frame":
+        return _frame_type()(
+            {name: _decode(column, arrays)
+             for name, column in tree["columns"]}
+        )
+    if kind == "dataclass":
+        cls = _dataclass_registry().get(tree.get("type"))
+        if cls is None:
+            raise CacheCodecError(
+                f"unknown cached dataclass {tree.get('type')!r}"
+            )
+        return cls(**{
+            name: _decode(field, arrays)
+            for name, field in tree["fields"].items()
+        })
+    raise CacheCodecError(f"unknown cache tree kind {kind!r}")
+
+
+def _payload_digest(meta: str, arrays: dict[str, np.ndarray]) -> str:
+    sha = hashlib.sha256()
+    sha.update(meta.encode())
+    for name in sorted(arrays):
+        array = np.ascontiguousarray(arrays[name])
+        sha.update(name.encode())
+        sha.update(repr(array.shape).encode())
+        sha.update(array.dtype.str.encode())
+        sha.update(array.tobytes())
+    return sha.hexdigest()
+
+
+class ArtifactCache:
+    """The ``cache/analysis/`` store of one run directory.
+
+    Construct with :meth:`open` (reads the digests from the run's
+    ``manifest.json``) or :meth:`for_feeds` (uses the digests a loaded
+    :class:`~repro.simulation.feeds.DataFeeds` carries); both return
+    ``None`` when the run has no recorded digests — an uncacheable run
+    is simply cacheless, never an error.
+    """
+
+    def __init__(
+        self, directory: str | Path, feed_digests: dict[str, str]
+    ) -> None:
+        self.directory = Path(directory)
+        self.feed_digests = dict(feed_digests)
+
+    @classmethod
+    def open(cls, run_directory: str | Path) -> "ArtifactCache | None":
+        """The cache of a persisted run, straight from its manifest.
+
+        Reads only ``manifest.json`` — no feeds are loaded — which is
+        what lets a warm CLI invocation skip ``load_feeds`` entirely.
+        """
+        manifest_path = Path(run_directory) / "manifest.json"
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        digests = manifest.get("feeds_sha256")
+        if not isinstance(digests, dict) or not digests:
+            return None
+        return cls(Path(run_directory) / CACHE_SUBDIR, digests)
+
+    @classmethod
+    def for_feeds(
+        cls, run_directory: str | Path, feeds
+    ) -> "ArtifactCache | None":
+        """The cache for an in-memory feeds bundle homed at a directory."""
+        digests = getattr(feeds, "source_digests", None)
+        if not digests:
+            return None
+        return cls(Path(run_directory) / CACHE_SUBDIR, digests)
+
+    # -- lookup --------------------------------------------------------------
+    def key(self, artifact: str, params: dict) -> str:
+        return artifact_key(artifact, self.feed_digests, params)
+
+    def entry_path(self, artifact: str, params: dict) -> Path:
+        return self.directory / f"{self.key(artifact, params)}.npz"
+
+    def get(self, artifact: str, params: dict):
+        """The cached payload, or ``None`` on any kind of miss.
+
+        Corrupt, truncated, or undecodable entries count as misses
+        (and bump ``cache.corrupt_entries``); they are never an error.
+        """
+        path = self.entry_path(artifact, params)
+        if not path.exists():
+            telemetry.count("cache.misses")
+            return None
+        try:
+            with np.load(path) as archive:
+                arrays = {name: archive[name] for name in archive.files}
+            meta_array = arrays.pop("__meta__")
+            checksum = arrays.pop("__checksum__")
+            meta = str(meta_array[()])
+            if str(checksum[()]) != _payload_digest(meta, arrays):
+                raise CacheCodecError("checksum mismatch")
+            envelope = json.loads(meta)
+            if envelope.get("artifact") != artifact:
+                raise CacheCodecError("entry names a different artifact")
+            payload = _decode(envelope["tree"], arrays)
+        except Exception:
+            # Present but wrong — recompute rather than crash; the
+            # entry will be atomically replaced by the fresh result.
+            telemetry.count("cache.misses")
+            telemetry.count("cache.corrupt_entries")
+            return None
+        telemetry.count("cache.hits")
+        return payload
+
+    def put(self, artifact: str, params: dict, payload) -> bool:
+        """Persist a payload; returns False (and stores nothing) when
+        the payload cannot be encoded or the write fails."""
+        try:
+            arrays: dict[str, np.ndarray] = {}
+            tree = _encode(payload, arrays)
+            meta = json.dumps({"artifact": artifact, "tree": tree})
+            checksum = _payload_digest(meta, arrays)
+        except CacheCodecError:
+            return False
+        final = self.entry_path(artifact, params)
+        temporary = final.with_name(
+            f"{final.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+        )
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            with open(temporary, "wb") as handle:
+                np.savez(
+                    handle,
+                    __meta__=np.array(meta),
+                    __checksum__=np.array(checksum),
+                    **arrays,
+                )
+            size = temporary.stat().st_size
+            os.replace(temporary, final)
+        except OSError:
+            temporary.unlink(missing_ok=True)
+            return False
+        telemetry.count("cache.bytes_written", size)
+        return True
+
+    def get_or_compute(self, artifact: str, params: dict, compute):
+        """The cached payload if present, else ``compute()`` (stored)."""
+        payload = self.get(artifact, params)
+        if payload is not None:
+            return payload
+        payload = compute()
+        self.put(artifact, params, payload)
+        return payload
+
+    # -- maintenance ---------------------------------------------------------
+    def info(self) -> dict:
+        """Entry count and total size of the store (zeros when absent)."""
+        entries = 0
+        total = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.npz"):
+                entries += 1
+                total += path.stat().st_size
+        return {
+            "directory": str(self.directory),
+            "entries": entries,
+            "bytes": total,
+        }
+
+    def clear(self) -> None:
+        """Delete every cached artifact (the directory itself too)."""
+        shutil.rmtree(self.directory, ignore_errors=True)

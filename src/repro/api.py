@@ -109,12 +109,31 @@ class Run:
         return self
 
     # -- analysis ----------------------------------------------------------
-    def study(self):
-        """The paper's analysis over this run's feeds (cached)."""
+    def study(self, *, cache: bool | object = True):
+        """The paper's analysis over this run's feeds (cached).
+
+        For a persisted run the study automatically attaches the run's
+        :class:`~repro.analysis.cache.ArtifactCache` (keyed on the feed
+        digests recorded in its manifest), so figure payloads survive
+        across processes.  Pass ``cache=False`` for a purely in-memory
+        study, or a ready :class:`~repro.analysis.cache.ArtifactCache`
+        to use instead.  The study handle is memoized: the ``cache``
+        argument only matters on the first call.
+        """
         if self._study is None:
             from repro.core import CovidImpactStudy
 
-            self._study = CovidImpactStudy(self._feeds)
+            attached = None
+            if cache is True:
+                if self._directory is not None:
+                    from repro.analysis.cache import ArtifactCache
+
+                    attached = ArtifactCache.for_feeds(
+                        self._directory, self._feeds
+                    )
+            elif cache:
+                attached = cache
+            self._study = CovidImpactStudy(self._feeds, cache=attached)
         return self._study
 
 

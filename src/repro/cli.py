@@ -29,6 +29,15 @@ record span timings and counters for the command and print the phase
 table after the normal output (see ``docs/OBSERVABILITY.md``). On
 ``simulate`` the snapshot is additionally persisted into the run's
 ``manifest.json``.
+
+Analysis results are cached persistently: the first ``analyze`` /
+``summary`` / ``verdict`` on a run directory stores every artifact in
+``<run>/cache/analysis/`` (content-addressed on the feed digests in the
+manifest — see :mod:`repro.analysis.cache`), and later invocations
+fetch them back without even reloading the feeds, printing output
+byte-identical to a cold run.  ``--no-cache`` bypasses the cache for
+one invocation; ``python -m repro cache <run> --info/--clear`` inspects
+or deletes the store.
 """
 
 from __future__ import annotations
@@ -83,12 +92,14 @@ def build_parser() -> argparse.ArgumentParser:
         "analyze", help="reload a run and print the full figure report"
     )
     _add_rundir_args(analyze)
+    _add_cache_arg(analyze)
     _add_telemetry_arg(analyze)
 
     summary = commands.add_parser(
         "summary", help="reload a run and print the headline numbers"
     )
     _add_rundir_args(summary)
+    _add_cache_arg(summary)
 
     report = commands.add_parser(
         "report",
@@ -99,6 +110,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_rundir_args(report, required=False)
     _add_preset_args(report)
+    _add_cache_arg(report)
     _add_telemetry_arg(report)
 
     verdict = commands.add_parser(
@@ -106,6 +118,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="reload a run and score it against every paper target",
     )
     _add_rundir_args(verdict)
+    _add_cache_arg(verdict)
+
+    cache = commands.add_parser(
+        "cache",
+        help="inspect or clear a run's analysis artifact cache",
+    )
+    cache.add_argument("rundir", help="saved-run directory")
+    cache.add_argument(
+        "--info", action="store_true",
+        help="print the entry count and total size (the default)",
+    )
+    cache.add_argument(
+        "--clear", action="store_true",
+        help="delete every cached analysis artifact of the run",
+    )
 
     export = commands.add_parser(
         "export",
@@ -156,6 +183,16 @@ def _add_preset_args(parser: argparse.ArgumentParser) -> None:
         help=(
             "run the shard day loops on this many processes "
             "(default: 1 = in-process)"
+        ),
+    )
+
+
+def _add_cache_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help=(
+            "neither read nor write the run's persistent analysis "
+            "artifact cache for this invocation"
         ),
     )
 
@@ -319,15 +356,18 @@ def _run_command(args: argparse.Namespace, out) -> int:
         print(f"wrote figure CSVs to {path}", file=out)
         return 0
 
-    if args.command in ("analyze", "summary", "verdict"):
-        from repro.core import CovidImpactStudy
-        from repro.io import load_feeds
+    if args.command == "cache":
+        return _run_cache(args, out)
 
-        study = CovidImpactStudy(_load(load_feeds, _resolve_rundir(args)))
+    if args.command in ("analyze", "summary", "verdict"):
+        rundir = _resolve_rundir(args)
+        cache = _open_cache(args, rundir)
         if args.command == "analyze":
-            print(study.report(), file=out)
-        elif args.command == "summary":
-            for key, value in study.summary().items():
+            print(_report_text(rundir, cache, full=False), file=out)
+            return 0
+        summary = _summary_values(rundir, cache)
+        if args.command == "summary":
+            for key, value in summary.items():
                 print(f"{key:<42} {value:>12.3f}", file=out)
         else:
             from repro.core.paper_targets import (
@@ -335,25 +375,96 @@ def _run_command(args: argparse.Namespace, out) -> int:
                 render_verdicts,
             )
 
-            print(
-                render_verdicts(evaluate_summary(study.summary())),
-                file=out,
-            )
+            print(render_verdicts(evaluate_summary(summary)), file=out)
         return 0
 
     if args.command == "report":
-        from repro.core import CovidImpactStudy
-        from repro.io import load_feeds
-
         rundir = _resolve_rundir(args, required=False)
         if rundir is not None:
-            study = CovidImpactStudy(_load(load_feeds, rundir))
+            cache = _open_cache(args, rundir)
+            print(_report_text(rundir, cache, full=False), file=out)
         else:
+            from repro.core import CovidImpactStudy
+
             study = CovidImpactStudy.run(_config_from_args(args))
-        print(study.report(), file=out)
+            print(study.report(), file=out)
         return 0
 
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _open_cache(args: argparse.Namespace, rundir):
+    """The run's artifact cache, or ``None`` (--no-cache, no digests)."""
+    if getattr(args, "no_cache", False):
+        return None
+    from repro.analysis.cache import ArtifactCache
+
+    return ArtifactCache.open(rundir)
+
+
+def _cached_study(rundir, cache):
+    from repro.core import CovidImpactStudy
+    from repro.io import load_feeds
+
+    return CovidImpactStudy(_load(load_feeds, rundir), cache=cache)
+
+
+def _report_text(rundir, cache, full: bool) -> str:
+    """The rendered report — from the cache alone when warm.
+
+    A cache hit skips ``load_feeds`` entirely: the artifact is keyed on
+    the manifest's feed digests, so nothing else needs to be read.
+    """
+    if cache is not None:
+        from repro.analysis.cache import report_params
+
+        text = cache.get("report", report_params(full))
+        if isinstance(text, str):
+            return text
+    return _cached_study(rundir, cache).report(full=full)
+
+
+def _summary_values(rundir, cache) -> dict:
+    """The headline-summary mapping — from the cache alone when warm."""
+    if cache is not None:
+        from repro.analysis.cache import summary_params
+
+        summary = cache.get("summary", summary_params())
+        if isinstance(summary, dict):
+            return summary
+    return _cached_study(rundir, cache).summary()
+
+
+def _run_cache(args: argparse.Namespace, out) -> int:
+    from pathlib import Path
+
+    from repro.analysis.cache import CACHE_SUBDIR, ArtifactCache
+
+    if args.info and args.clear:
+        raise _CliError(
+            "cache: --info and --clear are mutually exclusive", code=2
+        )
+    rundir = Path(args.rundir)
+    if not rundir.is_dir():
+        raise _CliError(
+            f"cache: run directory {rundir} does not exist", code=2
+        )
+    store = ArtifactCache(rundir / CACHE_SUBDIR, {})
+    info = store.info()
+    if args.clear:
+        store.clear()
+        print(
+            f"cleared {info['entries']} cached artifacts "
+            f"({info['bytes']} bytes) from {info['directory']}",
+            file=out,
+        )
+    else:
+        print(
+            f"{info['directory']}: {info['entries']} cached artifacts, "
+            f"{info['bytes']} bytes",
+            file=out,
+        )
+    return 0
 
 
 def _load(load_feeds, directory):

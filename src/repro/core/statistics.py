@@ -3,11 +3,23 @@
 The paper computes, for every user and every day, the time spent on
 each visited tower (keeping the top-20 towers), then the entropy and
 radius of gyration, then aggregates. :func:`compute_daily_metrics` does
-exactly that over the whole study window, vectorized per day.
+exactly that over the whole study window.
+
+The hot path is *batched*: instead of one kernel call per day, several
+days are flattened into a single ``(days × users, K)`` matrix and fed
+through the row-vectorized :func:`~repro.core.metrics.mobility_entropy`
+and :func:`~repro.core.metrics.radius_of_gyration` kernels in one call.
+Both kernels are strictly row-independent, so the batched results are
+bitwise identical to the historical per-day loop — which is kept,
+verbatim, behind ``REPRO_ANALYSIS_NAIVE=1`` as the differential oracle
+(the same pattern as ``REPRO_FRAMES_NAIVE`` for the frames kernels).
+The chunk size is capped so the flattened float64 work buffer stays
+small regardless of the study scale; ``batch_days`` overrides it.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -16,6 +28,17 @@ from repro.core.metrics import mobility_entropy, radius_of_gyration
 from repro.simulation.feeds import DataFeeds
 
 __all__ = ["MobilityDailyMetrics", "compute_daily_metrics", "top_tower_filter"]
+
+#: Peak size of the flattened float64 dwell buffer a batched
+#: :func:`compute_daily_metrics` call materializes at once.  The three
+#: companion matrices (sites, lats, lons) are tiled to the same shape,
+#: so the true peak is ~4x this figure.  Deliberately last-level-cache
+#: sized: the kernels stream the chunk several times, and measured
+#: sweeps show large flat buffers losing to cache-resident ones well
+#: before memory pressure is a concern — while days with few users
+#: still collapse into one call, which is where the per-call numpy
+#: overhead actually dominates.
+_BATCH_TARGET_BYTES = 1 * 1024 * 1024
 
 
 @dataclass
@@ -39,12 +62,28 @@ class MobilityDailyMetrics:
         return int(self.entropy.shape[1])
 
     def daily_mean(self, metric: str) -> np.ndarray:
-        """Across-user mean per day for ``metric`` (entropy/gyration)."""
-        return self._matrix(metric).mean(axis=1)
+        """Across-user mean per day for ``metric`` (entropy/gyration).
+
+        With no users at all the mean is undefined: the result is NaN
+        for every day (explicitly — no RuntimeWarning is emitted).
+        """
+        return self._masked_mean(self._matrix(metric))
 
     def daily_mean_subset(self, metric: str, mask: np.ndarray) -> np.ndarray:
-        """Across-user mean per day over a user subset."""
-        return self._matrix(metric)[:, mask].mean(axis=1)
+        """Across-user mean per day over a user subset.
+
+        A mask selecting zero users yields NaN per day, silently —
+        callers that filter empty groups up front keep their behavior,
+        and direct callers no longer trip numpy's mean-of-empty-slice
+        RuntimeWarning.
+        """
+        return self._masked_mean(self._matrix(metric)[:, mask])
+
+    @staticmethod
+    def _masked_mean(matrix: np.ndarray) -> np.ndarray:
+        if matrix.shape[1] == 0:
+            return np.full(matrix.shape[0], np.nan, dtype=matrix.dtype)
+        return matrix.mean(axis=1)
 
     def _matrix(self, metric: str) -> np.ndarray:
         if metric == "entropy":
@@ -54,24 +93,41 @@ class MobilityDailyMetrics:
         raise KeyError(f"unknown metric {metric!r}")
 
 
-def top_tower_filter(dwell: np.ndarray, top_towers: int) -> np.ndarray:
+def top_tower_filter(
+    dwell: np.ndarray, top_towers: int, out: np.ndarray | None = None
+) -> np.ndarray:
     """Zero all but each row's ``top_towers`` largest dwell entries.
 
     The paper keeps the top-20 towers per user (§2.3). With more anchor
     towers than the cut-off this selects the most-visited ones; with
-    fewer it is the identity. The result is always a fresh array —
-    never a view of or alias to ``dwell`` — so callers may mutate it
-    freely regardless of which branch was taken.
+    fewer it is the identity.
+
+    Without ``out`` the result is always a fresh array — never a view
+    of or alias to ``dwell`` — so callers may mutate it freely
+    regardless of which branch was taken.  With ``out`` (same shape as
+    ``dwell``; any float dtype ``dwell`` safely casts to) the values
+    are copied into the buffer and filtered in place, which lets the
+    daily-metrics loop pay one materialization per day instead of an
+    ``astype`` copy followed by an internal one.  ``out is dwell`` is
+    allowed and filters fully in place.
     """
     if top_towers <= 0:
         raise ValueError("top_towers must be positive")
     rows, k = dwell.shape
+    if out is None:
+        out = dwell.copy()
+    else:
+        if out.shape != dwell.shape:
+            raise ValueError(
+                f"out shape {out.shape} must match dwell shape {dwell.shape}"
+            )
+        if out is not dwell:
+            np.copyto(out, dwell, casting="same_kind")
     if k <= top_towers:
-        return dwell.copy()
+        return out
     # Indices of the (k - top) smallest entries per row → zeroed.
     cut = k - top_towers
-    smallest = np.argpartition(dwell, cut - 1, axis=1)[:, :cut]
-    out = dwell.copy()
+    smallest = np.argpartition(out, cut - 1, axis=1)[:, :cut]
     np.put_along_axis(out, smallest, 0.0, axis=1)
     return out
 
@@ -80,8 +136,80 @@ def compute_daily_metrics(
     feeds: DataFeeds,
     gyration_mode: str = "weighted",
     top_towers: int = 20,
+    batch_days: int | None = None,
 ) -> MobilityDailyMetrics:
-    """Compute entropy and gyration for every user and study day."""
+    """Compute entropy and gyration for every user and study day.
+
+    ``batch_days`` sets how many days are flattened into one kernel
+    call (default: sized so the float64 work buffer stays under
+    ~16 MB; ``1`` degenerates to a day-at-a-time loop).  All batch
+    sizes — and the historical per-day loop selected by
+    ``REPRO_ANALYSIS_NAIVE=1`` — produce bitwise-identical results.
+    """
+    if os.environ.get("REPRO_ANALYSIS_NAIVE") == "1":
+        return _compute_daily_metrics_loop(feeds, gyration_mode, top_towers)
+
+    mobility = feeds.mobility
+    site_lats, site_lons = feeds.site_locations()
+    anchor_sites = mobility.anchor_sites
+    lats = site_lats[anchor_sites]
+    lons = site_lons[anchor_sites]
+
+    num_days = mobility.num_days
+    num_users = mobility.num_users
+    entropy = np.empty((num_days, num_users), dtype=np.float32)
+    gyration = np.empty((num_days, num_users), dtype=np.float32)
+    if num_days == 0 or num_users == 0:
+        return MobilityDailyMetrics(
+            user_ids=mobility.user_ids,
+            entropy=entropy,
+            gyration_km=gyration,
+        )
+
+    k = anchor_sites.shape[1]
+    if batch_days is None:
+        per_day = max(num_users * k * 8, 1)
+        batch_days = max(1, _BATCH_TARGET_BYTES // per_day)
+    batch_days = max(1, min(int(batch_days), num_days))
+
+    # One flattened work buffer, reused across chunks; the companion
+    # matrices tile once to the largest chunk and are sliced after.
+    buffer = np.empty((batch_days * num_users, k), dtype=np.float64)
+    tiled_sites = np.tile(anchor_sites, (batch_days, 1))
+    tiled_lats = np.tile(lats, (batch_days, 1))
+    tiled_lons = np.tile(lons, (batch_days, 1))
+
+    for start in range(0, num_days, batch_days):
+        stop = min(start + batch_days, num_days)
+        rows = (stop - start) * num_users
+        chunk = buffer[:rows]
+        for offset, day in enumerate(range(start, stop)):
+            np.copyto(
+                chunk[offset * num_users:(offset + 1) * num_users],
+                mobility.dwell(day),
+                casting="same_kind",
+            )
+        top_tower_filter(chunk, top_towers, out=chunk)
+        entropy[start:stop] = mobility_entropy(
+            chunk, tiled_sites[:rows]
+        ).reshape(stop - start, num_users)
+        gyration[start:stop] = radius_of_gyration(
+            chunk,
+            tiled_lats[:rows],
+            tiled_lons[:rows],
+            mode=gyration_mode,
+        ).reshape(stop - start, num_users)
+    return MobilityDailyMetrics(
+        user_ids=mobility.user_ids,
+        entropy=entropy,
+        gyration_km=gyration,
+    )
+
+
+def _compute_daily_metrics_loop(
+    feeds: DataFeeds, gyration_mode: str, top_towers: int
+) -> MobilityDailyMetrics:
+    """The historical day-at-a-time path, kept as the differential oracle."""
     mobility = feeds.mobility
     site_lats, site_lons = feeds.site_locations()
     anchor_sites = mobility.anchor_sites

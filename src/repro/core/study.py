@@ -5,17 +5,36 @@ one method per paper artifact — ``fig2()`` through ``fig12()``,
 ``table1()``, the §2.4 RAT shares and the §4.4 correlations — plus a
 ``summary()`` of every headline number and a printable ``report()``.
 
-All results are computed lazily and cached, so a study object can be
-shared across figures without recomputation.
+All results are computed lazily and cached in memory, so a study object
+can be shared across figures without recomputation.  Two further layers
+make repeated analysis cheap:
+
+- **Persistent artifacts** — given an
+  :class:`~repro.analysis.cache.ArtifactCache` (attached automatically
+  by :meth:`repro.api.Run.study` and the CLI for persisted runs), every
+  intermediate and figure payload is fetched from / stored into the
+  run's content-addressed ``cache/analysis/`` store, so a second
+  process never recomputes what the first already produced.  Cached and
+  fresh results are bitwise identical; without a cache the cost is one
+  ``None`` check per artifact.
+- **Parallel fan-out** — ``summary()`` and ``report()`` compute the
+  independent figure chains across a thread pool (the kernels are
+  numpy-bound and release the GIL).  The fan-out is skipped while
+  telemetry is enabled, because span paths nest by call order and a
+  profile interleaved across threads would be unreadable; results are
+  identical either way, each artifact is computed exactly once.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from functools import cache, cached_property
 
 import numpy as np
 
 from repro import telemetry
+from repro.analysis.cache import report_params, summary_params
 from repro.core.correlation import (
     EntropyCasesResult,
     cluster_users_volume_correlation,
@@ -49,13 +68,40 @@ __all__ = ["CovidImpactStudy"]
 
 
 class CovidImpactStudy:
-    """Reproduce the paper's evaluation on a data-feeds bundle."""
+    """Reproduce the paper's evaluation on a data-feeds bundle.
+
+    Parameters
+    ----------
+    feeds:
+        The data feeds to analyze.
+    gyration_mode:
+        Passed through to :func:`~repro.core.statistics.
+        compute_daily_metrics`.
+    cache:
+        An :class:`~repro.analysis.cache.ArtifactCache` to fetch/store
+        every artifact through, or ``None`` (the default) for purely
+        in-memory computation.
+    parallel:
+        Allow ``summary()``/``report()`` to fan the independent figure
+        chains out across threads (default).  ``False`` forces the
+        serial order.
+    """
 
     def __init__(
-        self, feeds: DataFeeds, gyration_mode: str = "weighted"
+        self,
+        feeds: DataFeeds,
+        gyration_mode: str = "weighted",
+        *,
+        cache: "object | None" = None,
+        parallel: bool = True,
     ) -> None:
         self._feeds = feeds
         self._gyration_mode = gyration_mode
+        self._cache = cache
+        self._parallel = parallel
+        # Highest fan-out level already run: 0 none, 1 summary-level
+        # artifacts, 2 the full-report set.
+        self._materialized = 0
 
     @classmethod
     def run(
@@ -73,6 +119,20 @@ class CovidImpactStudy:
     def feeds(self) -> DataFeeds:
         return self._feeds
 
+    @property
+    def artifact_cache(self):
+        """The attached artifact cache (``None`` when uncached)."""
+        return self._cache
+
+    def _artifact(self, name: str, params: dict, compute):
+        """Route one artifact through the persistent cache, if any."""
+        if self._cache is None:
+            return compute()
+        return self._cache.get_or_compute(name, params, compute)
+
+    def _mobility_params(self) -> dict:
+        return {"gyration_mode": self._gyration_mode}
+
     # -- shared intermediates ------------------------------------------------
     # Each stage runs under a telemetry span (recorded only while
     # repro.telemetry is enabled). Spans fire on first computation —
@@ -83,8 +143,12 @@ class CovidImpactStudy:
     def metrics(self) -> MobilityDailyMetrics:
         """Per-user-day entropy/gyration over the whole window."""
         with telemetry.span("metrics") as sp:
-            result = compute_daily_metrics(
-                self._feeds, gyration_mode=self._gyration_mode
+            result = self._artifact(
+                "metrics",
+                self._mobility_params(),
+                lambda: compute_daily_metrics(
+                    self._feeds, gyration_mode=self._gyration_mode
+                ),
             )
             sp.add(
                 "user_days",
@@ -95,12 +159,16 @@ class CovidImpactStudy:
     @cached_property
     def homes(self) -> HomeDetectionResult:
         with telemetry.span("home_detection"):
-            return detect_homes(self._feeds)
+            return self._artifact(
+                "homes", {}, lambda: detect_homes(self._feeds)
+            )
 
     @cached_property
     def labeled_kpis(self):
         with telemetry.span("label_kpis"):
-            return label_kpis(self._feeds)
+            return self._artifact(
+                "labeled_kpis", {}, lambda: label_kpis(self._feeds)
+            )
 
     # -- paper artifacts ------------------------------------------------------
     def table1(self) -> list[tuple[str, str]]:
@@ -111,109 +179,169 @@ class CovidImpactStudy:
     def fig2(self) -> HomeValidation:
         """Fig 2: inferred vs census LAD populations."""
         with telemetry.span("fig2"):
-            return validate_against_census(self._feeds, self.homes)
+            return self._artifact(
+                "fig2",
+                {},
+                lambda: validate_against_census(self._feeds, self.homes),
+            )
 
     @cached_property
     def _fig3(self) -> dict[str, MobilitySeries]:
         with telemetry.span("fig3"):
-            return national_mobility(self.metrics, self._feeds)
+            return self._artifact(
+                "fig3",
+                self._mobility_params(),
+                lambda: national_mobility(self.metrics, self._feeds),
+            )
 
     def fig3(self) -> dict[str, MobilitySeries]:
         """Fig 3: national daily gyration/entropy change."""
         return self._fig3
 
+    @cache
     def fig4(self) -> EntropyCasesResult:
         """Fig 4: entropy change vs cumulative confirmed cases."""
         with telemetry.span("fig4"):
-            return entropy_cases_correlation(self._fig3, self._feeds)
+            return self._artifact(
+                "fig4",
+                self._mobility_params(),
+                lambda: entropy_cases_correlation(self._fig3, self._feeds),
+            )
 
     @cache
     def fig5(self) -> dict[str, MobilitySeries]:
         """Fig 5: regional mobility (five high-density regions)."""
         with telemetry.span("fig5"):
-            return regional_mobility(self.metrics, self._feeds)
+            return self._artifact(
+                "fig5",
+                self._mobility_params(),
+                lambda: regional_mobility(self.metrics, self._feeds),
+            )
 
     @cache
     def fig6(self) -> dict[str, MobilitySeries]:
         """Fig 6: mobility per geodemographic cluster."""
         with telemetry.span("fig6"):
-            return geodemographic_mobility(self.metrics, self._feeds)
+            return self._artifact(
+                "fig6",
+                self._mobility_params(),
+                lambda: geodemographic_mobility(self.metrics, self._feeds),
+            )
 
     @cache
     def fig7(self) -> RelocationMatrix:
         """Fig 7: the Inner-London relocation mobility matrix."""
         with telemetry.span("fig7"):
-            return relocation_matrix(self._feeds, self.homes)
+            return self._artifact(
+                "fig7",
+                {},
+                lambda: relocation_matrix(self._feeds, self.homes),
+            )
 
     @cache
     def fig8(self) -> dict[str, WeeklySeries]:
         """Fig 8: UK + regional series for every data-traffic KPI."""
         with telemetry.span("fig8"):
-            return {
-                metric: performance_series(
-                    self._feeds, metric, grouping="county",
-                    labeled=self.labeled_kpis,
-                )
-                for metric in PERF_METRICS
-            }
+            return self._artifact(
+                "fig8", {"percentile": 50.0}, self._fig8_fresh
+            )
+
+    def _fig8_fresh(self) -> dict[str, WeeklySeries]:
+        return {
+            metric: performance_series(
+                self._feeds, metric, grouping="county",
+                labeled=self.labeled_kpis,
+            )
+            for metric in PERF_METRICS
+        }
 
     @cache
     def fig9(self) -> dict[str, WeeklySeries]:
         """Fig 9: national voice-traffic series (QCI = 1)."""
         with telemetry.span("fig9"):
-            return voice_series(self._feeds, labeled=self.labeled_kpis)
+            return self._artifact(
+                "fig9",
+                {"percentile": 50.0},
+                lambda: voice_series(
+                    self._feeds, labeled=self.labeled_kpis
+                ),
+            )
 
     @cache
     def fig10(self) -> dict[str, WeeklySeries]:
         """Fig 10: network performance per geodemographic cluster."""
         with telemetry.span("fig10"):
-            return {
-                metric: performance_series(
-                    self._feeds, metric, grouping="oac",
-                    labeled=self.labeled_kpis,
-                )
-                for metric in PERF_METRICS
-            }
+            return self._artifact(
+                "fig10", {"percentile": 50.0}, self._fig10_fresh
+            )
+
+    def _fig10_fresh(self) -> dict[str, WeeklySeries]:
+        return {
+            metric: performance_series(
+                self._feeds, metric, grouping="oac",
+                labeled=self.labeled_kpis,
+            )
+            for metric in PERF_METRICS
+        }
 
     @cache
     def fig11(self) -> dict[str, WeeklySeries]:
         """Fig 11: Inner-London postal-district network performance."""
         with telemetry.span("fig11"):
-            return {
-                metric: performance_series(
-                    self._feeds, metric, grouping="district_area",
-                    restrict_county="Inner London",
-                    labeled=self.labeled_kpis,
-                )
-                for metric in PERF_METRICS
-            }
+            return self._artifact(
+                "fig11", {"percentile": 50.0}, self._fig11_fresh
+            )
+
+    def _fig11_fresh(self) -> dict[str, WeeklySeries]:
+        return {
+            metric: performance_series(
+                self._feeds, metric, grouping="district_area",
+                restrict_county="Inner London",
+                labeled=self.labeled_kpis,
+            )
+            for metric in PERF_METRICS
+        }
 
     @cache
     def fig12(self) -> dict[str, WeeklySeries]:
         """Fig 12: London network performance per OAC cluster."""
         with telemetry.span("fig12"):
-            return {
-                metric: performance_series(
-                    self._feeds, metric, grouping="oac",
-                    restrict_county="Inner London",
-                    labeled=self.labeled_kpis,
-                )
-                for metric in PERF_METRICS
-            }
+            return self._artifact(
+                "fig12", {"percentile": 50.0}, self._fig12_fresh
+            )
+
+    def _fig12_fresh(self) -> dict[str, WeeklySeries]:
+        return {
+            metric: performance_series(
+                self._feeds, metric, grouping="oac",
+                restrict_county="Inner London",
+                labeled=self.labeled_kpis,
+            )
+            for metric in PERF_METRICS
+        }
 
     @cache
     def rat_share(self) -> dict[str, float]:
         """§2.4: connected-time share per RAT."""
         with telemetry.span("rat_share"):
-            return rat_time_share(self._feeds.rat_time)
+            return self._artifact(
+                "rat_share",
+                {},
+                lambda: rat_time_share(self._feeds.rat_time),
+            )
 
     @cache
     def cluster_correlations(self) -> dict[str, float]:
         """§4.4: users-vs-DL-volume correlation per cluster."""
         with telemetry.span("cluster_correlations"):
-            fig10 = self.fig10()
-            return cluster_users_volume_correlation(
-                fig10["connected_users"], fig10["dl_volume_mb"]
+            def fresh() -> dict[str, float]:
+                fig10 = self.fig10()
+                return cluster_users_volume_correlation(
+                    fig10["connected_users"], fig10["dl_volume_mb"]
+                )
+
+            return self._artifact(
+                "cluster_correlations", {"percentile": 50.0}, fresh
             )
 
     def verdicts(self):
@@ -237,10 +365,59 @@ class CovidImpactStudy:
             series.values["UK"], series.x, self._feeds.calendar
         )
 
+    # -- parallel fan-out -----------------------------------------------------
+    def _materialize_artifacts(self, full: bool) -> None:
+        """Compute the independent artifact chains across a thread pool.
+
+        Each chain is one task, ordered so every artifact is computed
+        exactly once (``fig4`` rides with ``fig3``, the cluster
+        correlations with ``fig10``); the shared intermediates are
+        forced first on the calling thread.  Skipped — falling back to
+        the identical serial order — when ``parallel=False``, when the
+        host has a single CPU, or while telemetry is enabled (span
+        paths nest by call order).
+        """
+        level = 2 if full else 1
+        if self._materialized >= level:
+            return
+        if not self._parallel or telemetry.enabled():
+            return
+        workers = os.cpu_count() or 1
+        if workers <= 1:
+            return
+        _ = (self.metrics, self.homes, self.labeled_kpis)
+        chains = [
+            self.fig2,
+            lambda: (self.fig3(), self.fig4()),
+            self.fig7,
+            self.fig8,
+            self.fig9,
+            lambda: (self.fig10(), self.cluster_correlations()),
+            self.fig11,
+            self.rat_share,
+        ]
+        if full:
+            chains += [self.fig5, self.fig6, self.fig12]
+        with ThreadPoolExecutor(
+            max_workers=min(len(chains), workers)
+        ) as pool:
+            for future in [pool.submit(chain) for chain in chains]:
+                future.result()
+        self._materialized = level
+
     # -- headline numbers -----------------------------------------------------
     @telemetry.timed("summary")
     def summary(self) -> dict[str, float]:
         """Every takeaway number of the paper, measured on this run."""
+        def fresh() -> dict[str, float]:
+            self._materialize_artifacts(full=False)
+            return self._summary_fresh()
+
+        return self._artifact(
+            "summary", summary_params(self._gyration_mode), fresh
+        )
+
+    def _summary_fresh(self) -> dict[str, float]:
         feeds = self._feeds
         weeks_of_day = feeds.calendar.weeks[
             np.flatnonzero(feeds.calendar.weeks >= BASELINE_WEEK)
@@ -365,6 +542,15 @@ class CovidImpactStudy:
         the headline summary; ``full=True`` adds the Fig 2/4 scatters
         and the regional/cluster/London panels (5, 6, 10, 11, 12).
         """
+        def fresh() -> str:
+            self._materialize_artifacts(full=full)
+            return self._report_fresh(full)
+
+        return self._artifact(
+            "report", report_params(full, self._gyration_mode), fresh
+        )
+
+    def _report_fresh(self, full: bool) -> str:
         from repro.core.baseline import weekly_mean
         from repro.core.report import scatter_plot
 

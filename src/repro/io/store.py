@@ -25,6 +25,7 @@ message pointing at ``--resume``.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import pickle
 from pathlib import Path
@@ -45,6 +46,20 @@ _RAT = "rat_time.csv"
 _MOBILITY = "mobility.npz"
 
 _MOBILITY_KEYS = ("user_ids", "anchor_sites", "daily_dwell", "night_dwell")
+
+#: Files whose SHA-256 payload digests are recorded in the manifest at
+#: save time and verified on load.  The analysis artifact cache keys on
+#: these digests (config.pkl included: the world — geography, topology,
+#: calendar — is rebuilt from it, so it co-determines every artifact).
+_DIGESTED_FILES = (_KPIS, _RAT, _MOBILITY, _CONFIG)
+
+
+def _sha256_file(path: Path) -> str:
+    sha = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            sha.update(block)
+    return sha.hexdigest()
 
 
 class RunStoreError(ValueError):
@@ -88,6 +103,9 @@ def save_feeds(feeds: DataFeeds, directory: str | Path) -> Path:
         from repro.simulation.sharding import parallelism_of
 
         parallelism = parallelism_of(feeds.config)
+        digests = {
+            name: _sha256_file(path / name) for name in _DIGESTED_FILES
+        }
         manifest = {
             "format_version": 1,
             "num_users": int(mobility.num_users),
@@ -103,7 +121,12 @@ def save_feeds(feeds: DataFeeds, directory: str | Path) -> Path:
                 "num_shards": parallelism.num_shards,
                 "workers": parallelism.workers,
             },
+            # Content addresses of the persisted feed payloads: the
+            # inputs of every analysis-cache key, and the integrity
+            # reference load_feeds verifies files against.
+            "feeds_sha256": digests,
         }
+        feeds.source_digests = digests
         # Telemetry captured while the run simulated travels with the
         # run: a snapshot is plain JSON data, so it lands verbatim in
         # the manifest and round-trips through load_feeds.
@@ -230,6 +253,7 @@ def load_feeds(directory: str | Path) -> DataFeeds:
             f"run directory {path} does not exist", path=path
         )
     manifest = _read_manifest(path)
+    digests = _verify_digests(path, manifest)
     config = _read_config(path)
 
     from repro.simulation.engine import build_world
@@ -269,4 +293,33 @@ def load_feeds(directory: str | Path) -> DataFeeds:
         ),
         config=config,
         telemetry=manifest.get("telemetry"),
+        source_digests=digests,
     )
+
+
+def _verify_digests(path: Path, manifest: dict) -> dict | None:
+    """Check every digested feed file against the manifest's record.
+
+    Returns the digest map (``None`` for runs saved before digests were
+    recorded — those load fine, they just cannot feed the analysis
+    cache).  A file whose bytes no longer hash to the recorded digest
+    raises :class:`RunStoreError` naming it; a *missing* file is left
+    for its reader to report precisely.
+    """
+    digests = manifest.get("feeds_sha256")
+    if not isinstance(digests, dict) or not digests:
+        return None
+    for name, expected in sorted(digests.items()):
+        file_path = path / name
+        if not file_path.exists():
+            continue
+        actual = _sha256_file(file_path)
+        if actual != expected:
+            raise RunStoreError(
+                f"feed {file_path} does not match the digest recorded in "
+                f"its manifest (expected sha256 {expected[:12]}…, found "
+                f"{actual[:12]}…); the file was modified or corrupted "
+                "after the run was saved",
+                path=file_path,
+            )
+    return {str(name): str(value) for name, value in digests.items()}

@@ -85,6 +85,10 @@ class DataFeeds:
     # Telemetry snapshot of the producing run (set by the engine when
     # repro.telemetry is enabled; persisted into manifest.json).
     telemetry: dict | None = None
+    # Per-feed SHA-256 payload digests, as recorded in (or verified
+    # against) manifest.json by repro.io.store.  The analysis cache
+    # keys artifacts on them; None for bundles that never touched disk.
+    source_digests: dict | None = None
 
     @property
     def num_users(self) -> int:

@@ -1,0 +1,147 @@
+"""Batched daily-metrics path vs the per-day oracle, bitwise.
+
+``compute_daily_metrics`` flattens several days into one kernel call;
+the historical day-at-a-time loop survives behind
+``REPRO_ANALYSIS_NAIVE=1`` as the differential oracle.  Because the
+kernels are strictly row-independent, every batch size must reproduce
+the loop *bitwise* — not approximately.  Also covers the ``out=``
+buffer contract of :func:`top_tower_filter` and the empty-mask NaN
+behavior of the aggregate means.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.statistics import (
+    MobilityDailyMetrics,
+    _compute_daily_metrics_loop,
+    compute_daily_metrics,
+    top_tower_filter,
+)
+
+
+@pytest.fixture(scope="module")
+def oracle(feeds):
+    return _compute_daily_metrics_loop(feeds, "weighted", 20)
+
+
+def assert_bitwise(actual: MobilityDailyMetrics, expected: MobilityDailyMetrics):
+    assert actual.entropy.dtype == expected.entropy.dtype
+    assert np.array_equal(actual.entropy, expected.entropy)
+    assert np.array_equal(actual.gyration_km, expected.gyration_km)
+    assert np.array_equal(actual.user_ids, expected.user_ids)
+
+
+class TestBatchedEqualsLoop:
+    @pytest.mark.parametrize("batch_days", [1, 3, 17, None])
+    def test_bitwise_across_batch_sizes(self, feeds, oracle, batch_days):
+        batched = compute_daily_metrics(feeds, batch_days=batch_days)
+        assert_bitwise(batched, oracle)
+
+    def test_paper_gyration_mode(self, feeds):
+        batched = compute_daily_metrics(feeds, gyration_mode="paper")
+        loop = _compute_daily_metrics_loop(feeds, "paper", 20)
+        assert_bitwise(batched, loop)
+
+    def test_oversized_batch_clamps_to_study(self, feeds, oracle):
+        batched = compute_daily_metrics(feeds, batch_days=10_000)
+        assert_bitwise(batched, oracle)
+
+    def test_naive_env_gate_selects_the_loop(self, feeds, oracle, monkeypatch):
+        monkeypatch.setenv("REPRO_ANALYSIS_NAIVE", "1")
+        assert_bitwise(compute_daily_metrics(feeds), oracle)
+
+    def test_tight_top_towers_cut(self, feeds):
+        # Exercise the argpartition branch: a cut below the anchor
+        # count zeroes entries in both paths identically.
+        k = feeds.mobility.anchor_sites.shape[1]
+        cut = max(1, k - 2)
+        batched = compute_daily_metrics(feeds, top_towers=cut, batch_days=5)
+        loop = _compute_daily_metrics_loop(feeds, "weighted", cut)
+        assert_bitwise(batched, loop)
+
+
+class TestTopTowerFilterOut:
+    def setup_method(self):
+        rng = np.random.default_rng(7)
+        self.dwell = rng.random((50, 12)) * 3600.0
+
+    def test_out_buffer_matches_copy(self):
+        before = self.dwell.copy()
+        expected = top_tower_filter(self.dwell, 5)
+        out = np.empty_like(self.dwell)
+        result = top_tower_filter(self.dwell, 5, out=out)
+        assert result is out
+        assert np.array_equal(out, expected)
+        assert np.array_equal(self.dwell, before)  # input untouched
+
+    def test_in_place_filtering(self):
+        expected = top_tower_filter(self.dwell, 5)
+        buffer = self.dwell.copy()
+        result = top_tower_filter(buffer, 5, out=buffer)
+        assert result is buffer
+        assert np.array_equal(buffer, expected)
+
+    def test_identity_cut_still_copies_into_out(self):
+        out = np.zeros_like(self.dwell)
+        result = top_tower_filter(self.dwell, 50, out=out)
+        assert result is out
+        assert np.array_equal(out, self.dwell)
+
+    def test_without_out_returns_fresh_array(self):
+        result = top_tower_filter(self.dwell, 50)
+        assert result is not self.dwell
+        result[:] = 0.0
+        assert (self.dwell > 0).all()
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            top_tower_filter(self.dwell, 5, out=np.empty((50, 11)))
+
+    def test_nonpositive_cut_rejected(self):
+        with pytest.raises(ValueError, match="top_towers"):
+            top_tower_filter(self.dwell, 0)
+
+
+class TestEmptyMaskMeans:
+    @pytest.fixture
+    def metrics(self):
+        rng = np.random.default_rng(3)
+        return MobilityDailyMetrics(
+            user_ids=np.arange(6),
+            entropy=rng.random((4, 6)).astype(np.float32),
+            gyration_km=rng.random((4, 6)).astype(np.float32),
+        )
+
+    def test_empty_mask_is_nan_without_warning(self, metrics):
+        mask = np.zeros(6, dtype=bool)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            means = metrics.daily_mean_subset("entropy", mask)
+        assert means.shape == (4,)
+        assert np.isnan(means).all()
+
+    def test_zero_user_study_daily_mean(self):
+        empty = MobilityDailyMetrics(
+            user_ids=np.empty(0, dtype=np.int64),
+            entropy=np.empty((4, 0), dtype=np.float32),
+            gyration_km=np.empty((4, 0), dtype=np.float32),
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            means = empty.daily_mean("gyration")
+        assert np.isnan(means).all()
+        assert means.dtype == np.float32
+
+    def test_nonempty_mask_unchanged(self, metrics):
+        mask = np.array([True, False, True, False, False, False])
+        expected = metrics.entropy[:, mask].mean(axis=1)
+        assert np.array_equal(
+            metrics.daily_mean_subset("entropy", mask), expected
+        )
+
+    def test_unknown_metric_rejected(self, metrics):
+        with pytest.raises(KeyError):
+            metrics.daily_mean("speed")

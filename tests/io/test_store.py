@@ -167,6 +167,14 @@ class TestPreciseErrors:
             load_feeds(saved)
 
     def test_mobility_missing_arrays(self, saved):
+        # Strip the recorded digests (an old-format manifest) so the
+        # rewritten archive reaches the reader's own diagnosis instead
+        # of the integrity check.
+        import json
+
+        manifest = json.loads((saved / "manifest.json").read_text())
+        del manifest["feeds_sha256"]
+        (saved / "manifest.json").write_text(json.dumps(manifest))
         np.savez(saved / "mobility.npz", user_ids=np.arange(3))
         with pytest.raises(RunStoreError, match="anchor_sites"):
             load_feeds(saved)
@@ -190,3 +198,54 @@ class TestPreciseErrors:
         with pytest.raises(RunStoreError) as excinfo:
             load_feeds(saved)
         assert excinfo.value.path == saved / "rat_time.csv"
+
+
+class TestFeedDigests:
+    """save_feeds records per-feed SHA-256; load_feeds verifies them."""
+
+    FILES = ("radio_kpis.csv", "rat_time.csv", "mobility.npz", "config.pkl")
+
+    @pytest.fixture
+    def saved(self, run_feeds, tmp_path):
+        return save_feeds(run_feeds, tmp_path / "run")
+
+    def test_manifest_records_every_feed(self, saved):
+        import hashlib
+        import json
+
+        digests = json.loads(
+            (saved / "manifest.json").read_text()
+        )["feeds_sha256"]
+        assert sorted(digests) == sorted(self.FILES)
+        for name, recorded in digests.items():
+            actual = hashlib.sha256(
+                (saved / name).read_bytes()
+            ).hexdigest()
+            assert recorded == actual
+
+    def test_feeds_carry_their_digests(self, run_feeds, saved):
+        import json
+
+        assert run_feeds.source_digests == json.loads(
+            (saved / "manifest.json").read_text()
+        )["feeds_sha256"]
+        assert load_feeds(saved).source_digests == run_feeds.source_digests
+
+    @pytest.mark.parametrize(
+        "name", ["radio_kpis.csv", "rat_time.csv", "config.pkl"]
+    )
+    def test_tampered_feed_is_refused(self, saved, name):
+        with open(saved / name, "ab") as handle:
+            handle.write(b" ")
+        with pytest.raises(RunStoreError, match="digest") as excinfo:
+            load_feeds(saved)
+        assert excinfo.value.path == saved / name
+
+    def test_digestless_manifest_still_loads(self, saved):
+        import json
+
+        manifest = json.loads((saved / "manifest.json").read_text())
+        del manifest["feeds_sha256"]
+        (saved / "manifest.json").write_text(json.dumps(manifest))
+        feeds = load_feeds(saved)
+        assert feeds.source_digests is None

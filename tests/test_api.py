@@ -86,6 +86,42 @@ class TestRunHandle:
         assert api.load(rundir).directory == rundir
 
 
+class TestStudyCache:
+    """study() auto-attaches the run's artifact cache when persisted."""
+
+    def test_persisted_run_attaches_and_populates(self, tmp_path):
+        from repro.analysis.cache import CACHE_SUBDIR, ArtifactCache
+
+        rundir = tmp_path / "run"
+        run = api.simulate(_config(), out=rundir)
+        study = run.study()
+        assert study.artifact_cache is not None
+        assert study.artifact_cache.directory == rundir / CACHE_SUBDIR
+
+        metrics = study.metrics  # computes and persists the artifact
+        store = ArtifactCache.open(rundir)
+        cached = store.get("metrics", {"gyration_mode": "weighted"})
+        assert cached is not None
+        assert np.array_equal(cached.entropy, metrics.entropy)
+        assert np.array_equal(cached.gyration_km, metrics.gyration_km)
+
+        # A second process (fresh load) serves the same bytes back.
+        warm = api.Run.load(rundir).study().metrics
+        assert np.array_equal(warm.entropy, metrics.entropy)
+
+    def test_cache_false_runs_in_memory(self, tmp_path):
+        rundir = tmp_path / "run"
+        run = api.simulate(_config(), out=rundir)
+        study = run.study(cache=False)
+        _ = study.metrics
+        assert study.artifact_cache is None
+        assert not (rundir / "cache").exists()
+
+    def test_in_memory_run_has_no_cache(self):
+        run = api.simulate(_config())
+        assert run.study().artifact_cache is None
+
+
 class TestResume:
     def _interrupt(self, rundir):
         with pytest.raises(ShardExecutionError):

@@ -92,6 +92,110 @@ class TestCommands:
         assert "Headline numbers" in out.getvalue()
 
 
+class TestAnalysisCache:
+    """The persistent artifact cache behind analyze/summary/report."""
+
+    @pytest.fixture(scope="class")
+    def run_dir(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cache") / "run"
+        out = io.StringIO()
+        assert main(
+            [
+                "simulate", "--preset", "tiny", "--seed", "17",
+                "--users", "600", "--out", str(path),
+            ],
+            out=out,
+        ) == 0
+        return path
+
+    @staticmethod
+    def _run(argv):
+        out = io.StringIO()
+        code = main(argv, out=out)
+        return code, out.getvalue()
+
+    def test_warm_analyze_is_byte_identical_without_feeds(
+        self, run_dir, monkeypatch
+    ):
+        code, cold = self._run(["analyze", str(run_dir)])
+        assert code == 0
+        assert (run_dir / "cache" / "analysis").is_dir()
+
+        # Warm: the report comes straight from the cache — loading the
+        # feeds at all would be a bug, so make it one.
+        def refuse(directory):
+            raise AssertionError("warm analyze must not load feeds")
+
+        monkeypatch.setattr("repro.io.load_feeds", refuse)
+        code, warm = self._run(["analyze", str(run_dir)])
+        assert code == 0
+        assert warm == cold
+
+    def test_warm_summary_and_verdict(self, run_dir, monkeypatch):
+        code, cold = self._run(["summary", str(run_dir)])
+        assert code == 0
+        monkeypatch.setattr(
+            "repro.io.load_feeds",
+            lambda directory: (_ for _ in ()).throw(AssertionError()),
+        )
+        code, warm = self._run(["summary", str(run_dir)])
+        assert code == 0
+        assert warm == cold
+        code, verdict = self._run(["verdict", str(run_dir)])
+        assert code == 0
+        assert "targets inside the band" in verdict
+
+    def test_no_cache_flag_matches_and_writes_nothing(self, run_dir):
+        import shutil
+
+        code, cached = self._run(["analyze", str(run_dir)])
+        assert code == 0
+        shutil.rmtree(run_dir / "cache")
+        code, fresh = self._run(["analyze", str(run_dir), "--no-cache"])
+        assert code == 0
+        assert fresh == cached
+        assert not (run_dir / "cache").exists()
+
+    def test_cache_info_and_clear(self, run_dir):
+        code, _ = self._run(["summary", str(run_dir)])
+        assert code == 0
+        code, text = self._run(["cache", str(run_dir), "--info"])
+        assert code == 0
+        assert "cached artifacts" in text
+        assert str(run_dir / "cache" / "analysis") in text
+
+        code, text = self._run(["cache", str(run_dir), "--clear"])
+        assert code == 0
+        assert "cleared" in text
+        assert not (run_dir / "cache" / "analysis").exists()
+
+        # Default (no flag) reports info; an empty store reads as zero.
+        code, text = self._run(["cache", str(run_dir)])
+        assert code == 0
+        assert "0 cached artifacts" in text
+
+    def test_cache_flags_mutually_exclusive(self, run_dir):
+        code, text = self._run(
+            ["cache", str(run_dir), "--info", "--clear"]
+        )
+        assert code == 2
+
+    def test_cache_on_a_non_run_dir(self, tmp_path):
+        code, text = self._run(["cache", str(tmp_path / "nope")])
+        assert code == 2
+        assert "Traceback" not in text
+
+    def test_corrupt_entry_recovers_identically(self, run_dir):
+        code, cold = self._run(["summary", str(run_dir)])
+        assert code == 0
+        store = run_dir / "cache" / "analysis"
+        for entry in store.glob("*.npz"):
+            entry.write_bytes(b"\x00" * 48)
+        code, recovered = self._run(["summary", str(run_dir)])
+        assert code == 0
+        assert recovered == cold
+
+
 class TestFeedsAlias:
     """--feeds still works everywhere, but deprecated and warning."""
 

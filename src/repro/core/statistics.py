@@ -40,6 +40,14 @@ __all__ = ["MobilityDailyMetrics", "compute_daily_metrics", "top_tower_filter"]
 #: overhead actually dominates.
 _BATCH_TARGET_BYTES = 1 * 1024 * 1024
 
+#: Minimum automatic batch size worth flattening for.  When fewer than
+#: this many days fit the cache budget, a single day is already a large
+#: kernel call — the per-call numpy overhead the batching amortizes is
+#: negligible, and the flatten/tile work makes the batch path a
+#: measured ~0.8–0.9x *loss* (see ``benchmarks/results/analysis.json``).
+#: Small populations, where batching wins up to ~3x, stay batched.
+_MIN_AUTO_BATCH_DAYS = 16
+
 
 @dataclass
 class MobilityDailyMetrics:
@@ -141,10 +149,13 @@ def compute_daily_metrics(
     """Compute entropy and gyration for every user and study day.
 
     ``batch_days`` sets how many days are flattened into one kernel
-    call (default: sized so the float64 work buffer stays under
-    ~16 MB; ``1`` degenerates to a day-at-a-time loop).  All batch
-    sizes — and the historical per-day loop selected by
-    ``REPRO_ANALYSIS_NAIVE=1`` — produce bitwise-identical results.
+    call (``1`` degenerates to a day-at-a-time loop).  Left unset, the
+    batch is sized to the cache budget — and if fewer than
+    ``_MIN_AUTO_BATCH_DAYS`` days fit, the population is large enough
+    that batching is a measured loss and the per-day loop serves the
+    call instead.  All batch sizes — and the historical per-day loop
+    selected by ``REPRO_ANALYSIS_NAIVE=1`` — produce bitwise-identical
+    results.
     """
     if os.environ.get("REPRO_ANALYSIS_NAIVE") == "1":
         return _compute_daily_metrics_loop(feeds, gyration_mode, top_towers)
@@ -170,6 +181,13 @@ def compute_daily_metrics(
     if batch_days is None:
         per_day = max(num_users * k * 8, 1)
         batch_days = max(1, _BATCH_TARGET_BYTES // per_day)
+        if batch_days < _MIN_AUTO_BATCH_DAYS:
+            # Large population: each day is already a big kernel call,
+            # so flattening only adds copy/tile traffic.  The per-day
+            # loop is bitwise identical and measured faster here.
+            return _compute_daily_metrics_loop(
+                feeds, gyration_mode, top_towers
+            )
     batch_days = max(1, min(int(batch_days), num_days))
 
     # One flattened work buffer, reused across chunks; the companion

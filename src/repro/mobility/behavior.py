@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.mobility.agents import AgentPopulation, WorkerType
 from repro.mobility.pandemic import PandemicTimeline
+from repro.simulation import kernels
 from repro.simulation.clock import StudyCalendar
 
 __all__ = ["BehaviorSettings", "DayState", "BehaviorModel"]
@@ -141,6 +142,12 @@ class BehaviorModel:
             self._draw_relocation_schedule()
         )
         self._region_cache: dict[dt.date, dict[str, float]] = {}
+        # Factorized home regions: the vectorized restriction path turns
+        # the per-agent region lookup into one gather through these
+        # dense codes (identical values, no per-agent Python loop).
+        self._region_uniques, self._region_codes = np.unique(
+            agents.home_region, return_inverse=True
+        )
 
     # -- relocation schedule ------------------------------------------------
     def _draw_relocation_schedule(self) -> tuple[np.ndarray, np.ndarray]:
@@ -188,20 +195,27 @@ class BehaviorModel:
     # -- per-day state -------------------------------------------------------
     def _effective_restriction(self, date: dt.date) -> np.ndarray:
         if date not in self._region_cache:
-            regions = np.unique(self._agents.home_region)
             self._region_cache[date] = {
                 region: self._timeline.regional_restriction(region, date)
-                for region in regions
+                for region in self._region_uniques
             }
         lookup = self._region_cache[date]
-        regional = np.array(
-            [lookup[region] for region in self._agents.home_region]
-        )
+        if kernels.use_naive():
+            # Reference path: the per-agent dictionary lookup.
+            regional = np.array(
+                [lookup[region] for region in self._agents.home_region]
+            )
+        else:
+            # One gather through the factorized region codes — the same
+            # float64 values, bitwise, without the O(users) Python loop.
+            values = np.array(
+                [lookup[region] for region in self._region_uniques]
+            )
+            regional = values[self._region_codes]
         return regional * (0.55 + 0.45 * self._agents.compliance)
 
     def day_state(self, day: int) -> DayState:
         """Compute the behavioural state for one simulation day."""
-        agents = self._agents
         settings = self._settings
         calendar = self._calendar
         date = calendar.date_of(day)
@@ -209,13 +223,53 @@ class BehaviorModel:
         rng = np.random.default_rng(
             np.random.SeedSequence(entropy=self._seed, spawn_key=(1, day))
         )
-        count = agents.num_users
+        count = self._agents.num_users
         restriction = self._effective_restriction(date)
 
-        # -- relocation & trips (override everything else) ----------------
+        # Relocation overrides everything else (integer comparisons).
         relocated = (self._relocation_start <= day) & (
             day < self._relocation_end
         )
+
+        # Both paths consume identical population-wide draws, in the
+        # same order, so the RNG stream never depends on the dispatch
+        # choice (the trip probabilities themselves use no randomness).
+        trip_r = rng.random(count)
+        noise = rng.lognormal(
+            0.0, settings.duration_noise_sigma, size=(4, count)
+        )
+
+        if kernels.dispatch_naive("behavior.day_state"):
+            builder = self._day_state_naive
+        else:
+            builder = self._day_state_vectorized
+        work_s, errand_s, nearby_s, social_s, on_trip = builder(
+            date, weekend, restriction, relocated, trip_r, noise
+        )
+        return DayState(
+            work_s=work_s,
+            errand_s=errand_s,
+            nearby_s=nearby_s,
+            social_s=social_s,
+            on_trip=on_trip,
+            relocated=relocated,
+            restriction=restriction,
+        )
+
+    def _day_state_vectorized(
+        self,
+        date: dt.date,
+        weekend: bool,
+        restriction: np.ndarray,
+        relocated: np.ndarray,
+        trip_r: np.ndarray,
+        noise: np.ndarray,
+    ) -> tuple[np.ndarray, ...]:
+        agents = self._agents
+        settings = self._settings
+        count = agents.num_users
+
+        # -- trips ----------------------------------------------------------
         trip_p = np.zeros(count)
         if weekend:
             base_p = settings.weekend_trip_probability + np.where(
@@ -240,16 +294,13 @@ class BehaviorModel:
                 settings.pre_lockdown_exodus_probability,
                 0.0,
             )
-        on_trip = (rng.random(count) < trip_p) & ~relocated
+        on_trip = (trip_r < trip_p) & ~relocated
 
         # -- activity durations --------------------------------------------
-        noise = rng.lognormal(
-            0.0, settings.duration_noise_sigma, size=(4, count)
-        )
         if weekend:
             work_base = np.zeros(count)
         else:
-            onsite = np.select(
+            work_base = np.select(
                 [
                     agents.worker_type == WorkerType.COMMUTER,
                     agents.worker_type == WorkerType.ESSENTIAL,
@@ -262,7 +313,6 @@ class BehaviorModel:
                 ],
                 default=0.0,
             )
-            work_base = onsite
         errand_base = (
             settings.errand_weekend_hours
             if weekend
@@ -293,13 +343,92 @@ class BehaviorModel:
         social_s = (
             np.maximum(social_base * entropy_scale * noise[3], 0.0) * 3600.0
         )
+        return work_s, errand_s, nearby_s, social_s, on_trip
 
-        return DayState(
-            work_s=work_s,
-            errand_s=errand_s,
-            nearby_s=nearby_s,
-            social_s=social_s,
-            on_trip=on_trip,
-            relocated=relocated,
-            restriction=restriction,
-        )
+    def _day_state_naive(
+        self,
+        date: dt.date,
+        weekend: bool,
+        restriction: np.ndarray,
+        relocated: np.ndarray,
+        trip_r: np.ndarray,
+        noise: np.ndarray,
+    ) -> tuple[np.ndarray, ...]:
+        """Reference per-agent loop behind ``REPRO_SIM_NAIVE=1``.
+
+        Same pre-drawn random vectors, same floating-point operations in
+        the same order per user — only the iteration is scalar — so the
+        result is bitwise identical to :meth:`_day_state_vectorized`.
+        (Adding a literal ``0.0`` to a non-negative probability is a
+        bitwise no-op, so branches the vectorized path expresses with
+        ``np.where(..., 0.0)`` may simply be skipped here.)
+        """
+        agents = self._agents
+        settings = self._settings
+        count = agents.num_users
+        exodus = date in settings.pre_lockdown_exodus_days
+        late_april = weekend and date >= settings.late_april_trip_start
+
+        work_s = np.zeros(count)
+        errand_s = np.zeros(count)
+        nearby_s = np.zeros(count)
+        social_s = np.zeros(count)
+        on_trip = np.zeros(count, dtype=bool)
+        for u in range(count):
+            r = restriction[u]
+            trip_p = 0.0
+            if weekend:
+                base_p = settings.weekend_trip_probability + (
+                    settings.london_weekend_trip_bonus
+                    if agents.home_region[u] == "London"
+                    else 0.0
+                )
+                factor = 1.0 - settings.trip_reduction * np.power(
+                    np.clip(r, 0.0, 1.0),
+                    settings.trip_restriction_exponent,
+                )
+                trip_p = base_p * np.clip(factor, 0.0, 1.0)
+                if late_april and agents.home_region[u] == "London":
+                    trip_p = trip_p + settings.late_april_trip_bonus
+            if exodus and agents.home_county[u] == "Inner London":
+                trip_p = trip_p + settings.pre_lockdown_exodus_probability
+            on_trip[u] = bool(trip_r[u] < trip_p) and not relocated[u]
+
+            if weekend:
+                work_base = 0.0
+            elif agents.worker_type[u] == WorkerType.COMMUTER:
+                work_base = settings.work_hours_commuter * (
+                    1.0 - settings.wfh_max * r
+                )
+            elif agents.worker_type[u] == WorkerType.ESSENTIAL:
+                work_base = settings.work_hours_essential * (
+                    1.0 - settings.essential_reduction * r
+                )
+            else:
+                work_base = 0.0
+            errand_base = (
+                settings.errand_weekend_hours
+                if weekend
+                else settings.errand_weekday_hours
+            ) * (1.0 - settings.errand_reduction * r)
+            scale = agents.entropy_scale[u]
+            nearby_base = (
+                settings.nearby_weekend_hours
+                if weekend
+                else settings.nearby_weekday_hours
+            ) * (1.0 + settings.nearby_boost * r * scale)
+            social_base = (
+                settings.social_weekend_hours
+                if weekend
+                else settings.social_weekday_hours
+            ) * (1.0 - settings.social_reduction * r)
+
+            work_s[u] = np.maximum(work_base * noise[0, u], 0.0) * 3600.0
+            errand_s[u] = np.maximum(errand_base * noise[1, u], 0.0) * 3600.0
+            nearby_s[u] = (
+                np.maximum(nearby_base * scale * noise[2, u], 0.0) * 3600.0
+            )
+            social_s[u] = (
+                np.maximum(social_base * scale * noise[3, u], 0.0) * 3600.0
+            )
+        return work_s, errand_s, nearby_s, social_s, on_trip

@@ -21,7 +21,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.mobility.agents import AgentPopulation, AnchorSlot, NUM_ANCHORS
-from repro.mobility.behavior import BehaviorModel
+from repro.mobility.behavior import BehaviorModel, DayState
+from repro.simulation import kernels
 
 __all__ = ["NUM_BINS", "BIN_SECONDS", "DayDwell", "TrajectoryModel"]
 
@@ -98,14 +99,30 @@ class TrajectoryModel:
             user_ids = agents.user_ids[indices]
             anchor_sites = agents.anchor_sites[indices]
         count = int(user_ids.shape[0])
-        dwell = np.zeros((count, NUM_BINS, NUM_ANCHORS), dtype=np.float64)
-
         durations = {
             AnchorSlot.WORK: state.work_s,
             AnchorSlot.ERRAND: state.errand_s,
             AnchorSlot.NEARBY: state.nearby_s,
             AnchorSlot.SOCIAL: state.social_s,
         }
+        if kernels.dispatch_naive("trajectories.day_dwell"):
+            dwell = self._assemble_naive(count, durations, state)
+        else:
+            dwell = self._assemble_vectorized(count, durations, state)
+        return DayDwell(
+            day=day,
+            user_ids=user_ids,
+            anchor_sites=anchor_sites,
+            dwell_s=dwell,
+        )
+
+    @staticmethod
+    def _assemble_vectorized(
+        count: int,
+        durations: dict[AnchorSlot, np.ndarray],
+        state: DayState,
+    ) -> np.ndarray:
+        dwell = np.zeros((count, NUM_BINS, NUM_ANCHORS), dtype=np.float64)
         for slot, seconds in durations.items():
             template = _BIN_TEMPLATES[slot]
             dwell[:, :, slot] = seconds[:, None] * template[None, :]
@@ -138,10 +155,46 @@ class TrajectoryModel:
             dwell[moved, :, AnchorSlot.RELOC_SECONDARY] = BIN_SECONDS * (
                 1.0 - _RELOC_PRIMARY_SHARE[None, :]
             )
+        return dwell
 
-        return DayDwell(
-            day=day,
-            user_ids=user_ids,
-            anchor_sites=anchor_sites,
-            dwell_s=dwell,
-        )
+    @staticmethod
+    def _assemble_naive(
+        count: int,
+        durations: dict[AnchorSlot, np.ndarray],
+        state: DayState,
+    ) -> np.ndarray:
+        """Reference per-agent assembly behind ``REPRO_SIM_NAIVE=1``.
+
+        One ``(NUM_BINS, NUM_ANCHORS)`` matrix at a time, with the same
+        operations in the same order as the whole-population version
+        (last-axis reductions are computed independently per row, so the
+        per-user sums match the 3-D sums bitwise).
+        """
+        dwell = np.zeros((count, NUM_BINS, NUM_ANCHORS), dtype=np.float64)
+        for u in range(count):
+            d = dwell[u]
+            for slot, seconds in durations.items():
+                d[:, slot] = seconds[u] * _BIN_TEMPLATES[slot]
+            out_per_bin = d.sum(axis=1)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                scale = np.where(
+                    out_per_bin > BIN_SECONDS,
+                    BIN_SECONDS / out_per_bin,
+                    1.0,
+                )
+            d *= scale[:, None]
+            d[:, AnchorSlot.HOME] = np.maximum(
+                BIN_SECONDS - d.sum(axis=1), 0.0
+            )
+            if state.on_trip[u]:
+                d[:] = 0.0
+                d[:, AnchorSlot.TRIP] = BIN_SECONDS
+            if state.relocated[u]:
+                d[:] = 0.0
+                d[:, AnchorSlot.RELOC_PRIMARY] = (
+                    BIN_SECONDS * _RELOC_PRIMARY_SHARE
+                )
+                d[:, AnchorSlot.RELOC_SECONDARY] = BIN_SECONDS * (
+                    1.0 - _RELOC_PRIMARY_SHARE
+                )
+        return dwell

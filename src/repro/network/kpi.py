@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
 from repro.frames import Frame, concat
 
 __all__ = ["KPI_COLUMNS", "KpiAccumulator"]
@@ -88,6 +89,7 @@ class KpiAccumulator:
         self, day: int, hour: int, metrics: dict[str, np.ndarray]
     ) -> None:
         """Push one hour of per-cell metric vectors for ``day``."""
+        telemetry.count("sim.kpi.add_hour")
         if self._pending_day is not None and day != self._pending_day:
             raise ValueError(
                 f"day {day} pushed before finalizing day {self._pending_day}"
@@ -131,6 +133,7 @@ class KpiAccumulator:
         form exists for the engine's vectorized day loop, where pushing
         24 separate hourly dictionaries dominated small-array overhead.
         """
+        telemetry.count("sim.kpi.add_day")
         if self._pending_day is not None:
             raise ValueError(
                 f"day {self._pending_day} is still pending; finalize it first"

@@ -23,11 +23,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.frames import Frame
+from repro.simulation import kernels
 
 __all__ = [
     "EventType",
     "SignalingGenerator",
     "DwellSegments",
+    "segments_from_dwell",
     "attach_subscriber_context",
 ]
 
@@ -79,6 +81,82 @@ class DwellSegments:
         return int(self.user_ids.shape[0])
 
 
+def segments_from_dwell(
+    dwell_s: np.ndarray,
+    anchor_sites: np.ndarray,
+    user_ids: np.ndarray,
+    bin_seconds: float,
+) -> DwellSegments:
+    """Flatten a ``(N, B, K)`` dwell matrix into ordered dwell segments.
+
+    Within each ``bin_seconds``-long bin, the user's anchors with more
+    than one second of dwell are laid out sequentially (the exact
+    sub-bin ordering is not observable at the paper's aggregation
+    granularity).  Output order is (user, bin, anchor) — C order.
+    """
+    if kernels.dispatch_naive("signaling.segments"):
+        return _segments_naive(dwell_s, anchor_sites, user_ids, bin_seconds)
+    num_bins = dwell_s.shape[1]
+    mask = dwell_s > 1.0
+    kept = np.where(mask, dwell_s, 0.0)
+    # Each kept anchor starts where the previous kept anchor in the
+    # same bin ended.  A cumulative sum over a seed array — the bin
+    # start in lane 0, the kept seconds shifted one lane right —
+    # reproduces the naive left-to-right accumulation exactly: skipped
+    # anchors contribute ``+0.0``, a bitwise no-op on the non-negative
+    # running total, and ``np.cumsum`` associates left like the loop.
+    seed = np.empty_like(kept)
+    seed[:, :, 0] = np.arange(num_bins) * bin_seconds
+    seed[:, :, 1:] = kept[:, :, :-1]
+    starts = np.cumsum(seed, axis=2)
+    user_index, _, anchor_index = np.nonzero(mask)
+    return DwellSegments(
+        user_ids=user_ids[user_index].astype(np.int64),
+        site_ids=anchor_sites[user_index, anchor_index].astype(np.int64),
+        start_s=starts[mask],
+        duration_s=dwell_s[mask].astype(np.float64),
+    )
+
+
+def _segments_naive(
+    dwell_s: np.ndarray,
+    anchor_sites: np.ndarray,
+    user_ids: np.ndarray,
+    bin_seconds: float,
+) -> DwellSegments:
+    """Reference triple loop behind ``REPRO_SIM_NAIVE=1``."""
+    num_users, num_bins, num_anchors = dwell_s.shape
+    rows: list[tuple[int, int, float, float]] = []
+    for user_index in range(num_users):
+        for bin_index in range(num_bins):
+            cursor = bin_index * bin_seconds
+            for anchor in range(num_anchors):
+                seconds = float(dwell_s[user_index, bin_index, anchor])
+                if seconds <= 1.0:
+                    continue
+                rows.append(
+                    (
+                        int(user_ids[user_index]),
+                        int(anchor_sites[user_index, anchor]),
+                        cursor,
+                        seconds,
+                    )
+                )
+                cursor += seconds
+    if not rows:
+        empty = np.empty(0, dtype=np.int64)
+        return DwellSegments(
+            empty, empty, empty.astype(float), empty.astype(float)
+        )
+    users, sites, starts, durations = zip(*rows)
+    return DwellSegments(
+        user_ids=np.asarray(users, dtype=np.int64),
+        site_ids=np.asarray(sites, dtype=np.int64),
+        start_s=np.asarray(starts, dtype=np.float64),
+        duration_s=np.asarray(durations, dtype=np.float64),
+    )
+
+
 class SignalingGenerator:
     """Turn dwell segments into a raw signalling event feed."""
 
@@ -104,7 +182,13 @@ class SignalingGenerator:
         Columns: ``user_id``, ``site_id``, ``timestamp_s`` (seconds since
         midnight), ``event`` (``EventType`` int value), ``result``
         (1 = success, 0 = failure).
+
+        Both dispatch paths draw the same random vectors in the same
+        order and emit events in the same pre-sort block order, so the
+        stable final sort produces bitwise-identical feeds.
         """
+        if kernels.dispatch_naive("signaling.generate_day"):
+            return self._generate_day_naive(segments, rng)
         users = segments.user_ids
         sites = segments.site_ids
         starts = segments.start_s.astype(np.float64)
@@ -194,6 +278,99 @@ class SignalingGenerator:
         )
         return frame.sort_by(["user_id", "timestamp_s"])
 
+    def _generate_day_naive(
+        self, segments: DwellSegments, rng: np.random.Generator
+    ) -> Frame:
+        """Reference per-segment loop behind ``REPRO_SIM_NAIVE=1``.
+
+        The random vectors are pre-drawn population-wide, in the same
+        order as the vectorized path (the kernels-module contract), and
+        the assembly loops emit rows in the same block order; only the
+        per-event arithmetic runs one segment at a time.
+        """
+        users = segments.user_ids
+        sites = segments.site_ids
+        starts = segments.start_s.astype(np.float64)
+        durations = segments.duration_s.astype(np.float64)
+        count = segments.num_segments
+
+        first_of_user = np.ones(count, dtype=bool)
+        first_of_user[1:] = users[1:] != users[:-1]
+        last_of_user = np.ones(count, dtype=bool)
+        last_of_user[:-1] = users[:-1] != users[1:]
+
+        row_users: list[int] = []
+        row_sites: list[int] = []
+        row_times: list[float] = []
+        row_events: list[int] = []
+
+        # 1. Mobility event at every segment start.
+        boundary_r = rng.random(count)
+        for i in range(count):
+            if first_of_user[i]:
+                event = EventType.ATTACH.value
+            elif boundary_r[i] < 0.5:
+                event = EventType.HANDOVER.value
+            else:
+                event = EventType.TRACKING_AREA_UPDATE.value
+            row_users.append(int(users[i]))
+            row_sites.append(int(sites[i]))
+            row_times.append(float(starts[i]))
+            row_events.append(event)
+
+        # Authentication rides along with every attach.
+        for i in range(count):
+            if first_of_user[i]:
+                row_users.append(int(users[i]))
+                row_sites.append(int(sites[i]))
+                row_times.append(float(starts[i] + 0.5))
+                row_events.append(EventType.AUTHENTICATION.value)
+
+        # 2. In-segment activity, Poisson by dwell duration.
+        hours = durations / 3600.0
+        for rate, event_type in (
+            (self._service_rate, EventType.SERVICE_REQUEST),
+            (self._idle_rate, EventType.ECM_IDLE_TRANSITION),
+        ):
+            counts = rng.poisson(rate * hours)
+            total = int(counts.sum())
+            if total == 0:
+                continue
+            offset_r = rng.random(total)
+            position = 0
+            for i in range(count):
+                for _ in range(int(counts[i])):
+                    offset = offset_r[position] * durations[i]
+                    row_users.append(int(users[i]))
+                    row_sites.append(int(sites[i]))
+                    row_times.append(float(starts[i] + offset))
+                    row_events.append(event_type.value)
+                    position += 1
+
+        # 3. Detach at end of the user's last segment.
+        detach_r = rng.random(count)
+        for i in range(count):
+            if last_of_user[i] and detach_r[i] < 0.25:
+                row_users.append(int(users[i]))
+                row_sites.append(int(sites[i]))
+                row_times.append(float(starts[i] + durations[i] - 0.5))
+                row_events.append(EventType.DETACH.value)
+
+        result_r = rng.random(len(row_users))
+        results = np.empty(len(row_users), dtype=np.int64)
+        for k in range(len(row_users)):
+            results[k] = int(result_r[k] >= self._failure_rate)
+        frame = Frame(
+            {
+                "user_id": np.asarray(row_users, dtype=np.int64),
+                "site_id": np.asarray(row_sites, dtype=np.int64),
+                "timestamp_s": np.asarray(row_times, dtype=np.float64),
+                "event": np.asarray(row_events, dtype=np.int64),
+                "result": results,
+            }
+        )
+        return frame.sort_by(["user_id", "timestamp_s"])
+
 
 def attach_subscriber_context(
     feed: Frame,
@@ -223,13 +400,30 @@ def attach_subscriber_context(
     rat_choice = rng.choice(
         len(rats), size=len(feed), p=np.asarray(rat_shares)
     )
-    rat_values = np.array([rats[i].value for i in rat_choice])
-    interface_values = np.array(
-        [
-            interface_for(rats[rat_index], EventType(int(event))).name
-            for rat_index, event in zip(rat_choice, events)
-        ]
-    )
+    if kernels.dispatch_naive("signaling.subscriber_context"):
+        # Reference path: resolve RAT and interface one event at a time.
+        rat_values = np.array([rats[i].value for i in rat_choice])
+        interface_values = np.array(
+            [
+                interface_for(rats[rat_index], EventType(int(event))).name
+                for rat_index, event in zip(rat_choice, events)
+            ]
+        )
+    else:
+        # Two small lookup tables — (rat,) and (rat, event) — turn the
+        # per-event enum resolution into plain integer gathers.
+        rat_table = np.array([rat.value for rat in rats])
+        interface_table = np.array(
+            [
+                [
+                    interface_for(rat, event_type).name
+                    for event_type in EventType
+                ]
+                for rat in rats
+            ]
+        )
+        rat_values = rat_table[rat_choice]
+        interface_values = interface_table[rat_choice, events]
     out = feed.with_column("tac", tacs_by_user[users])
     out = out.with_column("mcc", mccs_by_user[users])
     out = out.with_column("mnc", mncs_by_user[users])

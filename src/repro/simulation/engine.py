@@ -87,9 +87,10 @@ from repro.network.interconnect import InterconnectSettings, VoiceInterconnect
 from repro.network.kpi import KpiAccumulator
 from repro.network.rat import RAT_PROFILES, Rat
 from repro.network.scheduler import CellScheduler
-from repro.network.signaling import DwellSegments, SignalingGenerator
+from repro.network.signaling import SignalingGenerator, segments_from_dwell
 from repro.network.subscribers import build_subscriber_base
 from repro.network.topology import build_topology
+from repro.simulation import kernels
 from repro.simulation.checkpoint import CheckpointError, CheckpointStore
 from repro.simulation.config import SimulationConfig
 from repro.simulation.faults import (
@@ -876,7 +877,18 @@ class Simulator:
         voice_w = hour_weights_within_bins(voice_hour_profile())
 
         sector_rows: list[Frame] = []
+        # RAT connected-time feed: the per-RAT share sums are
+        # day-independent, so the vectorized path hoists them out of
+        # the day loop and collects one connected-seconds total per day.
+        naive_rat_time = kernels.dispatch_naive("engine.rat_time")
         rat_time_rows: list[dict] = []
+        rat_time_tcs: list[float] = []
+        rat_sums = np.array(
+            [
+                (rat_shares[:, rat_index] * 86_400.0).sum()
+                for rat_index in range(len(Rat))
+            ]
+        )
         day_rng = np.random.default_rng(
             np.random.SeedSequence(entropy=config.seed, spawn_key=(10,))
         )
@@ -986,61 +998,112 @@ class Simulator:
                 * act_profile[:, None]
                 * np.sqrt(params.demand_multiplier)
             )
-            with telemetry.span("scheduler") as sched_span:
-                kpis = scheduler.schedule_hours(
-                    capacity_mbps=capacity_mbps,
-                    offered_dl_mb=total_dl_hour,
-                    offered_ul_mb=total_ul_hour,
-                    active_users=active_users,
-                    app_rate_dl_mbps=app_rate_cells,
+            if kernels.dispatch_naive("engine.kpi_day"):
+                # Reference path: schedule and push one hour at a time.
+                # Every scheduler operation is elementwise over (hour,
+                # cell) and the accumulator's hourly median equals the
+                # blocked one, so this is bitwise identical to add_day.
+                with telemetry.span("scheduler") as sched_span:
+                    for hour in range(HOURS_PER_DAY):
+                        kpis = scheduler.schedule_hour(
+                            capacity_mbps=capacity_mbps,
+                            offered_dl_mb=total_dl_hour[hour],
+                            offered_ul_mb=total_ul_hour[hour],
+                            active_users=active_users[hour],
+                            app_rate_dl_mbps=app_rate_cells,
+                        )
+                        accumulator.add_hour(
+                            day,
+                            hour,
+                            {
+                                "dl_volume_mb": kpis.served_dl_mb,
+                                "ul_volume_mb": kpis.served_ul_mb,
+                                "dl_active_users": kpis.dl_active_users,
+                                "radio_load_pct": kpis.radio_load_pct,
+                                "user_dl_throughput_mbps": (
+                                    kpis.user_dl_throughput_mbps
+                                ),
+                                "active_seconds": kpis.active_seconds,
+                                "connected_users": connected[hour],
+                                "voice_volume_mb": (
+                                    voice_dl_hour[hour]
+                                    + voice_ul_hour[hour]
+                                ),
+                                "voice_users": voice_min_hour[hour] / 60.0,
+                                "voice_ul_loss_rate": (
+                                    ul_loss_today * loss_noise[0]
+                                ),
+                                "voice_dl_loss_rate": (
+                                    dl_loss_today * loss_noise[1]
+                                ),
+                            },
+                        )
+                    sched_span.add(
+                        "cell_hours", int(num_sites) * HOURS_PER_DAY
+                    )
+                accumulator.finalize_day()
+            else:
+                with telemetry.span("scheduler") as sched_span:
+                    kpis = scheduler.schedule_hours(
+                        capacity_mbps=capacity_mbps,
+                        offered_dl_mb=total_dl_hour,
+                        offered_ul_mb=total_ul_hour,
+                        active_users=active_users,
+                        app_rate_dl_mbps=app_rate_cells,
+                    )
+                    sched_span.add(
+                        "cell_hours", int(num_sites) * HOURS_PER_DAY
+                    )
+                accumulator.add_day(
+                    day,
+                    {
+                        "dl_volume_mb": kpis.served_dl_mb,
+                        "ul_volume_mb": kpis.served_ul_mb,
+                        "dl_active_users": kpis.dl_active_users,
+                        "radio_load_pct": kpis.radio_load_pct,
+                        "user_dl_throughput_mbps": (
+                            kpis.user_dl_throughput_mbps
+                        ),
+                        "active_seconds": kpis.active_seconds,
+                        "connected_users": connected,
+                        "voice_volume_mb": voice_dl_hour + voice_ul_hour,
+                        "voice_users": voice_min_hour / 60.0,
+                        "voice_ul_loss_rate": ul_loss_today * loss_noise[0],
+                        "voice_dl_loss_rate": dl_loss_today * loss_noise[1],
+                    },
+                    num_hours=HOURS_PER_DAY,
                 )
-                sched_span.add(
-                    "cell_hours", int(num_sites) * HOURS_PER_DAY
-                )
-            accumulator.add_day(
-                day,
-                {
-                    "dl_volume_mb": kpis.served_dl_mb,
-                    "ul_volume_mb": kpis.served_ul_mb,
-                    "dl_active_users": kpis.dl_active_users,
-                    "radio_load_pct": kpis.radio_load_pct,
-                    "user_dl_throughput_mbps": (
-                        kpis.user_dl_throughput_mbps
-                    ),
-                    "active_seconds": kpis.active_seconds,
-                    "connected_users": connected,
-                    "voice_volume_mb": voice_dl_hour + voice_ul_hour,
-                    "voice_users": voice_min_hour / 60.0,
-                    "voice_ul_loss_rate": ul_loss_today * loss_noise[0],
-                    "voice_dl_loss_rate": dl_loss_today * loss_noise[1],
-                },
-                num_hours=HOURS_PER_DAY,
-            )
 
             # RAT connected-time feed (§2.4's 75%-on-4G measurement).
             total_connected_s = merged.total_connected_s
-            for rat_index, rat in enumerate(Rat):
-                rat_time_rows.append(
-                    {
-                        "day": day,
-                        "rat": rat.value,
-                        "connected_seconds": float(
-                            (rat_shares[:, rat_index] * 86_400.0).sum()
-                            * (
-                                total_connected_s
-                                / (86_400.0 * max(num_users, 1))
-                            )
-                        ),
-                    }
-                )
+            if naive_rat_time:
+                for rat_index, rat in enumerate(Rat):
+                    rat_time_rows.append(
+                        {
+                            "day": day,
+                            "rat": rat.value,
+                            "connected_seconds": float(
+                                (rat_shares[:, rat_index] * 86_400.0).sum()
+                                * (
+                                    total_connected_s
+                                    / (86_400.0 * max(num_users, 1))
+                                )
+                            ),
+                        }
+                    )
+            else:
+                rat_time_tcs.append(float(total_connected_s))
 
             if progress is not None:
                 progress(day, calendar.num_days)
 
             if signaling_frames is not None:
                 with telemetry.span("signaling") as signal_span:
-                    segments = _dwell_to_segments(
-                        merged.dwell_s, agents.anchor_sites, agents.user_ids
+                    segments = segments_from_dwell(
+                        merged.dwell_s,
+                        agents.anchor_sites,
+                        agents.user_ids,
+                        BIN_SECONDS,
                     )
                     signaling_frames[day] = signaling_generator.generate_day(
                         segments,
@@ -1057,6 +1120,30 @@ class Simulator:
         with telemetry.span("kpi_reduction") as kpi_span:
             radio_kpis = accumulator.daily_frame()
             kpi_span.add("kpi_rows", len(radio_kpis))
+
+        if naive_rat_time:
+            rat_time = Frame.from_rows(rat_time_rows)
+        else:
+            # One outer product (day × RAT); multiplication commutes
+            # bitwise, so the rows match the naive per-day loop exactly.
+            factor = np.asarray(rat_time_tcs, dtype=np.float64) / (
+                86_400.0 * max(num_users, 1)
+            )
+            rat_time = Frame(
+                {
+                    "day": np.repeat(
+                        np.arange(len(rat_time_tcs), dtype=np.int64),
+                        len(Rat),
+                    ),
+                    "rat": np.tile(
+                        np.array([rat.value for rat in Rat]),
+                        len(rat_time_tcs),
+                    ),
+                    "connected_seconds": (
+                        factor[:, None] * rat_sums[None, :]
+                    ).ravel(),
+                }
+            )
         return DataFeeds(
             calendar=calendar,
             geography=geography,
@@ -1067,7 +1154,7 @@ class Simulator:
             agents=agents,
             mobility=mobility,
             radio_kpis=radio_kpis,
-            rat_time=Frame.from_rows(rat_time_rows),
+            rat_time=rat_time,
             epidemic=world.epidemic,
             hourly_kpis=(
                 accumulator.hourly_frame() if config.keep_hourly_kpis else None
@@ -1087,42 +1174,3 @@ def _concat_frames(frames: list[Frame]) -> Frame:
     from repro.frames import concat
 
     return concat(frames) if frames else Frame()
-
-
-def _dwell_to_segments(
-    dwell_s: np.ndarray, anchor_sites: np.ndarray, user_ids: np.ndarray
-) -> DwellSegments:
-    """Flatten a (N, B, K) dwell matrix into ordered dwell segments.
-
-    Within each 4-hour bin, the user's anchors with positive dwell are
-    laid out sequentially (the exact sub-bin ordering is not observable
-    at the paper's aggregation granularity).
-    """
-    num_users, num_bins, num_anchors = dwell_s.shape
-    rows: list[tuple[int, int, float, float]] = []
-    for user_index in range(num_users):
-        for bin_index in range(num_bins):
-            cursor = bin_index * BIN_SECONDS
-            for anchor in range(num_anchors):
-                seconds = float(dwell_s[user_index, bin_index, anchor])
-                if seconds <= 1.0:
-                    continue
-                rows.append(
-                    (
-                        int(user_ids[user_index]),
-                        int(anchor_sites[user_index, anchor]),
-                        cursor,
-                        seconds,
-                    )
-                )
-                cursor += seconds
-    if not rows:
-        empty = np.empty(0, dtype=np.int64)
-        return DwellSegments(empty, empty, empty.astype(float), empty.astype(float))
-    users, sites, starts, durations = zip(*rows)
-    return DwellSegments(
-        user_ids=np.asarray(users, dtype=np.int64),
-        site_ids=np.asarray(sites, dtype=np.int64),
-        start_s=np.asarray(starts, dtype=np.float64),
-        duration_s=np.asarray(durations, dtype=np.float64),
-    )

@@ -224,4 +224,15 @@ def feeds_fingerprint(feeds, decimals: int = 6) -> dict[str, str]:
         ),
         decimals,
     )
+    if feeds.signaling is not None:
+        # One combined digest over every day's event frame — per-day
+        # keys would balloon the pinned dictionary.
+        combined = hashlib.sha256()
+        for day in sorted(feeds.signaling):
+            frame = feeds.signaling[day]
+            combined.update(str(day).encode())
+            for column in frame.column_names:
+                combined.update(column.encode())
+                combined.update(_digest(frame[column], decimals).encode())
+        fingerprint["signaling"] = combined.hexdigest()
     return fingerprint

@@ -24,6 +24,10 @@ def main() -> None:
     fingerprint = feeds_fingerprint(run_config(golden_config()))
     print("GOLDEN = ", end="")
     pprint.pprint(fingerprint, sort_dicts=True)
+    signaling = feeds_fingerprint(
+        run_config(golden_config().with_overrides(emit_signaling=True))
+    )
+    print(f'GOLDEN_SIGNALING = "{signaling["signaling"]}"')
 
 
 if __name__ == "__main__":

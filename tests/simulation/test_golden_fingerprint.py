@@ -14,6 +14,8 @@ and commit the new digests alongside the change that moved them.
 
 import datetime as dt
 
+import pytest
+
 from repro.simulation.clock import StudyCalendar
 from repro.simulation.config import SimulationConfig
 
@@ -43,6 +45,15 @@ GOLDEN = {
 }
 
 
+#: Digest of the signalling event feed emitted by ``golden_config()``
+#: with ``emit_signaling=True``.  Every other array of that run must
+#: match ``GOLDEN`` unchanged — emitting signalling draws from its own
+#: RNG stream and must not perturb anything else.
+GOLDEN_SIGNALING = (
+    "405d0dfbf1db12a18a8071fee90ae306cbf9e92750135d6bba60439b82843123"
+)
+
+
 def golden_config() -> SimulationConfig:
     """The pinned configuration (small, fast, structurally complete)."""
     calendar = StudyCalendar(first_day=dt.date(2020, 2, 17), num_days=21)
@@ -54,14 +65,13 @@ def golden_config() -> SimulationConfig:
     )
 
 
-def test_engine_numerics_match_golden_fingerprint():
-    fingerprint = feeds_fingerprint(run_config(golden_config()))
+def _assert_matches_golden(fingerprint: dict, golden: dict) -> None:
     drifted = {
-        name: (GOLDEN.get(name), digest)
+        name: (golden.get(name), digest)
         for name, digest in fingerprint.items()
-        if GOLDEN.get(name) != digest
+        if golden.get(name) != digest
     }
-    missing = set(GOLDEN) - set(fingerprint)
+    missing = set(golden) - set(fingerprint)
     assert not drifted and not missing, (
         "Engine numerics drifted from the golden fingerprint.\n"
         f"Changed arrays: {sorted(drifted)}\n"
@@ -69,4 +79,22 @@ def test_engine_numerics_match_golden_fingerprint():
         "If this change is intentional, regenerate the digests with\n"
         "    PYTHONPATH=src python tests/simulation/regen_golden.py\n"
         "and commit them with the change that moved the numerics."
+    )
+
+
+@pytest.mark.parametrize("naive", ["", "1"], ids=["vectorized", "naive"])
+def test_engine_numerics_match_golden_fingerprint(naive, monkeypatch):
+    # Both dispatch paths must reproduce the digests pinned at the
+    # seed: the vectorized rewrite moved nothing, and the naive oracle
+    # still computes exactly what the historical loops computed.
+    monkeypatch.setenv("REPRO_SIM_NAIVE", naive)
+    fingerprint = feeds_fingerprint(run_config(golden_config()))
+    _assert_matches_golden(fingerprint, GOLDEN)
+
+
+def test_signaling_feed_matches_golden_fingerprint():
+    config = golden_config().with_overrides(emit_signaling=True)
+    fingerprint = feeds_fingerprint(run_config(config))
+    _assert_matches_golden(
+        fingerprint, {**GOLDEN, "signaling": GOLDEN_SIGNALING}
     )

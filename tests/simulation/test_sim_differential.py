@@ -1,0 +1,240 @@
+"""Differential suite: vectorized event generation vs the naive oracle.
+
+The simulation kernels (:mod:`repro.simulation.kernels`) promise that
+the whole-population array programs and the per-agent/per-event loops
+behind ``REPRO_SIM_NAIVE=1`` are **bitwise identical** — same RNG
+streams, same floating-point operations in the same order.  This suite
+enforces the promise under hypothesis:
+
+- kernel-level: behaviour day-states, dwell assembly, dwell→segment
+  flattening and signalling emission compared array by array over
+  random seeds, days and population subsets;
+- engine-level: full runs compared feed by feed over random
+  configurations and shard counts K ∈ {1, 2, 4};
+- fault × vectorized: a run crashed by the deterministic ``kill``
+  fault and completed with ``Simulator.resume`` must stay bitwise
+  identical to the uninterrupted vectorized run — and the oracle path
+  must resume to the very same feeds.
+"""
+
+import datetime as dt
+import os
+from contextlib import contextmanager
+from functools import lru_cache
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.mobility.trajectories import BIN_SECONDS
+from repro.network.signaling import (
+    DwellSegments,
+    SignalingGenerator,
+    segments_from_dwell,
+)
+from repro.simulation.clock import StudyCalendar
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import Simulator, build_world
+from repro.simulation.faults import RecoverySettings, ShardExecutionError
+
+from tests.simulation.harness import assert_feeds_equivalent
+
+SHARD_COUNTS = (1, 2, 4)
+
+
+@contextmanager
+def _dispatch(naive: bool):
+    """Temporarily select the naive or vectorized path."""
+    before = os.environ.get("REPRO_SIM_NAIVE")
+    os.environ["REPRO_SIM_NAIVE"] = "1" if naive else "0"
+    try:
+        yield
+    finally:
+        if before is None:
+            os.environ.pop("REPRO_SIM_NAIVE", None)
+        else:
+            os.environ["REPRO_SIM_NAIVE"] = before
+
+
+@lru_cache(maxsize=4)
+def _world(seed: int):
+    calendar = StudyCalendar(first_day=dt.date(2020, 2, 17), num_days=21)
+    return build_world(
+        SimulationConfig(
+            num_users=70,
+            target_site_count=20,
+            seed=seed,
+            calendar=calendar,
+        )
+    )
+
+
+# -- kernel-level -----------------------------------------------------------
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.sampled_from([3, 17]), day=st.integers(0, 20))
+def test_behavior_day_state_differential(seed, day):
+    behavior = _world(seed).behavior
+    with _dispatch(naive=False):
+        vectorized = behavior.day_state(day)
+    with _dispatch(naive=True):
+        naive = behavior.day_state(day)
+    for name in (
+        "work_s", "errand_s", "nearby_s", "social_s",
+        "on_trip", "relocated", "restriction",
+    ):
+        assert np.array_equal(
+            getattr(vectorized, name), getattr(naive, name)
+        ), name
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.sampled_from([3, 17]),
+    day=st.integers(0, 20),
+    shard=st.booleans(),
+)
+def test_day_dwell_differential(seed, day, shard):
+    world = _world(seed)
+    indices = (
+        np.arange(world.agents.num_users // 3, dtype=np.int64)
+        if shard
+        else None
+    )
+    with _dispatch(naive=False):
+        vectorized = world.trajectories.day_dwell(day, indices)
+    with _dispatch(naive=True):
+        naive = world.trajectories.day_dwell(day, indices)
+    assert np.array_equal(vectorized.dwell_s, naive.dwell_s)
+    assert np.array_equal(vectorized.user_ids, naive.user_ids)
+    assert np.array_equal(vectorized.anchor_sites, naive.anchor_sites)
+
+
+@settings(max_examples=15, deadline=None)
+@given(rng_seed=st.integers(0, 2**32 - 1), num_users=st.integers(0, 12))
+def test_segments_from_dwell_differential(rng_seed, num_users):
+    # Random dwell matrices, not just simulator-shaped ones: rows with
+    # everything below the 1-second floor, empty populations, ties.
+    rng = np.random.default_rng(rng_seed)
+    dwell = rng.random((num_users, 6, 8)) * 3_000.0
+    dwell[rng.random(dwell.shape) < 0.4] = 0.0
+    anchor_sites = rng.integers(0, 25, size=(num_users, 8))
+    user_ids = np.arange(num_users, dtype=np.int64) * 7 + 1
+    with _dispatch(naive=False):
+        vectorized = segments_from_dwell(
+            dwell, anchor_sites, user_ids, BIN_SECONDS
+        )
+    with _dispatch(naive=True):
+        naive = segments_from_dwell(
+            dwell, anchor_sites, user_ids, BIN_SECONDS
+        )
+    for name in ("user_ids", "site_ids", "start_s", "duration_s"):
+        assert np.array_equal(
+            getattr(vectorized, name), getattr(naive, name)
+        ), name
+        assert getattr(vectorized, name).dtype == getattr(naive, name).dtype
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    rng_seed=st.integers(0, 2**32 - 1),
+    num_segments=st.integers(0, 40),
+    failure_rate=st.sampled_from([0.0, 0.015, 0.4]),
+)
+def test_generate_day_differential(rng_seed, num_segments, failure_rate):
+    rng = np.random.default_rng(rng_seed)
+    users = np.sort(rng.integers(0, 10, size=num_segments))
+    segments = DwellSegments(
+        user_ids=users.astype(np.int64),
+        site_ids=rng.integers(0, 25, size=num_segments).astype(np.int64),
+        start_s=np.sort(rng.random(num_segments) * 80_000.0),
+        duration_s=rng.random(num_segments) * 7_000.0 + 1.0,
+    )
+    generator = SignalingGenerator(failure_rate=failure_rate)
+    with _dispatch(naive=False):
+        vectorized = generator.generate_day(
+            segments, np.random.default_rng(rng_seed)
+        )
+    with _dispatch(naive=True):
+        naive = generator.generate_day(
+            segments, np.random.default_rng(rng_seed)
+        )
+    assert vectorized.column_names == naive.column_names
+    for column in vectorized.column_names:
+        assert np.array_equal(vectorized[column], naive[column]), column
+        assert vectorized[column].dtype == naive[column].dtype
+
+
+# -- engine-level -----------------------------------------------------------
+
+@settings(
+    max_examples=4,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(0, 2**16),
+    num_users=st.integers(25, 90),
+    num_days=st.integers(7, 14),
+    shards=st.sampled_from(SHARD_COUNTS),
+)
+def test_engine_differential(seed, num_users, num_days, shards):
+    calendar = StudyCalendar(
+        first_day=dt.date(2020, 2, 17), num_days=num_days
+    )
+    config = SimulationConfig(
+        num_users=num_users,
+        target_site_count=18,
+        seed=seed,
+        calendar=calendar,
+        emit_signaling=True,
+    )
+    if shards > 1:
+        config = config.with_parallelism(shards, workers=1)
+    with _dispatch(naive=False):
+        vectorized = Simulator(config).run()
+    with _dispatch(naive=True):
+        naive = Simulator(config).run()
+    assert_feeds_equivalent(vectorized, naive, bitwise=True)
+
+
+# -- fault injection × vectorized path --------------------------------------
+
+_FAULT_CALENDAR = StudyCalendar(first_day=dt.date(2020, 2, 24), num_days=12)
+_KILL_DAY = 7
+
+
+def _fault_config(shards: int) -> SimulationConfig:
+    config = SimulationConfig(
+        num_users=90,
+        target_site_count=24,
+        seed=23,
+        calendar=_FAULT_CALENDAR,
+        emit_signaling=True,
+        recovery=RecoverySettings(max_retries=0),
+    )
+    return config.with_parallelism(shards, workers=1) if shards > 1 else config
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+@pytest.mark.parametrize(
+    "resume_naive", [False, True], ids=["vectorized", "naive"]
+)
+def test_crash_resume_matches_uninterrupted_vectorized(
+    shards, resume_naive, tmp_path
+):
+    # Crash the vectorized run mid-flight with the deterministic kill
+    # fault, then finish it with resume() — on either dispatch path.
+    # Both must land bitwise on the uninterrupted vectorized feeds.
+    with _dispatch(naive=False):
+        baseline = Simulator(_fault_config(shards)).run()
+        faulty = _fault_config(shards).with_overrides(
+            fault_spec=f"kill:day={_KILL_DAY}"
+        )
+        rundir = tmp_path / "run"
+        with pytest.raises(ShardExecutionError):
+            Simulator(faulty).run(checkpoint_dir=rundir)
+    with _dispatch(naive=resume_naive):
+        resumed = Simulator.resume(rundir)
+    assert_feeds_equivalent(baseline, resumed, bitwise=True)

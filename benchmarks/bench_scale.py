@@ -1,0 +1,268 @@
+"""Out-of-core scale benchmark: simulate → analyze at 1M+ agents, gated.
+
+The columnar feed store's claim (:mod:`repro.io.columnar`): population
+size is bounded by disk, not RAM.  This bench drives the whole
+lifecycle — streamed simulate → atomic save → lazy load → streamed
+``compute_daily_metrics`` — with **each phase in its own subprocess**
+so ``ru_maxrss`` measures that phase alone, and gates three promises:
+
+- peak RSS of every phase stays under a fixed budget (the analyze
+  phase never assembles the full population in memory);
+- the streamed analysis sustains a minimum user-days/sec rate;
+- its output is *bitwise* identical to the ``REPRO_STORE_NAIVE=1``
+  eager oracle (compared by SHA-256 of the result arrays).
+
+Two sizes share the machinery: a CI smoke at 30k agents, and the
+full ``-m slow`` run at 1,000,000 agents (~3 minutes of simulate).
+Results land as JSON in ``benchmarks/results/scale.json``.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_scale.py -q            # smoke
+    PYTHONPATH=src python -m pytest benchmarks/bench_scale.py -q -m slow    # 1M agents
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+RESULTS_PATH = Path(__file__).parent / "results" / "scale.json"
+_REPO_ROOT = Path(__file__).parent.parent
+
+GIB = 1024**3
+
+#: Benchmark sizes.  Budgets are hard gates on subprocess peak RSS —
+#: generous against today's measurements (simulate ~1.2 GiB, analyze
+#: ~0.3 GiB at 1M agents) but far below what eager full-population
+#: assembly would need at paper scale, so a regression that quietly
+#: materializes the whole feed trips them.
+SIZES = {
+    "smoke": {
+        "users": 30_000,
+        "days": 4,
+        "shards": 4,
+        "sites": 300,
+        "simulate_rss_budget": int(1.5 * GIB),
+        "analyze_rss_budget": int(1.0 * GIB),
+        "min_user_days_per_sec": 5_000,
+    },
+    "million": {
+        "users": 1_000_000,
+        "days": 4,
+        "shards": 8,
+        "sites": 600,
+        # Streamed analyze measures ~0.83 GiB (mostly resident pages of
+        # the 300 MB mapped payload); the eager oracle needs ~1.54 GiB,
+        # so this budget sits between the two — bounded-memory
+        # streaming passes, full-population assembly fails.
+        "simulate_rss_budget": int(2.0 * GIB),
+        "analyze_rss_budget": int(1.25 * GIB),
+        "min_user_days_per_sec": 50_000,
+    },
+}
+
+BENCH_SEED = 7
+
+
+# ---------------------------------------------------------------------------
+# Child phases (run via ``python benchmarks/bench_scale.py <phase> ...``)
+# ---------------------------------------------------------------------------
+
+
+def _config(users: int, days: int, shards: int, sites: int):
+    import datetime as dt
+
+    from repro.simulation.clock import StudyCalendar
+    from repro.simulation.config import SimulationConfig
+
+    calendar = StudyCalendar(
+        first_day=dt.date(2020, 2, 24), num_days=days
+    )
+    return SimulationConfig(
+        num_users=users,
+        target_site_count=sites,
+        seed=BENCH_SEED,
+        calendar=calendar,
+    ).with_parallelism(shards)
+
+
+def _digest(array) -> str:
+    import hashlib
+
+    import numpy as np
+
+    return hashlib.sha256(np.ascontiguousarray(array).tobytes()).hexdigest()
+
+
+def _peak_rss_bytes() -> int:
+    import resource
+
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    return int(usage.ru_maxrss) * 1024  # Linux reports KiB
+
+
+def _phase_simulate(rundir: Path, size: dict) -> dict:
+    import time
+
+    from repro.io import save_feeds
+    from repro.simulation.engine import Simulator
+
+    config = _config(
+        size["users"], size["days"], size["shards"], size["sites"]
+    )
+    start = time.perf_counter()
+    feeds = Simulator(config).run(stream_dir=rundir)
+    simulate_s = time.perf_counter() - start
+    save_feeds(feeds, rundir)
+    save_s = time.perf_counter() - start - simulate_s
+    payload = sum(
+        file.stat().st_size for file in (rundir / "feeds").rglob("*.npy")
+    )
+    return {
+        "filtered_users": feeds.mobility.num_users,
+        "simulate_seconds": simulate_s,
+        "save_seconds": save_s,
+        "feed_payload_bytes": payload,
+        "peak_rss_bytes": _peak_rss_bytes(),
+    }
+
+
+def _phase_analyze(rundir: Path, size: dict) -> dict:
+    import time
+
+    from repro.core.statistics import compute_daily_metrics
+    from repro.io import load_feeds
+    from repro.io.columnar import ShardedMobilityFeed
+
+    start = time.perf_counter()
+    feeds = load_feeds(rundir, lazy=True)
+    streaming = isinstance(feeds.mobility, ShardedMobilityFeed)
+    metrics = compute_daily_metrics(feeds)
+    elapsed = time.perf_counter() - start
+    user_days = int(metrics.entropy.size)
+    return {
+        "streaming": streaming,
+        "analyze_seconds": elapsed,
+        "user_days": user_days,
+        "user_days_per_sec": user_days / elapsed if elapsed else 0.0,
+        "entropy_sha256": _digest(metrics.entropy),
+        "gyration_sha256": _digest(metrics.gyration_km),
+        "peak_rss_bytes": _peak_rss_bytes(),
+    }
+
+
+_PHASES = {"simulate": _phase_simulate, "analyze": _phase_analyze}
+
+
+def _run_phase(phase: str, rundir: Path, size: dict, *, naive=False) -> dict:
+    """Execute one phase in a fresh interpreter; return its report."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_REPO_ROOT / "src")
+    env.pop("REPRO_STORE_NAIVE", None)
+    if naive:
+        env["REPRO_STORE_NAIVE"] = "1"
+    completed = subprocess.run(
+        [
+            sys.executable,
+            str(Path(__file__).resolve()),
+            phase,
+            str(rundir),
+            json.dumps(size),
+        ],
+        env=env,
+        cwd=_REPO_ROOT,
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    assert completed.returncode == 0, (
+        f"{phase} phase failed:\n{completed.stdout}\n{completed.stderr}"
+    )
+    return json.loads(completed.stdout.splitlines()[-1])
+
+
+def _record(label: str, report: dict) -> None:
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    existing = {}
+    if RESULTS_PATH.exists():
+        existing = json.loads(RESULTS_PATH.read_text())
+    existing[label] = report
+    RESULTS_PATH.write_text(json.dumps(existing, indent=2) + "\n")
+
+
+def _bench(label: str, tmp_path: Path) -> None:
+    size = SIZES[label]
+    rundir = tmp_path / "run"
+
+    simulate = _run_phase("simulate", rundir, size)
+    analyze = _run_phase("analyze", rundir, size)
+    oracle = _run_phase("analyze", rundir, size, naive=True)
+
+    bitwise = (
+        analyze["entropy_sha256"] == oracle["entropy_sha256"]
+        and analyze["gyration_sha256"] == oracle["gyration_sha256"]
+    )
+    report = {
+        "config": {key: size[key] for key in ("users", "days", "shards")},
+        "simulate": simulate,
+        "analyze": analyze,
+        "oracle": {
+            "peak_rss_bytes": oracle["peak_rss_bytes"],
+            "analyze_seconds": oracle["analyze_seconds"],
+            "streaming": oracle["streaming"],
+        },
+        "bitwise_identical": bitwise,
+    }
+    _record(label, report)
+
+    print(f"\nScale benchmark [{label}]")
+    print(
+        f"  simulate {size['users']} agents x {size['days']} days: "
+        f"{simulate['simulate_seconds']:.1f}s + "
+        f"{simulate['save_seconds']:.1f}s save, peak RSS "
+        f"{simulate['peak_rss_bytes'] / GIB:.2f} GiB, payload "
+        f"{simulate['feed_payload_bytes'] / 1e6:.0f} MB"
+    )
+    print(
+        f"  analyze (streamed): {analyze['analyze_seconds']:.1f}s, "
+        f"{analyze['user_days_per_sec']:.0f} user-days/s, peak RSS "
+        f"{analyze['peak_rss_bytes'] / GIB:.2f} GiB "
+        f"(oracle {oracle['peak_rss_bytes'] / GIB:.2f} GiB)"
+    )
+
+    assert analyze["streaming"], "lazy load did not produce a sharded feed"
+    assert not oracle["streaming"], (
+        "REPRO_STORE_NAIVE=1 did not force the eager oracle"
+    )
+    assert bitwise, "streamed metrics diverged from the eager oracle"
+    assert simulate["peak_rss_bytes"] <= size["simulate_rss_budget"], (
+        f"simulate peak RSS {simulate['peak_rss_bytes'] / GIB:.2f} GiB "
+        f"over budget {size['simulate_rss_budget'] / GIB:.2f} GiB"
+    )
+    assert analyze["peak_rss_bytes"] <= size["analyze_rss_budget"], (
+        f"analyze peak RSS {analyze['peak_rss_bytes'] / GIB:.2f} GiB "
+        f"over budget {size['analyze_rss_budget'] / GIB:.2f} GiB"
+    )
+    assert analyze["user_days_per_sec"] >= size["min_user_days_per_sec"], (
+        f"streamed analysis at {analyze['user_days_per_sec']:.0f} "
+        f"user-days/s, below the {size['min_user_days_per_sec']} floor"
+    )
+
+
+def test_scale_smoke(tmp_path):
+    _bench("smoke", tmp_path)
+
+
+@pytest.mark.slow
+def test_scale_million(tmp_path):
+    _bench("million", tmp_path)
+
+
+if __name__ == "__main__":
+    _phase, _rundir, _size = sys.argv[1], Path(sys.argv[2]), sys.argv[3]
+    _report = _PHASES[_phase](_rundir, json.loads(_size))
+    print(json.dumps(_report))

@@ -75,8 +75,14 @@ class Run:
 
     # -- lifecycle ---------------------------------------------------------
     @classmethod
-    def load(cls, directory: str | Path) -> "Run":
+    def load(cls, directory: str | Path, *, lazy: bool = False) -> "Run":
         """Reopen a persisted run directory.
+
+        With ``lazy=True`` the mobility feed is memory-mapped shard by
+        shard instead of materialized (see
+        :func:`repro.io.store.load_feeds`): analysis streams it with
+        bounded peak memory, which is how million-agent runs are meant
+        to be opened.
 
         Raises :class:`~repro.io.store.RunStoreError` when the
         directory is missing, interrupted (use :func:`resume`), or
@@ -84,7 +90,7 @@ class Run:
         """
         from repro.io import load_feeds
 
-        return cls(load_feeds(directory), directory)
+        return cls(load_feeds(directory, lazy=lazy), directory)
 
     def save(self, directory: str | Path | None = None) -> Path:
         """Persist the run (defaults to the directory it came from)."""
@@ -160,6 +166,10 @@ def simulate(
     feeds = simulator.run(
         progress=progress,
         checkpoint_dir=out if checkpoint else None,
+        # Mobility days land directly in the run directory's columnar
+        # partition (bounded peak memory); save() below commits them
+        # in place.  REPRO_STORE_NAIVE=1 disables the streaming.
+        stream_dir=out,
     )
     run = Run(feeds, out)
     run.save()
@@ -187,16 +197,16 @@ def resume(directory: str | Path, progress=None) -> Run:
         # load error (missing/corrupt file) untouched.
         if not CheckpointStore.present(directory):
             raise
-    feeds = Simulator.resume(directory, progress=progress)
+    feeds = Simulator.resume(directory, progress=progress, stream=True)
     run = Run(feeds, directory)
     run.save()
     _clear_checkpoints(directory)
     return run
 
 
-def load(directory: str | Path) -> Run:
+def load(directory: str | Path, *, lazy: bool = False) -> Run:
     """Alias for :meth:`Run.load`."""
-    return Run.load(directory)
+    return Run.load(directory, lazy=lazy)
 
 
 def _clear_checkpoints(directory: str | Path) -> None:

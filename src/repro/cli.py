@@ -15,7 +15,9 @@ shot without touching disk (or, given a run directory, reports on it).
 Every feed-consuming subcommand (``analyze``, ``summary``, ``report``,
 ``verdict``, ``export``) takes the run directory as its positional
 argument; the historical ``--feeds`` flag still works as a deprecated
-alias and warns.
+alias and warns.  They also take ``--lazy``, which memory-maps the
+run's columnar feed partition instead of materializing it (same
+output, bounded peak memory — see :mod:`repro.io.columnar`).
 
 ``simulate --out DIR`` checkpoints every completed shard-day under
 ``DIR/checkpoints`` while running (disable with ``--no-checkpoint``).
@@ -156,6 +158,13 @@ def _add_rundir_args(
     parser.add_argument(
         "--feeds", dest="feeds", default=None, metavar="DIR",
         help="deprecated alias for the positional run directory",
+    )
+    parser.add_argument(
+        "--lazy", action="store_true",
+        help=(
+            "memory-map the run's mobility shards on demand instead of "
+            "materializing them (bounded peak memory; for large runs)"
+        ),
     )
 
 
@@ -318,11 +327,16 @@ def _run_simulate(args: argparse.Namespace, out) -> int:
     target = args.resume if args.resume is not None else args.out
     try:
         if args.resume is not None:
-            feeds = Simulator.resume(target, progress=progress)
+            feeds = Simulator.resume(
+                target, progress=progress, stream=True
+            )
         else:
             feeds = Simulator(_config_from_args(args)).run(
                 progress=progress,
                 checkpoint_dir=None if args.no_checkpoint else target,
+                # Mobility days land directly in the run directory's
+                # columnar partition; save_feeds commits them in place.
+                stream_dir=target,
             )
     except ShardExecutionError as err:
         raise _CliError(
@@ -351,7 +365,13 @@ def _run_command(args: argparse.Namespace, out) -> int:
         from repro.core import CovidImpactStudy
         from repro.io import export_analysis, load_feeds
 
-        study = CovidImpactStudy(_load(load_feeds, _resolve_rundir(args)))
+        study = CovidImpactStudy(
+            _load(
+                load_feeds,
+                _resolve_rundir(args),
+                lazy=getattr(args, "lazy", False),
+            )
+        )
         path = export_analysis(study, args.out)
         print(f"wrote figure CSVs to {path}", file=out)
         return 0
@@ -362,10 +382,14 @@ def _run_command(args: argparse.Namespace, out) -> int:
     if args.command in ("analyze", "summary", "verdict"):
         rundir = _resolve_rundir(args)
         cache = _open_cache(args, rundir)
+        lazy = getattr(args, "lazy", False)
         if args.command == "analyze":
-            print(_report_text(rundir, cache, full=False), file=out)
+            print(
+                _report_text(rundir, cache, full=False, lazy=lazy),
+                file=out,
+            )
             return 0
-        summary = _summary_values(rundir, cache)
+        summary = _summary_values(rundir, cache, lazy=lazy)
         if args.command == "summary":
             for key, value in summary.items():
                 print(f"{key:<42} {value:>12.3f}", file=out)
@@ -382,7 +406,13 @@ def _run_command(args: argparse.Namespace, out) -> int:
         rundir = _resolve_rundir(args, required=False)
         if rundir is not None:
             cache = _open_cache(args, rundir)
-            print(_report_text(rundir, cache, full=False), file=out)
+            print(
+                _report_text(
+                    rundir, cache, full=False,
+                    lazy=getattr(args, "lazy", False),
+                ),
+                file=out,
+            )
         else:
             from repro.core import CovidImpactStudy
 
@@ -402,14 +432,16 @@ def _open_cache(args: argparse.Namespace, rundir):
     return ArtifactCache.open(rundir)
 
 
-def _cached_study(rundir, cache):
+def _cached_study(rundir, cache, lazy: bool = False):
     from repro.core import CovidImpactStudy
     from repro.io import load_feeds
 
-    return CovidImpactStudy(_load(load_feeds, rundir), cache=cache)
+    return CovidImpactStudy(
+        _load(load_feeds, rundir, lazy=lazy), cache=cache
+    )
 
 
-def _report_text(rundir, cache, full: bool) -> str:
+def _report_text(rundir, cache, full: bool, lazy: bool = False) -> str:
     """The rendered report — from the cache alone when warm.
 
     A cache hit skips ``load_feeds`` entirely: the artifact is keyed on
@@ -421,10 +453,10 @@ def _report_text(rundir, cache, full: bool) -> str:
         text = cache.get("report", report_params(full))
         if isinstance(text, str):
             return text
-    return _cached_study(rundir, cache).report(full=full)
+    return _cached_study(rundir, cache, lazy=lazy).report(full=full)
 
 
-def _summary_values(rundir, cache) -> dict:
+def _summary_values(rundir, cache, lazy: bool = False) -> dict:
     """The headline-summary mapping — from the cache alone when warm."""
     if cache is not None:
         from repro.analysis.cache import summary_params
@@ -432,7 +464,7 @@ def _summary_values(rundir, cache) -> dict:
         summary = cache.get("summary", summary_params())
         if isinstance(summary, dict):
             return summary
-    return _cached_study(rundir, cache).summary()
+    return _cached_study(rundir, cache, lazy=lazy).summary()
 
 
 def _run_cache(args: argparse.Namespace, out) -> int:
@@ -467,11 +499,11 @@ def _run_cache(args: argparse.Namespace, out) -> int:
     return 0
 
 
-def _load(load_feeds, directory):
+def _load(load_feeds, directory, lazy: bool = False):
     from repro.io import RunStoreError
 
     try:
-        return load_feeds(directory)
+        return load_feeds(directory, lazy=lazy)
     except RunStoreError as err:
         raise _CliError(str(err)) from err
 

@@ -49,7 +49,12 @@ from repro.core.significance import (
     distribution_shift_test,
     shift_table,
 )
-from repro.core.sessionize import sessionize_events, sessionize_segments
+from repro.core.sessionize import (
+    sessionize_events,
+    sessionize_events_stream,
+    sessionize_segments,
+    sessionize_segments_stream,
+)
 from repro.core.statistics import MobilityDailyMetrics, compute_daily_metrics
 from repro.core.home import HomeDetectionResult, detect_homes
 from repro.core.validation import HomeValidation, validate_against_census
@@ -109,7 +114,9 @@ __all__ = [
     "regional_mobility",
     "relocation_matrix",
     "sessionize_events",
+    "sessionize_events_stream",
     "sessionize_segments",
+    "sessionize_segments_stream",
     "validate_against_census",
     "voice_series",
     "weekly_median_delta",

@@ -12,16 +12,35 @@ dwell seconds.
 This is the measurement path of the *event-mode* pipeline; the
 dwell-mode pipeline gets the same quantities directly from the
 simulator. A consistency test asserts they agree.
+
+At scale the day's event feed is too large to sessionize in one piece;
+:func:`sessionize_segments_stream` / :func:`sessionize_events_stream`
+process an iterable of *user-partitioned* chunks (each user's events
+wholly inside one chunk — the engine's shard partition satisfies this
+by construction) one at a time, then merge with a stable sort on
+``user_id``.  Because every function here is per-user (segment chains
+never cross users, dwell sums group on ``user_id`` first) and each
+chunk result is already in the whole-feed order *within* its users,
+the merged output is bitwise identical to sessionizing the
+concatenated feed — the PR 1 associative-merge discipline applied to
+the measurement path.
 """
 
 from __future__ import annotations
+
+from collections.abc import Iterable
 
 import numpy as np
 
 from repro import telemetry
 from repro.frames import Frame
 
-__all__ = ["sessionize_events", "sessionize_segments"]
+__all__ = [
+    "sessionize_events",
+    "sessionize_events_stream",
+    "sessionize_segments",
+    "sessionize_segments_stream",
+]
 
 DAY_SECONDS = 86_400.0
 
@@ -132,3 +151,67 @@ def sessionize_events(events: Frame, day_end_s: float = DAY_SECONDS) -> Frame:
         dwell_s=("dwell_s", "sum")
     )
     return out.filter(out["dwell_s"] > 0)
+
+
+def _merge_user_partitioned(
+    pieces: list[Frame], empty: Frame
+) -> Frame:
+    """Concatenate per-chunk results and restore whole-feed order.
+
+    Each piece is already sorted in the whole-feed output order within
+    its own users, and no user spans two pieces, so one *stable* sort
+    on ``user_id`` alone reproduces the exact row order (hence the
+    exact bytes) of the unchunked computation.
+    """
+    pieces = [piece for piece in pieces if len(piece)]
+    if not pieces:
+        return empty
+    if len(pieces) == 1:
+        return pieces[0]
+    from repro.frames import concat
+
+    return concat(pieces).sort_by("user_id")
+
+
+@telemetry.timed("sessionize_segments_stream")
+def sessionize_segments_stream(
+    chunks: Iterable[Frame], day_end_s: float = DAY_SECONDS
+) -> Frame:
+    """:func:`sessionize_segments` over user-partitioned event chunks.
+
+    ``chunks`` yields event frames with no user appearing in more than
+    one chunk (e.g. one frame per engine shard).  Chunks are
+    sessionized one at a time — peak memory is the largest chunk, not
+    the whole feed — and merged by a stable ``user_id`` sort; the
+    result is bitwise identical to sessionizing the concatenated feed.
+    """
+    pieces = [
+        sessionize_segments(chunk, day_end_s=day_end_s)
+        for chunk in chunks
+    ]
+    return _merge_user_partitioned(pieces, _empty_segments())
+
+
+@telemetry.timed("sessionize_events_stream")
+def sessionize_events_stream(
+    chunks: Iterable[Frame], day_end_s: float = DAY_SECONDS
+) -> Frame:
+    """:func:`sessionize_events` over user-partitioned event chunks.
+
+    Same contract as :func:`sessionize_segments_stream`: each chunk is
+    reduced independently (all of a user's rows are inside one chunk,
+    so per-(user, tower) dwell sums see the same addends in the same
+    order), then merged with a stable ``user_id`` sort — bitwise
+    identical to the unchunked reduction.
+    """
+    pieces = [
+        sessionize_events(chunk, day_end_s=day_end_s) for chunk in chunks
+    ]
+    empty = Frame(
+        {
+            "user_id": np.empty(0, dtype=np.int64),
+            "site_id": np.empty(0, dtype=np.int64),
+            "dwell_s": np.empty(0, dtype=np.float64),
+        }
+    )
+    return _merge_user_partitioned(pieces, empty)

@@ -15,6 +15,15 @@ verbatim, behind ``REPRO_ANALYSIS_NAIVE=1`` as the differential oracle
 (the same pattern as ``REPRO_FRAMES_NAIVE`` for the frames kernels).
 The chunk size is capped so the flattened float64 work buffer stays
 small regardless of the study scale; ``batch_days`` overrides it.
+
+A lazily loaded run (``load_feeds(..., lazy=True)``) hands this module
+a :class:`~repro.io.columnar.ShardedMobilityFeed`; the computation then
+*streams* shard by shard straight off the memory-mapped partition —
+peak memory is one shard × one day batch, independent of the
+population, and the same row independence keeps the scattered results
+bitwise identical to the in-memory path.  ``REPRO_STORE_NAIVE=1``
+forces full-population assembly instead (the streaming path's
+differential oracle).
 """
 
 from __future__ import annotations
@@ -24,6 +33,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.metrics import mobility_entropy, radius_of_gyration
 from repro.simulation.feeds import DataFeeds
 
@@ -161,6 +171,13 @@ def compute_daily_metrics(
         return _compute_daily_metrics_loop(feeds, gyration_mode, top_towers)
 
     mobility = feeds.mobility
+    shards = getattr(mobility, "shards", None)
+    if shards is not None and os.environ.get("REPRO_STORE_NAIVE") != "1":
+        # Columnar run opened lazily: stream it shard by shard instead
+        # of assembling full-population day matrices.
+        return _compute_daily_metrics_stream(
+            feeds, gyration_mode, top_towers, batch_days
+        )
     site_lats, site_lons = feeds.site_locations()
     anchor_sites = mobility.anchor_sites
     lats = site_lats[anchor_sites]
@@ -222,6 +239,84 @@ def compute_daily_metrics(
         entropy=entropy,
         gyration_km=gyration,
     )
+
+
+def _compute_daily_metrics_stream(
+    feeds: DataFeeds,
+    gyration_mode: str,
+    top_towers: int,
+    batch_days: int | None,
+) -> MobilityDailyMetrics:
+    """Shard-streaming metrics over a lazily mapped columnar run.
+
+    One shard at a time, a day batch of that shard's dwell rows is read
+    off the memory map into the float64 work buffer, filtered and fed
+    through the kernels, and the results scattered into the output
+    matrices at the shard's population rows.  Both kernels are strictly
+    row-independent and the float64→float32 store is elementwise, so
+    the result is bitwise identical to the in-memory batch path and the
+    per-day loop — peak memory is ``O(shard × batch)`` instead of
+    ``O(population × days)``.
+    """
+    mobility = feeds.mobility
+    site_lats, site_lons = feeds.site_locations()
+    num_days = mobility.num_days
+    num_users = mobility.num_users
+    entropy = np.empty((num_days, num_users), dtype=np.float32)
+    gyration = np.empty((num_days, num_users), dtype=np.float32)
+    metrics = MobilityDailyMetrics(
+        user_ids=mobility.user_ids,
+        entropy=entropy,
+        gyration_km=gyration,
+    )
+    if num_days == 0 or num_users == 0:
+        return metrics
+
+    for shard in mobility.shards:
+        rows = shard.num_rows
+        if rows == 0:
+            continue
+        telemetry.count("store.shards_streamed", 1)
+        anchor_sites = shard.anchor_sites
+        lats = site_lats[anchor_sites]
+        lons = site_lons[anchor_sites]
+        k = anchor_sites.shape[1]
+        if batch_days is None:
+            per_day = max(rows * k * 8, 1)
+            chunk_days = max(1, _BATCH_TARGET_BYTES // per_day)
+            if chunk_days < _MIN_AUTO_BATCH_DAYS:
+                # Large shard: one day is already a big kernel call
+                # (same measured trade-off as the in-memory path).
+                chunk_days = 1
+        else:
+            chunk_days = batch_days
+        chunk_days = max(1, min(int(chunk_days), num_days))
+
+        buffer = np.empty((chunk_days * rows, k), dtype=np.float64)
+        tiled_sites = np.tile(anchor_sites, (chunk_days, 1))
+        tiled_lats = np.tile(lats, (chunk_days, 1))
+        tiled_lons = np.tile(lons, (chunk_days, 1))
+        for start in range(0, num_days, chunk_days):
+            stop = min(start + chunk_days, num_days)
+            count = (stop - start) * rows
+            chunk = buffer[:count]
+            for offset, day in enumerate(range(start, stop)):
+                np.copyto(
+                    chunk[offset * rows:(offset + 1) * rows],
+                    shard.daily_dwell[day],
+                    casting="same_kind",
+                )
+            top_tower_filter(chunk, top_towers, out=chunk)
+            entropy[start:stop, shard.rows] = mobility_entropy(
+                chunk, tiled_sites[:count]
+            ).reshape(stop - start, rows)
+            gyration[start:stop, shard.rows] = radius_of_gyration(
+                chunk,
+                tiled_lats[:count],
+                tiled_lons[:count],
+                mode=gyration_mode,
+            ).reshape(stop - start, rows)
+    return metrics
 
 
 def _compute_daily_metrics_loop(

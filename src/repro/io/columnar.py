@@ -1,0 +1,472 @@
+"""Shard-partitioned columnar on-disk layout for the mobility feeds.
+
+The paper's substrate is 22M subscribers; holding every per-user
+per-day dwell matrix in RAM caps a reproduction at laptop-memory
+populations.  This module stores the mobility feed *out of core*
+instead: one memory-mappable ``.npy`` file per shard × column under
+``<run>/feeds/``, partitioned by the same deterministic user sharding
+the parallel engine executes with (:mod:`repro.simulation.sharding`)::
+
+    <run>/feeds/
+      shard-0000/
+        rows.npy          # population row indices of the shard's users
+        user_ids.npy
+        anchor_sites.npy  # (n, NUM_ANCHORS)
+        daily_dwell.npy   # (num_days, n, NUM_ANCHORS) float32
+        night_dwell.npy   # same shape, post-dropout
+      shard-0001/
+        ...
+
+Three cooperating pieces:
+
+- :class:`ColumnarWriter` — creates the partition and accepts one
+  merged day at a time (``write_day``), so the engine can land shard
+  outputs directly on disk instead of accumulating 98 days of matrices
+  in RAM.  All files are written under temporary names;
+  :meth:`ColumnarWriter.commit` flushes and atomically renames them
+  (the tmp+rename pattern of :mod:`repro.analysis.cache`), returning
+  the relative paths for the manifest's per-shard digests.
+- :class:`ShardedMobilityFeed` — a
+  :class:`~repro.simulation.feeds.MobilityFeed`-compatible view over
+  the partition.  ``dwell(day)`` / ``night(day)`` assemble one day at
+  a time from the shard maps, so every existing day-at-a-time consumer
+  (home detection, relocation, the mobility graph) runs with bounded
+  peak memory unchanged; streaming reductions iterate ``shards``
+  directly.
+- :func:`open_columnar` — reopens a partition, either *lazy*
+  (``np.load(mmap_mode="r")``: shards are mapped, pages fault in on
+  demand) or eager (:func:`materialize` rebuilds the plain in-memory
+  :class:`~repro.simulation.feeds.MobilityFeed`).
+
+``REPRO_STORE_NAIVE=1`` (read at call time, like the other naive
+switches) forces the eager in-memory path everywhere — it is the
+differential oracle the streaming results are asserted bitwise against.
+
+Telemetry: ``store.bytes_mapped`` counts bytes opened for on-demand
+mapping, ``store.shards_streamed`` counts shard partitions fed through
+a streaming reduction, and ``store.digest_verifications`` (bumped by
+:mod:`repro.io.store`) counts files checked against manifest digests.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro import telemetry
+from repro.io.errors import RunStoreError
+from repro.simulation.feeds import MobilityFeed
+
+__all__ = [
+    "FEEDS_SUBDIR",
+    "SHARD_COLUMNS",
+    "ColumnarWriter",
+    "MobilityShard",
+    "ShardedMobilityFeed",
+    "materialize",
+    "open_columnar",
+    "shard_dir_name",
+    "shard_relative_paths",
+    "use_naive",
+]
+
+FEEDS_SUBDIR = "feeds"
+
+#: The five columns of one shard directory.  ``rows``/``user_ids``/
+#: ``anchor_sites`` are small and always materialized; the two dwell
+#: stacks are the out-of-core payload.
+SHARD_COLUMNS = (
+    "rows",
+    "user_ids",
+    "anchor_sites",
+    "daily_dwell",
+    "night_dwell",
+)
+
+_DWELL_COLUMNS = ("daily_dwell", "night_dwell")
+
+
+def use_naive() -> bool:
+    """Whether ``REPRO_STORE_NAIVE=1`` forces the in-memory oracle path.
+
+    Read at call time so tests (and users) can flip the environment
+    variable between calls without reimporting.
+    """
+    return os.environ.get("REPRO_STORE_NAIVE") == "1"
+
+
+def shard_dir_name(index: int) -> str:
+    return f"shard-{index:04d}"
+
+
+def shard_relative_paths(num_shards: int) -> list[str]:
+    """Manifest-relative paths of every shard column file, in order."""
+    return [
+        f"{FEEDS_SUBDIR}/{shard_dir_name(index)}/{column}.npy"
+        for index in range(num_shards)
+        for column in SHARD_COLUMNS
+    ]
+
+
+@dataclass
+class MobilityShard:
+    """One shard of the columnar partition.
+
+    ``rows`` are the shard's indices into population row order
+    (ascending); the dwell stacks are ``(num_days, n, NUM_ANCHORS)``
+    and may be memory maps (lazy open) or plain arrays.
+    """
+
+    index: int
+    rows: np.ndarray
+    user_ids: np.ndarray
+    anchor_sites: np.ndarray
+    daily_dwell: np.ndarray
+    night_dwell: np.ndarray
+
+    @property
+    def num_rows(self) -> int:
+        return int(self.rows.shape[0])
+
+
+class _DayStack:
+    """Sequence view presenting per-shard stacks as a list of day matrices.
+
+    Keeps :class:`ShardedMobilityFeed` drop-in compatible with code
+    written against ``MobilityFeed.daily_dwell[day]`` — each access
+    assembles exactly one day, so iteration stays bounded-memory.
+    """
+
+    def __init__(self, feed: "ShardedMobilityFeed", column: str) -> None:
+        self._feed = feed
+        self._column = column
+
+    def __len__(self) -> int:
+        return self._feed.num_days
+
+    def __getitem__(self, day):
+        if isinstance(day, slice):
+            return [self[index] for index in range(*day.indices(len(self)))]
+        day = int(day)
+        if day < 0:
+            day += len(self)
+        if not 0 <= day < len(self):
+            raise IndexError(f"day {day} out of range")
+        return self._feed._assemble(self._column, day)
+
+    def __iter__(self):
+        return (self[day] for day in range(len(self)))
+
+
+class ShardedMobilityFeed:
+    """A mobility feed assembled on demand from its columnar shards.
+
+    Drop-in for :class:`~repro.simulation.feeds.MobilityFeed`:
+    ``user_ids`` / ``anchor_sites`` are assembled once (they are small),
+    ``dwell(day)`` / ``night(day)`` / ``daily_dwell[day]`` materialize
+    one full-population day matrix per call, and streaming consumers
+    read :attr:`shards` directly for bounded per-shard access.
+    """
+
+    def __init__(
+        self,
+        shards: list[MobilityShard],
+        *,
+        bin_dwell: list[np.ndarray] | None = None,
+        pending_writer: "ColumnarWriter | None" = None,
+    ) -> None:
+        if not shards:
+            raise ValueError("a sharded feed needs at least one shard")
+        self.shards = list(shards)
+        self.bin_dwell = bin_dwell
+        #: Set while the backing files are still uncommitted (engine
+        #: streaming mode); :func:`repro.io.store.save_feeds` commits
+        #: the writer instead of rewriting the arrays.
+        self.pending_writer = pending_writer
+        total = sum(shard.num_rows for shard in self.shards)
+        first = self.shards[0]
+        self.user_ids = np.empty(total, dtype=first.user_ids.dtype)
+        self.anchor_sites = np.empty(
+            (total, first.anchor_sites.shape[1]),
+            dtype=first.anchor_sites.dtype,
+        )
+        for shard in self.shards:
+            if shard.rows.size:
+                self.user_ids[shard.rows] = shard.user_ids
+                self.anchor_sites[shard.rows] = shard.anchor_sites
+
+    @property
+    def num_users(self) -> int:
+        return int(self.user_ids.shape[0])
+
+    @property
+    def num_days(self) -> int:
+        return int(self.shards[0].daily_dwell.shape[0])
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def daily_dwell(self) -> _DayStack:
+        return _DayStack(self, "daily_dwell")
+
+    @property
+    def night_dwell(self) -> _DayStack:
+        return _DayStack(self, "night_dwell")
+
+    def dwell(self, day: int) -> np.ndarray:
+        """Full-day dwell seconds, shape (num_users, num_anchors)."""
+        return self._assemble("daily_dwell", day)
+
+    def night(self, day: int) -> np.ndarray:
+        """Nighttime dwell seconds, shape (num_users, num_anchors)."""
+        return self._assemble("night_dwell", day)
+
+    def _assemble(self, column: str, day: int) -> np.ndarray:
+        first = self.shards[0]
+        stack = getattr(first, column)
+        out = np.empty(
+            (self.num_users, self.anchor_sites.shape[1]),
+            dtype=stack.dtype,
+        )
+        for shard in self.shards:
+            if shard.rows.size:
+                out[shard.rows] = getattr(shard, column)[day]
+        return out
+
+
+def materialize(feed: ShardedMobilityFeed) -> MobilityFeed:
+    """Rebuild the plain in-memory feed, one assembled day at a time."""
+    return MobilityFeed(
+        user_ids=feed.user_ids,
+        anchor_sites=feed.anchor_sites,
+        daily_dwell=[feed.dwell(day) for day in range(feed.num_days)],
+        night_dwell=[feed.night(day) for day in range(feed.num_days)],
+        bin_dwell=feed.bin_dwell,
+    )
+
+
+def _save_npy(path: Path, array: np.ndarray) -> None:
+    """``np.save`` to the exact path (no implicit ``.npy`` suffixing)."""
+    with open(path, "wb") as handle:
+        np.save(handle, array)
+
+
+def _create_stack(path: Path, shape: tuple[int, ...]) -> np.ndarray:
+    """A float32 output array backed by ``path`` when it has any bytes.
+
+    Zero-size stacks (empty shards, zero-day calendars) cannot be
+    memory-mapped, so they are held in RAM (they are free) and written
+    by ``np.save`` at commit time.
+    """
+    if int(np.prod(shape)) == 0:
+        return np.zeros(shape, dtype=np.float32)
+    from numpy.lib.format import open_memmap
+
+    return open_memmap(path, mode="w+", dtype=np.float32, shape=shape)
+
+
+class ColumnarWriter:
+    """Creates one run's feed partition, a day at a time, atomically.
+
+    ``shard_indices`` follows the engine's convention: a list of
+    population row-index arrays, or ``[None]`` for the serial
+    whole-population shard.  Dwell stacks stream straight into
+    ``*.npy.tmp`` memory maps as :meth:`write_day` is called;
+    :meth:`commit` flushes, writes the small identity columns, and
+    atomically renames everything into place.  Until commit, a crash
+    leaves only ``*.tmp`` files — a reader never half-accepts them.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        shard_indices: list[np.ndarray | None],
+        user_ids: np.ndarray,
+        anchor_sites: np.ndarray,
+        num_days: int,
+    ) -> None:
+        self.run_directory = Path(directory)
+        self.feeds_directory = self.run_directory / FEEDS_SUBDIR
+        self.num_days = int(num_days)
+        self._rows: list[np.ndarray] = [
+            np.arange(user_ids.shape[0], dtype=np.int64)
+            if indices is None
+            else np.asarray(indices, dtype=np.int64)
+            for indices in shard_indices
+        ]
+        self._user_ids = user_ids
+        self._anchor_sites = anchor_sites
+        self._daily: list[np.ndarray] = []
+        self._night: list[np.ndarray] = []
+        num_anchors = anchor_sites.shape[1]
+        for index, rows in enumerate(self._rows):
+            shard_dir = self.feeds_directory / shard_dir_name(index)
+            shard_dir.mkdir(parents=True, exist_ok=True)
+            shape = (self.num_days, rows.shape[0], num_anchors)
+            self._daily.append(
+                _create_stack(self._tmp(index, "daily_dwell"), shape)
+            )
+            self._night.append(
+                _create_stack(self._tmp(index, "night_dwell"), shape)
+            )
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._rows)
+
+    def _final(self, index: int, column: str) -> Path:
+        return self.feeds_directory / shard_dir_name(index) / f"{column}.npy"
+
+    def _tmp(self, index: int, column: str) -> Path:
+        final = self._final(index, column)
+        return final.with_name(final.name + ".tmp")
+
+    def write_day(
+        self, day: int, daily: np.ndarray, night: np.ndarray
+    ) -> None:
+        """Land one merged day's rows in every shard's partition."""
+        for rows, daily_out, night_out in zip(
+            self._rows, self._daily, self._night
+        ):
+            if rows.size:
+                daily_out[day] = daily[rows]
+                night_out[day] = night[rows]
+
+    def write_all(self, mobility) -> None:
+        """Stream every day of an existing feed through the writer."""
+        for day in range(self.num_days):
+            self.write_day(day, mobility.dwell(day), mobility.night(day))
+
+    def finish(
+        self, bin_dwell: list[np.ndarray] | None = None
+    ) -> ShardedMobilityFeed:
+        """The feed view over the (still uncommitted) partition."""
+        shards = [
+            MobilityShard(
+                index=index,
+                rows=rows,
+                user_ids=self._user_ids[rows],
+                anchor_sites=self._anchor_sites[rows],
+                daily_dwell=daily,
+                night_dwell=night,
+            )
+            for index, (rows, daily, night) in enumerate(
+                zip(self._rows, self._daily, self._night)
+            )
+        ]
+        return ShardedMobilityFeed(
+            shards, bin_dwell=bin_dwell, pending_writer=self
+        )
+
+    def commit(self) -> list[str]:
+        """Flush, rename every column into place, drop stale shards.
+
+        Returns the manifest-relative paths of the committed files (the
+        digest set).  Every rename is atomic; the caller's manifest
+        write is the overall commit point.
+        """
+        with telemetry.span("columnar_commit") as sp:
+            written = 0
+            for index, rows in enumerate(self._rows):
+                for column, array in (
+                    ("rows", rows),
+                    ("user_ids", self._user_ids[rows]),
+                    ("anchor_sites", self._anchor_sites[rows]),
+                ):
+                    _save_npy(self._tmp(index, column), array)
+                for column, stack in (
+                    ("daily_dwell", self._daily[index]),
+                    ("night_dwell", self._night[index]),
+                ):
+                    tmp = self._tmp(index, column)
+                    if isinstance(stack, np.memmap):
+                        stack.flush()
+                    else:
+                        _save_npy(tmp, stack)
+                for column in SHARD_COLUMNS:
+                    tmp = self._tmp(index, column)
+                    os.replace(tmp, self._final(index, column))
+                    written += self._final(index, column).stat().st_size
+            self._drop_stale_shards()
+            sp.add("bytes", written)
+        return shard_relative_paths(self.num_shards)
+
+    def _drop_stale_shards(self) -> None:
+        """Remove shard directories a previous save left behind.
+
+        A re-save with a different shard count must not leave orphan
+        ``shard-*`` directories that the new manifest never mentions.
+        """
+        import shutil
+
+        for entry in sorted(self.feeds_directory.glob("shard-*")):
+            try:
+                index = int(entry.name.split("-", 1)[1])
+            except (IndexError, ValueError):
+                continue
+            if index >= self.num_shards and entry.is_dir():
+                shutil.rmtree(entry, ignore_errors=True)
+
+
+def _load_column(path: Path, *, lazy: bool) -> np.ndarray:
+    if not path.exists():
+        raise RunStoreError(
+            f"saved run is missing feed shard file {path}", path=path
+        )
+    try:
+        if lazy:
+            try:
+                array = np.load(path, mmap_mode="r")
+                telemetry.count("store.bytes_mapped", int(array.nbytes))
+                return array
+            except ValueError:
+                # Zero-size stacks cannot be mapped; fall through to a
+                # plain read (they cost nothing in memory).
+                pass
+        return np.load(path)
+    except RunStoreError:
+        raise
+    except Exception as err:
+        raise RunStoreError(
+            f"corrupt feed shard file {path}: {err}", path=path
+        ) from err
+
+
+def open_columnar(
+    directory: str | Path, num_shards: int, *, lazy: bool
+) -> ShardedMobilityFeed:
+    """Reopen a committed feed partition.
+
+    ``lazy`` keeps the dwell stacks as read-only memory maps; otherwise
+    they are read into RAM (the small identity columns always are).
+    Raises :class:`~repro.io.errors.RunStoreError` naming the precise
+    file for anything missing, truncated or malformed.
+    """
+    path = Path(directory)
+    shards = []
+    for index in range(num_shards):
+        shard_dir = path / FEEDS_SUBDIR / shard_dir_name(index)
+        columns = {
+            column: _load_column(
+                shard_dir / f"{column}.npy",
+                lazy=lazy and column in _DWELL_COLUMNS,
+            )
+            for column in SHARD_COLUMNS
+        }
+        shard = MobilityShard(index=index, **columns)
+        for column in _DWELL_COLUMNS:
+            stack = getattr(shard, column)
+            if stack.ndim != 3 or stack.shape[1] != shard.num_rows:
+                raise RunStoreError(
+                    f"feed shard file {shard_dir / (column + '.npy')} has "
+                    f"shape {stack.shape}, inconsistent with its "
+                    f"{shard.num_rows} rows",
+                    path=shard_dir / f"{column}.npy",
+                )
+        shards.append(shard)
+    return ShardedMobilityFeed(shards)

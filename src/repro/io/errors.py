@@ -1,0 +1,27 @@
+"""The feed-store error type, importable from every storage layer.
+
+Lives in its own module so :mod:`repro.io.store` (the run-directory
+lifecycle) and :mod:`repro.io.columnar` (the shard-partitioned feed
+partition) can both raise it without importing each other.  The public
+import path stays ``repro.io.store.RunStoreError`` (re-exported there
+and from :mod:`repro.io`).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = ["RunStoreError"]
+
+
+class RunStoreError(ValueError):
+    """A saved-run directory is missing, partial, or corrupt.
+
+    ``path`` names the offending file or directory.  Subclasses
+    ``ValueError`` so code written against the historical error type
+    keeps working.
+    """
+
+    def __init__(self, message: str, *, path: str | Path | None = None):
+        super().__init__(message)
+        self.path = None if path is None else Path(path)

@@ -1,19 +1,35 @@
 """Directory layout and (de)serialization for data feeds.
 
-Layout of a saved run::
+Layout of a saved run (format version 2)::
 
     <dir>/
-      manifest.json        # provenance: sizes, window, versions
+      manifest.json        # provenance: sizes, window, versions (commit point)
       config.pkl           # exact SimulationConfig (nested dataclasses)
       radio_kpis.csv       # daily per-cell KPI medians
       rat_time.csv         # RAT connected-time feed
-      mobility.npz         # user ids, anchor sites, dwell stacks
+      feeds/               # shard-partitioned columnar mobility store
+        shard-0000/
+          rows.npy user_ids.npy anchor_sites.npy
+          daily_dwell.npy night_dwell.npy
+        shard-0001/ ...
       checkpoints/         # per-shard-day partial state, while running
+      cache/               # analysis artifact cache (repro.analysis.cache)
 
-The world (geography, topology, subscriber base, agents) is *not*
-stored: it is a pure function of the configuration and is rebuilt on
-load, which keeps saved runs small and guarantees the reloaded bundle
-is exactly what the simulator produced.
+The mobility feed — by far the largest payload — is partitioned by the
+engine's deterministic user sharding into one memory-mappable ``.npy``
+file per shard × column (:mod:`repro.io.columnar`), so
+``load_feeds(..., lazy=True)`` can map a million-agent run without
+materializing it.  Format version 1 (a single ``mobility.npz``) is
+still read.  The world (geography, topology, subscriber base, agents)
+is *not* stored: it is a pure function of the configuration and is
+rebuilt on load, which keeps saved runs small and guarantees the
+reloaded bundle is exactly what the simulator produced.
+
+Persistence is atomic: every file is written under a temporary name and
+``os.replace``d into place, and ``manifest.json`` is written last as
+the commit point.  A crash mid-save therefore leaves either the old
+run intact or a directory without a (matching) manifest — never a
+half-written file a reader would silently accept.
 
 Every way a run directory can be wrong — missing, interrupted, a file
 deleted, truncated or bit-flipped — surfaces as :class:`RunStoreError`
@@ -27,6 +43,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import pickle
 from pathlib import Path
 
@@ -35,6 +52,14 @@ import numpy as np
 from repro import telemetry
 from repro.frames import read_csv, write_csv
 from repro.geo.nspl import PostcodeLookup
+from repro.io import columnar
+from repro.io.columnar import (
+    ColumnarWriter,
+    ShardedMobilityFeed,
+    materialize,
+    open_columnar,
+)
+from repro.io.errors import RunStoreError
 from repro.simulation.feeds import DataFeeds, MobilityFeed
 
 __all__ = ["RunStoreError", "save_feeds", "load_feeds"]
@@ -43,15 +68,20 @@ _MANIFEST = "manifest.json"
 _CONFIG = "config.pkl"
 _KPIS = "radio_kpis.csv"
 _RAT = "rat_time.csv"
-_MOBILITY = "mobility.npz"
+_MOBILITY = "mobility.npz"  # format version 1 only
 
 _MOBILITY_KEYS = ("user_ids", "anchor_sites", "daily_dwell", "night_dwell")
 
-#: Files whose SHA-256 payload digests are recorded in the manifest at
-#: save time and verified on load.  The analysis artifact cache keys on
-#: these digests (config.pkl included: the world — geography, topology,
-#: calendar — is rebuilt from it, so it co-determines every artifact).
-_DIGESTED_FILES = (_KPIS, _RAT, _MOBILITY, _CONFIG)
+#: Small files whose SHA-256 payload digests are recorded in the
+#: manifest at save time and verified on load; the per-shard columnar
+#: files are digested alongside them.  The analysis artifact cache keys
+#: on the full digest map (config.pkl included: the world — geography,
+#: topology, calendar — is rebuilt from it, so it co-determines every
+#: artifact).
+_DIGESTED_FILES = (_KPIS, _RAT, _CONFIG)
+
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 def _sha256_file(path: Path) -> str:
@@ -62,21 +92,72 @@ def _sha256_file(path: Path) -> str:
     return sha.hexdigest()
 
 
-class RunStoreError(ValueError):
-    """A saved-run directory is missing, partial, or corrupt.
+def _replace_into_place(tmp: Path, final: Path) -> None:
+    os.replace(tmp, final)
 
-    ``path`` names the offending file or directory.  Subclasses
-    ``ValueError`` so code written against the historical error type
-    keeps working.
+
+def _atomic_csv(frame, final: Path) -> None:
+    tmp = final.with_name(final.name + ".tmp")
+    write_csv(frame, tmp)
+    _replace_into_place(tmp, final)
+
+
+def _atomic_pickle(obj, final: Path) -> None:
+    tmp = final.with_name(final.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        pickle.dump(obj, handle)
+    _replace_into_place(tmp, final)
+
+
+def _atomic_text(text: str, final: Path) -> None:
+    tmp = final.with_name(final.name + ".tmp")
+    tmp.write_text(text, encoding="utf-8")
+    _replace_into_place(tmp, final)
+
+
+def _commit_mobility(feeds: DataFeeds, path: Path) -> tuple[list[str], int]:
+    """Land the mobility partition on disk; return (rel paths, K).
+
+    A feed that is already streaming into ``path`` (the engine's
+    ``stream_dir`` mode leaves :attr:`ShardedMobilityFeed.pending_writer`
+    set) just commits its writer — nothing is rewritten.  Anything else
+    is streamed through a fresh :class:`ColumnarWriter` one day at a
+    time, partitioned exactly as the engine would (the run's configured
+    shard count over the stable user hash), so saving a feed produces
+    byte-identical files whether it was streamed or held in memory.
     """
+    mobility = feeds.mobility
+    writer = getattr(mobility, "pending_writer", None)
+    if writer is not None and writer.run_directory == path:
+        relative = writer.commit()
+        mobility.pending_writer = None
+        return relative, writer.num_shards
 
-    def __init__(self, message: str, *, path: str | Path | None = None):
-        super().__init__(message)
-        self.path = None if path is None else Path(path)
+    from repro.simulation.sharding import parallelism_of, shard_user_indices
+
+    num_shards = parallelism_of(feeds.config).num_shards
+    indices = shard_user_indices(mobility.user_ids, num_shards)
+    writer = ColumnarWriter(
+        path,
+        list(indices),
+        mobility.user_ids,
+        mobility.anchor_sites,
+        mobility.num_days,
+    )
+    writer.write_all(mobility)
+    relative = writer.commit()
+    if writer is getattr(mobility, "pending_writer", None):
+        mobility.pending_writer = None
+    return relative, num_shards
 
 
 def save_feeds(feeds: DataFeeds, directory: str | Path) -> Path:
-    """Persist a simulation run to ``directory`` (created if missing)."""
+    """Persist a simulation run to ``directory`` (created if missing).
+
+    All writes are atomic (tmp + rename), with ``manifest.json``
+    written last as the commit point; a crash mid-save never leaves a
+    file a reader would half-accept.
+    """
     if feeds.config is None:
         raise ValueError(
             "feeds carry no config; only simulator-produced bundles can "
@@ -86,28 +167,23 @@ def save_feeds(feeds: DataFeeds, directory: str | Path) -> Path:
     path.mkdir(parents=True, exist_ok=True)
 
     with telemetry.span("save_feeds") as sp:
-        write_csv(feeds.radio_kpis, path / _KPIS)
-        write_csv(feeds.rat_time, path / _RAT)
-
         mobility = feeds.mobility
-        np.savez_compressed(
-            path / _MOBILITY,
-            user_ids=mobility.user_ids,
-            anchor_sites=mobility.anchor_sites,
-            daily_dwell=np.stack(mobility.daily_dwell),
-            night_dwell=np.stack(mobility.night_dwell),
-        )
-        with open(path / _CONFIG, "wb") as handle:
-            pickle.dump(feeds.config, handle)
+        shard_files, num_shards = _commit_mobility(feeds, path)
+        _atomic_csv(feeds.radio_kpis, path / _KPIS)
+        _atomic_csv(feeds.rat_time, path / _RAT)
+        _atomic_pickle(feeds.config, path / _CONFIG)
+        # A re-save over a format-1 run supersedes its archive.
+        (path / _MOBILITY).unlink(missing_ok=True)
 
         from repro.simulation.sharding import parallelism_of
 
         parallelism = parallelism_of(feeds.config)
         digests = {
-            name: _sha256_file(path / name) for name in _DIGESTED_FILES
+            name: _sha256_file(path / name)
+            for name in (*_DIGESTED_FILES, *shard_files)
         }
         manifest = {
-            "format_version": 1,
+            "format_version": _FORMAT_VERSION,
             "num_users": int(mobility.num_users),
             "num_days": int(mobility.num_days),
             "num_kpi_rows": len(feeds.radio_kpis),
@@ -120,6 +196,13 @@ def save_feeds(feeds: DataFeeds, directory: str | Path) -> Path:
             "parallelism": {
                 "num_shards": parallelism.num_shards,
                 "workers": parallelism.workers,
+            },
+            # The on-disk mobility partition (storage layout; always the
+            # configured shard count, even when the run executed
+            # serially).
+            "feeds": {
+                "layout": "columnar",
+                "num_shards": num_shards,
             },
             # Content addresses of the persisted feed payloads: the
             # inputs of every analysis-cache key, and the integrity
@@ -134,9 +217,8 @@ def save_feeds(feeds: DataFeeds, directory: str | Path) -> Path:
             manifest["telemetry"] = feeds.telemetry
         sp.add("kpi_rows", len(feeds.radio_kpis))
         sp.add("rat_rows", len(feeds.rat_time))
-        (path / _MANIFEST).write_text(
-            json.dumps(manifest, indent=2), encoding="utf-8"
-        )
+        sp.add("shards", num_shards)
+        _atomic_text(json.dumps(manifest, indent=2), path / _MANIFEST)
     return path
 
 
@@ -163,7 +245,7 @@ def _read_manifest(path: Path) -> dict:
             f"unreadable manifest {manifest_path}: {err}",
             path=manifest_path,
         ) from err
-    if manifest.get("format_version") != 1:
+    if manifest.get("format_version") not in _SUPPORTED_VERSIONS:
         raise RunStoreError(
             f"unsupported feed-store version "
             f"{manifest.get('format_version')!r} in {manifest_path}",
@@ -194,7 +276,8 @@ def _read_config(path: Path):
         ) from err
 
 
-def _read_mobility(path: Path) -> MobilityFeed:
+def _read_mobility_v1(path: Path) -> MobilityFeed:
+    """Read the monolithic format-1 ``mobility.npz`` archive."""
     mobility_path = path / _MOBILITY
     if not mobility_path.exists():
         raise RunStoreError(
@@ -226,6 +309,36 @@ def _read_mobility(path: Path) -> MobilityFeed:
     )
 
 
+def _read_mobility_v2(
+    path: Path, manifest: dict, *, lazy: bool
+) -> MobilityFeed | ShardedMobilityFeed:
+    """Open the columnar partition described by the manifest.
+
+    ``lazy`` keeps the dwell stacks memory-mapped (the
+    :class:`ShardedMobilityFeed` view); otherwise — and always under
+    ``REPRO_STORE_NAIVE=1`` — the plain in-memory feed is rebuilt.
+    """
+    block = manifest.get("feeds")
+    if not isinstance(block, dict) or block.get("layout") != "columnar":
+        raise RunStoreError(
+            f"manifest {path / _MANIFEST} describes no columnar feed "
+            f"layout (feeds block: {block!r})",
+            path=path / _MANIFEST,
+        )
+    num_shards = block.get("num_shards")
+    if not isinstance(num_shards, int) or num_shards < 1:
+        raise RunStoreError(
+            f"manifest {path / _MANIFEST} has an invalid feed shard "
+            f"count {num_shards!r}",
+            path=path / _MANIFEST,
+        )
+    effective_lazy = lazy and not columnar.use_naive()
+    sharded = open_columnar(path, num_shards, lazy=effective_lazy)
+    if effective_lazy:
+        return sharded
+    return materialize(sharded)
+
+
 def _read_frame(path: Path, name: str):
     frame_path = path / name
     if not frame_path.exists():
@@ -241,8 +354,16 @@ def _read_frame(path: Path, name: str):
 
 
 @telemetry.timed("load_feeds")
-def load_feeds(directory: str | Path) -> DataFeeds:
+def load_feeds(directory: str | Path, *, lazy: bool = False) -> DataFeeds:
     """Reload a run saved by :func:`save_feeds`.
+
+    With ``lazy=True`` (format-2 runs) the mobility partition is
+    memory-mapped shard by shard instead of materialized: the returned
+    bundle's ``mobility`` is a :class:`~repro.io.columnar.
+    ShardedMobilityFeed` whose day matrices are assembled on demand,
+    so analysis peak memory is bounded by one shard × a day batch
+    rather than the whole population.  ``REPRO_STORE_NAIVE=1`` forces
+    the eager in-memory path regardless (the differential oracle).
 
     Raises :class:`RunStoreError` naming the offending file when the
     directory is missing, interrupted, partial, or corrupt.
@@ -259,20 +380,25 @@ def load_feeds(directory: str | Path) -> DataFeeds:
     from repro.simulation.engine import build_world
 
     world = build_world(config)
-    mobility = _read_mobility(path)
+    if manifest["format_version"] == 1:
+        mobility = _read_mobility_v1(path)
+        described = path / _MOBILITY
+    else:
+        mobility = _read_mobility_v2(path, manifest, lazy=lazy)
+        described = path / columnar.FEEDS_SUBDIR
     if mobility.num_users != manifest["num_users"]:
         raise RunStoreError(
-            f"mobility archive {path / _MOBILITY} holds "
+            f"mobility store {described} holds "
             f"{mobility.num_users} users but the manifest promises "
             f"{manifest['num_users']}",
-            path=path / _MOBILITY,
+            path=described,
         )
     if mobility.num_days != manifest["num_days"]:
         raise RunStoreError(
-            f"mobility archive {path / _MOBILITY} holds "
+            f"mobility store {described} holds "
             f"{mobility.num_days} days but the manifest promises "
             f"{manifest['num_days']}",
-            path=path / _MOBILITY,
+            path=described,
         )
 
     upgrade = manifest.get("interconnect_upgrade_day")
@@ -302,9 +428,10 @@ def _verify_digests(path: Path, manifest: dict) -> dict | None:
 
     Returns the digest map (``None`` for runs saved before digests were
     recorded — those load fine, they just cannot feed the analysis
-    cache).  A file whose bytes no longer hash to the recorded digest
-    raises :class:`RunStoreError` naming it; a *missing* file is left
-    for its reader to report precisely.
+    cache).  A file whose bytes no longer hash to the recorded digest,
+    and equally a file the manifest promises that is *missing* from
+    disk, raises :class:`RunStoreError` naming it — a deleted shard
+    must fail here, precisely, not in a later, vaguer reader.
     """
     digests = manifest.get("feeds_sha256")
     if not isinstance(digests, dict) or not digests:
@@ -312,8 +439,14 @@ def _verify_digests(path: Path, manifest: dict) -> dict | None:
     for name, expected in sorted(digests.items()):
         file_path = path / name
         if not file_path.exists():
-            continue
+            raise RunStoreError(
+                f"saved run is missing {file_path}, which its manifest "
+                f"records a digest for; the file was deleted (or the "
+                f"save was interrupted) after the manifest was written",
+                path=file_path,
+            )
         actual = _sha256_file(file_path)
+        telemetry.count("store.digest_verifications", 1)
         if actual != expected:
             raise RunStoreError(
                 f"feed {file_path} does not match the digest recorded in "

@@ -572,22 +572,32 @@ class Simulator:
         return self._config
 
     @classmethod
-    def resume(cls, directory, progress=None) -> DataFeeds:
+    def resume(
+        cls, directory, progress=None, *, stream: bool = False
+    ) -> DataFeeds:
         """Complete an interrupted checkpointed run.
 
         Reads the configuration persisted in ``<directory>/checkpoints``
         (clearing any stored fault plan — the injected failure must not
         refire on the restart) and re-runs over the same checkpoint
         store: completed days are restored, missing ones computed.  The
-        result is bitwise-identical to an uninterrupted run.
+        result is bitwise-identical to an uninterrupted run.  With
+        ``stream=True`` the mobility feed lands directly in the run
+        directory's columnar partition instead of RAM (see :meth:`run`).
         """
         store = CheckpointStore.open(directory)
         config = store.load_config()
         if getattr(config, "fault_spec", None) is not None:
             config = config.with_overrides(fault_spec=None)
-        return cls(config).run(progress=progress, checkpoint_dir=directory)
+        return cls(config).run(
+            progress=progress,
+            checkpoint_dir=directory,
+            stream_dir=directory if stream else None,
+        )
 
-    def run(self, progress=None, *, checkpoint_dir=None) -> DataFeeds:
+    def run(
+        self, progress=None, *, checkpoint_dir=None, stream_dir=None
+    ) -> DataFeeds:
         """Execute the full simulation and return the data feeds.
 
         ``progress``, if given, is called as ``progress(day, num_days)``
@@ -598,6 +608,18 @@ class Simulator:
         run directory: every completed shard-day is persisted as it is
         produced, and days already checkpointed there (an interrupted
         earlier run) are restored instead of recomputed.
+
+        ``stream_dir``, if given, lands each merged day of the mobility
+        feed directly in that run directory's columnar partition
+        (:mod:`repro.io.columnar`) instead of accumulating the full
+        dwell stacks in RAM — shard payloads are released as they are
+        consumed, so peak memory no longer scales with
+        ``num_users × num_days``.  The returned bundle's ``mobility``
+        is a lazily assembled view over the (uncommitted) partition;
+        :func:`repro.io.save_feeds` to the same directory commits it
+        in place without rewriting.  Identical bytes and results to
+        the in-memory path; ``REPRO_STORE_NAIVE=1`` disables the
+        streaming for differential testing.
 
         When :mod:`repro.telemetry` is enabled, the run records a
         ``simulate`` span tree (world build, shard execution, per-day
@@ -646,7 +668,8 @@ class Simulator:
                         result.telemetry, prefix=shard_span.path
                     )
             feeds = self._assemble_feeds(
-                context, shard_indices, results, progress
+                context, shard_indices, results, progress,
+                stream_dir=stream_dir,
             )
         if telemetry.enabled():
             feeds.telemetry = telemetry.snapshot()
@@ -803,6 +826,7 @@ class Simulator:
         shard_indices: list[np.ndarray | None],
         results: list[ShardResult],
         progress,
+        stream_dir=None,
     ) -> DataFeeds:
         config = self._config
         world = context.world
@@ -862,10 +886,29 @@ class Simulator:
             keep_hourly=config.keep_hourly_kpis,
         )
 
-        mobility = MobilityFeed(
-            user_ids=agents.user_ids,
-            anchor_sites=agents.anchor_sites,
-            bin_dwell=[] if config.keep_bin_dwell else None,
+        bin_dwell: list[np.ndarray] | None = (
+            [] if config.keep_bin_dwell else None
+        )
+        stream_writer = None
+        if stream_dir is not None:
+            from repro.io import columnar
+
+            if not columnar.use_naive():
+                stream_writer = columnar.ColumnarWriter(
+                    stream_dir,
+                    shard_indices,
+                    agents.user_ids,
+                    agents.anchor_sites,
+                    calendar.num_days,
+                )
+        mobility = (
+            None
+            if stream_writer is not None
+            else MobilityFeed(
+                user_ids=agents.user_ids,
+                anchor_sites=agents.anchor_sites,
+                bin_dwell=bin_dwell,
+            )
         )
         signaling_frames: dict[int, Frame] | None = (
             {} if config.emit_signaling else None
@@ -906,7 +949,6 @@ class Simulator:
                     shard_indices,
                     [result.days[day] for result in results],
                 )
-            mobility.daily_dwell.append(merged.daily_dwell)
             # Nighttime observability: phones that stay idle all night
             # produce no signalling, so the probes cannot place them.
             night = merged.night_dwell
@@ -915,11 +957,17 @@ class Simulator:
                 >= config.night_observation_probability
             )
             night[unobserved] = 0.0
-            mobility.night_dwell.append(night)
-            if mobility.bin_dwell is not None:
-                mobility.bin_dwell.append(
-                    merged.dwell_s.astype(np.float32)
-                )
+            if stream_writer is not None:
+                stream_writer.write_day(day, merged.daily_dwell, night)
+                # Consumed shard payloads are released day by day so
+                # peak memory stays bounded by one day's arrays.
+                for result in results:
+                    result.days[day] = None
+            else:
+                mobility.daily_dwell.append(merged.daily_dwell)
+                mobility.night_dwell.append(night)
+            if bin_dwell is not None:
+                bin_dwell.append(merged.dwell_s.astype(np.float32))
 
             params = demand_model.day_parameters(date)
             presence = merged.presence
@@ -1116,6 +1164,11 @@ class Simulator:
                     signal_span.add(
                         "events", len(signaling_frames[day])
                     )
+
+        if stream_writer is not None:
+            # The lazy feed over the still-uncommitted partition;
+            # save_feeds to the same directory commits it in place.
+            mobility = stream_writer.finish(bin_dwell)
 
         with telemetry.span("kpi_reduction") as kpi_span:
             radio_kpis = accumulator.daily_frame()

@@ -71,6 +71,10 @@ class DataFeeds:
     catalog: DeviceCatalog
     base: SubscriberBase
     agents: AgentPopulation
+    # The mobility dwell feed.  Either the in-memory MobilityFeed or a
+    # repro.io.columnar.ShardedMobilityFeed (same day-at-a-time surface,
+    # lazily assembled from memory-mapped shards) when the run was
+    # loaded with lazy=True or streamed to disk by the engine.
     mobility: MobilityFeed
     radio_kpis: Frame  # daily per-cell medians (the §2.4 reduction)
     rat_time: Frame  # (day, rat, connected-seconds)

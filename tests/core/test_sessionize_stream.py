@@ -1,0 +1,142 @@
+"""Streaming sessionization vs the one-shot path, bitwise.
+
+:func:`sessionize_segments_stream` / :func:`sessionize_events_stream`
+process user-partitioned event chunks one at a time and merge with a
+stable ``user_id`` sort.  Because sessionization is strictly per-user,
+the merged output must be *bitwise* identical to sessionizing the
+concatenated feed — for any partition of the users, in any chunk
+order, including empty chunks.  Hypothesis drives random feeds and
+random partitions through that promise.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    sessionize_events,
+    sessionize_events_stream,
+    sessionize_segments,
+    sessionize_segments_stream,
+)
+from repro.frames import Frame
+
+
+def _empty_events() -> Frame:
+    return Frame(
+        {
+            "user_id": np.empty(0, dtype=np.int64),
+            "site_id": np.empty(0, dtype=np.int64),
+            "timestamp_s": np.empty(0, dtype=np.float64),
+        }
+    )
+
+
+@st.composite
+def partitioned_feeds(draw):
+    """A random event feed plus a random user-partition into chunks."""
+    num_users = draw(st.integers(min_value=0, max_value=8))
+    num_chunks = draw(st.integers(min_value=1, max_value=4))
+    assignment = [
+        draw(st.integers(min_value=0, max_value=num_chunks - 1))
+        for _ in range(num_users)
+    ]
+    rows_per_chunk: list[list[dict]] = [[] for _ in range(num_chunks)]
+    all_rows: list[dict] = []
+    for user, chunk in enumerate(assignment):
+        num_events = draw(st.integers(min_value=0, max_value=6))
+        for _ in range(num_events):
+            row = {
+                "user_id": user,
+                "site_id": draw(st.integers(min_value=0, max_value=4)),
+                "timestamp_s": draw(
+                    st.floats(min_value=0, max_value=86_399)
+                ),
+            }
+            rows_per_chunk[chunk].append(row)
+            all_rows.append(row)
+    columns = ["user_id", "site_id", "timestamp_s"]
+
+    def build(rows):
+        if not rows:
+            return _empty_events()
+        return Frame.from_rows(rows, columns=columns)
+
+    return build(all_rows), [build(rows) for rows in rows_per_chunk]
+
+
+def assert_frames_bitwise(expected: Frame, actual: Frame) -> None:
+    assert expected.column_names == actual.column_names
+    for column in expected.column_names:
+        left, right = expected[column], actual[column]
+        assert left.dtype == right.dtype, f"{column}: dtype differs"
+        assert np.array_equal(left, right), f"{column}: not bitwise equal"
+
+
+class TestStreamMatchesOneShot:
+    @given(partitioned_feeds())
+    @settings(max_examples=60, deadline=None)
+    def test_segments_bitwise(self, case):
+        whole, chunks = case
+        assert_frames_bitwise(
+            sessionize_segments(whole),
+            sessionize_segments_stream(chunks),
+        )
+
+    @given(partitioned_feeds())
+    @settings(max_examples=60, deadline=None)
+    def test_events_bitwise(self, case):
+        whole, chunks = case
+        assert_frames_bitwise(
+            sessionize_events(whole),
+            sessionize_events_stream(chunks),
+        )
+
+    @given(partitioned_feeds(), st.floats(min_value=1, max_value=200_000))
+    @settings(max_examples=30, deadline=None)
+    def test_day_end_threads_through(self, case, day_end):
+        whole, chunks = case
+        assert_frames_bitwise(
+            sessionize_events(whole, day_end_s=day_end),
+            sessionize_events_stream(chunks, day_end_s=day_end),
+        )
+
+
+class TestStreamEdges:
+    def test_no_chunks(self):
+        assert len(sessionize_segments_stream([])) == 0
+        out = sessionize_events_stream([])
+        assert len(out) == 0
+        assert tuple(out.column_names) == ("user_id", "site_id", "dwell_s")
+
+    def test_all_chunks_empty(self):
+        chunks = [_empty_events(), _empty_events()]
+        assert len(sessionize_segments_stream(chunks)) == 0
+        assert len(sessionize_events_stream(chunks)) == 0
+
+    def test_single_chunk_passthrough(self):
+        events = Frame(
+            {
+                "user_id": np.array([3, 3, 7], dtype=np.int64),
+                "site_id": np.array([1, 2, 0], dtype=np.int64),
+                "timestamp_s": np.array([10.0, 400.0, 5.0]),
+            }
+        )
+        assert_frames_bitwise(
+            sessionize_segments(events),
+            sessionize_segments_stream([events]),
+        )
+
+    def test_generator_input_is_consumed_lazily(self):
+        # The stream functions accept any iterable, not just lists.
+        events = Frame(
+            {
+                "user_id": np.array([1], dtype=np.int64),
+                "site_id": np.array([0], dtype=np.int64),
+                "timestamp_s": np.array([100.0]),
+            }
+        )
+        out = sessionize_events_stream(chunk for chunk in [events])
+        assert len(out) == 1
+        assert out["dwell_s"][0] == pytest.approx(86_300.0)

@@ -1,0 +1,393 @@
+"""The columnar feed store: round-trips, streaming, and edge cases.
+
+The out-of-core layout (:mod:`repro.io.columnar`) promises that nothing
+observable changes when the mobility feed lives on disk instead of in
+RAM: a save → load round-trip is *bitwise* identical for every shard
+count, the streamed ``compute_daily_metrics`` path reproduces the
+in-memory batch path byte for byte, and the ``REPRO_STORE_NAIVE=1``
+oracle forces the historical eager path everywhere so the two can be
+diffed.  This module pins each of those promises, plus the degenerate
+populations (zero and one filtered user) and the ``store.*`` telemetry
+counters.
+"""
+
+import datetime as dt
+import tempfile
+import warnings
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import api, telemetry
+from repro.core.statistics import compute_daily_metrics
+from repro.io import load_feeds, save_feeds
+from repro.io.columnar import (
+    SHARD_COLUMNS,
+    ColumnarWriter,
+    ShardedMobilityFeed,
+    materialize,
+    open_columnar,
+    shard_relative_paths,
+)
+from repro.io.store import RunStoreError
+from repro.simulation.checkpoint import CheckpointStore
+from repro.simulation.clock import StudyCalendar
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import Simulator
+from repro.simulation.faults import RecoverySettings, ShardExecutionError
+from repro.simulation.feeds import MobilityFeed
+from repro.simulation.sharding import shard_user_indices
+
+from tests.simulation.harness import assert_feeds_equivalent
+
+SHARD_COUNTS = (1, 2, 4)
+
+_CALENDAR = StudyCalendar(first_day=dt.date(2020, 2, 24), num_days=14)
+
+
+def _config(shards: int) -> SimulationConfig:
+    return (
+        SimulationConfig.tiny(seed=23)
+        .with_overrides(
+            num_users=160,
+            target_site_count=40,
+            calendar=_CALENDAR,
+        )
+        .with_parallelism(shards)
+    )
+
+
+_FEEDS: dict[int, object] = {}
+
+
+def _feeds(shards: int):
+    """In-memory baseline feeds for ``shards``, computed once."""
+    if shards not in _FEEDS:
+        _FEEDS[shards] = Simulator(_config(shards)).run()
+    return _FEEDS[shards]
+
+
+# ---------------------------------------------------------------------------
+# Round-trips across shard counts
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+class TestRoundTrip:
+    def test_eager_load_is_bitwise(self, shards, tmp_path):
+        target = tmp_path / "run"
+        save_feeds(_feeds(shards), target)
+        loaded = load_feeds(target)
+        assert isinstance(loaded.mobility, MobilityFeed)
+        assert_feeds_equivalent(_feeds(shards), loaded, bitwise=True)
+
+    def test_lazy_load_is_bitwise(self, shards, tmp_path):
+        target = tmp_path / "run"
+        save_feeds(_feeds(shards), target)
+        loaded = load_feeds(target, lazy=True)
+        assert isinstance(loaded.mobility, ShardedMobilityFeed)
+        assert loaded.mobility.num_shards == shards
+        assert_feeds_equivalent(_feeds(shards), loaded, bitwise=True)
+
+    def test_streamed_run_writes_identical_bytes(self, shards, tmp_path):
+        # A run streamed straight into its partition commits the exact
+        # bytes an in-memory run's save writes — the engine's streaming
+        # mode changes where days land, never what they hold.
+        streamed_dir = tmp_path / "streamed"
+        feeds = Simulator(_config(shards)).run(stream_dir=streamed_dir)
+        save_feeds(feeds, streamed_dir)
+        memory_dir = tmp_path / "memory"
+        save_feeds(_feeds(shards), memory_dir)
+        for relative in shard_relative_paths(shards):
+            streamed = (streamed_dir / relative).read_bytes()
+            memory = (memory_dir / relative).read_bytes()
+            assert streamed == memory, f"{relative}: bytes differ"
+
+    def test_lazy_dwell_stacks_are_memory_maps(self, shards, tmp_path):
+        target = tmp_path / "run"
+        save_feeds(_feeds(shards), target)
+        mobility = load_feeds(target, lazy=True).mobility
+        for shard in mobility.shards:
+            assert isinstance(shard.daily_dwell, np.memmap)
+            assert isinstance(shard.night_dwell, np.memmap)
+
+
+# ---------------------------------------------------------------------------
+# Streamed analysis vs the in-memory path and the naive oracle
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def lazy_run(tmp_path_factory):
+    target = tmp_path_factory.mktemp("columnar") / "run"
+    save_feeds(_feeds(4), target)
+    return target
+
+
+class TestStreamedMetrics:
+    def test_streamed_matches_in_memory(self, lazy_run):
+        lazy = load_feeds(lazy_run, lazy=True)
+        assert isinstance(lazy.mobility, ShardedMobilityFeed)
+        streamed = compute_daily_metrics(lazy)
+        in_memory = compute_daily_metrics(_feeds(4))
+        assert streamed.entropy.dtype == in_memory.entropy.dtype
+        assert np.array_equal(streamed.entropy, in_memory.entropy)
+        assert np.array_equal(streamed.gyration_km, in_memory.gyration_km)
+        assert np.array_equal(streamed.user_ids, in_memory.user_ids)
+
+    def test_streamed_matches_naive_oracle(self, lazy_run, monkeypatch):
+        streamed = compute_daily_metrics(load_feeds(lazy_run, lazy=True))
+        monkeypatch.setenv("REPRO_STORE_NAIVE", "1")
+        oracle = compute_daily_metrics(load_feeds(lazy_run, lazy=True))
+        assert np.array_equal(streamed.entropy, oracle.entropy)
+        assert np.array_equal(streamed.gyration_km, oracle.gyration_km)
+
+    def test_naive_env_forces_eager_load(self, lazy_run, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_NAIVE", "1")
+        loaded = load_feeds(lazy_run, lazy=True)
+        assert isinstance(loaded.mobility, MobilityFeed)
+
+    def test_gyration_modes_stream_identically(self, lazy_run):
+        lazy = load_feeds(lazy_run, lazy=True)
+        for mode in ("weighted", "paper"):
+            streamed = compute_daily_metrics(lazy, gyration_mode=mode)
+            in_memory = compute_daily_metrics(_feeds(4), gyration_mode=mode)
+            assert np.array_equal(
+                streamed.gyration_km, in_memory.gyration_km
+            )
+
+
+# ---------------------------------------------------------------------------
+# Resume from checkpoints onto a lazily-mapped run
+# ---------------------------------------------------------------------------
+
+
+class TestResumeOnLazyRun:
+    _KILL_DAY = 9
+
+    def _interrupt(self, directory, shards):
+        faulty = _config(shards).with_overrides(
+            recovery=RecoverySettings(max_retries=0),
+            fault_spec=f"kill:day={self._KILL_DAY}",
+        )
+        with pytest.raises(ShardExecutionError):
+            Simulator(faulty).run(checkpoint_dir=directory)
+
+    @pytest.mark.parametrize("shards", (1, 2))
+    def test_resume_persists_a_lazy_loadable_run(self, shards, tmp_path):
+        rundir = tmp_path / "run"
+        self._interrupt(rundir, shards)
+        assert CheckpointStore.present(rundir)
+
+        run = api.resume(rundir)
+        assert run.directory == rundir
+        assert not CheckpointStore.present(rundir)
+
+        loaded = load_feeds(rundir, lazy=True)
+        assert isinstance(loaded.mobility, ShardedMobilityFeed)
+        assert_feeds_equivalent(_feeds(shards), loaded, bitwise=True)
+
+    def test_resumed_run_streams_metrics_bitwise(self, tmp_path):
+        rundir = tmp_path / "run"
+        self._interrupt(rundir, 2)
+        api.resume(rundir)
+        streamed = compute_daily_metrics(load_feeds(rundir, lazy=True))
+        in_memory = compute_daily_metrics(_feeds(2))
+        assert np.array_equal(streamed.entropy, in_memory.entropy)
+        assert np.array_equal(streamed.gyration_km, in_memory.gyration_km)
+
+
+# ---------------------------------------------------------------------------
+# Degenerate populations: zero and one filtered user
+# ---------------------------------------------------------------------------
+
+
+def _degenerate_feeds(seed: int):
+    # num_users=1 keeps the run tiny; the lone SIM survives filtering
+    # for seed=1 and is dropped (M2M/roamer) for seed=2, probed offline.
+    config = SimulationConfig(num_users=1, target_site_count=10, seed=seed)
+    return Simulator(config).run()
+
+
+class TestDegeneratePopulations:
+    def _roundtrip_and_analyze(self, feeds, tmp_path):
+        target = tmp_path / "run"
+        save_feeds(feeds, target)
+        loaded = load_feeds(target, lazy=True)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", category=RuntimeWarning)
+            metrics = compute_daily_metrics(loaded)
+        return loaded, metrics
+
+    def test_single_user_roundtrip(self, tmp_path):
+        feeds = _degenerate_feeds(seed=1)
+        assert feeds.mobility.num_users == 1
+        loaded, metrics = self._roundtrip_and_analyze(feeds, tmp_path)
+        assert loaded.mobility.num_users == 1
+        days = feeds.calendar.num_days
+        assert metrics.entropy.shape == (days, 1)
+        assert metrics.gyration_km.shape == (days, 1)
+        assert_feeds_equivalent(feeds, loaded, bitwise=True)
+
+    def test_zero_user_roundtrip(self, tmp_path):
+        feeds = _degenerate_feeds(seed=2)
+        assert feeds.mobility.num_users == 0
+        loaded, metrics = self._roundtrip_and_analyze(feeds, tmp_path)
+        assert loaded.mobility.num_users == 0
+        days = feeds.calendar.num_days
+        assert metrics.entropy.shape == (days, 0)
+        assert metrics.gyration_km.shape == (days, 0)
+        assert_feeds_equivalent(feeds, loaded, bitwise=True)
+
+    def test_zero_user_eager_load(self, tmp_path):
+        feeds = _degenerate_feeds(seed=2)
+        target = tmp_path / "run"
+        save_feeds(feeds, target)
+        loaded = load_feeds(target)
+        assert loaded.mobility.num_users == 0
+        assert loaded.mobility.num_days == feeds.calendar.num_days
+
+
+# ---------------------------------------------------------------------------
+# Telemetry counters
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def recorder():
+    recorder = telemetry.enable()
+    yield recorder
+    telemetry.disable()
+
+
+class TestStoreCounters:
+    def test_lazy_open_counts_mapped_bytes(self, lazy_run, recorder):
+        mobility = load_feeds(lazy_run, lazy=True).mobility
+        counters = telemetry.snapshot()["counters"]
+        expected = sum(
+            shard.daily_dwell.nbytes + shard.night_dwell.nbytes
+            for shard in mobility.shards
+        )
+        assert counters["store.bytes_mapped"] == expected > 0
+
+    def test_streaming_counts_nonempty_shards(self, lazy_run, recorder):
+        lazy = load_feeds(lazy_run, lazy=True)
+        compute_daily_metrics(lazy)
+        nonempty = sum(
+            1 for shard in lazy.mobility.shards if shard.num_rows
+        )
+        counters = telemetry.snapshot()["counters"]
+        assert counters["store.shards_streamed"] == nonempty > 0
+
+    def test_load_counts_digest_verifications(self, lazy_run, recorder):
+        load_feeds(lazy_run, lazy=True)
+        counters = telemetry.snapshot()["counters"]
+        # Three small files plus five columns for each of four shards.
+        assert counters["store.digest_verifications"] == 3 + 5 * 4
+
+
+# ---------------------------------------------------------------------------
+# Property-based round-trip over synthetic feeds
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def synthetic_feeds(draw):
+    num_users = draw(st.integers(min_value=0, max_value=10))
+    num_days = draw(st.integers(min_value=0, max_value=4))
+    num_anchors = draw(st.integers(min_value=1, max_value=4))
+    user_ids = np.asarray(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=2**31),
+                min_size=num_users,
+                max_size=num_users,
+                unique=True,
+            )
+        ),
+        dtype=np.int64,
+    )
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    rng = np.random.default_rng(seed)
+    anchor_sites = rng.integers(
+        0, 50, size=(num_users, num_anchors), dtype=np.int64
+    )
+    shape = (num_users, num_anchors)
+    daily = [
+        (rng.random(shape) * 86_400).astype(np.float32)
+        for _ in range(num_days)
+    ]
+    night = [
+        (rng.random(shape) * 28_800).astype(np.float32)
+        for _ in range(num_days)
+    ]
+    return MobilityFeed(
+        user_ids=user_ids,
+        anchor_sites=anchor_sites,
+        daily_dwell=daily,
+        night_dwell=night,
+    )
+
+
+class TestPropertyRoundTrip:
+    @given(mobility=synthetic_feeds(), shards=st.sampled_from(SHARD_COUNTS))
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_roundtrip_is_bitwise_for_every_layout(self, mobility, shards):
+        with tempfile.TemporaryDirectory() as scratch:
+            target = Path(scratch) / "run"
+            writer = ColumnarWriter(
+                target,
+                shard_user_indices(mobility.user_ids, shards),
+                mobility.user_ids,
+                mobility.anchor_sites,
+                mobility.num_days,
+            )
+            writer.write_all(mobility)
+            writer.commit()
+            for lazy in (False, True):
+                reopened = open_columnar(target, shards, lazy=lazy)
+                rebuilt = materialize(reopened)
+                assert np.array_equal(rebuilt.user_ids, mobility.user_ids)
+                assert np.array_equal(
+                    rebuilt.anchor_sites, mobility.anchor_sites
+                )
+                for day in range(mobility.num_days):
+                    for column in ("daily_dwell", "night_dwell"):
+                        expected = getattr(mobility, column)[day]
+                        actual = getattr(rebuilt, column)[day]
+                        assert actual.dtype == expected.dtype
+                        assert np.array_equal(actual, expected)
+
+    @given(shards=st.sampled_from(SHARD_COUNTS))
+    @settings(max_examples=3, deadline=None)
+    def test_missing_column_is_named(self, shards):
+        mobility = MobilityFeed(
+            user_ids=np.arange(6, dtype=np.int64),
+            anchor_sites=np.zeros((6, 2), dtype=np.int64),
+            daily_dwell=[np.ones((6, 2), dtype=np.float32)],
+            night_dwell=[np.ones((6, 2), dtype=np.float32)],
+        )
+        with tempfile.TemporaryDirectory() as scratch:
+            target = Path(scratch) / "run"
+            writer = ColumnarWriter(
+                target,
+                shard_user_indices(mobility.user_ids, shards),
+                mobility.user_ids,
+                mobility.anchor_sites,
+                mobility.num_days,
+            )
+            writer.write_all(mobility)
+            writer.commit()
+            victim = (
+                target / shard_relative_paths(shards)[len(SHARD_COLUMNS) - 1]
+            )
+            victim.unlink()
+            with pytest.raises(RunStoreError, match="missing feed shard"):
+                open_columnar(target, shards, lazy=True)

@@ -1,0 +1,52 @@
+"""A micro experiment grid: catalog scenarios × seeds, compared.
+
+Runs three catalog scenarios (the calibrated baseline, the
+no-intervention counterfactual and a second-wave world) across two
+seeds through :mod:`repro.experiments`, then prints the comparative
+report — the paper's headline metrics as deltas against the baseline,
+plus overlaid weekly-variation panels.
+
+Deliberately tiny (a few hundred users per cell) so it finishes in
+seconds; scale ``--users`` / ``--preset`` up for real sweeps.  Pass a
+directory as the first argument to persist the cells there: a second
+invocation then *reuses* every cell instead of re-simulating and
+prints a byte-identical report (see docs/SCENARIOS.md).
+
+    python examples/scenario_grid.py            # in-memory grid
+    python examples/scenario_grid.py runs/grid  # persistent cells
+"""
+
+import sys
+
+from repro import api
+
+
+def main(workdir: str | None = None) -> None:
+    def progress(scenario: str, seed: int, action: str) -> None:
+        print(f"  {scenario} seed {seed}: {action}")
+
+    print("running the grid (3 scenarios x 2 seeds, ~300 users) ...")
+    result = api.experiment(
+        ["no_intervention", "second_wave"],
+        seeds=[1, 2],
+        preset="tiny",
+        num_users=300,
+        workdir=workdir,
+        progress=progress,
+    )
+
+    print()
+    print(result.report())
+    print()
+    print(
+        "Reading the delta table: the baseline column is absolute; "
+        "every other column is that scenario minus the baseline.  "
+        "Without any intervention mobility barely drops and the voice "
+        "surge never happens; the second wave matches the baseline "
+        "through April (its headline window), then re-diverges in the "
+        "overlay panels' final weeks."
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else None)

@@ -30,8 +30,12 @@ Packages
     figure, plus the extended toolkit (significance tests, mobility
     graphs, predictability bounds, paper-target verdicts).
 ``repro.datasets`` / ``repro.io`` / ``repro.cli``
-    Canned scenarios (incl. counterfactuals), run persistence and the
-    ``python -m repro`` command line.
+    The declarative scenario catalog and canned builders (incl.
+    counterfactuals), run persistence and the ``python -m repro``
+    command line.
+``repro.experiments``
+    Scenario-grid runner and cross-scenario comparative reports (see
+    ``docs/SCENARIOS.md``).
 
 Quickstart
 ----------
@@ -55,6 +59,7 @@ __all__ = [
     "SimulationConfig",
     "Simulator",
     "api",
+    "experiments",
     "__version__",
 ]
 
@@ -77,4 +82,8 @@ def __getattr__(name: str):
         import repro.api
 
         return repro.api
+    if name == "experiments":
+        import repro.experiments
+
+        return repro.experiments
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
-__all__ = ["Run", "load", "resume", "simulate"]
+__all__ = ["Run", "experiment", "load", "resume", "simulate"]
 
 
 class Run:
@@ -207,6 +207,45 @@ def resume(directory: str | Path, progress=None) -> Run:
 def load(directory: str | Path, *, lazy: bool = False) -> Run:
     """Alias for :meth:`Run.load`."""
     return Run.load(directory, lazy=lazy)
+
+
+def experiment(
+    scenarios,
+    *,
+    seeds=(2020,),
+    preset: str = "small",
+    num_users: int | None = None,
+    baseline: str = "baseline_lockdown",
+    workdir: str | Path | None = None,
+    progress=None,
+):
+    """Run a (scenario × seed) grid and return its ``GridResult``.
+
+    A thin wrapper over :func:`repro.experiments.run_grid` so a
+    comparative sweep is one call from the front door:
+
+    >>> from repro import api  # doctest: +SKIP
+    >>> result = api.experiment(
+    ...     ["no_intervention", "second_wave"],
+    ...     seeds=[1, 2], preset="tiny",
+    ...     workdir="runs/grid")  # doctest: +SKIP
+    >>> print(result.report())  # doctest: +SKIP
+
+    Scenario names come from the catalog
+    (:func:`repro.datasets.scenario_names`); ``workdir`` enables
+    persistent cells that warm reruns reload instead of re-simulating.
+    """
+    from repro.experiments import ExperimentSpec, run_grid
+
+    spec = ExperimentSpec(
+        scenarios=tuple(scenarios),
+        seeds=tuple(seeds),
+        preset=preset,
+        num_users=num_users,
+        baseline=baseline,
+        workdir=workdir,
+    )
+    return run_grid(spec, progress=progress)
 
 
 def _clear_checkpoints(directory: str | Path) -> None:

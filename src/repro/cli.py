@@ -40,6 +40,14 @@ fetch them back without even reloading the feeds, printing output
 byte-identical to a cold run.  ``--no-cache`` bypasses the cache for
 one invocation; ``python -m repro cache <run> --info/--clear`` inspects
 or deletes the store.
+
+Counterfactual sweeps run through the scenario catalog (see
+``docs/SCENARIOS.md``): ``scenarios`` lists it, ``experiment`` fans a
+(scenario × seed) grid across the engine and prints the comparative
+report, and ``compare`` renders the same report over arbitrary saved
+run directories.  With ``experiment --workdir DIR`` every cell persists
+and a warm rerun reloads instead of re-simulating, printing bytes
+identical to the cold run.
 """
 
 from __future__ import annotations
@@ -144,6 +152,77 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument(
         "--out", required=True, help="directory for the CSV bundle"
     )
+
+    scenarios = commands.add_parser(
+        "scenarios",
+        help="list the scenario catalog (see docs/SCENARIOS.md)",
+    )
+    scenarios.add_argument(
+        "--digests", action="store_true",
+        help=(
+            "also print each scenario's configuration digest at the "
+            "default preset/seed"
+        ),
+    )
+
+    experiment = commands.add_parser(
+        "experiment",
+        help=(
+            "run a (scenario x seed) grid and print the comparative "
+            "report"
+        ),
+    )
+    experiment.add_argument(
+        "scenarios", nargs="+", metavar="SCENARIO",
+        help="catalog scenario names (repro scenarios lists them)",
+    )
+    experiment.add_argument(
+        "--seeds", default="2020", metavar="N[,N...]",
+        help="comma-separated simulation seeds (default: 2020)",
+    )
+    experiment.add_argument(
+        "--preset", choices=_PRESETS, default="small",
+        help="simulation scale per cell (default: small)",
+    )
+    experiment.add_argument(
+        "--users", type=int, default=None,
+        help="override the preset's user count per cell",
+    )
+    experiment.add_argument(
+        "--baseline", default="baseline_lockdown",
+        help=(
+            "scenario the deltas are computed against "
+            "(default: baseline_lockdown; added to the grid if absent)"
+        ),
+    )
+    experiment.add_argument(
+        "--workdir", default=None, metavar="DIR",
+        help=(
+            "persist each cell under DIR/<scenario>--seed<seed>; a "
+            "rerun reuses matching cells instead of re-simulating"
+        ),
+    )
+    _add_telemetry_arg(experiment)
+
+    compare = commands.add_parser(
+        "compare",
+        help=(
+            "print the comparative report over saved run directories "
+            "(first one is the baseline)"
+        ),
+    )
+    compare.add_argument(
+        "rundirs", nargs="+", metavar="DIR",
+        help="two or more saved-run directories",
+    )
+    compare.add_argument(
+        "--lazy", action="store_true",
+        help=(
+            "memory-map each run's mobility shards on demand instead "
+            "of materializing them"
+        ),
+    )
+    _add_telemetry_arg(compare)
     return parser
 
 
@@ -402,6 +481,15 @@ def _run_command(args: argparse.Namespace, out) -> int:
             print(render_verdicts(evaluate_summary(summary)), file=out)
         return 0
 
+    if args.command == "scenarios":
+        return _run_scenarios(args, out)
+
+    if args.command == "experiment":
+        return _run_experiment(args, out)
+
+    if args.command == "compare":
+        return _run_compare(args, out)
+
     if args.command == "report":
         rundir = _resolve_rundir(args, required=False)
         if rundir is not None:
@@ -421,6 +509,78 @@ def _run_command(args: argparse.Namespace, out) -> int:
         return 0
 
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _run_scenarios(args: argparse.Namespace, out) -> int:
+    from repro.datasets import (
+        get_scenario,
+        scenario_config,
+        scenario_names,
+    )
+    from repro.datasets.spec import config_digest
+
+    width = max(len(name) for name in scenario_names()) + 2
+    for name in scenario_names():
+        line = f"{name:<{width}}{get_scenario(name).description}"
+        if args.digests:
+            digest = config_digest(scenario_config(name))
+            line += f"  [{digest[:12]}]"
+        print(line, file=out)
+    return 0
+
+
+def _parse_seeds(text: str) -> tuple[int, ...]:
+    try:
+        seeds = tuple(
+            int(part) for part in text.split(",") if part.strip()
+        )
+    except ValueError:
+        seeds = ()
+    if not seeds:
+        raise _CliError(
+            f"experiment: --seeds must be comma-separated integers, "
+            f"got {text!r}",
+            code=2,
+        )
+    return seeds
+
+
+def _run_experiment(args: argparse.Namespace, out) -> int:
+    from repro import api
+
+    def progress(scenario: str, seed: int, action: str) -> None:
+        print(f"  {scenario} seed {seed}: {action}", file=out)
+
+    try:
+        result = api.experiment(
+            args.scenarios,
+            seeds=_parse_seeds(args.seeds),
+            preset=args.preset,
+            num_users=args.users,
+            baseline=args.baseline,
+            workdir=args.workdir,
+            progress=progress,
+        )
+    except ValueError as err:
+        raise _CliError(f"experiment: {err}", code=2) from err
+    print(file=out)
+    print(result.report(), file=out)
+    return 0
+
+
+def _run_compare(args: argparse.Namespace, out) -> int:
+    from repro.experiments import compare_runs
+    from repro.io import RunStoreError
+
+    if len(args.rundirs) < 2:
+        raise _CliError(
+            "compare: at least two run directories are required", code=2
+        )
+    try:
+        print(compare_runs(args.rundirs, lazy=args.lazy), file=out)
+    except RunStoreError as err:
+        raise _CliError(str(err)) from err
+    return 0
 
 
 def _open_cache(args: argparse.Namespace, rundir):

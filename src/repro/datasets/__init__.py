@@ -1,33 +1,63 @@
-"""Canned scenarios: one-call dataset builders for examples and benches.
+"""Scenario catalog and canned dataset builders.
 
-Each builder returns a ready :class:`~repro.simulation.feeds.DataFeeds`
-bundle (running the simulator under a documented configuration), so
-examples and benchmarks never hand-roll configurations:
+Two surfaces live here:
 
-- :func:`uk_default` — the full-scale study (the configuration behind
-  EXPERIMENTS.md).
-- :func:`uk_small` / :func:`uk_tiny` — cheaper replicas for quick looks
-  and CI.
-- :func:`london_focus` — boosts London sampling for the §5 analyses.
-- :func:`counterfactual_no_lockdown` — the same country without any
-  intervention (an ablation: what the network would have seen).
-- :func:`counterfactual_no_ops_response` — the interconnect team never
-  reacts (ablation for the §4.2 incident).
+- **The declarative scenario catalog** — named
+  :class:`~repro.datasets.spec.ScenarioSpec` entries (phases × levels
+  × regions) compiled into ready configurations by
+  :func:`scenario_config` and fanned across grids by
+  :mod:`repro.experiments`.  See ``docs/SCENARIOS.md`` for the
+  grammar and the full catalog.
+- **Classic one-call builders** returning ready
+  :class:`~repro.simulation.feeds.DataFeeds` bundles, so examples and
+  benchmarks never hand-roll configurations:
+
+  - :func:`uk_default` — the full-scale study (the configuration
+    behind EXPERIMENTS.md).
+  - :func:`uk_small` / :func:`uk_tiny` — cheaper replicas for quick
+    looks and CI.
+  - :func:`london_focus` — boosts London sampling for the §5 analyses.
+  - :func:`counterfactual_no_lockdown` — the same country without any
+    intervention (an ablation: what the network would have seen).
+  - :func:`counterfactual_no_ops_response` — the interconnect team
+    never reacts (ablation for the §4.2 incident).
+
+  Builders are memoized per process through
+  :mod:`repro.datasets.runcache`, so repeated invocations (examples,
+  doctests, tests) pay one simulation, not many.
 """
 
 from repro.datasets.scenarios import (
     counterfactual_no_lockdown,
     counterfactual_no_ops_response,
+    get_scenario,
     london_focus,
+    register_scenario,
+    scenario_config,
+    scenario_feeds,
+    scenario_names,
     uk_default,
     uk_small,
     uk_tiny,
 )
+from repro.datasets.spec import (
+    PhaseSpec,
+    ScenarioSpec,
+    config_digest,
+)
 
 __all__ = [
+    "PhaseSpec",
+    "ScenarioSpec",
+    "config_digest",
     "counterfactual_no_lockdown",
     "counterfactual_no_ops_response",
+    "get_scenario",
     "london_focus",
+    "register_scenario",
+    "scenario_config",
+    "scenario_feeds",
+    "scenario_names",
     "uk_default",
     "uk_small",
     "uk_tiny",

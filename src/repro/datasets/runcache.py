@@ -1,0 +1,68 @@
+"""In-process run memo: never simulate the same configuration twice.
+
+The canned scenario builders (:mod:`repro.datasets.scenarios`) and the
+in-memory experiment grid (:mod:`repro.experiments.grid`) are called
+repeatedly from examples, doctests and tests — historically each call
+paid a full simulation.  This module memoizes produced
+:class:`~repro.simulation.feeds.DataFeeds` bundles per process, keyed
+on the :func:`~repro.datasets.spec.config_digest` of the configuration,
+so a repeated build is a dictionary lookup.
+
+The memo is intentionally small (LRU, :data:`MEMO_CAPACITY` entries —
+feeds bundles are big) and intentionally *shared*: callers receive the
+same bundle object, exactly like the module-scoped fixtures the test
+suite already shares.  Analysis never mutates feeds.  Telemetry counts
+``datasets.runcache.hits`` / ``datasets.runcache.misses`` when enabled.
+
+Persistent, cross-process reuse is the experiment grid's job
+(:func:`repro.experiments.grid.run_grid` with a ``workdir``); this
+cache only removes the *within-process* repetition.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro import telemetry
+from repro.datasets.spec import config_digest
+from repro.simulation.config import SimulationConfig
+
+__all__ = ["MEMO_CAPACITY", "clear_memo", "memo_info", "simulate_cached"]
+
+MEMO_CAPACITY = 8
+
+_MEMO: OrderedDict[str, object] = OrderedDict()
+
+
+def simulate_cached(config: SimulationConfig):
+    """The feeds for ``config`` — simulated at most once per process.
+
+    Returns the *shared* memoized bundle on a repeat call with an
+    equal configuration (equality meaning an equal
+    :func:`~repro.datasets.spec.config_digest`).
+    """
+    key = config_digest(config)
+    if key in _MEMO:
+        _MEMO.move_to_end(key)
+        if telemetry.enabled():
+            telemetry.count("datasets.runcache.hits")
+        return _MEMO[key]
+    if telemetry.enabled():
+        telemetry.count("datasets.runcache.misses")
+    from repro.simulation.engine import Simulator
+
+    feeds = Simulator(config).run()
+    _MEMO[key] = feeds
+    while len(_MEMO) > MEMO_CAPACITY:
+        _MEMO.popitem(last=False)
+    return feeds
+
+
+def clear_memo() -> None:
+    """Drop every memoized run (tests, memory pressure)."""
+    _MEMO.clear()
+
+
+def memo_info() -> dict:
+    """Entry count of the memo (observability/tests)."""
+    return {"entries": len(_MEMO), "capacity": MEMO_CAPACITY}

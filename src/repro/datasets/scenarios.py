@@ -1,14 +1,64 @@
-"""Scenario builders."""
+"""The scenario catalog: named, declarative counterfactual worlds.
+
+The paper characterizes one timeline — the UK national lockdown.  This
+module grows that single point into a *catalog*: each entry is a
+:class:`~repro.datasets.spec.ScenarioSpec` (a declarative sequence of
+dated policy phases with levels, weekend overrides and regional tiers,
+plus optional voice/demand settings) registered under a stable name.
+``scenario_config(name, ...)`` compiles any entry into a ready
+:class:`~repro.simulation.config.SimulationConfig`; the experiment
+grid (:mod:`repro.experiments`) fans whole catalogs across seeds and
+populations.
+
+Catalog
+-------
+``baseline_lockdown``
+    The calibrated real 2020 sequence (the paper's world).
+``no_intervention``
+    The epidemic happens but no order changes behaviour: restriction
+    stays 0, no voice surge, no news-driven demand bump.
+``second_wave``
+    The real escalation, a fast April reopening, then a second
+    stay-at-home order from 27 April.
+``regional_tiers``
+    The national framework applied as regional tiers from lockdown
+    day: London/North West fully restricted, rural regions under
+    much lighter measures.
+``school_closures_only``
+    Escalation stops at school/venue closures — the stay-at-home
+    order never comes.
+``weekend_curfew``
+    Moderate weekday distancing plus a hard weekend curfew.
+``mass_event_spike``
+    No intervention at all, but a one-week mass gathering mid-March
+    spikes traffic and voice demand.
+``no_ops_response``
+    The real timeline, but the interconnect team never reacts to the
+    voice surge (the §4.2 ablation).
+
+The classic one-call builders (``uk_tiny``, ``uk_default``,
+``counterfactual_no_lockdown``, ...) remain, now routed through the
+in-process run memo (:mod:`repro.datasets.runcache`): repeated example
+and doctest invocations no longer pay repeated simulations.
+"""
 
 from __future__ import annotations
 
-from repro.mobility.pandemic import PandemicTimeline
+import datetime as dt
+
+from repro.datasets.spec import PhaseSpec, ScenarioSpec
+from repro.mobility.pandemic import PandemicTimeline, Phase
 from repro.simulation.config import SimulationConfig
 from repro.simulation.feeds import DataFeeds
 from repro.traffic.demand import DemandSettings
 from repro.traffic.voice import VoiceSettings
 
 __all__ = [
+    "register_scenario",
+    "scenario_names",
+    "get_scenario",
+    "scenario_config",
+    "scenario_feeds",
     "uk_default",
     "uk_small",
     "uk_tiny",
@@ -18,11 +68,286 @@ __all__ = [
     "no_lockdown_config",
 ]
 
+_PRESETS = {
+    "tiny": SimulationConfig.tiny,
+    "small": SimulationConfig.small,
+    "default": SimulationConfig.default,
+}
 
+#: Settings for worlds where behaviour never changes: every phase
+#: multiplier flat at 1, no relaxation dynamics, no news-driven bump.
+_FLAT_VOICE = VoiceSettings(
+    outbreak_multiplier=1.0,
+    declared_multiplier=1.0,
+    distancing_multiplier=1.0,
+    closures_multiplier=1.0,
+    lockdown_multiplier=1.0,
+    relaxation_floor=1.0,
+)
+_FLAT_DEMAND = DemandSettings(news_bump={})
+
+# The real intervention dates (see repro.simulation.clock.KeyDates and
+# repro.mobility.pandemic), reused by the declarative variants.
+_OUTBREAK = dt.date(2020, 3, 2)
+_DECLARED = dt.date(2020, 3, 11)
+_DISTANCING = dt.date(2020, 3, 16)
+_CLOSURES = dt.date(2020, 3, 20)
+_LOCKDOWN = dt.date(2020, 3, 23)
+_RELAXATION = dt.date(2020, 4, 6)
+
+# The real escalation sequence as declarative rows (levels mirror
+# PandemicTimeline's defaults), shared by scenarios that begin like
+# 2020 did and then diverge.
+_REAL_ESCALATION = (
+    PhaseSpec(_OUTBREAK, "outbreak", 0.0),
+    PhaseSpec(_DECLARED, "declared", 0.12),
+    PhaseSpec(_DISTANCING, "distancing", 0.45),
+    PhaseSpec(_CLOSURES, "closures", 0.62),
+)
+
+_REGISTRY: dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec) -> ScenarioSpec:
+    """Add a spec to the catalog (rejecting duplicate names)."""
+    if spec.name in _REGISTRY:
+        raise ValueError(f"scenario {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def scenario_names() -> tuple[str, ...]:
+    """Every catalog entry name, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """The spec registered under ``name``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(scenario_names())
+        raise KeyError(
+            f"unknown scenario {name!r}; catalog: {known}"
+        ) from None
+
+
+def scenario_config(
+    name: str,
+    *,
+    preset: str = "default",
+    seed: int = 2020,
+    num_users: int | None = None,
+    base: SimulationConfig | None = None,
+) -> SimulationConfig:
+    """Compile a catalog entry into a ready configuration.
+
+    ``preset``/``seed``/``num_users`` pick the base world exactly as
+    the CLI does; pass ``base`` to compile onto an explicit
+    configuration instead.  Deterministic: equal arguments produce
+    configurations with equal :func:`~repro.datasets.spec.
+    config_digest`.
+    """
+    if base is None:
+        try:
+            factory = _PRESETS[preset]
+        except KeyError:
+            raise ValueError(
+                f"unknown preset {preset!r}; expected one of "
+                f"{', '.join(sorted(_PRESETS))}"
+            ) from None
+        base = factory(seed=seed)
+        if num_users is not None:
+            base = base.with_overrides(
+                num_users=num_users,
+                target_site_count=max(100, num_users // 18),
+            )
+    return get_scenario(name).compile(base)
+
+
+def scenario_feeds(
+    name: str,
+    *,
+    preset: str = "default",
+    seed: int = 2020,
+    num_users: int | None = None,
+) -> DataFeeds:
+    """Simulate a catalog entry (through the in-process run memo)."""
+    from repro.datasets.runcache import simulate_cached
+
+    return simulate_cached(
+        scenario_config(
+            name, preset=preset, seed=seed, num_users=num_users
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# The catalog.
+# ---------------------------------------------------------------------------
+register_scenario(
+    ScenarioSpec(
+        name="baseline_lockdown",
+        description=(
+            "The calibrated real 2020 sequence: escalation from 2 "
+            "March, stay-at-home order on 23 March, slow adherence "
+            "decay from 6 April."
+        ),
+        # phases=() = the calibrated PandemicTimeline, untouched.
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="no_intervention",
+        description=(
+            "The epidemic happens but behaviour never changes: zero "
+            "restriction throughout, no voice surge, no news-driven "
+            "demand bump."
+        ),
+        phases=(PhaseSpec(dt.date(2020, 2, 3), "pre-pandemic", 0.0),),
+        voice=_FLAT_VOICE,
+        demand=_FLAT_DEMAND,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="second_wave",
+        description=(
+            "The real escalation and lockdown, a fast April "
+            "reopening, then a second stay-at-home order from 27 "
+            "April."
+        ),
+        phases=_REAL_ESCALATION
+        + (
+            PhaseSpec(_LOCKDOWN, "lockdown", 1.0),
+            PhaseSpec(_RELAXATION, "relaxation", 1.0,
+                      decay_per_day=0.02),
+            PhaseSpec(dt.date(2020, 4, 20), "relaxation", 0.30),
+            PhaseSpec(dt.date(2020, 4, 27), "lockdown", 0.95),
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="regional_tiers",
+        description=(
+            "Tiered measures from lockdown day: London and the North "
+            "West fully restricted, the rural south and the devolved "
+            "nations under much lighter rules."
+        ),
+        phases=_REAL_ESCALATION
+        + (
+            PhaseSpec(
+                _LOCKDOWN, "lockdown", 1.0,
+                regions=(
+                    ("East of England", 0.70),
+                    ("North East", 0.80),
+                    ("Scotland", 0.60),
+                    ("South East", 0.70),
+                    ("South West", 0.55),
+                    ("Wales", 0.60),
+                    ("West Midlands", 0.95),
+                    ("Yorkshire and the Humber", 0.90),
+                ),
+            ),
+            PhaseSpec(
+                _RELAXATION, "relaxation", 1.0,
+                decay_per_day=0.004,
+                regions=(
+                    ("East of England", 0.70),
+                    ("North East", 0.80),
+                    ("Scotland", 0.60),
+                    ("South East", 0.70),
+                    ("South West", 0.55),
+                    ("Wales", 0.60),
+                    ("West Midlands", 0.95),
+                    ("Yorkshire and the Humber", 0.90),
+                ),
+            ),
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="school_closures_only",
+        description=(
+            "Escalation stops at school/venue closures on 20 March — "
+            "the stay-at-home order never comes, and adherence fades "
+            "slowly."
+        ),
+        phases=(
+            PhaseSpec(_OUTBREAK, "outbreak", 0.0),
+            PhaseSpec(_DECLARED, "declared", 0.12),
+            PhaseSpec(_DISTANCING, "distancing", 0.30),
+            PhaseSpec(_CLOSURES, "closures", 0.55,
+                      decay_per_day=0.002),
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="weekend_curfew",
+        description=(
+            "Moderate weekday distancing from 23 March with a hard "
+            "stay-at-home curfew on Saturdays and Sundays."
+        ),
+        phases=(
+            PhaseSpec(_OUTBREAK, "outbreak", 0.0),
+            PhaseSpec(_DECLARED, "declared", 0.12),
+            PhaseSpec(_LOCKDOWN, "closures", 0.40,
+                      weekend_level=0.95),
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="mass_event_spike",
+        description=(
+            "No intervention at all, but a week-long mass gathering "
+            "from 14 March spikes data and voice demand nationwide."
+        ),
+        phases=(
+            PhaseSpec(dt.date(2020, 2, 3), "pre-pandemic", 0.0),
+            PhaseSpec(dt.date(2020, 3, 14), "outbreak", 0.0),
+            PhaseSpec(dt.date(2020, 3, 22), "pre-pandemic", 0.0),
+        ),
+        voice=VoiceSettings(
+            outbreak_multiplier=1.45,
+            declared_multiplier=1.0,
+            distancing_multiplier=1.0,
+            closures_multiplier=1.0,
+            lockdown_multiplier=1.0,
+            relaxation_floor=1.0,
+        ),
+        demand=DemandSettings(news_bump={Phase.OUTBREAK: 1.35}),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="no_ops_response",
+        description=(
+            "The real 2020 timeline, but the interconnect team never "
+            "adds voice capacity (the §4.2 ablation)."
+        ),
+        overrides=(("interconnect_detection_days", 10_000),),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Classic one-call builders (memoized per process).
+# ---------------------------------------------------------------------------
 def _run(config: SimulationConfig) -> DataFeeds:
-    from repro.simulation.engine import Simulator
+    from repro.datasets.runcache import simulate_cached
 
-    return Simulator(config).run()
+    return simulate_cached(config)
 
 
 def uk_default(seed: int = 2020) -> DataFeeds:
@@ -63,7 +388,8 @@ def no_lockdown_config(
     The epidemic still happens (cases grow identically) but no
     announcement or order changes behaviour: the policy timeline is
     flattened to zero restriction, the voice surge never happens, and
-    the news-driven demand bump is removed.
+    the news-driven demand bump is removed.  (The registry's
+    ``no_intervention`` entry is the declarative equivalent.)
     """
     base = base or SimulationConfig.default()
     flat_timeline = PandemicTimeline(
@@ -73,17 +399,8 @@ def no_lockdown_config(
         lockdown_level=0.0,
         adherence_decay_per_day=0.0,
     )
-    flat_voice = VoiceSettings(
-        outbreak_multiplier=1.0,
-        declared_multiplier=1.0,
-        distancing_multiplier=1.0,
-        closures_multiplier=1.0,
-        lockdown_multiplier=1.0,
-        relaxation_floor=1.0,
-    )
-    flat_demand = DemandSettings(news_bump={})
     return base.with_overrides(
-        timeline=flat_timeline, voice=flat_voice, demand=flat_demand
+        timeline=flat_timeline, voice=_FLAT_VOICE, demand=_FLAT_DEMAND
     )
 
 

@@ -1,0 +1,188 @@
+"""The declarative scenario grammar, and configuration digests.
+
+A scenario is a *specification*, not a hand-edited configuration: a
+named, documented sequence of :class:`PhaseSpec` rows (dated policy
+phases with restriction levels, optional weekend overrides, adherence
+decay and per-region tier multipliers) plus optional voice/demand
+settings and raw :class:`~repro.simulation.config.SimulationConfig`
+field overrides.  :meth:`ScenarioSpec.compile` turns the spec into a
+ready configuration on top of any base preset:
+
+>>> import datetime as dt
+>>> from repro.datasets.spec import PhaseSpec, ScenarioSpec
+>>> from repro.simulation.config import SimulationConfig
+>>> spec = ScenarioSpec(
+...     name="demo",
+...     description="one hard lockdown, nothing else",
+...     phases=(PhaseSpec(dt.date(2020, 3, 23), "lockdown", 1.0),),
+... )
+>>> config = spec.compile(SimulationConfig.tiny())
+>>> config.timeline.restriction_level(dt.date(2020, 4, 1))
+1.0
+>>> config.timeline.restriction_level(dt.date(2020, 3, 1))
+0.0
+
+Because scenarios must be reproducible and cacheable, the module also
+owns the *configuration digest*: a canonical SHA-256 over every field
+of a :class:`SimulationConfig` (dataclasses walked structurally, dates
+and enums normalized, dict keys sorted).  Two configurations digest
+equal iff they describe the same simulation, which is what the run
+cache (:mod:`repro.datasets.runcache`) and the experiment grid
+(:mod:`repro.experiments`) key on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime as dt
+import enum
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.mobility.pandemic import Phase
+from repro.mobility.schedule import PolicyWindow, ScheduledTimeline
+from repro.simulation.clock import StudyCalendar
+from repro.simulation.config import SimulationConfig
+from repro.traffic.demand import DemandSettings
+from repro.traffic.voice import VoiceSettings
+
+__all__ = [
+    "PhaseSpec",
+    "ScenarioSpec",
+    "config_digest",
+    "config_to_jsonable",
+]
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One declarative timeline row: "from this date, this regime".
+
+    ``phase`` is a :class:`~repro.mobility.pandemic.Phase` value name
+    (``"lockdown"``, ``"closures"``, ...) — strings keep specs
+    literal-friendly; the value is validated at construction.  The row
+    is in force from ``start`` until the next row's start.  ``level``
+    is the national restriction level in [0, 1]; ``weekend_level``
+    overrides it on Saturdays/Sundays; ``decay_per_day`` fades
+    adherence within the row; ``regions`` maps region name →
+    multiplier on the level (unnamed regions keep 1.0).
+    """
+
+    start: dt.date
+    phase: str
+    level: float
+    weekend_level: float | None = None
+    decay_per_day: float = 0.0
+    regions: tuple[tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        Phase(self.phase)  # raises ValueError on an unknown label
+
+    def window(self) -> PolicyWindow:
+        """The runtime :class:`PolicyWindow` this row compiles to."""
+        return PolicyWindow(
+            start=self.start,
+            phase=Phase(self.phase),
+            level=self.level,
+            weekend_level=self.weekend_level,
+            decay_per_day=self.decay_per_day,
+            regional=self.regions,
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A named, parameterized scenario: phases × levels × regions.
+
+    ``phases=()`` means "the calibrated real 2020 timeline" (the
+    configuration's ``timeline`` field stays ``None``).  ``voice`` /
+    ``demand`` replace the corresponding settings wholesale when
+    given; ``overrides`` is a tuple of extra ``(field, value)``
+    :class:`SimulationConfig` overrides applied last.
+    """
+
+    name: str
+    description: str
+    phases: tuple[PhaseSpec, ...] = ()
+    voice: VoiceSettings | None = None
+    demand: DemandSettings | None = None
+    overrides: tuple[tuple[str, object], ...] = ()
+
+    def timeline(self) -> ScheduledTimeline | None:
+        """The compiled timeline (``None`` = the real 2020 one)."""
+        if not self.phases:
+            return None
+        return ScheduledTimeline(
+            tuple(phase.window() for phase in self.phases)
+        )
+
+    def compile(self, base: SimulationConfig) -> SimulationConfig:
+        """The spec applied on top of a base configuration."""
+        changes: dict[str, object] = {}
+        timeline = self.timeline()
+        if timeline is not None:
+            changes["timeline"] = timeline
+        if self.voice is not None:
+            changes["voice"] = self.voice
+        if self.demand is not None:
+            changes["demand"] = self.demand
+        changes.update(dict(self.overrides))
+        return base.with_overrides(**changes) if changes else base
+
+
+# ---------------------------------------------------------------------------
+# Canonical configuration digests.
+# ---------------------------------------------------------------------------
+def _jsonable(value):
+    """Normalize any configuration value into plain JSON data."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, enum.Enum):
+        return {"__enum__": type(value).__name__, "value": value.value}
+    if isinstance(value, (dt.date, dt.datetime)):
+        return {"__date__": value.isoformat()}
+    if isinstance(value, StudyCalendar):
+        return {
+            "__calendar__": True,
+            "first_day": value.first_day.isoformat(),
+            "num_days": value.num_days,
+            "key_dates": _jsonable(value.key_dates),
+        }
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": type(value).__name__,
+            "fields": {
+                f.name: _jsonable(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        encoded = [
+            [json.dumps(_jsonable(key), sort_keys=True), _jsonable(item)]
+            for key, item in value.items()
+        ]
+        return {"__dict__": sorted(encoded, key=lambda pair: pair[0])}
+    raise TypeError(
+        f"cannot canonicalize configuration value of type "
+        f"{type(value).__name__}"
+    )
+
+
+def config_to_jsonable(config: SimulationConfig) -> dict:
+    """A canonical, JSON-serializable view of a configuration."""
+    return _jsonable(config)
+
+
+def config_digest(config: SimulationConfig) -> str:
+    """SHA-256 over the canonical form of a configuration.
+
+    Stable across processes and Python versions: equal configurations
+    (including their nested timelines, settings and calendar) digest
+    equal; any field change — a seed, a phase level, a regional tier —
+    produces a different digest.
+    """
+    material = json.dumps(config_to_jsonable(config), sort_keys=True)
+    return hashlib.sha256(material.encode()).hexdigest()

@@ -1,0 +1,50 @@
+"""The experimentation harness: scenario grids and comparative reports.
+
+The paper's pipeline answers "what happened in 2020?"; this package
+answers "what would have happened *instead*?" at sweep scale.
+:func:`run_grid` fans a grid of (scenario × seed) cells from the
+declarative catalog (:mod:`repro.datasets.scenarios`) across the
+existing engine — reusing persisted runs, per-day checkpoints and the
+content-addressed analysis cache — and :func:`comparative_report`
+renders the cross-scenario story: delta tables of the paper's headline
+metrics against a baseline scenario, plus overlaid weekly-variation
+panels.
+
+>>> from repro import experiments  # doctest: +SKIP
+>>> result = experiments.run_grid(experiments.ExperimentSpec(
+...     scenarios=("no_intervention", "second_wave"),
+...     seeds=(2020, 2021), preset="tiny",
+...     workdir="runs/grid"))  # doctest: +SKIP
+>>> print(result.report())  # doctest: +SKIP
+
+Reports are deterministic and byte-stable: a warm rerun (every cell
+reused, every artifact served from the run caches) prints the exact
+bytes of the cold run that populated them.  See ``docs/SCENARIOS.md``
+for the guide.
+"""
+
+from repro.experiments.compare import (
+    DELTA_METRICS,
+    OVERLAY_METRICS,
+    comparative_report,
+    compare_runs,
+    delta_table,
+)
+from repro.experiments.grid import (
+    ExperimentSpec,
+    GridCell,
+    GridResult,
+    run_grid,
+)
+
+__all__ = [
+    "DELTA_METRICS",
+    "OVERLAY_METRICS",
+    "ExperimentSpec",
+    "GridCell",
+    "GridResult",
+    "comparative_report",
+    "compare_runs",
+    "delta_table",
+    "run_grid",
+]

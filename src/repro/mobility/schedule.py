@@ -1,0 +1,142 @@
+"""Piecewise-scheduled pandemic timelines for declarative scenarios.
+
+:class:`~repro.mobility.pandemic.PandemicTimeline` hard-codes the shape
+of the real UK 2020 intervention sequence: one escalation, one
+lockdown, one slow relaxation.  The scenario catalog
+(:mod:`repro.datasets.scenarios`) needs timelines the 2020 shape cannot
+express — second waves, regional tiers, weekend curfews, restriction
+holidays — so this module provides :class:`ScheduledTimeline`: an
+explicit, ordered sequence of :class:`PolicyWindow` rows, each saying
+"from this date, this phase label, this restriction level".
+
+The class is a drop-in timeline for :class:`~repro.simulation.config.
+SimulationConfig.timeline`: it implements the exact surface the
+behaviour, demand and voice models consume (``phase``,
+``restriction_level``, ``regional_multiplier``,
+``regional_restriction``, ``relaxation_start``) and nothing more.  Both
+classes are plain frozen dataclasses, so configurations carrying either
+pickle, compare and digest identically well.
+"""
+
+from __future__ import annotations
+
+import bisect
+import datetime as dt
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.mobility.pandemic import Phase
+
+__all__ = ["PolicyWindow", "ScheduledTimeline"]
+
+#: Sentinel "never" date for :attr:`ScheduledTimeline.relaxation_start`
+#: when no window is labeled RELAXATION (the voice model only reads the
+#: attribute for dates whose phase *is* RELAXATION, so it never acts on
+#: the sentinel).
+_NEVER = dt.date(9999, 1, 1)
+
+
+@dataclass(frozen=True)
+class PolicyWindow:
+    """One row of a scenario timeline: a dated policy regime.
+
+    The window runs from ``start`` (inclusive) until the next window's
+    start (or forever, for the last window).  ``level`` is the national
+    restriction level in [0, 1]; ``weekend_level``, when given,
+    replaces it on Saturdays and Sundays (curfew-style scenarios);
+    ``decay_per_day`` models fading adherence inside the window; and
+    ``regional`` multiplies the level per region (tiered measures) —
+    regions not named keep multiplier 1.0.
+    """
+
+    start: dt.date
+    phase: Phase
+    level: float
+    weekend_level: float | None = None
+    decay_per_day: float = 0.0
+    regional: tuple[tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("level", self.level),
+            ("weekend_level", self.weekend_level),
+        ):
+            if value is not None and not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    f"{name} must be within [0, 1], got {value}"
+                )
+        if self.decay_per_day < 0.0:
+            raise ValueError("decay_per_day must be non-negative")
+        for region, multiplier in self.regional:
+            if multiplier < 0.0:
+                raise ValueError(
+                    f"regional multiplier for {region!r} must be >= 0"
+                )
+
+    def level_on(self, date: dt.date) -> float:
+        """National restriction level of this window on ``date``."""
+        level = self.level
+        if self.weekend_level is not None and date.weekday() >= 5:
+            level = self.weekend_level
+        if self.decay_per_day:
+            level -= self.decay_per_day * (date - self.start).days
+        return max(0.0, level)
+
+
+@dataclass(frozen=True)
+class ScheduledTimeline:
+    """A pandemic timeline defined by an explicit window sequence.
+
+    Dates before the first window are :attr:`~repro.mobility.pandemic.
+    Phase.PRE_PANDEMIC` at restriction 0.  Windows must be sorted by
+    strictly increasing ``start``.
+    """
+
+    windows: tuple[PolicyWindow, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        starts = [window.start for window in self.windows]
+        if any(b <= a for a, b in zip(starts, starts[1:])):
+            raise ValueError(
+                "windows must be sorted by strictly increasing start"
+            )
+
+    @cached_property
+    def _starts(self) -> list[dt.date]:
+        return [window.start for window in self.windows]
+
+    def _window(self, date: dt.date) -> PolicyWindow | None:
+        index = bisect.bisect_right(self._starts, date) - 1
+        return None if index < 0 else self.windows[index]
+
+    # -- the timeline surface the models consume ---------------------------
+    def phase(self, date: dt.date) -> Phase:
+        """Phase label for a date."""
+        window = self._window(date)
+        return Phase.PRE_PANDEMIC if window is None else window.phase
+
+    def restriction_level(self, date: dt.date) -> float:
+        """National restriction level in [0, 1]."""
+        window = self._window(date)
+        return 0.0 if window is None else window.level_on(date)
+
+    def regional_multiplier(self, region: str, date: dt.date) -> float:
+        """Multiplier on the restriction level for a region."""
+        window = self._window(date)
+        if window is None:
+            return 1.0
+        return dict(window.regional).get(region, 1.0)
+
+    def regional_restriction(self, region: str, date: dt.date) -> float:
+        """Regional restriction level (national × regional multiplier)."""
+        return self.restriction_level(date) * self.regional_multiplier(
+            region, date
+        )
+
+    @property
+    def relaxation_start(self) -> dt.date:
+        """Start of the first RELAXATION window (voice-decay anchor)."""
+        for window in self.windows:
+            if window.phase is Phase.RELAXATION:
+                return window.start
+        return _NEVER

@@ -1,0 +1,195 @@
+"""Tests for the declarative scenario catalog and its digests."""
+
+import datetime as dt
+
+import pytest
+
+from repro.datasets import (
+    PhaseSpec,
+    ScenarioSpec,
+    config_digest,
+    get_scenario,
+    register_scenario,
+    scenario_config,
+    scenario_feeds,
+    scenario_names,
+)
+from repro.datasets.runcache import clear_memo, memo_info
+from repro.datasets.scenarios import _REGISTRY
+from repro.mobility.pandemic import Phase
+from repro.simulation.config import SimulationConfig
+
+EXPECTED_CATALOG = (
+    "baseline_lockdown",
+    "mass_event_spike",
+    "no_intervention",
+    "no_ops_response",
+    "regional_tiers",
+    "school_closures_only",
+    "second_wave",
+    "weekend_curfew",
+)
+
+
+class TestCatalog:
+    def test_catalog_names(self):
+        assert scenario_names() == EXPECTED_CATALOG
+
+    def test_every_entry_has_description(self):
+        for name in scenario_names():
+            assert get_scenario(name).description
+
+    def test_unknown_scenario_names_the_catalog(self):
+        with pytest.raises(KeyError, match="baseline_lockdown"):
+            get_scenario("nope")
+
+    def test_register_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario(get_scenario("second_wave"))
+
+    def test_register_custom_entry(self):
+        spec = ScenarioSpec(
+            name="test_only_entry",
+            description="registered by the test suite",
+            phases=(PhaseSpec(dt.date(2020, 3, 2), "lockdown", 0.8),),
+        )
+        try:
+            register_scenario(spec)
+            assert "test_only_entry" in scenario_names()
+            config = scenario_config("test_only_entry", preset="tiny")
+            assert config.timeline.restriction_level(
+                dt.date(2020, 4, 1)
+            ) == 0.8
+        finally:
+            _REGISTRY.pop("test_only_entry", None)
+
+
+class TestDigests:
+    def test_digest_stable_across_calls(self):
+        for name in scenario_names():
+            first = config_digest(
+                scenario_config(name, preset="tiny", seed=3)
+            )
+            second = config_digest(
+                scenario_config(name, preset="tiny", seed=3)
+            )
+            assert first == second, name
+
+    def test_digests_distinct_across_scenarios(self):
+        digests = {
+            config_digest(scenario_config(name, preset="tiny"))
+            for name in scenario_names()
+        }
+        assert len(digests) == len(scenario_names())
+
+    def test_digest_sensitive_to_seed_and_scale(self):
+        base = config_digest(scenario_config("second_wave", preset="tiny"))
+        assert base != config_digest(
+            scenario_config("second_wave", preset="tiny", seed=1)
+        )
+        assert base != config_digest(
+            scenario_config("second_wave", preset="tiny", num_users=500)
+        )
+
+    def test_digest_sensitive_to_phase_level(self):
+        def spec_with(level):
+            return ScenarioSpec(
+                name="x", description="x",
+                phases=(PhaseSpec(dt.date(2020, 3, 23), "lockdown", level),),
+            )
+
+        base = SimulationConfig.tiny()
+        assert config_digest(spec_with(1.0).compile(base)) != config_digest(
+            spec_with(0.9).compile(base)
+        )
+
+
+class TestSpecSemantics:
+    def test_unknown_phase_label_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseSpec(dt.date(2020, 3, 2), "armageddon", 1.0)
+
+    def test_out_of_order_phases_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(
+                name="x", description="x",
+                phases=(
+                    PhaseSpec(dt.date(2020, 3, 23), "lockdown", 1.0),
+                    PhaseSpec(dt.date(2020, 3, 2), "outbreak", 0.0),
+                ),
+            ).timeline()
+
+    def test_empty_phases_keep_real_timeline(self):
+        config = scenario_config("baseline_lockdown", preset="tiny")
+        assert config.timeline is None  # the calibrated PandemicTimeline
+
+    def test_no_intervention_is_flat(self):
+        config = scenario_config("no_intervention", preset="tiny")
+        for day in (dt.date(2020, 2, 10), dt.date(2020, 4, 1)):
+            assert config.timeline.restriction_level(day) == 0.0
+
+    def test_weekend_curfew_levels(self):
+        timeline = scenario_config(
+            "weekend_curfew", preset="tiny"
+        ).timeline
+        friday, saturday = dt.date(2020, 3, 27), dt.date(2020, 3, 28)
+        assert timeline.restriction_level(friday) == 0.40
+        assert timeline.restriction_level(saturday) == 0.95
+
+    def test_regional_tiers_multipliers(self):
+        timeline = scenario_config(
+            "regional_tiers", preset="tiny"
+        ).timeline
+        day = dt.date(2020, 4, 1)
+        assert timeline.regional_restriction("London", day) == 1.0
+        assert timeline.regional_restriction("Scotland", day) == 0.6
+        assert timeline.regional_restriction(
+            "South West", day
+        ) == pytest.approx(0.55)
+
+    def test_school_closures_never_locks_down(self):
+        timeline = scenario_config(
+            "school_closures_only", preset="tiny"
+        ).timeline
+        for offset in range(0, 60):
+            day = dt.date(2020, 3, 2) + dt.timedelta(days=offset)
+            assert timeline.phase(day) != Phase.LOCKDOWN
+
+    def test_second_wave_relocks(self):
+        timeline = scenario_config("second_wave", preset="tiny").timeline
+        assert timeline.restriction_level(dt.date(2020, 4, 22)) == 0.30
+        assert timeline.restriction_level(dt.date(2020, 4, 28)) == 0.95
+        assert timeline.phase(dt.date(2020, 4, 28)) == Phase.LOCKDOWN
+
+    def test_no_ops_response_override(self):
+        config = scenario_config("no_ops_response", preset="tiny")
+        assert config.interconnect_detection_days == 10_000
+
+    def test_decay_fades_within_a_window(self):
+        timeline = scenario_config(
+            "school_closures_only", preset="tiny"
+        ).timeline
+        early = timeline.restriction_level(dt.date(2020, 3, 21))
+        late = timeline.restriction_level(dt.date(2020, 4, 20))
+        assert late < early
+
+
+class TestRunMemo:
+    def test_scenario_feeds_memoized(self):
+        clear_memo()
+        first = scenario_feeds(
+            "no_intervention", preset="tiny", num_users=300, seed=5
+        )
+        second = scenario_feeds(
+            "no_intervention", preset="tiny", num_users=300, seed=5
+        )
+        assert first is second  # served from the in-process memo
+        assert memo_info()["entries"] >= 1
+
+    def test_classic_builders_share_the_memo(self):
+        from repro.datasets import uk_tiny
+
+        clear_memo()
+        first = uk_tiny(seed=23)
+        second = uk_tiny(seed=23)
+        assert first is second

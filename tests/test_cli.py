@@ -311,6 +311,129 @@ class TestCrashAndResume:
         assert "nothing to resume" in out.getvalue()
 
 
+class TestScenarioCommands:
+    def test_scenarios_lists_the_catalog(self):
+        out = io.StringIO()
+        assert main(["scenarios"], out=out) == 0
+        text = out.getvalue()
+        for name in ("baseline_lockdown", "second_wave", "weekend_curfew"):
+            assert name in text
+
+    def test_scenarios_digests_flag(self):
+        out = io.StringIO()
+        assert main(["scenarios", "--digests"], out=out) == 0
+        # one 12-hex-digit digest per catalog line
+        lines = out.getvalue().strip().splitlines()
+        assert all("[" in line and "]" in line for line in lines)
+
+    @pytest.fixture(scope="class")
+    def grid_dir(self, tmp_path_factory):
+        return tmp_path_factory.mktemp("cli-grid") / "grid"
+
+    @pytest.fixture(scope="class")
+    def cold_experiment(self, grid_dir):
+        from repro.datasets.runcache import clear_memo
+
+        clear_memo()
+        out = io.StringIO()
+        code = main(
+            [
+                "experiment", "no_intervention", "second_wave",
+                "--seeds", "1,2", "--preset", "tiny", "--users", "300",
+                "--workdir", str(grid_dir),
+            ],
+            out=out,
+        )
+        assert code == 0
+        return out.getvalue()
+
+    def test_experiment_runs_grid_and_reports(self, cold_experiment):
+        assert cold_experiment.count("simulated") == 6
+        assert "Headline deltas vs baseline" in cold_experiment
+        assert "Weekly variation — national gyration" in cold_experiment
+
+    def test_warm_experiment_reuses_and_matches_report(
+        self, cold_experiment, grid_dir
+    ):
+        from repro.datasets.runcache import clear_memo
+
+        clear_memo()
+        out = io.StringIO()
+        code = main(
+            [
+                "experiment", "no_intervention", "second_wave",
+                "--seeds", "1,2", "--preset", "tiny", "--users", "300",
+                "--workdir", str(grid_dir),
+            ],
+            out=out,
+        )
+        assert code == 0
+        warm = out.getvalue()
+        assert warm.count("reused") == 6
+        # Identical report bytes: strip the progress prologue (the
+        # only part allowed to differ between cold and warm).
+        marker = "Experiment grid —"
+        assert warm[warm.index(marker):] == cold_experiment[
+            cold_experiment.index(marker):
+        ]
+
+    def test_experiment_rejects_unknown_scenario(self):
+        out = io.StringIO()
+        code = main(
+            ["experiment", "no_such_world", "--preset", "tiny"],
+            out=out,
+        )
+        assert code == 2
+        assert "catalog" in out.getvalue()
+
+    def test_experiment_rejects_bad_seeds(self):
+        out = io.StringIO()
+        code = main(
+            [
+                "experiment", "no_intervention",
+                "--seeds", "one,two", "--preset", "tiny",
+            ],
+            out=out,
+        )
+        assert code == 2
+        assert "--seeds" in out.getvalue()
+
+    def test_compare_over_cell_directories(self, cold_experiment, grid_dir):
+        out = io.StringIO()
+        code = main(
+            [
+                "compare",
+                str(grid_dir / "baseline_lockdown--seed1"),
+                str(grid_dir / "no_intervention--seed1"),
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "baseline: baseline_lockdown--seed1" in text
+        assert "Headline deltas vs baseline" in text
+
+    def test_compare_needs_two_directories(self, cold_experiment, grid_dir):
+        out = io.StringIO()
+        code = main(
+            ["compare", str(grid_dir / "baseline_lockdown--seed1")],
+            out=out,
+        )
+        assert code == 2
+
+    def test_compare_missing_directory_is_one_line(self, tmp_path):
+        out = io.StringIO()
+        code = main(
+            [
+                "compare",
+                str(tmp_path / "nope-a"), str(tmp_path / "nope-b"),
+            ],
+            out=out,
+        )
+        assert code == 1
+        assert out.getvalue().startswith("error:")
+
+
 class TestTelemetryFlag:
     def test_report_prints_phase_table(self):
         out = io.StringIO()

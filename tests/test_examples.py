@@ -37,3 +37,13 @@ def test_measurement_pipeline_runs():
     out = run_example("measurement_pipeline.py")
     assert "sessionizing" in out
     assert "pipelines agree" in out
+
+
+@pytest.mark.slow
+def test_scenario_grid_runs(tmp_path):
+    out = run_example("scenario_grid.py", str(tmp_path / "grid"))
+    assert "Headline deltas vs baseline" in out
+    assert out.count("simulated") == 6
+    # A second invocation reuses every persisted cell.
+    again = run_example("scenario_grid.py", str(tmp_path / "grid"))
+    assert again.count("reused") == 6

@@ -21,7 +21,7 @@ import sys
 from repro import api
 
 
-def main(workdir: str | None = None) -> None:
+def main(directory: str | None = None) -> None:
     def progress(scenario: str, seed: int, action: str) -> None:
         print(f"  {scenario} seed {seed}: {action}")
 
@@ -31,7 +31,7 @@ def main(workdir: str | None = None) -> None:
         seeds=[1, 2],
         preset="tiny",
         num_users=300,
-        workdir=workdir,
+        directory=directory,
         progress=progress,
     )
 

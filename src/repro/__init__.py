@@ -40,13 +40,14 @@ Packages
 Quickstart
 ----------
 >>> from repro import api, SimulationConfig  # doctest: +SKIP
->>> run = api.simulate(SimulationConfig.small(), out="runs/s")  # doctest: +SKIP
+>>> run = api.simulate(SimulationConfig.small(), "runs/s")  # doctest: +SKIP
 >>> run.study().summary()["voice_volume_peak_pct"]  # doctest: +SKIP
 143.5
+>>> run = api.Run.open("runs/s", lazy=True)  # doctest: +SKIP
 
 The :mod:`repro.api` facade (:class:`~repro.api.Run`) unifies the whole
-lifecycle — simulate, save, load, resume, analyze — over the lower
-layers, which remain importable individually.
+lifecycle — simulate, open, advance (live day-at-a-time runs), resume,
+analyze — over the lower layers, which remain importable individually.
 """
 
 from repro.simulation.config import SimulationConfig

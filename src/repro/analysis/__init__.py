@@ -4,7 +4,8 @@
 recomputing them across processes unnecessary.  See
 :mod:`repro.analysis.cache` for the content-addressed store that
 :class:`~repro.core.study.CovidImpactStudy`, :mod:`repro.api` and the
-CLI share.
+CLI share, and :mod:`repro.analysis.mobility` for the segment-composed
+incremental analytics live runs re-key it with.
 """
 
 from repro.analysis.cache import (
@@ -15,12 +16,20 @@ from repro.analysis.cache import (
     report_params,
     summary_params,
 )
+from repro.analysis.mobility import (
+    incremental_daily_metrics,
+    incremental_homes,
+    incremental_labeled_kpis,
+)
 
 __all__ = [
     "CODE_EPOCHS",
     "DEFAULT_GYRATION_MODE",
     "ArtifactCache",
     "artifact_key",
+    "incremental_daily_metrics",
+    "incremental_homes",
+    "incremental_labeled_kpis",
     "report_params",
     "summary_params",
 ]

@@ -68,8 +68,11 @@ DEFAULT_GYRATION_MODE = "weighted"
 #: epoch) instead of serving stale results.
 CODE_EPOCHS = {
     "metrics": 1,
+    "metrics_range": 1,
     "homes": 1,
+    "homes_range": 1,
     "labeled_kpis": 1,
+    "labeled_kpis_range": 1,
     "fig2": 1,
     "fig3": 1,
     "fig4": 1,
@@ -309,19 +312,32 @@ class ArtifactCache:
         return cls(Path(run_directory) / CACHE_SUBDIR, digests)
 
     # -- lookup --------------------------------------------------------------
-    def key(self, artifact: str, params: dict) -> str:
-        return artifact_key(artifact, self.feed_digests, params)
+    def key(
+        self, artifact: str, params: dict, *, digests=None
+    ) -> str:
+        """The artifact's content address.
 
-    def entry_path(self, artifact: str, params: dict) -> Path:
-        return self.directory / f"{self.key(artifact, params)}.npz"
+        ``digests`` substitutes the run-wide feed digests with an
+        artifact-specific digest map — the live-run path keys per
+        day-range artifacts on exactly the segment files that cover
+        the range, so they survive appends that only extend the run.
+        """
+        feed_digests = self.feed_digests if digests is None else digests
+        return artifact_key(artifact, feed_digests, params)
 
-    def get(self, artifact: str, params: dict):
+    def entry_path(
+        self, artifact: str, params: dict, *, digests=None
+    ) -> Path:
+        key = self.key(artifact, params, digests=digests)
+        return self.directory / f"{key}.npz"
+
+    def get(self, artifact: str, params: dict, *, digests=None):
         """The cached payload, or ``None`` on any kind of miss.
 
         Corrupt, truncated, or undecodable entries count as misses
         (and bump ``cache.corrupt_entries``); they are never an error.
         """
-        path = self.entry_path(artifact, params)
+        path = self.entry_path(artifact, params, digests=digests)
         if not path.exists():
             telemetry.count("cache.misses")
             return None
@@ -346,7 +362,9 @@ class ArtifactCache:
         telemetry.count("cache.hits")
         return payload
 
-    def put(self, artifact: str, params: dict, payload) -> bool:
+    def put(
+        self, artifact: str, params: dict, payload, *, digests=None
+    ) -> bool:
         """Persist a payload; returns False (and stores nothing) when
         the payload cannot be encoded or the write fails."""
         try:
@@ -356,7 +374,7 @@ class ArtifactCache:
             checksum = _payload_digest(meta, arrays)
         except CacheCodecError:
             return False
-        final = self.entry_path(artifact, params)
+        final = self.entry_path(artifact, params, digests=digests)
         temporary = final.with_name(
             f"{final.name}.{os.getpid()}.{threading.get_ident()}.tmp"
         )
@@ -377,13 +395,15 @@ class ArtifactCache:
         telemetry.count("cache.bytes_written", size)
         return True
 
-    def get_or_compute(self, artifact: str, params: dict, compute):
+    def get_or_compute(
+        self, artifact: str, params: dict, compute, *, digests=None
+    ):
         """The cached payload if present, else ``compute()`` (stored)."""
-        payload = self.get(artifact, params)
+        payload = self.get(artifact, params, digests=digests)
         if payload is not None:
             return payload
         payload = compute()
-        self.put(artifact, params, payload)
+        self.put(artifact, params, payload, digests=digests)
         return payload
 
     # -- maintenance ---------------------------------------------------------

@@ -8,17 +8,25 @@ by hand.  This module folds that lifecycle into a single :class:`Run`
 handle:
 
 >>> from repro import api  # doctest: +SKIP
->>> run = api.simulate(SimulationConfig.small(), out="runs/s")  # doctest: +SKIP
+>>> run = api.simulate(SimulationConfig.small(), "runs/s")  # doctest: +SKIP
 >>> run.study().summary()["voice_volume_peak_pct"]  # doctest: +SKIP
 143.5
->>> again = api.Run.load("runs/s")  # doctest: +SKIP
+>>> again = api.Run.open("runs/s", lazy=True)  # doctest: +SKIP
 
-- :func:`simulate` runs the engine; given ``out`` it checkpoints into
-  and persists to that directory (crash-safe by default — see
-  :mod:`repro.simulation.checkpoint`);
-- :meth:`Run.load` reopens a persisted run; :meth:`Run.save` persists
-  (or re-homes) one; :meth:`Run.study` hands back a cached
+- :func:`simulate` runs the engine; given a directory it checkpoints
+  into and persists to it (crash-safe by default — see
+  :mod:`repro.simulation.checkpoint`).  With ``days=N`` it simulates
+  only the first N study days and leaves a *live* run;
+- :meth:`Run.open` reopens a persisted run (``lazy=True`` memory-maps
+  the mobility partition); :meth:`Run.save` persists (or re-homes)
+  one; :meth:`Run.study` hands back a cached
   :class:`~repro.core.study.CovidImpactStudy`;
+- :meth:`Run.advance` extends a live run day-at-a-time: it simulates
+  the next window on the same engine, appends it to the run directory
+  through a crash-safe commit (:func:`repro.io.append_feeds`), and
+  re-analyzes incrementally — bitwise-identical, at every step, to a
+  from-scratch run of the same length.  :meth:`Run.frozen` reports
+  whether the configured horizon has been reached;
 - :func:`resume` (and :meth:`Run.resume`) completes a run whose
   producing process died, from its per-day checkpoints, bitwise
   identical to an uninterrupted run.
@@ -26,36 +34,77 @@ handle:
 Everything raises :class:`~repro.io.store.RunStoreError` subtypes with
 the offending file named, so a broken run directory is a one-line
 diagnosis rather than a pickle traceback.
+
+Deprecated aliases (each emits :class:`DeprecationWarning` and will be
+removed in a future release): ``Run.load`` / :func:`load` →
+:meth:`Run.open`; ``simulate(out=...)`` → ``simulate(directory=...)``;
+``experiment(workdir=...)`` → ``experiment(directory=...)``.
 """
 
 from __future__ import annotations
 
+import warnings
 from pathlib import Path
 
 __all__ = ["Run", "experiment", "load", "resume", "simulate"]
 
+#: Configuration flags whose outputs never reach the run directory —
+#: a live run would silently diverge from its persisted form, so
+#: day-at-a-time mode refuses them up front.
+_LIVE_INCOMPATIBLE_FLAGS = (
+    "emit_signaling",
+    "keep_hourly_kpis",
+    "keep_sector_kpis",
+    "keep_bin_dwell",
+)
+
+
+def _reject_live_config(config) -> None:
+    heavy = [
+        name
+        for name in _LIVE_INCOMPATIBLE_FLAGS
+        if getattr(config, name, False)
+    ]
+    if heavy:
+        raise ValueError(
+            "live (day-at-a-time) runs persist every produced feed, but "
+            f"{', '.join(heavy)} outputs are never stored in the run "
+            "directory; disable them or simulate the whole window at once"
+        )
+
 
 class Run:
-    """A completed simulation run: its feeds, and (optionally) its home.
+    """A simulation run: its feeds, and (optionally) its home directory.
 
-    Construct through :func:`simulate`, :meth:`load`, or
+    Construct through :func:`simulate`, :meth:`open`, or
     :func:`resume` rather than directly.  The handle is cheap: the
-    analysis object is built lazily and cached.
+    analysis object is built lazily and cached.  A run persisted with
+    fewer days than its configured horizon is *live* —
+    :meth:`advance` extends it in place until :meth:`frozen`.
     """
 
-    def __init__(self, feeds, directory: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        feeds,
+        directory: str | Path | None = None,
+        *,
+        lazy: bool = False,
+    ) -> None:
         if feeds is None:
             raise ValueError("a Run wraps a produced DataFeeds bundle")
         self._feeds = feeds
         self._directory = None if directory is None else Path(directory)
+        self._lazy = bool(lazy)
         self._study = None
 
     def __repr__(self) -> str:
         home = "in memory" if self._directory is None else self._directory
-        return (
-            f"Run({self._feeds.num_users} users x "
-            f"{self._feeds.calendar.num_days} days, {home})"
+        span = (
+            f"{self.days} days"
+            if self.frozen()
+            else f"{self.days}/{self.horizon} days (live)"
         )
+        return f"Run({self._feeds.num_users} users x {span}, {home})"
 
     # -- state -------------------------------------------------------------
     @property
@@ -73,10 +122,29 @@ class Run:
         """Where the run is persisted (``None`` for in-memory runs)."""
         return self._directory
 
+    @property
+    def days(self) -> int:
+        """Days simulated so far (equals :attr:`horizon` once frozen)."""
+        return int(self._feeds.mobility.num_days)
+
+    @property
+    def horizon(self) -> int:
+        """The configured study length in days."""
+        return int(self._feeds.config.calendar.num_days)
+
+    def frozen(self) -> bool:
+        """Whether the run has reached its configured horizon.
+
+        A frozen run is a finished study — byte-identical on disk to a
+        single whole-window :func:`simulate` — and can no longer be
+        :meth:`advance`\\ d.
+        """
+        return self.days >= self.horizon
+
     # -- lifecycle ---------------------------------------------------------
     @classmethod
-    def load(cls, directory: str | Path, *, lazy: bool = False) -> "Run":
-        """Reopen a persisted run directory.
+    def open(cls, directory: str | Path, *, lazy: bool = False) -> "Run":
+        """Open a persisted run directory (finished or live).
 
         With ``lazy=True`` the mobility feed is memory-mapped shard by
         shard instead of materialized (see
@@ -90,7 +158,18 @@ class Run:
         """
         from repro.io import load_feeds
 
-        return cls(load_feeds(directory, lazy=lazy), directory)
+        return cls(load_feeds(directory, lazy=lazy), directory, lazy=lazy)
+
+    @classmethod
+    def load(cls, directory: str | Path, *, lazy: bool = False) -> "Run":
+        """Deprecated alias of :meth:`open`."""
+        warnings.warn(
+            "Run.load(...) is deprecated and will be removed in a future "
+            "release; use Run.open(directory, lazy=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return cls.open(directory, lazy=lazy)
 
     def save(self, directory: str | Path | None = None) -> Path:
         """Persist the run (defaults to the directory it came from)."""
@@ -114,6 +193,77 @@ class Run:
         """
         return self
 
+    def advance(
+        self, days: int = 1, *, checkpoint: bool = True, progress=None
+    ) -> "Run":
+        """Simulate and append the next ``days`` study days in place.
+
+        The engine runs only the window ``[self.days, self.days+days)``
+        — restoring the coordinator's sequential state (RNG streams,
+        voice-interconnect state machine, download baseline) from the
+        live state persisted in the manifest — and the result is
+        appended to the run directory through
+        :func:`repro.io.append_feeds`: new dwell segment files and
+        day-count-versioned KPI tables land first, then the manifest is
+        atomically rewritten as the single commit point.  A crash at
+        any moment leaves the directory loadable at its previous day
+        count, and re-calling ``advance`` restores any checkpointed
+        window days (``checkpoint=True``, the default) instead of
+        recomputing them.
+
+        Incremental analytics: appending invalidates only whole-window
+        cache artifacts (their digest-derived keys change); per-range
+        artifacts of the existing prefix keep their keys and are reused
+        by the next :meth:`study` (:mod:`repro.analysis.mobility`).
+
+        At every intermediate length the *loaded* state — feeds,
+        tables, analysis — is bitwise-identical to a from-scratch run
+        of the same day count (the on-disk segment layout records the
+        advance history; that is what makes appends cheap).  Reaching
+        the horizon compacts the partition to the canonical
+        single-segment layout, so a frozen live run's directory is
+        byte-identical to a whole-window :func:`simulate`'s.
+
+        Returns ``self`` (the handle now wraps the extended feeds; the
+        memoized study is reset).
+        """
+        if self._directory is None:
+            raise ValueError(
+                "an in-memory run cannot be advanced; persist it first "
+                "(simulate(config, directory, days=...))"
+            )
+        if days < 1:
+            raise ValueError("advance needs days >= 1")
+        if self.frozen():
+            raise ValueError(
+                f"run is frozen at its {self.horizon}-day horizon"
+            )
+        _reject_live_config(self.config)
+        from repro.io import append_feeds, load_feeds
+        from repro.simulation.engine import Simulator
+
+        day_start = self.days
+        day_stop = min(day_start + int(days), self.horizon)
+        chunk = Simulator(self.config).run(
+            progress=progress,
+            checkpoint_dir=self._directory if checkpoint else None,
+            stream_dir=self._directory,
+            day_start=day_start,
+            day_stop=day_stop,
+            live=self._feeds.live,
+        )
+        append_feeds(self._feeds, chunk, self._directory)
+        _clear_checkpoints(self._directory)
+        self._feeds = load_feeds(self._directory, lazy=self._lazy)
+        self._study = None
+        if self.frozen():
+            # Compact the segmented partition and versioned tables back
+            # to the canonical single-segment layout: the frozen
+            # directory becomes byte-identical to a batch run's.
+            self.save()
+            self._feeds = load_feeds(self._directory, lazy=self._lazy)
+        return self
+
     # -- analysis ----------------------------------------------------------
     def study(self, *, cache: bool | object = True):
         """The paper's analysis over this run's feeds (cached).
@@ -123,8 +273,9 @@ class Run:
         digests recorded in its manifest), so figure payloads survive
         across processes.  Pass ``cache=False`` for a purely in-memory
         study, or a ready :class:`~repro.analysis.cache.ArtifactCache`
-        to use instead.  The study handle is memoized: the ``cache``
-        argument only matters on the first call.
+        to use instead.  The study handle is memoized per run state:
+        the ``cache`` argument only matters on the first call, and
+        :meth:`advance` resets the memo (the feeds changed).
         """
         if self._study is None:
             from repro.core import CovidImpactStudy
@@ -145,35 +296,82 @@ class Run:
 
 def simulate(
     config=None,
-    out: str | Path | None = None,
+    directory: str | Path | None = None,
     *,
+    days: int | None = None,
     checkpoint: bool = True,
     progress=None,
+    out: str | Path | None = None,
 ) -> Run:
     """Run the simulator and return a :class:`Run` handle.
 
-    With ``out``, the run checkpoints into and persists to that
-    directory: if the process dies mid-run, :func:`resume` completes it
-    from the last finished day.  Checkpoints are removed once the run
-    is saved; pass ``checkpoint=False`` to skip them entirely.
+    With a ``directory``, the run checkpoints into and persists to it:
+    if the process dies mid-run, :func:`resume` completes it from the
+    last finished day.  Checkpoints are removed once the run is saved;
+    pass ``checkpoint=False`` to skip them entirely.
+
+    ``days=N`` simulates only the first N study days and persists a
+    *live* run (requires a ``directory`` — the partial state must be
+    stored to be extendable); grow it with :meth:`Run.advance`.  At
+    every length the loaded feeds and analysis are bitwise what any
+    other advance path to the same day count produces, and the frozen
+    directory is byte-identical to a whole-window simulate's.
+
+    ``out=`` is a deprecated alias of ``directory=``.
     """
     from repro.simulation.config import SimulationConfig
     from repro.simulation.engine import Simulator
 
-    simulator = Simulator(config or SimulationConfig())
-    if out is None:
+    if out is not None:
+        warnings.warn(
+            "simulate(out=...) is deprecated and will be removed in a "
+            "future release; pass directory= (second positional "
+            "argument)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if directory is not None:
+            raise TypeError(
+                "pass either directory= or the deprecated out=, not both"
+            )
+        directory = out
+
+    config = config or SimulationConfig()
+    simulator = Simulator(config)
+    if days is not None:
+        days = int(days)
+        horizon = int(config.calendar.num_days)
+        if directory is None:
+            raise ValueError(
+                "simulate(days=...) starts a live run, which must be "
+                "persisted to be advanced; pass a directory"
+            )
+        if not 1 <= days <= horizon:
+            raise ValueError(
+                f"days must be in [1, {horizon}] (the configured "
+                f"horizon), got {days}"
+            )
+        if days < horizon:
+            _reject_live_config(config)
+    if directory is None:
         return Run(simulator.run(progress=progress))
     feeds = simulator.run(
         progress=progress,
-        checkpoint_dir=out if checkpoint else None,
+        checkpoint_dir=directory if checkpoint else None,
         # Mobility days land directly in the run directory's columnar
         # partition (bounded peak memory); save() below commits them
         # in place.  REPRO_STORE_NAIVE=1 disables the streaming.
-        stream_dir=out,
+        stream_dir=directory,
+        day_stop=days,
     )
-    run = Run(feeds, out)
+    run = Run(feeds, directory)
     run.save()
-    _clear_checkpoints(out)
+    _clear_checkpoints(directory)
+    if days is not None and days < int(config.calendar.num_days):
+        # Live runs are re-opened so the handle's analysis calendar
+        # covers exactly the simulated prefix (load_feeds truncates
+        # it; the configuration keeps the full horizon for advance()).
+        return Run.open(directory)
     return run
 
 
@@ -183,14 +381,20 @@ def resume(directory: str | Path, progress=None) -> Run:
     Restores every checkpointed shard-day, computes the missing ones
     (bitwise-identical to an uninterrupted run), persists the feeds,
     and removes the checkpoints.  A directory that already holds a
-    finished run is simply loaded.
+    loadable run — finished, *or* a live run whose ``advance`` was
+    killed mid-window — is simply opened: a torn advance never touches
+    the committed manifest, so the run reopens at its previous day
+    count and the next :meth:`Run.advance` restores the checkpointed
+    window days.  (An initial ``simulate(days=...)`` killed before its
+    first save has no manifest yet; its checkpoints resume to the full
+    horizon.)
     """
     from repro.io.store import RunStoreError
     from repro.simulation.checkpoint import CheckpointStore
     from repro.simulation.engine import Simulator
 
     try:
-        return Run.load(directory)
+        return Run.open(directory)
     except RunStoreError:
         # Not loadable as a finished run: resume if there are
         # checkpoints to resume from, otherwise surface the precise
@@ -205,8 +409,14 @@ def resume(directory: str | Path, progress=None) -> Run:
 
 
 def load(directory: str | Path, *, lazy: bool = False) -> Run:
-    """Alias for :meth:`Run.load`."""
-    return Run.load(directory, lazy=lazy)
+    """Deprecated alias of :meth:`Run.open`."""
+    warnings.warn(
+        "api.load(...) is deprecated and will be removed in a future "
+        "release; use Run.open(directory, lazy=...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return Run.open(directory, lazy=lazy)
 
 
 def experiment(
@@ -216,8 +426,9 @@ def experiment(
     preset: str = "small",
     num_users: int | None = None,
     baseline: str = "baseline_lockdown",
-    workdir: str | Path | None = None,
+    directory: str | Path | None = None,
     progress=None,
+    workdir: str | Path | None = None,
 ):
     """Run a (scenario × seed) grid and return its ``GridResult``.
 
@@ -228,14 +439,29 @@ def experiment(
     >>> result = api.experiment(
     ...     ["no_intervention", "second_wave"],
     ...     seeds=[1, 2], preset="tiny",
-    ...     workdir="runs/grid")  # doctest: +SKIP
+    ...     directory="runs/grid")  # doctest: +SKIP
     >>> print(result.report())  # doctest: +SKIP
 
     Scenario names come from the catalog
-    (:func:`repro.datasets.scenario_names`); ``workdir`` enables
+    (:func:`repro.datasets.scenario_names`); ``directory`` enables
     persistent cells that warm reruns reload instead of re-simulating.
+    ``workdir=`` is a deprecated alias of ``directory=``.
     """
     from repro.experiments import ExperimentSpec, run_grid
+
+    if workdir is not None:
+        warnings.warn(
+            "experiment(workdir=...) is deprecated and will be removed "
+            "in a future release; pass directory=",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if directory is not None:
+            raise TypeError(
+                "pass either directory= or the deprecated workdir=, "
+                "not both"
+            )
+        directory = workdir
 
     spec = ExperimentSpec(
         scenarios=tuple(scenarios),
@@ -243,7 +469,7 @@ def experiment(
         preset=preset,
         num_users=num_users,
         baseline=baseline,
-        workdir=workdir,
+        workdir=directory,
     )
     return run_grid(spec, progress=progress)
 

@@ -13,11 +13,20 @@ just the headline numbers; ``report`` does simulate + analyze in one
 shot without touching disk (or, given a run directory, reports on it).
 
 Every feed-consuming subcommand (``analyze``, ``summary``, ``report``,
-``verdict``, ``export``) takes the run directory as its positional
-argument; the historical ``--feeds`` flag still works as a deprecated
-alias and warns.  They also take ``--lazy``, which memory-maps the
+``verdict``, ``export``, ``watch``) takes the run directory as its
+positional argument; the historical ``--feeds`` flag still works as a
+deprecated alias, warns, and will be removed in the next release.
+They all take the same trio of switches: ``--lazy`` memory-maps the
 run's columnar feed partition instead of materializing it (same
-output, bounded peak memory — see :mod:`repro.io.columnar`).
+output, bounded peak memory — see :mod:`repro.io.columnar`),
+``--no-cache`` bypasses the persistent artifact cache for one
+invocation, and ``--telemetry`` appends the phase table.
+
+``watch`` is the live-operator loop: it polls a run directory that
+another process is advancing day-by-day (:meth:`repro.api.Run.advance`)
+and reprints the summary and paper-target verdict whenever new days
+land, serving unchanged day ranges from the artifact cache so a
+refresh costs seconds, not a full recompute (see ``docs/LIVE.md``).
 
 ``simulate --out DIR`` checkpoints every completed shard-day under
 ``DIR/checkpoints`` while running (disable with ``--no-checkpoint``).
@@ -110,6 +119,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_rundir_args(summary)
     _add_cache_arg(summary)
+    _add_telemetry_arg(summary)
 
     report = commands.add_parser(
         "report",
@@ -129,6 +139,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_rundir_args(verdict)
     _add_cache_arg(verdict)
+    _add_telemetry_arg(verdict)
+
+    watch = commands.add_parser(
+        "watch",
+        help=(
+            "follow a live run: reprint summary + verdict whenever "
+            "another process advances it"
+        ),
+    )
+    _add_rundir_args(watch)
+    _add_cache_arg(watch)
+    _add_telemetry_arg(watch)
+    watch.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="poll period for the run's manifest (default: 2.0)",
+    )
+    watch.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help=(
+            "stop after N polls (default: watch until the run freezes "
+            "at its horizon, or Ctrl-C)"
+        ),
+    )
 
     cache = commands.add_parser(
         "cache",
@@ -149,6 +182,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="reload a run and write every figure's series as CSVs",
     )
     _add_rundir_args(export)
+    _add_cache_arg(export)
+    _add_telemetry_arg(export)
     export.add_argument(
         "--out", required=True, help="directory for the CSV bundle"
     )
@@ -236,7 +271,10 @@ def _add_rundir_args(
     )
     parser.add_argument(
         "--feeds", dest="feeds", default=None, metavar="DIR",
-        help="deprecated alias for the positional run directory",
+        help=(
+            "deprecated alias for the positional run directory "
+            "(will be removed in the next release)"
+        ),
     )
     parser.add_argument(
         "--lazy", action="store_true",
@@ -319,14 +357,14 @@ def _resolve_rundir(args: argparse.Namespace, required: bool = True):
         )
     if legacy is not None:
         warnings.warn(
-            "--feeds is deprecated; pass the run directory as a "
-            "positional argument",
+            "--feeds is deprecated and will be removed in the next "
+            "release; pass the run directory as a positional argument",
             DeprecationWarning,
             stacklevel=2,
         )
         print(
-            f"note: --feeds is deprecated; use 'repro {args.command} "
-            f"{legacy}'",
+            f"note: --feeds is deprecated and will be removed in the "
+            f"next release; use 'repro {args.command} {legacy}'",
             file=sys.stderr,
         )
         return legacy
@@ -444,12 +482,10 @@ def _run_command(args: argparse.Namespace, out) -> int:
         from repro.core import CovidImpactStudy
         from repro.io import export_analysis, load_feeds
 
+        rundir = _resolve_rundir(args)
         study = CovidImpactStudy(
-            _load(
-                load_feeds,
-                _resolve_rundir(args),
-                lazy=getattr(args, "lazy", False),
-            )
+            _load(load_feeds, rundir, lazy=getattr(args, "lazy", False)),
+            cache=_open_cache(args, rundir),
         )
         path = export_analysis(study, args.out)
         print(f"wrote figure CSVs to {path}", file=out)
@@ -481,6 +517,9 @@ def _run_command(args: argparse.Namespace, out) -> int:
             print(render_verdicts(evaluate_summary(summary)), file=out)
         return 0
 
+    if args.command == "watch":
+        return _run_watch(args, out)
+
     if args.command == "scenarios":
         return _run_scenarios(args, out)
 
@@ -509,6 +548,93 @@ def _run_command(args: argparse.Namespace, out) -> int:
         return 0
 
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _read_manifest(rundir):
+    """The run's parsed ``manifest.json``, or ``None`` before the first
+    save.  The manifest is replaced atomically (every save and every
+    live append commits by renaming it), so a successful parse is
+    always a consistent run state — never a torn append."""
+    import json
+
+    path = rundir / "manifest.json"
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def _run_watch(args: argparse.Namespace, out) -> int:
+    import time
+    from pathlib import Path
+
+    rundir = Path(_resolve_rundir(args))
+    interval = max(float(args.interval), 0.0)
+    remaining = args.iterations  # None: poll until frozen or Ctrl-C
+    last_days = None
+    try:
+        while True:
+            manifest = _read_manifest(rundir)
+            if manifest is None:
+                print(f"watch: waiting for {rundir}/manifest.json", file=out)
+            else:
+                days = int(manifest.get("num_days", 0))
+                frozen = "live" not in manifest
+                if days != last_days:
+                    last_days = days
+                    _watch_refresh(args, rundir, manifest, frozen, out)
+                if frozen:
+                    print(
+                        f"watch: run frozen at {days} days; done",
+                        file=out,
+                    )
+                    return 0
+            if remaining is not None:
+                remaining -= 1
+                if remaining <= 0:
+                    return 0
+            time.sleep(interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        return 0
+
+
+def _watch_refresh(args, rundir, manifest, frozen, out) -> None:
+    """Print one summary + verdict refresh, timed.
+
+    The refresh never materializes the feeds: analysis artifacts are
+    served from the run's cache when warm, and a cold (newly advanced)
+    range recomputes over the memory-mapped partition (``lazy``), with
+    already-seen day ranges reused from their range artifacts.
+    """
+    import time
+
+    from repro.core.paper_targets import evaluate_summary, render_verdicts
+
+    days = int(manifest.get("num_days", 0))
+    horizon = int(
+        (manifest.get("live") or {}).get("horizon_days", days)
+    )
+    label = f"day {days}/{horizon}" + ("" if frozen else " (live)")
+    start = time.perf_counter()
+    # Reopen per refresh: the cache is keyed on the manifest's feed
+    # digests, which change with every appended day.
+    cache = _open_cache(args, rundir)
+    try:
+        summary = _summary_values(rundir, cache, lazy=True)
+    except (ValueError, KeyError) as err:
+        # Too few days for the full analysis yet — home detection
+        # needs min_nights of them (ValueError), the correlation and
+        # delta figures need the key intervention dates inside the
+        # window (KeyError): report progress and keep polling.
+        print(f"{label}: warming up ({err})", file=out)
+        return
+    print(f"== {label} ==", file=out)
+    for key, value in summary.items():
+        print(f"{key:<42} {value:>12.3f}", file=out)
+    print(render_verdicts(evaluate_summary(summary)), file=out)
+    print(
+        f"refreshed in {time.perf_counter() - start:.2f}s", file=out
+    )
 
 
 def _run_scenarios(args: argparse.Namespace, out) -> int:
@@ -558,7 +684,7 @@ def _run_experiment(args: argparse.Namespace, out) -> int:
             preset=args.preset,
             num_users=args.users,
             baseline=args.baseline,
-            workdir=args.workdir,
+            directory=args.workdir,
             progress=progress,
         )
     except ValueError as err:

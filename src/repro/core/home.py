@@ -17,7 +17,12 @@ import numpy as np
 
 from repro.simulation.feeds import DataFeeds
 
-__all__ = ["HomeDetectionResult", "detect_homes"]
+__all__ = [
+    "HomeDetectionResult",
+    "detect_homes",
+    "finalize_homes",
+    "night_win_counts",
+]
 
 
 @dataclass
@@ -66,11 +71,25 @@ def detect_homes(
     if window_days.max() >= mobility.num_days:
         raise ValueError("window extends beyond the simulated days")
 
-    num_users = mobility.num_users
-    anchors = mobility.anchor_sites  # (N, K)
-    k = anchors.shape[1]
+    win_counts = night_win_counts(feeds, window_days)
+    return finalize_homes(feeds, win_counts, min_nights)
 
-    # Count, per user and anchor slot, the nights that slot's tower won.
+
+def night_win_counts(
+    feeds: DataFeeds, window_days: np.ndarray
+) -> np.ndarray:
+    """Per-(user, anchor-slot) count of nights that slot's tower won.
+
+    The associative core of home detection: counts over disjoint day
+    windows are int64 and simply *add*, so a live run folds each
+    appended segment's counts into the running total instead of
+    rescanning February (:mod:`repro.analysis.mobility`), with the sum
+    bitwise-equal to a single whole-window scan.
+    """
+    mobility = feeds.mobility
+    window_days = np.asarray(window_days)
+    num_users = mobility.num_users
+    k = mobility.anchor_sites.shape[1]
     win_counts = np.zeros((num_users, k), dtype=np.int64)
     rows = np.arange(num_users)
     for day in window_days:
@@ -78,6 +97,18 @@ def detect_homes(
         winner = night.argmax(axis=1)
         observed = night.max(axis=1) > 0
         win_counts[rows[observed], winner[observed]] += 1
+    return win_counts
+
+
+def finalize_homes(
+    feeds: DataFeeds, win_counts: np.ndarray, min_nights: int
+) -> HomeDetectionResult:
+    """Rank accumulated win counts into per-user home towers."""
+    mobility = feeds.mobility
+    num_users = mobility.num_users
+    anchors = mobility.anchor_sites  # (N, K)
+    k = anchors.shape[1]
+    rows = np.arange(num_users)
 
     # Merge slots sharing a tower (duplicate anchors) before ranking.
     order = np.argsort(anchors, axis=1, kind="stable")

@@ -79,14 +79,28 @@ class WeeklySeries:
         )
 
 
-def label_kpis(feeds: DataFeeds) -> Frame:
+def label_kpis(
+    feeds: DataFeeds, day_range: tuple[int, int] | None = None
+) -> Frame:
     """Attach week / county / region / area / OAC labels to KPI rows.
 
     Uses direct array mapping (not a relational join) because the KPI
     frame has one row per (cell, day) and the labels are functions of
     the cell's postcode district.
+
+    ``day_range`` keeps only rows whose day falls in ``[start, stop)``.
+    Labeling is strictly row-wise, so the filtered result equals the
+    same rows of the whole-feed call bitwise — the live-run analytics
+    label each appended day range once and concatenate
+    (:mod:`repro.analysis.mobility`).
     """
     kpis = feeds.radio_kpis
+    if day_range is not None:
+        lo, hi = int(day_range[0]), int(day_range[1])
+        mask = (kpis["day"] >= lo) & (kpis["day"] < hi)
+        kpis = Frame(
+            {name: kpis[name][mask] for name in kpis.column_names}
+        )
     geography = feeds.geography
     code_to_index = {
         district.code: index

@@ -150,11 +150,26 @@ def top_tower_filter(
     return out
 
 
+def _normalize_day_range(
+    day_range: tuple[int, int] | None, num_days: int
+) -> tuple[int, int]:
+    if day_range is None:
+        return 0, num_days
+    lo, hi = int(day_range[0]), int(day_range[1])
+    if not 0 <= lo <= hi <= num_days:
+        raise ValueError(
+            f"day_range ({lo}, {hi}) is not within the "
+            f"{num_days}-day feed"
+        )
+    return lo, hi
+
+
 def compute_daily_metrics(
     feeds: DataFeeds,
     gyration_mode: str = "weighted",
     top_towers: int = 20,
     batch_days: int | None = None,
+    day_range: tuple[int, int] | None = None,
 ) -> MobilityDailyMetrics:
     """Compute entropy and gyration for every user and study day.
 
@@ -166,9 +181,18 @@ def compute_daily_metrics(
     call instead.  All batch sizes — and the historical per-day loop
     selected by ``REPRO_ANALYSIS_NAIVE=1`` — produce bitwise-identical
     results.
+
+    ``day_range`` restricts the result to a ``[start, stop)`` window of
+    absolute day indices; row ``i`` of the matrices is then day
+    ``start + i``.  Every day is computed independently, so the window
+    equals the same rows of a whole-feed call bitwise — this is what
+    lets the live-run analytics compute only the appended days and
+    concatenate (:mod:`repro.analysis.mobility`).
     """
     if os.environ.get("REPRO_ANALYSIS_NAIVE") == "1":
-        return _compute_daily_metrics_loop(feeds, gyration_mode, top_towers)
+        return _compute_daily_metrics_loop(
+            feeds, gyration_mode, top_towers, day_range
+        )
 
     mobility = feeds.mobility
     shards = getattr(mobility, "shards", None)
@@ -176,14 +200,15 @@ def compute_daily_metrics(
         # Columnar run opened lazily: stream it shard by shard instead
         # of assembling full-population day matrices.
         return _compute_daily_metrics_stream(
-            feeds, gyration_mode, top_towers, batch_days
+            feeds, gyration_mode, top_towers, batch_days, day_range
         )
     site_lats, site_lons = feeds.site_locations()
     anchor_sites = mobility.anchor_sites
     lats = site_lats[anchor_sites]
     lons = site_lons[anchor_sites]
 
-    num_days = mobility.num_days
+    day_lo, day_hi = _normalize_day_range(day_range, mobility.num_days)
+    num_days = day_hi - day_lo
     num_users = mobility.num_users
     entropy = np.empty((num_days, num_users), dtype=np.float32)
     gyration = np.empty((num_days, num_users), dtype=np.float32)
@@ -203,7 +228,7 @@ def compute_daily_metrics(
             # so flattening only adds copy/tile traffic.  The per-day
             # loop is bitwise identical and measured faster here.
             return _compute_daily_metrics_loop(
-                feeds, gyration_mode, top_towers
+                feeds, gyration_mode, top_towers, day_range
             )
     batch_days = max(1, min(int(batch_days), num_days))
 
@@ -214,8 +239,8 @@ def compute_daily_metrics(
     tiled_lats = np.tile(lats, (batch_days, 1))
     tiled_lons = np.tile(lons, (batch_days, 1))
 
-    for start in range(0, num_days, batch_days):
-        stop = min(start + batch_days, num_days)
+    for start in range(day_lo, day_hi, batch_days):
+        stop = min(start + batch_days, day_hi)
         rows = (stop - start) * num_users
         chunk = buffer[:rows]
         for offset, day in enumerate(range(start, stop)):
@@ -225,10 +250,10 @@ def compute_daily_metrics(
                 casting="same_kind",
             )
         top_tower_filter(chunk, top_towers, out=chunk)
-        entropy[start:stop] = mobility_entropy(
+        entropy[start - day_lo:stop - day_lo] = mobility_entropy(
             chunk, tiled_sites[:rows]
         ).reshape(stop - start, num_users)
-        gyration[start:stop] = radius_of_gyration(
+        gyration[start - day_lo:stop - day_lo] = radius_of_gyration(
             chunk,
             tiled_lats[:rows],
             tiled_lons[:rows],
@@ -246,6 +271,7 @@ def _compute_daily_metrics_stream(
     gyration_mode: str,
     top_towers: int,
     batch_days: int | None,
+    day_range: tuple[int, int] | None = None,
 ) -> MobilityDailyMetrics:
     """Shard-streaming metrics over a lazily mapped columnar run.
 
@@ -260,7 +286,8 @@ def _compute_daily_metrics_stream(
     """
     mobility = feeds.mobility
     site_lats, site_lons = feeds.site_locations()
-    num_days = mobility.num_days
+    day_lo, day_hi = _normalize_day_range(day_range, mobility.num_days)
+    num_days = day_hi - day_lo
     num_users = mobility.num_users
     entropy = np.empty((num_days, num_users), dtype=np.float32)
     gyration = np.empty((num_days, num_users), dtype=np.float32)
@@ -296,8 +323,8 @@ def _compute_daily_metrics_stream(
         tiled_sites = np.tile(anchor_sites, (chunk_days, 1))
         tiled_lats = np.tile(lats, (chunk_days, 1))
         tiled_lons = np.tile(lons, (chunk_days, 1))
-        for start in range(0, num_days, chunk_days):
-            stop = min(start + chunk_days, num_days)
+        for start in range(day_lo, day_hi, chunk_days):
+            stop = min(start + chunk_days, day_hi)
             count = (stop - start) * rows
             chunk = buffer[:count]
             for offset, day in enumerate(range(start, stop)):
@@ -307,10 +334,14 @@ def _compute_daily_metrics_stream(
                     casting="same_kind",
                 )
             top_tower_filter(chunk, top_towers, out=chunk)
-            entropy[start:stop, shard.rows] = mobility_entropy(
+            entropy[
+                start - day_lo:stop - day_lo, shard.rows
+            ] = mobility_entropy(
                 chunk, tiled_sites[:count]
             ).reshape(stop - start, rows)
-            gyration[start:stop, shard.rows] = radius_of_gyration(
+            gyration[
+                start - day_lo:stop - day_lo, shard.rows
+            ] = radius_of_gyration(
                 chunk,
                 tiled_lats[:count],
                 tiled_lons[:count],
@@ -320,7 +351,10 @@ def _compute_daily_metrics_stream(
 
 
 def _compute_daily_metrics_loop(
-    feeds: DataFeeds, gyration_mode: str, top_towers: int
+    feeds: DataFeeds,
+    gyration_mode: str,
+    top_towers: int,
+    day_range: tuple[int, int] | None = None,
 ) -> MobilityDailyMetrics:
     """The historical day-at-a-time path, kept as the differential oracle."""
     mobility = feeds.mobility
@@ -329,16 +363,17 @@ def _compute_daily_metrics_loop(
     lats = site_lats[anchor_sites]
     lons = site_lons[anchor_sites]
 
-    num_days = mobility.num_days
+    day_lo, day_hi = _normalize_day_range(day_range, mobility.num_days)
+    num_days = day_hi - day_lo
     num_users = mobility.num_users
     entropy = np.empty((num_days, num_users), dtype=np.float32)
     gyration = np.empty((num_days, num_users), dtype=np.float32)
-    for day in range(num_days):
+    for day in range(day_lo, day_hi):
         dwell = top_tower_filter(
             mobility.dwell(day).astype(np.float64), top_towers
         )
-        entropy[day] = mobility_entropy(dwell, anchor_sites)
-        gyration[day] = radius_of_gyration(
+        entropy[day - day_lo] = mobility_entropy(dwell, anchor_sites)
+        gyration[day - day_lo] = radius_of_gyration(
             dwell, lats, lons, mode=gyration_mode
         )
     return MobilityDailyMetrics(

@@ -40,7 +40,7 @@ from repro.core.correlation import (
     cluster_users_volume_correlation,
     entropy_cases_correlation,
 )
-from repro.core.home import HomeDetectionResult, detect_homes
+from repro.core.home import HomeDetectionResult
 from repro.core.mobility_series import (
     MobilitySeries,
     geodemographic_mobility,
@@ -50,13 +50,12 @@ from repro.core.mobility_series import (
 from repro.core.performance import (
     PERF_METRICS,
     WeeklySeries,
-    label_kpis,
     performance_series,
 )
 from repro.core.relocation import RelocationMatrix, relocation_matrix
 from repro.core.report import render_series_block
 from repro.core.rat_usage import rat_time_share
-from repro.core.statistics import MobilityDailyMetrics, compute_daily_metrics
+from repro.core.statistics import MobilityDailyMetrics
 from repro.core.validation import HomeValidation, validate_against_census
 from repro.core.voice_analysis import VOICE_METRICS, voice_series
 from repro.geo.oac import oac_table
@@ -139,15 +138,26 @@ class CovidImpactStudy:
     # cached re-reads cost nothing — and nest by call stack, so the
     # phase table shows each stage under whichever artifact actually
     # triggered it.
+    # The three shared intermediates compute through
+    # repro.analysis.mobility: on a segmented live run their
+    # whole-window keys miss after every advance (the digest map
+    # changed), but the composition recomputes only the appended
+    # segment — the prefix ranges are served from their own
+    # segment-keyed cache entries, bitwise-identical to a from-scratch
+    # recomputation.
     @cached_property
     def metrics(self) -> MobilityDailyMetrics:
         """Per-user-day entropy/gyration over the whole window."""
+        from repro.analysis.mobility import incremental_daily_metrics
+
         with telemetry.span("metrics") as sp:
             result = self._artifact(
                 "metrics",
                 self._mobility_params(),
-                lambda: compute_daily_metrics(
-                    self._feeds, gyration_mode=self._gyration_mode
+                lambda: incremental_daily_metrics(
+                    self._feeds,
+                    gyration_mode=self._gyration_mode,
+                    cache=self._cache,
                 ),
             )
             sp.add(
@@ -158,16 +168,28 @@ class CovidImpactStudy:
 
     @cached_property
     def homes(self) -> HomeDetectionResult:
+        from repro.analysis.mobility import incremental_homes
+
         with telemetry.span("home_detection"):
             return self._artifact(
-                "homes", {}, lambda: detect_homes(self._feeds)
+                "homes",
+                {},
+                lambda: incremental_homes(
+                    self._feeds, cache=self._cache
+                ),
             )
 
     @cached_property
     def labeled_kpis(self):
+        from repro.analysis.mobility import incremental_labeled_kpis
+
         with telemetry.span("label_kpis"):
             return self._artifact(
-                "labeled_kpis", {}, lambda: label_kpis(self._feeds)
+                "labeled_kpis",
+                {},
+                lambda: incremental_labeled_kpis(
+                    self._feeds, cache=self._cache
+                ),
             )
 
     # -- paper artifacts ------------------------------------------------------

@@ -263,7 +263,7 @@ def compare_runs(directories: list[str | Path], lazy: bool = False) -> str:
     for directory in directories:
         label = _unique_label(Path(directory).name, labels)
         labels.append(label)
-        study = api.Run.load(directory, lazy=lazy).study()
+        study = api.Run.open(directory, lazy=lazy).study()
         summaries[label] = study.summary()
         overlays[label] = _overlay_series(study)
     header = [

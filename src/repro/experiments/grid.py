@@ -121,7 +121,7 @@ class GridCell:
         if self._run is None:
             from repro import api
 
-            self._run = api.Run.load(self.directory, lazy=True)
+            self._run = api.Run.open(self.directory, lazy=True)
         return self._run
 
     @property
@@ -270,7 +270,7 @@ def _run_cell(
     if directory.exists():
         # A stale or broken cell never pollutes a fresh one.
         shutil.rmtree(directory)
-    run = api.simulate(config, out=directory)
+    run = api.simulate(config, directory)
     _write_sidecar(directory, spec, scenario, seed, digest)
     return GridCell(
         scenario=scenario,

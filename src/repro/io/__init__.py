@@ -15,11 +15,12 @@ shards on demand so million-agent runs analyze in bounded memory.
 
 from repro.io.columnar import ShardedMobilityFeed
 from repro.io.export import export_analysis
-from repro.io.store import RunStoreError, load_feeds, save_feeds
+from repro.io.store import RunStoreError, append_feeds, load_feeds, save_feeds
 
 __all__ = [
     "RunStoreError",
     "ShardedMobilityFeed",
+    "append_feeds",
     "export_analysis",
     "load_feeds",
     "save_feeds",

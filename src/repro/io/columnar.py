@@ -65,9 +65,12 @@ __all__ = [
     "SHARD_COLUMNS",
     "ColumnarWriter",
     "MobilityShard",
+    "SegmentedStack",
     "ShardedMobilityFeed",
     "materialize",
     "open_columnar",
+    "segment_file_name",
+    "segment_relative_paths",
     "shard_dir_name",
     "shard_relative_paths",
     "use_naive",
@@ -102,6 +105,18 @@ def shard_dir_name(index: int) -> str:
     return f"shard-{index:04d}"
 
 
+def segment_file_name(column: str, start_day: int) -> str:
+    """File name of one dwell-stack segment.
+
+    The base segment (``start_day == 0``) keeps the canonical
+    single-file name so a never-appended run is byte-identical to the
+    pre-live layout; appended segments carry their absolute start day.
+    """
+    if start_day == 0:
+        return f"{column}.npy"
+    return f"{column}.{start_day:05d}.npy"
+
+
 def shard_relative_paths(num_shards: int) -> list[str]:
     """Manifest-relative paths of every shard column file, in order."""
     return [
@@ -109,6 +124,66 @@ def shard_relative_paths(num_shards: int) -> list[str]:
         for index in range(num_shards)
         for column in SHARD_COLUMNS
     ]
+
+
+def segment_relative_paths(num_shards: int, start_day: int) -> list[str]:
+    """Manifest-relative paths of one appended segment's dwell files."""
+    return [
+        f"{FEEDS_SUBDIR}/{shard_dir_name(index)}/"
+        f"{segment_file_name(column, start_day)}"
+        for index in range(num_shards)
+        for column in _DWELL_COLUMNS
+    ]
+
+
+class SegmentedStack:
+    """Day-indexed view over the dwell segments of one live shard.
+
+    A run grown through ``Run.advance`` stores its dwell stack as a
+    base file plus one file per append commit.  This view routes a day
+    index to the segment holding it, so every ``stack[day]`` consumer
+    (``ShardedMobilityFeed._assemble``, the streaming metrics) works
+    unchanged on live runs.
+    """
+
+    def __init__(self, segments: list[tuple[int, np.ndarray]]) -> None:
+        if not segments:
+            raise ValueError("a segmented stack needs at least one segment")
+        self._segments = sorted(segments, key=lambda pair: pair[0])
+        self._starts = [start for start, _ in self._segments]
+        expected = 0
+        for start, stack in self._segments:
+            if start != expected:
+                raise ValueError(
+                    f"dwell segments are not contiguous: segment at day "
+                    f"{start} follows {expected} covered days"
+                )
+            expected = start + stack.shape[0]
+        total = expected
+        first = self._segments[0][1]
+        self.shape = (total, *first.shape[1:])
+        self.ndim = first.ndim
+        self.dtype = first.dtype
+
+    def __len__(self) -> int:
+        return self.shape[0]
+
+    def __getitem__(self, day):
+        if isinstance(day, slice):
+            return [self[index] for index in range(*day.indices(len(self)))]
+        day = int(day)
+        if day < 0:
+            day += len(self)
+        if not 0 <= day < len(self):
+            raise IndexError(f"day {day} out of range")
+        import bisect
+
+        position = bisect.bisect_right(self._starts, day) - 1
+        start, stack = self._segments[position]
+        return stack[day - start]
+
+    def __iter__(self):
+        return (self[day] for day in range(len(self)))
 
 
 @dataclass
@@ -280,6 +355,14 @@ class ColumnarWriter:
     :meth:`commit` flushes, writes the small identity columns, and
     atomically renames everything into place.  Until commit, a crash
     leaves only ``*.tmp`` files — a reader never half-accepts them.
+
+    With ``day_offset > 0`` the writer runs in *append* mode for a live
+    run: it lands days ``[day_offset, day_offset + num_days)`` in a new
+    per-shard segment file (:func:`segment_file_name`), never touching
+    the already-digested base files, and :meth:`commit` renames only
+    the new segment into place.  The caller's manifest rewrite remains
+    the single commit point — a crash before it leaves the new files
+    unreferenced and the run loadable at its previous day count.
     """
 
     def __init__(
@@ -289,10 +372,13 @@ class ColumnarWriter:
         user_ids: np.ndarray,
         anchor_sites: np.ndarray,
         num_days: int,
+        *,
+        day_offset: int = 0,
     ) -> None:
         self.run_directory = Path(directory)
         self.feeds_directory = self.run_directory / FEEDS_SUBDIR
         self.num_days = int(num_days)
+        self.day_offset = int(day_offset)
         self._rows: list[np.ndarray] = [
             np.arange(user_ids.shape[0], dtype=np.int64)
             if indices is None
@@ -320,7 +406,12 @@ class ColumnarWriter:
         return len(self._rows)
 
     def _final(self, index: int, column: str) -> Path:
-        return self.feeds_directory / shard_dir_name(index) / f"{column}.npy"
+        name = (
+            segment_file_name(column, self.day_offset)
+            if column in _DWELL_COLUMNS
+            else f"{column}.npy"
+        )
+        return self.feeds_directory / shard_dir_name(index) / name
 
     def _tmp(self, index: int, column: str) -> Path:
         final = self._final(index, column)
@@ -329,18 +420,21 @@ class ColumnarWriter:
     def write_day(
         self, day: int, daily: np.ndarray, night: np.ndarray
     ) -> None:
-        """Land one merged day's rows in every shard's partition."""
+        """Land one merged (absolute) day's rows in every shard."""
+        offset = day - self.day_offset
         for rows, daily_out, night_out in zip(
             self._rows, self._daily, self._night
         ):
             if rows.size:
-                daily_out[day] = daily[rows]
-                night_out[day] = night[rows]
+                daily_out[offset] = daily[rows]
+                night_out[offset] = night[rows]
 
     def write_all(self, mobility) -> None:
         """Stream every day of an existing feed through the writer."""
         for day in range(self.num_days):
-            self.write_day(day, mobility.dwell(day), mobility.night(day))
+            self.write_day(
+                self.day_offset + day, mobility.dwell(day), mobility.night(day)
+            )
 
     def finish(
         self, bin_dwell: list[np.ndarray] | None = None
@@ -364,21 +458,28 @@ class ColumnarWriter:
         )
 
     def commit(self) -> list[str]:
-        """Flush, rename every column into place, drop stale shards.
+        """Flush, rename every new column file into place.
 
         Returns the manifest-relative paths of the committed files (the
         digest set).  Every rename is atomic; the caller's manifest
-        write is the overall commit point.
+        write is the overall commit point.  A base-segment commit
+        (``day_offset == 0``) also writes the identity columns and
+        drops shard directories and dwell segments a previous layout
+        left behind; an append commit touches nothing but its own new
+        segment files.
         """
+        appending = self.day_offset > 0
+        columns = _DWELL_COLUMNS if appending else SHARD_COLUMNS
         with telemetry.span("columnar_commit") as sp:
             written = 0
             for index, rows in enumerate(self._rows):
-                for column, array in (
-                    ("rows", rows),
-                    ("user_ids", self._user_ids[rows]),
-                    ("anchor_sites", self._anchor_sites[rows]),
-                ):
-                    _save_npy(self._tmp(index, column), array)
+                if not appending:
+                    for column, array in (
+                        ("rows", rows),
+                        ("user_ids", self._user_ids[rows]),
+                        ("anchor_sites", self._anchor_sites[rows]),
+                    ):
+                        _save_npy(self._tmp(index, column), array)
                 for column, stack in (
                     ("daily_dwell", self._daily[index]),
                     ("night_dwell", self._night[index]),
@@ -388,12 +489,16 @@ class ColumnarWriter:
                         stack.flush()
                     else:
                         _save_npy(tmp, stack)
-                for column in SHARD_COLUMNS:
+                for column in columns:
                     tmp = self._tmp(index, column)
                     os.replace(tmp, self._final(index, column))
                     written += self._final(index, column).stat().st_size
-            self._drop_stale_shards()
+            if not appending:
+                self._drop_stale_shards()
+                self._drop_stale_segments()
             sp.add("bytes", written)
+        if appending:
+            return segment_relative_paths(self.num_shards, self.day_offset)
         return shard_relative_paths(self.num_shards)
 
     def _drop_stale_shards(self) -> None:
@@ -411,6 +516,22 @@ class ColumnarWriter:
                 continue
             if index >= self.num_shards and entry.is_dir():
                 shutil.rmtree(entry, ignore_errors=True)
+
+    def _drop_stale_segments(self) -> None:
+        """Remove appended-segment files after a compacting full save.
+
+        A full (base) commit writes the whole window into the canonical
+        single-file stacks, so ``daily_dwell.00042.npy``-style segment
+        files from a previous live phase — and any ``*.tmp`` leftovers
+        — are superseded and must not outlive the manifest that stops
+        referencing them.
+        """
+        keep = {f"{column}.npy" for column in SHARD_COLUMNS}
+        for index in range(self.num_shards):
+            shard_dir = self.feeds_directory / shard_dir_name(index)
+            for entry in shard_dir.glob("*.npy*"):
+                if entry.name not in keep:
+                    entry.unlink(missing_ok=True)
 
 
 def _load_column(path: Path, *, lazy: bool) -> np.ndarray:
@@ -438,35 +559,60 @@ def _load_column(path: Path, *, lazy: bool) -> np.ndarray:
 
 
 def open_columnar(
-    directory: str | Path, num_shards: int, *, lazy: bool
+    directory: str | Path,
+    num_shards: int,
+    *,
+    lazy: bool,
+    segments: list[tuple[int, int]] | None = None,
 ) -> ShardedMobilityFeed:
     """Reopen a committed feed partition.
 
     ``lazy`` keeps the dwell stacks as read-only memory maps; otherwise
     they are read into RAM (the small identity columns always are).
-    Raises :class:`~repro.io.errors.RunStoreError` naming the precise
-    file for anything missing, truncated or malformed.
+    ``segments`` — ``[(start_day, num_days), ...]`` from a live run's
+    manifest — opens each dwell stack as a :class:`SegmentedStack` over
+    its append-commit files; ``None`` (or one segment) is the canonical
+    single-file layout.  Raises
+    :class:`~repro.io.errors.RunStoreError` naming the precise file for
+    anything missing, truncated or malformed.
     """
     path = Path(directory)
+    spans = [(0, None)] if not segments else [
+        (int(start), int(days)) for start, days in segments
+    ]
     shards = []
     for index in range(num_shards):
         shard_dir = path / FEEDS_SUBDIR / shard_dir_name(index)
         columns = {
-            column: _load_column(
-                shard_dir / f"{column}.npy",
-                lazy=lazy and column in _DWELL_COLUMNS,
-            )
+            column: _load_column(shard_dir / f"{column}.npy", lazy=False)
             for column in SHARD_COLUMNS
+            if column not in _DWELL_COLUMNS
         }
-        shard = MobilityShard(index=index, **columns)
+        shard = MobilityShard(
+            index=index, daily_dwell=None, night_dwell=None, **columns
+        )
         for column in _DWELL_COLUMNS:
-            stack = getattr(shard, column)
-            if stack.ndim != 3 or stack.shape[1] != shard.num_rows:
-                raise RunStoreError(
-                    f"feed shard file {shard_dir / (column + '.npy')} has "
-                    f"shape {stack.shape}, inconsistent with its "
-                    f"{shard.num_rows} rows",
-                    path=shard_dir / f"{column}.npy",
-                )
+            pieces: list[tuple[int, np.ndarray]] = []
+            for start, days in spans:
+                file = shard_dir / segment_file_name(column, start)
+                stack = _load_column(file, lazy=lazy)
+                if stack.ndim != 3 or stack.shape[1] != shard.num_rows:
+                    raise RunStoreError(
+                        f"feed shard file {file} has shape {stack.shape}, "
+                        f"inconsistent with its {shard.num_rows} rows",
+                        path=file,
+                    )
+                if days is not None and stack.shape[0] != days:
+                    raise RunStoreError(
+                        f"feed shard file {file} holds {stack.shape[0]} "
+                        f"days where the manifest records {days}",
+                        path=file,
+                    )
+                pieces.append((start, stack))
+            setattr(
+                shard,
+                column,
+                pieces[0][1] if len(pieces) == 1 else SegmentedStack(pieces),
+            )
         shards.append(shard)
     return ShardedMobilityFeed(shards)

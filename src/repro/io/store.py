@@ -31,6 +31,16 @@ the commit point.  A crash mid-save therefore leaves either the old
 run intact or a directory without a (matching) manifest — never a
 half-written file a reader would silently accept.
 
+Live runs (:meth:`repro.api.Run.advance`) extend a persisted directory
+through :func:`append_feeds`: new dwell days land in append-only
+segment files, the small tables are rewritten under day-count-versioned
+names, and the manifest — now carrying a ``live`` block (coordinator
+state), per-segment spans under ``feeds.segments`` and the current
+table names under ``feeds.tables`` — is again rewritten last as the
+commit point.  Re-saving compacts the segments back into the canonical
+single-file layout, and a run that reaches its horizon is byte-for-byte
+a batch run.
+
 Every way a run directory can be wrong — missing, interrupted, a file
 deleted, truncated or bit-flipped — surfaces as :class:`RunStoreError`
 naming the offending file, never as a leaked ``KeyError`` /
@@ -62,7 +72,7 @@ from repro.io.columnar import (
 from repro.io.errors import RunStoreError
 from repro.simulation.feeds import DataFeeds, MobilityFeed
 
-__all__ = ["RunStoreError", "save_feeds", "load_feeds"]
+__all__ = ["RunStoreError", "append_feeds", "save_feeds", "load_feeds"]
 
 _MANIFEST = "manifest.json"
 _CONFIG = "config.pkl"
@@ -82,6 +92,19 @@ _DIGESTED_FILES = (_KPIS, _RAT, _CONFIG)
 
 _FORMAT_VERSION = 2
 _SUPPORTED_VERSIONS = (1, 2)
+
+
+def _table_name(base: str, num_days: int) -> str:
+    """Versioned table file name used by append commits.
+
+    An append rewrites the KPI and RAT tables in full (they are small),
+    but under a name carrying the new day count — the previous table
+    file, still referenced by the previous manifest, survives untouched
+    until the manifest rewrite commits the advance.  A torn advance
+    therefore leaves the run loadable at its prior day count.
+    """
+    stem, dot, suffix = base.partition(".")
+    return f"{stem}.{num_days:05d}{dot}{suffix}"
 
 
 def _sha256_file(path: Path) -> str:
@@ -157,11 +180,26 @@ def save_feeds(feeds: DataFeeds, directory: str | Path) -> Path:
     All writes are atomic (tmp + rename), with ``manifest.json``
     written last as the commit point; a crash mid-save never leaves a
     file a reader would half-accept.
+
+    A feed bundle shorter than its configured horizon (a live run
+    growing through ``Run.advance``) additionally persists a ``live``
+    manifest block with the coordinator state the engine needs to
+    extend it bitwise-identically.  Saving always produces the
+    canonical single-segment layout — re-saving a segmented live run
+    compacts its append segments back into one file per shard column,
+    byte-identical to a batch run of the same day count.
     """
     if feeds.config is None:
         raise ValueError(
             "feeds carry no config; only simulator-produced bundles can "
             "be persisted"
+        )
+    horizon = int(feeds.config.calendar.num_days)
+    if feeds.mobility.num_days < horizon and feeds.live is None:
+        raise ValueError(
+            f"feeds cover {feeds.mobility.num_days} of {horizon} days but "
+            "carry no live coordinator state; a partial run cannot be "
+            "persisted without it (it could never be advanced)"
         )
     path = Path(directory)
     path.mkdir(parents=True, exist_ok=True)
@@ -209,7 +247,20 @@ def save_feeds(feeds: DataFeeds, directory: str | Path) -> Path:
             # reference load_feeds verifies files against.
             "feeds_sha256": digests,
         }
+        if mobility.num_days < horizon:
+            manifest["live"] = {
+                "horizon_days": horizon,
+                "voice_mb_by_day": [
+                    float(value) for value in feeds.live["voice_mb_by_day"]
+                ],
+                "baseline_dl_total": (
+                    None
+                    if feeds.live.get("baseline_dl_total") is None
+                    else float(feeds.live["baseline_dl_total"])
+                ),
+            }
         feeds.source_digests = digests
+        feeds.feed_segments = [(0, int(mobility.num_days))]
         # Telemetry captured while the run simulated travels with the
         # run: a snapshot is plain JSON data, so it lands verbatim in
         # the manifest and round-trips through load_feeds.
@@ -219,6 +270,178 @@ def save_feeds(feeds: DataFeeds, directory: str | Path) -> Path:
         sp.add("rat_rows", len(feeds.rat_time))
         sp.add("shards", num_shards)
         _atomic_text(json.dumps(manifest, indent=2), path / _MANIFEST)
+        # Only after the commit point: a compacting re-save of a
+        # segmented live run supersedes its day-count-versioned table
+        # files (the canonical names were just rewritten; a crash
+        # before the manifest rename must leave them referenced).
+        for base in (_KPIS, _RAT):
+            stem, _, suffix = base.partition(".")
+            for stale in path.glob(f"{stem}.*.{suffix}"):
+                stale.unlink(missing_ok=True)
+    return path
+
+
+def append_feeds(feeds: DataFeeds, chunk: DataFeeds, directory: str | Path) -> Path:
+    """Commit newly simulated days onto a persisted live run.
+
+    ``feeds`` is the loaded base run, ``chunk`` the engine's output for
+    the next window of days (its mobility holds only the new days).
+    The append commit is crash-safe in the same way a save is:
+
+    1. the new days land in *new* per-shard segment files
+       (:func:`~repro.io.columnar.segment_file_name`) — the digested
+       base files are never touched;
+    2. the KPI and RAT tables are rewritten in full under a
+       day-count-versioned name, leaving the previous table files in
+       place;
+    3. ``manifest.json`` — new day count, extended segment list,
+       updated digest map and live block — is atomically rewritten
+       *last*, as the single commit point;
+    4. only then are the superseded table files removed.
+
+    A crash anywhere before step 3 leaves the previous manifest
+    pointing exclusively at untouched files, so the run stays loadable
+    at its prior day count; re-running the advance recovers (aided by
+    the engine's per-shard-day checkpoints over the window).
+    """
+    path = Path(directory)
+    manifest = _read_manifest(path)
+    if manifest["format_version"] != _FORMAT_VERSION:
+        raise RunStoreError(
+            f"run {path} uses feed-store format "
+            f"{manifest['format_version']}; only format "
+            f"{_FORMAT_VERSION} runs can be advanced",
+            path=path / _MANIFEST,
+        )
+    live = manifest.get("live")
+    if not isinstance(live, dict):
+        raise RunStoreError(
+            f"run {path} is frozen (its manifest has no live block); "
+            "there are no further days to append",
+            path=path / _MANIFEST,
+        )
+    old_digests = manifest.get("feeds_sha256")
+    if not isinstance(old_digests, dict) or not old_digests:
+        raise RunStoreError(
+            f"run {path} records no feed digests; it cannot be advanced",
+            path=path / _MANIFEST,
+        )
+    block = manifest.get("feeds") or {}
+    num_shards = int(block.get("num_shards", 1))
+    base_days = int(manifest["num_days"])
+    chunk_days = int(chunk.mobility.num_days)
+    new_days = base_days + chunk_days
+    horizon = int(live["horizon_days"])
+    if chunk.mobility.num_users != manifest["num_users"]:
+        raise RunStoreError(
+            f"appended chunk holds {chunk.mobility.num_users} users but "
+            f"run {path} holds {manifest['num_users']}",
+            path=path / _MANIFEST,
+        )
+
+    with telemetry.span("append_feeds") as sp:
+        # 1. New dwell days → a fresh segment, never touching old files.
+        writer = getattr(chunk.mobility, "pending_writer", None)
+        if (
+            writer is not None
+            and writer.run_directory == path
+            and writer.day_offset == base_days
+        ):
+            segment_files = writer.commit()
+            chunk.mobility.pending_writer = None
+        else:
+            from repro.simulation.sharding import shard_user_indices
+
+            writer = ColumnarWriter(
+                path,
+                list(
+                    shard_user_indices(chunk.mobility.user_ids, num_shards)
+                ),
+                chunk.mobility.user_ids,
+                chunk.mobility.anchor_sites,
+                chunk_days,
+                day_offset=base_days,
+            )
+            writer.write_all(chunk.mobility)
+            segment_files = writer.commit()
+        if writer.num_shards != num_shards:
+            raise RunStoreError(
+                f"appended segment was partitioned into "
+                f"{writer.num_shards} shards but run {path} stores "
+                f"{num_shards}",
+                path=path / _MANIFEST,
+            )
+
+        # 2. Full table rewrite under versioned names (tables are small
+        # and CSV floats round-trip exactly, so the combined file is
+        # byte-identical to a batch run's prefix + new rows).
+        from repro.frames import concat
+
+        tables = block.get("tables") or {}
+        old_kpis = tables.get("radio_kpis", _KPIS)
+        old_rat = tables.get("rat_time", _RAT)
+        new_kpis = _table_name(_KPIS, new_days)
+        new_rat = _table_name(_RAT, new_days)
+        combined_kpis = concat([feeds.radio_kpis, chunk.radio_kpis])
+        combined_rat = concat([feeds.rat_time, chunk.rat_time])
+        _atomic_csv(combined_kpis, path / new_kpis)
+        _atomic_csv(combined_rat, path / new_rat)
+
+        # 3. Digest map: drop the superseded tables, add the new files.
+        digests = {
+            name: value
+            for name, value in old_digests.items()
+            if name not in (old_kpis, old_rat)
+        }
+        for name in (new_kpis, new_rat, *segment_files):
+            digests[name] = _sha256_file(path / name)
+
+        segments = [
+            [int(start), int(days)]
+            for start, days in (block.get("segments") or [[0, base_days]])
+        ]
+        segments.append([base_days, chunk_days])
+        upgrade = manifest.get("interconnect_upgrade_day")
+        if upgrade is None:
+            upgrade = chunk.interconnect_upgrade_day
+        voice = [float(value) for value in live.get("voice_mb_by_day", [])]
+        voice.extend(
+            float(value) for value in chunk.live["voice_mb_by_day"]
+        )
+        baseline = live.get("baseline_dl_total")
+        if baseline is None:
+            baseline = chunk.live.get("baseline_dl_total")
+
+        new_manifest = dict(manifest)
+        new_manifest["num_days"] = new_days
+        new_manifest["num_kpi_rows"] = len(combined_kpis)
+        new_manifest["interconnect_upgrade_day"] = upgrade
+        new_manifest["feeds"] = {
+            **block,
+            "segments": segments,
+            "tables": {"radio_kpis": new_kpis, "rat_time": new_rat},
+        }
+        new_manifest["feeds_sha256"] = digests
+        if new_days < horizon:
+            new_manifest["live"] = {
+                "horizon_days": horizon,
+                "voice_mb_by_day": voice,
+                "baseline_dl_total": (
+                    None if baseline is None else float(baseline)
+                ),
+            }
+        else:
+            new_manifest.pop("live", None)
+        sp.add("days", chunk_days)
+        sp.add("kpi_rows", len(combined_kpis))
+        # The commit point: until this rename, the previous manifest
+        # references only untouched files.
+        _atomic_text(json.dumps(new_manifest, indent=2), path / _MANIFEST)
+
+        # 4. Post-commit cleanup of superseded table files.
+        for name in (old_kpis, old_rat):
+            if name not in (new_kpis, new_rat):
+                (path / name).unlink(missing_ok=True)
     return path
 
 
@@ -332,11 +555,42 @@ def _read_mobility_v2(
             f"count {num_shards!r}",
             path=path / _MANIFEST,
         )
+    segments = _read_segments(path, block)
     effective_lazy = lazy and not columnar.use_naive()
-    sharded = open_columnar(path, num_shards, lazy=effective_lazy)
+    sharded = open_columnar(
+        path, num_shards, lazy=effective_lazy, segments=segments
+    )
     if effective_lazy:
         return sharded
     return materialize(sharded)
+
+
+def _read_segments(path: Path, block: dict) -> list[tuple[int, int]] | None:
+    """Validated ``(start, days)`` segment spans of a live partition."""
+    raw = block.get("segments")
+    if raw is None:
+        return None
+    spans: list[tuple[int, int]] = []
+    expected = 0
+    for pair in raw:
+        try:
+            start, days = (int(pair[0]), int(pair[1]))
+        except (TypeError, ValueError, IndexError) as err:
+            raise RunStoreError(
+                f"manifest {path / _MANIFEST} has a malformed feed "
+                f"segment entry {pair!r}",
+                path=path / _MANIFEST,
+            ) from err
+        if start != expected or days < 0:
+            raise RunStoreError(
+                f"manifest {path / _MANIFEST} has non-contiguous feed "
+                f"segments: segment at day {start} follows {expected} "
+                f"covered days",
+                path=path / _MANIFEST,
+            )
+        expected = start + days
+        spans.append((start, days))
+    return spans or None
 
 
 def _read_frame(path: Path, name: str):
@@ -402,8 +656,30 @@ def load_feeds(directory: str | Path, *, lazy: bool = False) -> DataFeeds:
         )
 
     upgrade = manifest.get("interconnect_upgrade_day")
+    feeds_block = (
+        manifest.get("feeds") if manifest["format_version"] != 1 else {}
+    ) or {}
+    tables = feeds_block.get("tables") or {}
+    segments = (
+        _read_segments(path, feeds_block)
+        if manifest["format_version"] != 1
+        else None
+    )
+    live = manifest.get("live")
+    calendar = config.calendar
+    if isinstance(live, dict) and mobility.num_days < calendar.num_days:
+        # A live run holds only its simulated prefix; the analysis
+        # calendar must end where the data ends (the configuration
+        # keeps the full horizon for Run.advance).
+        from repro.simulation.clock import StudyCalendar
+
+        calendar = StudyCalendar(
+            first_day=calendar.first_day,
+            num_days=mobility.num_days,
+            key_dates=calendar.key_dates,
+        )
     return DataFeeds(
-        calendar=config.calendar,
+        calendar=calendar,
         geography=world.geography,
         lookup=PostcodeLookup(world.geography),
         topology=world.topology,
@@ -411,8 +687,8 @@ def load_feeds(directory: str | Path, *, lazy: bool = False) -> DataFeeds:
         base=world.base,
         agents=world.agents,
         mobility=mobility,
-        radio_kpis=_read_frame(path, _KPIS),
-        rat_time=_read_frame(path, _RAT),
+        radio_kpis=_read_frame(path, tables.get("radio_kpis", _KPIS)),
+        rat_time=_read_frame(path, tables.get("rat_time", _RAT)),
         epidemic=world.epidemic,
         interconnect_upgrade_day=(
             int(upgrade) if upgrade is not None else None
@@ -420,6 +696,12 @@ def load_feeds(directory: str | Path, *, lazy: bool = False) -> DataFeeds:
         config=config,
         telemetry=manifest.get("telemetry"),
         source_digests=digests,
+        live=live if isinstance(live, dict) else None,
+        feed_segments=(
+            segments
+            if segments is not None
+            else [(0, int(manifest["num_days"]))]
+        ),
     )
 
 

@@ -5,7 +5,11 @@ worker crash on day 60 must not throw away days 0–59.  The engine
 therefore persists every completed :class:`~repro.simulation.sharding.
 ShardDayLoad` into ``<run-dir>/checkpoints/`` as it is produced, and a
 restarted run (``python -m repro simulate --resume <run-dir>``) loads
-the completed days back and computes only the missing ones.
+the completed days back and computes only the missing ones.  Live runs
+(:meth:`repro.api.Run.advance`) attach the same store per advance:
+checkpoint keys are *absolute* day indices, so a killed advance leaves
+its window days here and the retried advance restores them instead of
+recomputing.
 
 Resume is *bitwise-faithful*: each shard-day is a pure function of the
 configuration (per-day ``SeedSequence`` streams, no cross-day state in

@@ -95,6 +95,7 @@ from repro.simulation.checkpoint import CheckpointError, CheckpointStore
 from repro.simulation.config import SimulationConfig
 from repro.simulation.faults import (
     FaultPlan,
+    InjectedFault,
     ShardExecutionError,
     corrupt_file,
     recovery_of,
@@ -268,6 +269,8 @@ def _compute_shard(
     checkpoint: CheckpointStore | None = None,
     faults: FaultPlan | None = None,
     attempt: int = 0,
+    day_start: int = 0,
+    day_stop: int | None = None,
 ) -> ShardResult:
     """Run the per-user part of the day loop for one shard.
 
@@ -276,6 +279,13 @@ def _compute_shard(
     a row-wise operation on per-user arrays (bitwise identical for any
     partition) or a ``np.bincount`` scatter onto sites (reduced across
     shards by summation).
+
+    ``day_start``/``day_stop`` restrict the loop to a window of
+    absolute day indices (the live-run advance path).  Each shard-day
+    is a pure function of the configuration and its absolute day, so a
+    windowed run computes exactly the bytes the full run would for
+    those days; ``ShardResult.days`` is indexed relative to
+    ``day_start``.
 
     With a ``checkpoint`` store attached, days already persisted for
     ``shard_index`` are restored instead of recomputed (bitwise
@@ -320,14 +330,16 @@ def _compute_shard(
         flat_sectors = (anchor_sites * 3 + sector_of_anchor).ravel()
         sector_width = num_sites * 3
 
+    if day_stop is None:
+        day_stop = int(calendar.num_days)
     shard_span = telemetry.span(
         "shard",
         users=int(anchor_sites.shape[0]),
-        days=int(calendar.num_days),
+        days=int(day_stop - day_start),
     )
     days: list[ShardDayLoad] = []
     with shard_span:
-        for day in range(calendar.num_days):
+        for day in range(day_start, day_stop):
             if checkpoint is not None:
                 restored = checkpoint.load_day(
                     shard_index, day, missing_ok=True
@@ -509,8 +521,11 @@ def _compute_shard_day(
 # pool initializer, then serve any number of shards from it.  When the
 # coordinator has telemetry enabled, each worker records into its own
 # recorder and ships a snapshot back on every ShardResult; the recorder
-# is reset between shards so a worker serving several shards never
-# double-reports.
+# is reset at the start of every task, so partial telemetry from a
+# failed attempt is discarded instead of riding home on whichever shard
+# that worker happens to complete next (scheduling-dependent).  Fault
+# injections are therefore counted by the coordinator when the failure
+# comes back, never by the worker.
 _WORKER_CONTEXT: _RunContext | None = None
 
 #: Sleep used between retry attempts; module-level so recovery tests
@@ -534,13 +549,17 @@ def _pool_init(
 def _pool_compute(task: tuple) -> ShardResult:  # pragma: no cover
     """Run one shard task in a pool worker.
 
-    ``task`` is ``(shard_index, indices, attempt, run_directory)`` —
-    plain picklable pieces; the worker reopens the checkpoint store
-    (safe: the (shard, day) file space is partitioned across tasks)
-    and rebuilds the fault plan from its copy of the configuration.
+    ``task`` is ``(shard_index, indices, attempt, run_directory,
+    day_start, day_stop)`` — plain picklable pieces; the worker reopens
+    the checkpoint store (safe: the (shard, day) file space is
+    partitioned across tasks) and rebuilds the fault plan from its copy
+    of the configuration.
     """
     assert _WORKER_CONTEXT is not None, "pool worker not initialized"
-    shard_index, indices, attempt, run_directory = task
+    shard_index, indices, attempt, run_directory, day_start, day_stop = task
+    recorder = telemetry.active()
+    if recorder is not None:
+        recorder.reset()
     checkpoint = (
         CheckpointStore.open(run_directory)
         if run_directory is not None
@@ -553,8 +572,9 @@ def _pool_compute(task: tuple) -> ShardResult:  # pragma: no cover
         checkpoint=checkpoint,
         faults=faults,
         attempt=attempt,
+        day_start=day_start,
+        day_stop=day_stop,
     )
-    recorder = telemetry.active()
     if recorder is not None:
         result.telemetry = recorder.snapshot()
         recorder.reset()
@@ -596,9 +616,23 @@ class Simulator:
         )
 
     def run(
-        self, progress=None, *, checkpoint_dir=None, stream_dir=None
+        self, progress=None, *, checkpoint_dir=None, stream_dir=None,
+        day_start: int = 0, day_stop: int | None = None, live=None,
     ) -> DataFeeds:
         """Execute the full simulation and return the data feeds.
+
+        ``day_start``/``day_stop`` restrict the run to a window of
+        absolute study days (the live-run path behind
+        :meth:`repro.api.Run.advance`).  The returned bundle covers
+        only the window — its mobility feed holds
+        ``day_stop - day_start`` days and the KPI/RAT frames only those
+        day indices — but every byte equals the corresponding slice of
+        a full run.  A window starting past day zero requires ``live``,
+        the coordinator state captured by the preceding window (the
+        ``feeds.live`` dict: the per-day voice interconnect series and
+        the day-0 download baseline); the sequential state — RNG
+        streams, the interconnect upgrade state machine, the baseline —
+        is fast-forwarded from it before the first window day.
 
         ``progress``, if given, is called as ``progress(day, num_days)``
         after each simulated day — used by the CLI to show a meter.
@@ -628,10 +662,22 @@ class Simulator:
         into the run manifest.
         """
         config = self._config
+        if day_stop is None:
+            day_stop = int(config.calendar.num_days)
+        if not 0 <= day_start < day_stop <= config.calendar.num_days:
+            raise ValueError(
+                f"day window [{day_start}, {day_stop}) is not within "
+                f"the {config.calendar.num_days}-day study"
+            )
+        if day_start > 0 and live is None:
+            raise ValueError(
+                "a day window starting past day 0 needs the prior "
+                "window's live state (feeds.live)"
+            )
         with telemetry.span(
             "simulate",
             users=int(config.num_users),
-            days=int(config.calendar.num_days),
+            days=int(day_stop - day_start),
         ) as run_span:
             checkpoint = (
                 CheckpointStore.attach(checkpoint_dir, config)
@@ -656,7 +702,8 @@ class Simulator:
             run_span.add("shards", len(shard_indices))
             with telemetry.span("shard_execution") as shard_span:
                 results = self._execute_shards(
-                    context, shard_indices, parallelism, checkpoint
+                    context, shard_indices, parallelism, checkpoint,
+                    day_start=day_start, day_stop=day_stop,
                 )
             # Pool workers record into their own process; their
             # snapshots ride home on the ShardResult and merge under
@@ -670,6 +717,7 @@ class Simulator:
             feeds = self._assemble_feeds(
                 context, shard_indices, results, progress,
                 stream_dir=stream_dir,
+                day_start=day_start, day_stop=day_stop, live=live,
             )
         if telemetry.enabled():
             feeds.telemetry = telemetry.snapshot()
@@ -682,6 +730,9 @@ class Simulator:
         shard_indices: list[np.ndarray | None],
         parallelism,
         checkpoint: CheckpointStore | None = None,
+        *,
+        day_start: int = 0,
+        day_stop: int | None = None,
     ) -> list[ShardResult]:
         """Run every shard, surviving worker failures.
 
@@ -702,7 +753,7 @@ class Simulator:
             try:
                 self._execute_pool(
                     shard_indices, results, parallelism, recovery,
-                    checkpoint,
+                    checkpoint, day_start=day_start, day_stop=day_stop,
                 )
             except _PoolLost:
                 # No usable process pool (sandboxed platform, missing
@@ -715,7 +766,7 @@ class Simulator:
                 continue
             results[shard_index] = self._compute_with_retries(
                 context, shard_index, indices, recovery, checkpoint,
-                faults,
+                faults, day_start=day_start, day_stop=day_stop,
             )
         return [results[index] for index in range(len(shard_indices))]
 
@@ -727,6 +778,9 @@ class Simulator:
         recovery,
         checkpoint: CheckpointStore | None,
         faults: FaultPlan | None,
+        *,
+        day_start: int = 0,
+        day_stop: int | None = None,
     ) -> ShardResult:
         attempt = 0
         while True:
@@ -737,6 +791,8 @@ class Simulator:
                     checkpoint=checkpoint,
                     faults=faults,
                     attempt=attempt,
+                    day_start=day_start,
+                    day_stop=day_stop,
                 )
             except CheckpointError:
                 # A corrupt checkpoint never heals by retrying; surface
@@ -758,6 +814,9 @@ class Simulator:
         parallelism,
         recovery,
         checkpoint: CheckpointStore | None,
+        *,
+        day_start: int = 0,
+        day_stop: int | None = None,
     ) -> None:
         """Fan shard tasks over a process pool, retrying failed ones.
 
@@ -783,7 +842,8 @@ class Simulator:
                 tasks = {
                     pool.submit(
                         _pool_compute,
-                        (index, indices, 0, run_directory),
+                        (index, indices, 0, run_directory,
+                         day_start, day_stop),
                     ): (index, indices, 0)
                     for index, indices in enumerate(shard_indices)
                 }
@@ -800,6 +860,11 @@ class Simulator:
                         except CheckpointError:
                             raise
                         except Exception as err:
+                            # The worker that raised discards its
+                            # partial telemetry, so account for the
+                            # injection here, where the failure lands.
+                            if isinstance(err, InjectedFault):
+                                telemetry.count("engine.faults_injected")
                             if attempt >= recovery.max_retries:
                                 raise ShardExecutionError(
                                     index, attempt + 1
@@ -809,7 +874,9 @@ class Simulator:
                             retry = (index, indices, attempt + 1)
                             tasks[
                                 pool.submit(
-                                    _pool_compute, (*retry, run_directory)
+                                    _pool_compute,
+                                    (*retry, run_directory,
+                                     day_start, day_stop),
                                 )
                             ] = retry
         except (_PoolLost, ShardExecutionError, CheckpointError):
@@ -827,10 +894,15 @@ class Simulator:
         results: list[ShardResult],
         progress,
         stream_dir=None,
+        day_start: int = 0,
+        day_stop: int | None = None,
+        live=None,
     ) -> DataFeeds:
         config = self._config
         world = context.world
         calendar = config.calendar
+        if day_stop is None:
+            day_stop = int(calendar.num_days)
         geography = world.geography
         topology = world.topology
         agents = world.agents
@@ -899,7 +971,8 @@ class Simulator:
                     shard_indices,
                     agents.user_ids,
                     agents.anchor_sites,
-                    calendar.num_days,
+                    day_stop - day_start,
+                    day_offset=day_start,
                 )
         mobility = (
             None
@@ -940,14 +1013,37 @@ class Simulator:
         )
         baseline_dl_total: float | None = None
         upgrade_day: int | None = None
+        voice_mb_by_day: list[float] = []
 
-        for day in range(calendar.num_days):
+        if day_start > 0:
+            # Live-run fast-forward: restore the coordinator's
+            # sequential state exactly as the completed days left it.
+            # The interconnect state machine is replayed over the
+            # persisted per-day voice series (bitwise — JSON float repr
+            # round-trips float64), and each completed day's RNG draws
+            # are consumed in their historical order and shapes so the
+            # streams resume mid-sequence.
+            for replay_day, replayed_mb in enumerate(
+                live["voice_mb_by_day"]
+            ):
+                interconnect.process_day(float(replayed_mb))
+                if interconnect.upgraded and upgrade_day is None:
+                    upgrade_day = replay_day
+                night_rng.random(num_users)
+                day_rng.lognormal(0.0, 0.2, size=(2, num_sites))
+                day_rng.lognormal(0.0, 0.10, size=num_sites)
+            baseline = live["baseline_dl_total"]
+            baseline_dl_total = (
+                None if baseline is None else float(baseline)
+            )
+
+        for day in range(day_start, day_stop):
             date = calendar.date_of(day)
             with telemetry.span("merge_shards"):
                 merged: MergedDay = merge_day_loads(
                     num_users,
                     shard_indices,
-                    [result.days[day] for result in results],
+                    [result.days[day - day_start] for result in results],
                 )
             # Nighttime observability: phones that stay idle all night
             # produce no signalling, so the probes cannot place them.
@@ -962,7 +1058,7 @@ class Simulator:
                 # Consumed shard payloads are released day by day so
                 # peak memory stays bounded by one day's arrays.
                 for result in results:
-                    result.days[day] = None
+                    result.days[day - day_start] = None
             else:
                 mobility.daily_dwell.append(merged.daily_dwell)
                 mobility.night_dwell.append(night)
@@ -1007,6 +1103,7 @@ class Simulator:
             # Voice interconnect (daily) and radio-side UL loss.
             with telemetry.span("voice_interconnect") as voice_span:
                 total_voice_mb = voice_minutes.sum() * (mb_dl + mb_ul)
+                voice_mb_by_day.append(float(total_voice_mb))
                 dl_loss_today = interconnect.process_day(total_voice_mb)
                 voice_span.add("offered_voice_mb", float(total_voice_mb))
             if interconnect.upgraded and upgrade_day is None:
@@ -1185,7 +1282,11 @@ class Simulator:
             rat_time = Frame(
                 {
                     "day": np.repeat(
-                        np.arange(len(rat_time_tcs), dtype=np.int64),
+                        np.arange(
+                            day_start,
+                            day_start + len(rat_time_tcs),
+                            dtype=np.int64,
+                        ),
                         len(Rat),
                     ),
                     "rat": np.tile(
@@ -1220,6 +1321,13 @@ class Simulator:
             signaling=signaling_frames,
             interconnect_upgrade_day=upgrade_day,
             config=config,
+            # Coordinator state a later window needs to continue this
+            # run bitwise-identically (only the window's own days —
+            # append_feeds extends the persisted series).
+            live={
+                "voice_mb_by_day": voice_mb_by_day,
+                "baseline_dl_total": baseline_dl_total,
+            },
         )
 
 

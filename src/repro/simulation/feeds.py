@@ -93,6 +93,17 @@ class DataFeeds:
     # against) manifest.json by repro.io.store.  The analysis cache
     # keys artifacts on them; None for bundles that never touched disk.
     source_digests: dict | None = None
+    # Live-run coordinator state (repro.api.Run.advance): the per-day
+    # voice interconnect traffic series and the day-0 download baseline
+    # the engine needs to extend the run bitwise-identically.  Always
+    # set by the engine; persisted in manifest.json only while the run
+    # is shorter than its configured horizon.
+    live: dict | None = None
+    # Storage segments of the columnar mobility partition as
+    # (start_day, num_days) pairs — one per append commit.  The
+    # incremental analytics key per-range artifacts on them; None for
+    # bundles that never touched disk.
+    feed_segments: list[tuple[int, int]] | None = None
 
     @property
     def num_users(self) -> int:

@@ -1,10 +1,11 @@
 """Tests for the :mod:`repro.api` facade.
 
 The facade's promise is one front door for the whole lifecycle —
-simulate, save, load, resume, analyze — with crash-safety on by
+simulate, save, open, resume, analyze — with crash-safety on by
 default and precise errors from broken run directories.  These tests
 drive each lifecycle edge through :class:`repro.api.Run` and check the
-handle stays consistent with the lower layers it wraps.
+handle stays consistent with the lower layers it wraps.  (Live-mode
+``Run.advance`` has its own suite in ``tests/test_live.py``.)
 """
 
 import datetime as dt
@@ -41,7 +42,7 @@ class TestSimulate:
 
     def test_persisted(self, tmp_path):
         rundir = tmp_path / "run"
-        run = api.simulate(_config(), out=rundir)
+        run = api.simulate(_config(), rundir)
         assert run.directory == rundir
         assert (rundir / "manifest.json").exists()
         # Checkpoints served their purpose and are gone.
@@ -55,10 +56,10 @@ class TestSimulate:
 
 
 class TestRunHandle:
-    def test_load_round_trip(self, tmp_path):
+    def test_open_round_trip(self, tmp_path):
         rundir = tmp_path / "run"
-        run = api.simulate(_config(), out=rundir)
-        back = api.Run.load(rundir)
+        run = api.simulate(_config(), rundir)
+        back = api.Run.open(rundir)
         assert np.array_equal(
             back.feeds.mobility.user_ids, run.feeds.mobility.user_ids
         )
@@ -80,10 +81,21 @@ class TestRunHandle:
         with pytest.raises(ValueError):
             api.Run(None)
 
-    def test_load_alias(self, tmp_path):
+    def test_deprecated_aliases_still_work(self, tmp_path):
         rundir = tmp_path / "run"
-        api.simulate(_config(), out=rundir)
-        assert api.load(rundir).directory == rundir
+        with pytest.warns(DeprecationWarning, match="directory"):
+            api.simulate(_config(), out=rundir)
+        with pytest.warns(DeprecationWarning, match="Run.open"):
+            assert api.load(rundir).directory == rundir
+        with pytest.warns(DeprecationWarning, match="Run.open"):
+            assert api.Run.load(rundir).directory == rundir
+
+    def test_out_and_directory_together_rejected(self, tmp_path):
+        with pytest.raises(TypeError, match="out"):
+            with pytest.warns(DeprecationWarning):
+                api.simulate(
+                    _config(), tmp_path / "a", out=tmp_path / "b"
+                )
 
 
 class TestStudyCache:
@@ -93,7 +105,7 @@ class TestStudyCache:
         from repro.analysis.cache import CACHE_SUBDIR, ArtifactCache
 
         rundir = tmp_path / "run"
-        run = api.simulate(_config(), out=rundir)
+        run = api.simulate(_config(), rundir)
         study = run.study()
         assert study.artifact_cache is not None
         assert study.artifact_cache.directory == rundir / CACHE_SUBDIR
@@ -106,12 +118,12 @@ class TestStudyCache:
         assert np.array_equal(cached.gyration_km, metrics.gyration_km)
 
         # A second process (fresh load) serves the same bytes back.
-        warm = api.Run.load(rundir).study().metrics
+        warm = api.Run.open(rundir).study().metrics
         assert np.array_equal(warm.entropy, metrics.entropy)
 
     def test_cache_false_runs_in_memory(self, tmp_path):
         rundir = tmp_path / "run"
-        run = api.simulate(_config(), out=rundir)
+        run = api.simulate(_config(), rundir)
         study = run.study(cache=False)
         _ = study.metrics
         assert study.artifact_cache is None
@@ -126,7 +138,7 @@ class TestResume:
     def _interrupt(self, rundir):
         with pytest.raises(ShardExecutionError):
             api.simulate(
-                _config(fault_spec="kill:day=9"), out=rundir
+                _config(fault_spec="kill:day=9"), rundir
             )
 
     def test_completes_an_interrupted_run(self, tmp_path):
@@ -136,7 +148,7 @@ class TestResume:
 
         # Loading the interrupted directory names the problem...
         with pytest.raises(RunStoreError, match="--resume"):
-            api.Run.load(rundir)
+            api.Run.open(rundir)
 
         # ...and resume() finishes it, bitwise what simulate produces.
         run = api.resume(rundir)
@@ -151,7 +163,7 @@ class TestResume:
 
     def test_on_a_finished_run_just_loads(self, tmp_path):
         rundir = tmp_path / "run"
-        api.simulate(_config(), out=rundir)
+        api.simulate(_config(), rundir)
         run = api.resume(rundir)
         assert run.directory == rundir
 

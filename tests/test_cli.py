@@ -91,6 +91,39 @@ class TestCommands:
         assert main(["report", str(run_dir)], out=out) == 0
         assert "Headline numbers" in out.getvalue()
 
+    def test_summary_and_verdict_take_telemetry(self, run_dir):
+        for command in ("summary", "verdict"):
+            out = io.StringIO()
+            code = main([command, str(run_dir), "--telemetry"], out=out)
+            assert code == 0
+            # Warm runs are served from the cache, so the appended
+            # table shows counters rather than engine phases.
+            assert "cache.hits" in out.getvalue()
+
+    def test_watch_on_frozen_run(self, run_dir):
+        # A frozen run gets exactly one refresh, then watch stops on
+        # its own: the manifest has no live block left to poll.
+        out = io.StringIO()
+        code = main(["watch", str(run_dir), "--interval", "0"], out=out)
+        assert code == 0
+        text = out.getvalue()
+        assert "== day 98/98 ==" in text
+        assert "targets inside the band" in text  # the verdict
+        assert "refreshed in" in text
+        assert "frozen at 98 days" in text
+
+    def test_watch_waits_for_a_manifest(self, tmp_path):
+        out = io.StringIO()
+        code = main(
+            [
+                "watch", str(tmp_path / "nothing-yet"),
+                "--interval", "0", "--iterations", "2",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert out.getvalue().count("waiting for") == 2
+
 
 class TestAnalysisCache:
     """The persistent artifact cache behind analyze/summary/report."""

@@ -1,0 +1,74 @@
+"""Collate benchmarks/results/*.json into one markdown table.
+
+Thin wrapper over :mod:`repro.benchreport` (also reachable as
+``python -m repro bench-summary``), kept next to the benchmarks so CI
+can run it without knowing the CLI::
+
+    python benchmarks/collate.py                      # print the table
+    python benchmarks/collate.py --out summary.md     # write it
+    python benchmarks/collate.py --check baseline/    # fail on gate
+                                                      # regressions
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import benchreport  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--results",
+        default=str(Path(__file__).resolve().parent / "results"),
+        help="directory of bench result JSONs",
+    )
+    parser.add_argument(
+        "--out", default=None, help="write the markdown table here"
+    )
+    parser.add_argument(
+        "--check", default=None, metavar="BASELINE_DIR",
+        help="fail (exit 1) on gate regressions vs this baseline",
+    )
+    parser.add_argument(
+        "--band", type=float, default=15.0,
+        help="tolerance band for --check, percent (default: 15)",
+    )
+    args = parser.parse_args(argv)
+
+    table = benchreport.summarize(args.results)
+    if args.out:
+        Path(args.out).write_text(table + "\n", encoding="utf-8")
+        print(f"wrote {args.out}")
+    else:
+        print(table)
+
+    if args.check is None:
+        return 0
+    fresh = benchreport.metric_rows(
+        benchreport.collect_results(args.results)
+    )
+    baseline = benchreport.metric_rows(
+        benchreport.collect_results(args.check)
+    )
+    if not baseline:
+        print(f"no baseline results under {args.check}; nothing to check")
+        return 0
+    failures = benchreport.check_regressions(
+        fresh, baseline, band_pct=args.band
+    )
+    for failure in failures:
+        print(f"REGRESSION: {failure}")
+    if failures:
+        return 1
+    print(f"no gate regressions vs {args.check} (band {args.band:g}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,8 +4,10 @@
 recomputing them across processes unnecessary.  See
 :mod:`repro.analysis.cache` for the content-addressed store that
 :class:`~repro.core.study.CovidImpactStudy`, :mod:`repro.api` and the
-CLI share, and :mod:`repro.analysis.mobility` for the segment-composed
-incremental analytics live runs re-key it with.
+CLI share, :mod:`repro.analysis.mobility` for the segment-composed
+incremental analytics live runs re-key it with, and
+:mod:`repro.analysis.parallel` for the process pool that fans the
+shard-streaming kernels out across workers.
 """
 
 from repro.analysis.cache import (
@@ -21,15 +23,29 @@ from repro.analysis.mobility import (
     incremental_homes,
     incremental_labeled_kpis,
 )
+from repro.analysis.parallel import (
+    ShardPlan,
+    parallel_daily_metrics,
+    parallel_night_win_counts,
+    parallel_sessionize_events,
+    plan_for,
+    resolve_workers,
+)
 
 __all__ = [
     "CODE_EPOCHS",
     "DEFAULT_GYRATION_MODE",
     "ArtifactCache",
+    "ShardPlan",
     "artifact_key",
     "incremental_daily_metrics",
     "incremental_homes",
     "incremental_labeled_kpis",
+    "parallel_daily_metrics",
+    "parallel_night_win_counts",
+    "parallel_sessionize_events",
+    "plan_for",
     "report_params",
+    "resolve_workers",
     "summary_params",
 ]

@@ -109,18 +109,21 @@ def incremental_daily_metrics(
     gyration_mode: str = "weighted",
     top_towers: int = 20,
     cache=None,
+    workers: int | None = None,
 ) -> MobilityDailyMetrics:
     """Whole-window daily metrics, composed segment by segment.
 
     Bitwise-identical to
     :func:`~repro.core.statistics.compute_daily_metrics` over the whole
     feed; with a cache attached, segments whose range artifacts are
-    already stored are not recomputed.
+    already stored are not recomputed.  ``workers`` is forwarded to the
+    per-range computations — cache keys are independent of it, as the
+    parallel walk is bitwise-identical to the serial one.
     """
     segments = feed_segments(feeds)
     if cache is None or not segments:
         return compute_daily_metrics(
-            feeds, gyration_mode, top_towers=top_towers
+            feeds, gyration_mode, top_towers=top_towers, workers=workers
         )
     parts = []
     for start, days in segments:
@@ -137,6 +140,7 @@ def incremental_daily_metrics(
                 gyration_mode,
                 top_towers=top_towers,
                 day_range=(start, start + days),
+                workers=workers,
             )
 
         digests = segment_digests(feeds, start)
@@ -164,12 +168,15 @@ def incremental_homes(
     min_nights: int = 14,
     window_days: np.ndarray | None = None,
     cache=None,
+    workers: int | None = None,
 ) -> HomeDetectionResult:
     """Whole-window home detection, folded segment by segment.
 
     Bitwise-identical to :func:`~repro.core.home.detect_homes` (same
     window validation included); the per-segment win counts are cached
     independent of ``min_nights``, so threshold sweeps reuse them.
+    ``workers`` fans the per-shard night scans across the process pool
+    (cache keys are unaffected — the results are bitwise identical).
     """
     if min_nights <= 0:
         raise ValueError("min_nights must be positive")
@@ -183,7 +190,7 @@ def incremental_homes(
 
     segments = feed_segments(feeds)
     if cache is None or not segments:
-        return detect_homes(feeds, min_nights, window_days)
+        return detect_homes(feeds, min_nights, window_days, workers=workers)
     total = None
     for start, days in segments:
         in_range = (window_days >= start) & (window_days < start + days)
@@ -197,7 +204,7 @@ def incremental_homes(
         }
 
         def compute(segment_window=segment_window):
-            return night_win_counts(feeds, segment_window)
+            return night_win_counts(feeds, segment_window, workers=workers)
 
         digests = segment_digests(feeds, start)
         if digests is None:

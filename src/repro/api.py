@@ -265,7 +265,7 @@ class Run:
         return self
 
     # -- analysis ----------------------------------------------------------
-    def study(self, *, cache: bool | object = True):
+    def study(self, *, cache: bool | object = True, workers=None):
         """The paper's analysis over this run's feeds (cached).
 
         For a persisted run the study automatically attaches the run's
@@ -273,9 +273,13 @@ class Run:
         digests recorded in its manifest), so figure payloads survive
         across processes.  Pass ``cache=False`` for a purely in-memory
         study, or a ready :class:`~repro.analysis.cache.ArtifactCache`
-        to use instead.  The study handle is memoized per run state:
-        the ``cache`` argument only matters on the first call, and
-        :meth:`advance` resets the memo (the feeds changed).
+        to use instead.  ``workers`` (> 1, or ``"auto"``) fans the
+        shard-streaming kernels and the figure chains across a process
+        pool (:mod:`repro.analysis.parallel`) — results are bitwise
+        identical for every value.  The study handle is memoized per
+        run state: the ``cache``/``workers`` arguments only matter on
+        the first call, and :meth:`advance` resets the memo (the feeds
+        changed).
         """
         if self._study is None:
             from repro.core import CovidImpactStudy
@@ -290,7 +294,9 @@ class Run:
                     )
             elif cache:
                 attached = cache
-            self._study = CovidImpactStudy(self._feeds, cache=attached)
+            self._study = CovidImpactStudy(
+                self._feeds, cache=attached, workers=workers
+            )
         return self._study
 
 

@@ -113,6 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_rundir_args(analyze)
     _add_cache_arg(analyze)
     _add_telemetry_arg(analyze)
+    _add_workers_arg(analyze)
 
     summary = commands.add_parser(
         "summary", help="reload a run and print the headline numbers"
@@ -120,6 +121,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_rundir_args(summary)
     _add_cache_arg(summary)
     _add_telemetry_arg(summary)
+    _add_workers_arg(summary)
 
     report = commands.add_parser(
         "report",
@@ -140,6 +142,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_rundir_args(verdict)
     _add_cache_arg(verdict)
     _add_telemetry_arg(verdict)
+    _add_workers_arg(verdict)
 
     watch = commands.add_parser(
         "watch",
@@ -151,6 +154,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_rundir_args(watch)
     _add_cache_arg(watch)
     _add_telemetry_arg(watch)
+    _add_workers_arg(watch)
     watch.add_argument(
         "--interval", type=float, default=2.0, metavar="SECONDS",
         help="poll period for the run's manifest (default: 2.0)",
@@ -184,8 +188,35 @@ def build_parser() -> argparse.ArgumentParser:
     _add_rundir_args(export)
     _add_cache_arg(export)
     _add_telemetry_arg(export)
+    _add_workers_arg(export)
     export.add_argument(
         "--out", required=True, help="directory for the CSV bundle"
+    )
+
+    bench_summary = commands.add_parser(
+        "bench-summary",
+        help=(
+            "collate benchmarks/results/*.json into one markdown "
+            "trajectory table (optionally checking for regressions)"
+        ),
+    )
+    bench_summary.add_argument(
+        "--results", default="benchmarks/results", metavar="DIR",
+        help="directory of bench result JSONs (default: %(default)s)",
+    )
+    bench_summary.add_argument(
+        "--check", default=None, metavar="BASELINE_DIR",
+        help=(
+            "compare speedup-type gates against the baseline result "
+            "JSONs in this directory and exit 1 on regressions"
+        ),
+    )
+    bench_summary.add_argument(
+        "--band", type=float, default=15.0, metavar="PCT",
+        help=(
+            "tolerance band for --check, in percent "
+            "(default: %(default)s)"
+        ),
     )
 
     scenarios = commands.add_parser(
@@ -311,6 +342,33 @@ def _add_preset_args(parser: argparse.ArgumentParser) -> None:
             "(default: 1 = in-process)"
         ),
     )
+
+
+def _add_workers_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", default="auto", metavar="N",
+        help=(
+            "fan the shard-streaming analysis kernels and figure "
+            "chains across this many processes; results are bitwise "
+            "identical for every value (default: auto = the CPU "
+            "count; 1 disables)"
+        ),
+    )
+
+
+def _workers_from_args(args: argparse.Namespace):
+    """The analysis worker request: ``"auto"``, an int, or ``None``."""
+    value = getattr(args, "workers", None)
+    if value is None or value == "auto":
+        return value
+    try:
+        return int(value)
+    except (TypeError, ValueError) as err:
+        raise _CliError(
+            f"{args.command}: --workers must be an integer or 'auto', "
+            f"got {value!r}",
+            code=2,
+        ) from err
 
 
 def _add_cache_arg(parser: argparse.ArgumentParser) -> None:
@@ -486,6 +544,7 @@ def _run_command(args: argparse.Namespace, out) -> int:
         study = CovidImpactStudy(
             _load(load_feeds, rundir, lazy=getattr(args, "lazy", False)),
             cache=_open_cache(args, rundir),
+            workers=_workers_from_args(args),
         )
         path = export_analysis(study, args.out)
         print(f"wrote figure CSVs to {path}", file=out)
@@ -494,17 +553,23 @@ def _run_command(args: argparse.Namespace, out) -> int:
     if args.command == "cache":
         return _run_cache(args, out)
 
+    if args.command == "bench-summary":
+        return _run_bench_summary(args, out)
+
     if args.command in ("analyze", "summary", "verdict"):
         rundir = _resolve_rundir(args)
         cache = _open_cache(args, rundir)
         lazy = getattr(args, "lazy", False)
+        workers = _workers_from_args(args)
         if args.command == "analyze":
             print(
-                _report_text(rundir, cache, full=False, lazy=lazy),
+                _report_text(
+                    rundir, cache, full=False, lazy=lazy, workers=workers
+                ),
                 file=out,
             )
             return 0
-        summary = _summary_values(rundir, cache, lazy=lazy)
+        summary = _summary_values(rundir, cache, lazy=lazy, workers=workers)
         if args.command == "summary":
             for key, value in summary.items():
                 print(f"{key:<42} {value:>12.3f}", file=out)
@@ -537,6 +602,9 @@ def _run_command(args: argparse.Namespace, out) -> int:
                 _report_text(
                     rundir, cache, full=False,
                     lazy=getattr(args, "lazy", False),
+                    # report shares --workers with the simulate preset
+                    # switches; unset means the auto analysis default.
+                    workers=_workers_from_args(args) or "auto",
                 ),
                 file=out,
             )
@@ -620,7 +688,9 @@ def _watch_refresh(args, rundir, manifest, frozen, out) -> None:
     # digests, which change with every appended day.
     cache = _open_cache(args, rundir)
     try:
-        summary = _summary_values(rundir, cache, lazy=True)
+        summary = _summary_values(
+            rundir, cache, lazy=True, workers=_workers_from_args(args)
+        )
     except (ValueError, KeyError) as err:
         # Too few days for the full analysis yet — home detection
         # needs min_nights of them (ValueError), the correlation and
@@ -718,16 +788,18 @@ def _open_cache(args: argparse.Namespace, rundir):
     return ArtifactCache.open(rundir)
 
 
-def _cached_study(rundir, cache, lazy: bool = False):
+def _cached_study(rundir, cache, lazy: bool = False, workers=None):
     from repro.core import CovidImpactStudy
     from repro.io import load_feeds
 
     return CovidImpactStudy(
-        _load(load_feeds, rundir, lazy=lazy), cache=cache
+        _load(load_feeds, rundir, lazy=lazy), cache=cache, workers=workers
     )
 
 
-def _report_text(rundir, cache, full: bool, lazy: bool = False) -> str:
+def _report_text(
+    rundir, cache, full: bool, lazy: bool = False, workers=None
+) -> str:
     """The rendered report — from the cache alone when warm.
 
     A cache hit skips ``load_feeds`` entirely: the artifact is keyed on
@@ -739,10 +811,14 @@ def _report_text(rundir, cache, full: bool, lazy: bool = False) -> str:
         text = cache.get("report", report_params(full))
         if isinstance(text, str):
             return text
-    return _cached_study(rundir, cache, lazy=lazy).report(full=full)
+    return _cached_study(
+        rundir, cache, lazy=lazy, workers=workers
+    ).report(full=full)
 
 
-def _summary_values(rundir, cache, lazy: bool = False) -> dict:
+def _summary_values(
+    rundir, cache, lazy: bool = False, workers=None
+) -> dict:
     """The headline-summary mapping — from the cache alone when warm."""
     if cache is not None:
         from repro.analysis.cache import summary_params
@@ -750,7 +826,47 @@ def _summary_values(rundir, cache, lazy: bool = False) -> dict:
         summary = cache.get("summary", summary_params())
         if isinstance(summary, dict):
             return summary
-    return _cached_study(rundir, cache, lazy=lazy).summary()
+    return _cached_study(
+        rundir, cache, lazy=lazy, workers=workers
+    ).summary()
+
+
+def _run_bench_summary(args: argparse.Namespace, out) -> int:
+    from repro import benchreport
+
+    print(benchreport.summarize(args.results), file=out)
+    if args.check is None:
+        return 0
+    fresh = benchreport.metric_rows(
+        benchreport.collect_results(args.results)
+    )
+    baseline = benchreport.metric_rows(
+        benchreport.collect_results(args.check)
+    )
+    if not baseline:
+        print(
+            f"\nno baseline results under {args.check}; "
+            "nothing to check",
+            file=out,
+        )
+        return 0
+    failures = benchreport.check_regressions(
+        fresh, baseline, band_pct=args.band
+    )
+    if failures:
+        print(
+            f"\n{len(failures)} gate regression(s) vs {args.check} "
+            f"(band {args.band:g}%):",
+            file=out,
+        )
+        for failure in failures:
+            print(f"  {failure}", file=out)
+        return 1
+    print(
+        f"\nno gate regressions vs {args.check} (band {args.band:g}%)",
+        file=out,
+    )
+    return 0
 
 
 def _run_cache(args: argparse.Namespace, out) -> int:

@@ -11,10 +11,12 @@ parameters so the home-detection ablation can vary them.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.simulation.feeds import DataFeeds
 
 __all__ = [
@@ -22,6 +24,7 @@ __all__ = [
     "detect_homes",
     "finalize_homes",
     "night_win_counts",
+    "shard_night_win_counts",
 ]
 
 
@@ -48,6 +51,7 @@ def detect_homes(
     feeds: DataFeeds,
     min_nights: int = 14,
     window_days: np.ndarray | None = None,
+    workers: int | None = None,
 ) -> HomeDetectionResult:
     """Detect each user's home tower from nighttime attachments.
 
@@ -59,6 +63,10 @@ def detect_homes(
         Minimum number of nights the winning tower must dominate.
     window_days:
         Simulation day indices to scan; defaults to February 2020.
+    workers:
+        Fan the per-shard night scan across a process pool (> 1, on a
+        committed columnar run); bitwise identical to the serial scan
+        for every worker count.  ``None`` stays serial.
     """
     if min_nights <= 0:
         raise ValueError("min_nights must be positive")
@@ -71,12 +79,14 @@ def detect_homes(
     if window_days.max() >= mobility.num_days:
         raise ValueError("window extends beyond the simulated days")
 
-    win_counts = night_win_counts(feeds, window_days)
+    win_counts = night_win_counts(feeds, window_days, workers=workers)
     return finalize_homes(feeds, win_counts, min_nights)
 
 
 def night_win_counts(
-    feeds: DataFeeds, window_days: np.ndarray
+    feeds: DataFeeds,
+    window_days: np.ndarray,
+    workers: int | None = None,
 ) -> np.ndarray:
     """Per-(user, anchor-slot) count of nights that slot's tower won.
 
@@ -85,9 +95,44 @@ def night_win_counts(
     appended segment's counts into the running total instead of
     rescanning February (:mod:`repro.analysis.mobility`), with the sum
     bitwise-equal to a single whole-window scan.
+
+    The winner of a night is per-user ``argmax`` — strictly
+    row-independent — so counts also partition by shard: on a lazily
+    mapped columnar run each shard's partial
+    (:func:`shard_night_win_counts`) is computed from that shard's maps
+    alone and scattered at its population rows, serially or across a
+    process pool (``workers`` > 1), with identical results.
     """
     mobility = feeds.mobility
     window_days = np.asarray(window_days)
+    shards = getattr(mobility, "shards", None)
+    if shards is not None and os.environ.get("REPRO_STORE_NAIVE") != "1":
+        from repro.analysis import parallel as _parallel
+
+        num_users = mobility.num_users
+        k = mobility.anchor_sites.shape[1]
+        if (
+            workers is not None
+            and _parallel.resolve_workers(workers) > 1
+            and not _parallel.use_serial()
+        ):
+            plan = _parallel.plan_for(feeds)
+            if plan is not None:
+                return _parallel.parallel_night_win_counts(
+                    feeds,
+                    plan,
+                    window_days,
+                    workers=_parallel.resolve_workers(workers),
+                )
+        win_counts = np.zeros((num_users, k), dtype=np.int64)
+        for shard in shards:
+            if shard.num_rows == 0:
+                continue
+            telemetry.count("store.shards_streamed", 1)
+            win_counts[shard.rows] = shard_night_win_counts(
+                shard, window_days
+            )
+        return win_counts
     num_users = mobility.num_users
     k = mobility.anchor_sites.shape[1]
     win_counts = np.zeros((num_users, k), dtype=np.int64)
@@ -98,6 +143,45 @@ def night_win_counts(
         observed = night.max(axis=1) > 0
         win_counts[rows[observed], winner[observed]] += 1
     return win_counts
+
+
+def shard_night_win_counts(shard, window_days: np.ndarray) -> np.ndarray:
+    """One shard's night-win partial: ``(rows, k)`` int64 counts.
+
+    The single per-shard kernel shared by the serial streaming walk and
+    the process-pool workers — identical partials by construction.
+    Night days are read through windowed maps
+    (:func:`repro.io.columnar.window_days`, one contiguous run of the
+    scan window at a time) and released as consumed.
+    """
+    from repro.io import columnar
+
+    window_days = np.asarray(window_days, dtype=np.int64)
+    count = shard.num_rows
+    k = shard.anchor_sites.shape[1]
+    win_counts = np.zeros((count, k), dtype=np.int64)
+    rows = np.arange(count)
+    for lo, hi in _contiguous_runs(window_days):
+        window = columnar.window_days(shard, "night_dwell", lo, hi)
+        for offset in range(hi - lo):
+            night = window[offset]
+            winner = night.argmax(axis=1)
+            observed = night.max(axis=1) > 0
+            win_counts[rows[observed], winner[observed]] += 1
+        del window
+    return win_counts
+
+
+def _contiguous_runs(days: np.ndarray) -> list[tuple[int, int]]:
+    """Maximal ``[lo, hi)`` runs of consecutive day indices, in order."""
+    runs: list[list[int]] = []
+    for day in days:
+        day = int(day)
+        if runs and day == runs[-1][1]:
+            runs[-1][1] = day + 1
+        else:
+            runs.append([day, day + 1])
+    return [(lo, hi) for lo, hi in runs]
 
 
 def finalize_homes(

@@ -37,7 +37,12 @@ from repro import telemetry
 from repro.core.metrics import mobility_entropy, radius_of_gyration
 from repro.simulation.feeds import DataFeeds
 
-__all__ = ["MobilityDailyMetrics", "compute_daily_metrics", "top_tower_filter"]
+__all__ = [
+    "MobilityDailyMetrics",
+    "compute_daily_metrics",
+    "shard_metric_blocks",
+    "top_tower_filter",
+]
 
 #: Peak size of the flattened float64 dwell buffer a batched
 #: :func:`compute_daily_metrics` call materializes at once.  The three
@@ -170,6 +175,7 @@ def compute_daily_metrics(
     top_towers: int = 20,
     batch_days: int | None = None,
     day_range: tuple[int, int] | None = None,
+    workers: int | None = None,
 ) -> MobilityDailyMetrics:
     """Compute entropy and gyration for every user and study day.
 
@@ -188,6 +194,13 @@ def compute_daily_metrics(
     equals the same rows of a whole-feed call bitwise — this is what
     lets the live-run analytics compute only the appended days and
     concatenate (:mod:`repro.analysis.mobility`).
+
+    ``workers`` (> 1) fans the per-shard streaming work across a
+    process pool (:mod:`repro.analysis.parallel`) when the feed backs
+    onto a committed columnar run; each worker maps only its shard's
+    files and the partial blocks merge associatively, so the result is
+    bitwise identical for every worker count.  ``None`` stays serial;
+    ``REPRO_ANALYSIS_SERIAL=1`` forces the sequential walk regardless.
     """
     if os.environ.get("REPRO_ANALYSIS_NAIVE") == "1":
         return _compute_daily_metrics_loop(
@@ -197,6 +210,24 @@ def compute_daily_metrics(
     mobility = feeds.mobility
     shards = getattr(mobility, "shards", None)
     if shards is not None and os.environ.get("REPRO_STORE_NAIVE") != "1":
+        from repro.analysis import parallel as _parallel
+
+        if (
+            workers is not None
+            and _parallel.resolve_workers(workers) > 1
+            and not _parallel.use_serial()
+        ):
+            plan = _parallel.plan_for(feeds)
+            if plan is not None:
+                return _parallel.parallel_daily_metrics(
+                    feeds,
+                    plan,
+                    gyration_mode=gyration_mode,
+                    top_towers=top_towers,
+                    batch_days=batch_days,
+                    day_range=day_range,
+                    workers=_parallel.resolve_workers(workers),
+                )
         # Columnar run opened lazily: stream it shard by shard instead
         # of assembling full-population day matrices.
         return _compute_daily_metrics_stream(
@@ -300,54 +331,96 @@ def _compute_daily_metrics_stream(
         return metrics
 
     for shard in mobility.shards:
-        rows = shard.num_rows
-        if rows == 0:
+        if shard.num_rows == 0:
             continue
         telemetry.count("store.shards_streamed", 1)
-        anchor_sites = shard.anchor_sites
-        lats = site_lats[anchor_sites]
-        lons = site_lons[anchor_sites]
-        k = anchor_sites.shape[1]
-        if batch_days is None:
-            per_day = max(rows * k * 8, 1)
-            chunk_days = max(1, _BATCH_TARGET_BYTES // per_day)
-            if chunk_days < _MIN_AUTO_BATCH_DAYS:
-                # Large shard: one day is already a big kernel call
-                # (same measured trade-off as the in-memory path).
-                chunk_days = 1
-        else:
-            chunk_days = batch_days
-        chunk_days = max(1, min(int(chunk_days), num_days))
-
-        buffer = np.empty((chunk_days * rows, k), dtype=np.float64)
-        tiled_sites = np.tile(anchor_sites, (chunk_days, 1))
-        tiled_lats = np.tile(lats, (chunk_days, 1))
-        tiled_lons = np.tile(lons, (chunk_days, 1))
-        for start in range(day_lo, day_hi, chunk_days):
-            stop = min(start + chunk_days, day_hi)
-            count = (stop - start) * rows
-            chunk = buffer[:count]
-            for offset, day in enumerate(range(start, stop)):
-                np.copyto(
-                    chunk[offset * rows:(offset + 1) * rows],
-                    shard.daily_dwell[day],
-                    casting="same_kind",
-                )
-            top_tower_filter(chunk, top_towers, out=chunk)
-            entropy[
-                start - day_lo:stop - day_lo, shard.rows
-            ] = mobility_entropy(
-                chunk, tiled_sites[:count]
-            ).reshape(stop - start, rows)
-            gyration[
-                start - day_lo:stop - day_lo, shard.rows
-            ] = radius_of_gyration(
-                chunk,
-                tiled_lats[:count],
-                tiled_lons[:count],
-                mode=gyration_mode,
-            ).reshape(stop - start, rows)
+        entropy_block, gyration_block = shard_metric_blocks(
+            shard,
+            site_lats,
+            site_lons,
+            gyration_mode=gyration_mode,
+            top_towers=top_towers,
+            batch_days=batch_days,
+            day_lo=day_lo,
+            day_hi=day_hi,
+        )
+        entropy[:, shard.rows] = entropy_block
+        gyration[:, shard.rows] = gyration_block
     return metrics
+
+
+def shard_metric_blocks(
+    shard,
+    site_lats: np.ndarray,
+    site_lons: np.ndarray,
+    *,
+    gyration_mode: str,
+    top_towers: int,
+    batch_days: int | None,
+    day_lo: int,
+    day_hi: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Entropy/gyration blocks of one shard: ``(num_days, rows)`` each.
+
+    The single per-shard kernel shared by the serial streaming walk and
+    the process-pool workers of :mod:`repro.analysis.parallel` — both
+    paths call exactly this function, so per-shard partials are bitwise
+    identical by construction and the only difference is where the
+    scatter into the population-wide matrices happens.
+
+    Dwell days are read through :func:`repro.io.columnar.window_days`:
+    each chunk window maps fresh and is released when consumed, keeping
+    the walk's resident set bounded by one window (the persistent shard
+    maps are never touched here).
+    """
+    from repro.io.columnar import window_days
+
+    rows = shard.num_rows
+    num_days = day_hi - day_lo
+    anchor_sites = shard.anchor_sites
+    lats = site_lats[anchor_sites]
+    lons = site_lons[anchor_sites]
+    k = anchor_sites.shape[1]
+    entropy = np.empty((num_days, rows), dtype=np.float32)
+    gyration = np.empty((num_days, rows), dtype=np.float32)
+    if batch_days is None:
+        per_day = max(rows * k * 8, 1)
+        chunk_days = max(1, _BATCH_TARGET_BYTES // per_day)
+        if chunk_days < _MIN_AUTO_BATCH_DAYS:
+            # Large shard: one day is already a big kernel call
+            # (same measured trade-off as the in-memory path).
+            chunk_days = 1
+    else:
+        chunk_days = batch_days
+    chunk_days = max(1, min(int(chunk_days), max(num_days, 1)))
+
+    buffer = np.empty((chunk_days * rows, k), dtype=np.float64)
+    tiled_sites = np.tile(anchor_sites, (chunk_days, 1))
+    tiled_lats = np.tile(lats, (chunk_days, 1))
+    tiled_lons = np.tile(lons, (chunk_days, 1))
+    for start in range(day_lo, day_hi, chunk_days):
+        stop = min(start + chunk_days, day_hi)
+        count = (stop - start) * rows
+        chunk = buffer[:count]
+        window = window_days(shard, "daily_dwell", start, stop)
+        for offset in range(stop - start):
+            np.copyto(
+                chunk[offset * rows:(offset + 1) * rows],
+                window[offset],
+                casting="same_kind",
+            )
+        del window
+        top_tower_filter(chunk, top_towers, out=chunk)
+        entropy[start - day_lo:stop - day_lo] = mobility_entropy(
+            chunk, tiled_sites[:count]
+        ).reshape(stop - start, rows)
+        gyration[start - day_lo:stop - day_lo] = radius_of_gyration(
+            chunk,
+            tiled_lats[:count],
+            tiled_lons[:count],
+            mode=gyration_mode,
+        ).reshape(stop - start, rows)
+    return entropy, gyration
 
 
 def _compute_daily_metrics_loop(

@@ -18,11 +18,17 @@ make repeated analysis cheap:
   fresh results are bitwise identical; without a cache the cost is one
   ``None`` check per artifact.
 - **Parallel fan-out** — ``summary()`` and ``report()`` compute the
-  independent figure chains across a thread pool (the kernels are
-  numpy-bound and release the GIL).  The fan-out is skipped while
-  telemetry is enabled, because span paths nest by call order and a
-  profile interleaved across threads would be unreadable; results are
-  identical either way, each artifact is computed exactly once.
+  independent figure chains concurrently.  With ``workers`` > 1 on a
+  persisted, cached run the chains run in *process-pool* workers
+  (:func:`repro.analysis.parallel.map_figure_chains`): each worker
+  rebuilds the study from the run directory and lands its artifacts in
+  the shared content-addressed cache, sidestepping the GIL the
+  CPU-bound figure reductions otherwise serialize behind.  Otherwise —
+  or when the pool is unavailable — the chains fan out across threads
+  as before.  The fan-out is skipped while telemetry is enabled,
+  because span paths nest by call order and a profile interleaved
+  across workers would be unreadable; results are identical every way,
+  each artifact is computed exactly once.
 """
 
 from __future__ import annotations
@@ -82,8 +88,14 @@ class CovidImpactStudy:
         in-memory computation.
     parallel:
         Allow ``summary()``/``report()`` to fan the independent figure
-        chains out across threads (default).  ``False`` forces the
+        chains out concurrently (default).  ``False`` forces the
         serial order.
+    workers:
+        Process-pool width for the shard-streaming kernels (metrics,
+        home detection) and the figure fan-out on a persisted cached
+        run.  ``None`` (default) keeps the kernels serial and the
+        figure fan-out on threads; results are bitwise identical for
+        every value.
     """
 
     def __init__(
@@ -93,11 +105,13 @@ class CovidImpactStudy:
         *,
         cache: "object | None" = None,
         parallel: bool = True,
+        workers: int | None = None,
     ) -> None:
         self._feeds = feeds
         self._gyration_mode = gyration_mode
         self._cache = cache
         self._parallel = parallel
+        self._workers = workers
         # Highest fan-out level already run: 0 none, 1 summary-level
         # artifacts, 2 the full-report set.
         self._materialized = 0
@@ -158,6 +172,7 @@ class CovidImpactStudy:
                     self._feeds,
                     gyration_mode=self._gyration_mode,
                     cache=self._cache,
+                    workers=self._workers,
                 ),
             )
             sp.add(
@@ -175,7 +190,7 @@ class CovidImpactStudy:
                 "homes",
                 {},
                 lambda: incremental_homes(
-                    self._feeds, cache=self._cache
+                    self._feeds, cache=self._cache, workers=self._workers
                 ),
             )
 
@@ -388,44 +403,91 @@ class CovidImpactStudy:
         )
 
     # -- parallel fan-out -----------------------------------------------------
-    def _materialize_artifacts(self, full: bool) -> None:
-        """Compute the independent artifact chains across a thread pool.
+    #: The independent artifact chains of the summary-level fan-out,
+    #: ordered so every artifact is computed exactly once (``fig4``
+    #: rides with ``fig3``, the cluster correlations with ``fig10``).
+    _SUMMARY_CHAINS = (
+        ("fig2",),
+        ("fig3", "fig4"),
+        ("fig7",),
+        ("fig8",),
+        ("fig9",),
+        ("fig10", "cluster_correlations"),
+        ("fig11",),
+        ("rat_share",),
+    )
+    #: Chains the full report adds on top of the summary set.
+    _FULL_CHAINS = (("fig5",), ("fig6",), ("fig12",))
 
-        Each chain is one task, ordered so every artifact is computed
-        exactly once (``fig4`` rides with ``fig3``, the cluster
-        correlations with ``fig10``); the shared intermediates are
-        forced first on the calling thread.  Skipped — falling back to
-        the identical serial order — when ``parallel=False``, when the
-        host has a single CPU, or while telemetry is enabled (span
-        paths nest by call order).
+    def _materialize_artifacts(self, full: bool) -> None:
+        """Compute the independent artifact chains concurrently.
+
+        The shared intermediates are forced first on the calling
+        thread.  With explicit ``workers`` > 1 on a persisted cached
+        run the chains go to a process pool
+        (:func:`repro.analysis.parallel.map_figure_chains`) whose
+        workers warm the shared artifact cache; otherwise — and as the
+        fallback whenever that pool is unavailable — they fan out
+        across threads.  Skipped entirely (falling back to the
+        identical serial order) when ``parallel=False``, while
+        telemetry is enabled (span paths nest by call order), or for
+        the thread path on a single-CPU host.
         """
         level = 2 if full else 1
         if self._materialized >= level:
             return
         if not self._parallel or telemetry.enabled():
             return
-        workers = os.cpu_count() or 1
-        if workers <= 1:
+        from repro.analysis import parallel as _parallel
+
+        explicit = (
+            self._workers is not None
+            and _parallel.resolve_workers(self._workers) > 1
+            and not _parallel.use_serial()
+        )
+        cpus = os.cpu_count() or 1
+        if not explicit and cpus <= 1:
             return
         _ = (self.metrics, self.homes, self.labeled_kpis)
-        chains = [
-            self.fig2,
-            lambda: (self.fig3(), self.fig4()),
-            self.fig7,
-            self.fig8,
-            self.fig9,
-            lambda: (self.fig10(), self.cluster_correlations()),
-            self.fig11,
-            self.rat_share,
-        ]
+        chains = list(self._SUMMARY_CHAINS)
         if full:
-            chains += [self.fig5, self.fig6, self.fig12]
-        with ThreadPoolExecutor(
-            max_workers=min(len(chains), workers)
-        ) as pool:
-            for future in [pool.submit(chain) for chain in chains]:
-                future.result()
+            chains += list(self._FULL_CHAINS)
+        if not explicit or not self._materialize_process(chains):
+            self._materialize_threads(chains, cpus)
         self._materialized = level
+
+    def _materialize_process(self, chains: list[tuple[str, ...]]) -> bool:
+        """Run the chains in pool workers that share the on-disk cache."""
+        from repro.analysis import parallel as _parallel
+
+        directory = getattr(self._feeds, "source_directory", None)
+        if self._cache is None or directory is None:
+            return False
+        return _parallel.map_figure_chains(
+            str(directory),
+            self._gyration_mode,
+            chains,
+            workers=_parallel.resolve_workers(self._workers),
+        )
+
+    def _materialize_threads(
+        self, chains: list[tuple[str, ...]], cpus: int
+    ) -> None:
+        if cpus <= 1:
+            return
+        with ThreadPoolExecutor(
+            max_workers=min(len(chains), cpus)
+        ) as pool:
+            futures = [
+                pool.submit(
+                    lambda names=chain: [
+                        getattr(self, name)() for name in names
+                    ]
+                )
+                for chain in chains
+            ]
+            for future in futures:
+                future.result()
 
     # -- headline numbers -----------------------------------------------------
     @telemetry.timed("summary")

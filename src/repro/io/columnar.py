@@ -61,19 +61,28 @@ from repro.io.errors import RunStoreError
 from repro.simulation.feeds import MobilityFeed
 
 __all__ = [
+    "EVENT_COLUMNS",
     "FEEDS_SUBDIR",
     "SHARD_COLUMNS",
     "ColumnarWriter",
+    "EventsWriter",
     "MobilityShard",
     "SegmentedStack",
+    "ShardedEventFeed",
     "ShardedMobilityFeed",
+    "drop_stale_events",
+    "event_file_name",
+    "event_relative_paths",
     "materialize",
     "open_columnar",
+    "open_events",
+    "open_shard",
     "segment_file_name",
     "segment_relative_paths",
     "shard_dir_name",
     "shard_relative_paths",
     "use_naive",
+    "window_days",
 ]
 
 FEEDS_SUBDIR = "feeds"
@@ -90,6 +99,19 @@ SHARD_COLUMNS = (
 )
 
 _DWELL_COLUMNS = ("daily_dwell", "night_dwell")
+
+#: Column name → dtype of one shard's signalling-event partition.  The
+#: dtypes mirror :meth:`repro.network.signaling.SignalingGenerator.
+#: generate_day` exactly, so a round-trip through the store is bitwise.
+EVENT_COLUMNS = (
+    ("user_id", np.dtype(np.int64)),
+    ("site_id", np.dtype(np.int64)),
+    ("timestamp_s", np.dtype(np.float64)),
+    ("event", np.dtype(np.int64)),
+    ("result", np.dtype(np.int64)),
+)
+
+_EVENT_OFFSETS = "events_offsets.npy"
 
 
 def use_naive() -> bool:
@@ -133,6 +155,22 @@ def segment_relative_paths(num_shards: int, start_day: int) -> list[str]:
         f"{segment_file_name(column, start_day)}"
         for index in range(num_shards)
         for column in _DWELL_COLUMNS
+    ]
+
+
+def event_file_name(column: str) -> str:
+    return f"events_{column}.npy"
+
+
+def event_relative_paths(num_shards: int) -> list[str]:
+    """Manifest-relative paths of every event-partition file, in order."""
+    return [
+        f"{FEEDS_SUBDIR}/{shard_dir_name(index)}/{name}"
+        for index in range(num_shards)
+        for name in (
+            [_EVENT_OFFSETS]
+            + [event_file_name(column) for column, _ in EVENT_COLUMNS]
+        )
     ]
 
 
@@ -201,6 +239,10 @@ class MobilityShard:
     anchor_sites: np.ndarray
     daily_dwell: np.ndarray
     night_dwell: np.ndarray
+    #: Column → ``[(start_day, num_days, path)]`` of the backing segment
+    #: files, recorded on lazy opens so :func:`window_days` can map a
+    #: day window fresh and release it after consumption.
+    sources: dict[str, list[tuple[int, int, Path]]] | None = None
 
     @property
     def num_rows(self) -> int:
@@ -524,13 +566,17 @@ class ColumnarWriter:
         single-file stacks, so ``daily_dwell.00042.npy``-style segment
         files from a previous live phase — and any ``*.tmp`` leftovers
         — are superseded and must not outlive the manifest that stops
-        referencing them.
+        referencing them.  The event partition (``events_*``) has its
+        own writer and staleness rules (:func:`drop_stale_events`), so
+        it is left alone here.
         """
         keep = {f"{column}.npy" for column in SHARD_COLUMNS}
         for index in range(self.num_shards):
             shard_dir = self.feeds_directory / shard_dir_name(index)
             for entry in shard_dir.glob("*.npy*"):
-                if entry.name not in keep:
+                if entry.name not in keep and not entry.name.startswith(
+                    "events_"
+                ):
                     entry.unlink(missing_ok=True)
 
 
@@ -558,6 +604,66 @@ def _load_column(path: Path, *, lazy: bool) -> np.ndarray:
         ) from err
 
 
+def open_shard(
+    directory: str | Path,
+    shard_index: int,
+    *,
+    lazy: bool,
+    segments: list[tuple[int, int]] | None = None,
+) -> MobilityShard:
+    """Open exactly one shard of a committed feed partition.
+
+    The unit a parallel analysis worker maps: given ``(run_dir,
+    shard_id)`` it opens only that shard's files — no feed object
+    crosses the process boundary.  Lazy opens also record each dwell
+    column's backing files on :attr:`MobilityShard.sources` so
+    :func:`window_days` can re-map day windows with bounded residency.
+    """
+    path = Path(directory)
+    spans = [(0, None)] if not segments else [
+        (int(start), int(days)) for start, days in segments
+    ]
+    shard_dir = path / FEEDS_SUBDIR / shard_dir_name(shard_index)
+    columns = {
+        column: _load_column(shard_dir / f"{column}.npy", lazy=False)
+        for column in SHARD_COLUMNS
+        if column not in _DWELL_COLUMNS
+    }
+    shard = MobilityShard(
+        index=shard_index, daily_dwell=None, night_dwell=None, **columns
+    )
+    sources: dict[str, list[tuple[int, int, Path]]] = {}
+    for column in _DWELL_COLUMNS:
+        pieces: list[tuple[int, np.ndarray]] = []
+        files: list[tuple[int, int, Path]] = []
+        for start, days in spans:
+            file = shard_dir / segment_file_name(column, start)
+            stack = _load_column(file, lazy=lazy)
+            if stack.ndim != 3 or stack.shape[1] != shard.num_rows:
+                raise RunStoreError(
+                    f"feed shard file {file} has shape {stack.shape}, "
+                    f"inconsistent with its {shard.num_rows} rows",
+                    path=file,
+                )
+            if days is not None and stack.shape[0] != days:
+                raise RunStoreError(
+                    f"feed shard file {file} holds {stack.shape[0]} "
+                    f"days where the manifest records {days}",
+                    path=file,
+                )
+            pieces.append((start, stack))
+            files.append((start, int(stack.shape[0]), file))
+        setattr(
+            shard,
+            column,
+            pieces[0][1] if len(pieces) == 1 else SegmentedStack(pieces),
+        )
+        sources[column] = files
+    if lazy:
+        shard.sources = sources
+    return shard
+
+
 def open_columnar(
     directory: str | Path,
     num_shards: int,
@@ -576,43 +682,413 @@ def open_columnar(
     :class:`~repro.io.errors.RunStoreError` naming the precise file for
     anything missing, truncated or malformed.
     """
-    path = Path(directory)
-    spans = [(0, None)] if not segments else [
-        (int(start), int(days)) for start, days in segments
-    ]
-    shards = []
-    for index in range(num_shards):
-        shard_dir = path / FEEDS_SUBDIR / shard_dir_name(index)
-        columns = {
-            column: _load_column(shard_dir / f"{column}.npy", lazy=False)
-            for column in SHARD_COLUMNS
-            if column not in _DWELL_COLUMNS
-        }
-        shard = MobilityShard(
-            index=index, daily_dwell=None, night_dwell=None, **columns
+    return ShardedMobilityFeed(
+        [
+            open_shard(directory, index, lazy=lazy, segments=segments)
+            for index in range(num_shards)
+        ]
+    )
+
+
+def _map_segment(path: Path) -> np.ndarray:
+    """A short-lived read-only map of one segment file."""
+    try:
+        return np.load(path, mmap_mode="r")
+    except ValueError:
+        # Zero-size stacks cannot be mapped; a plain read is free.
+        return np.load(path)
+    except Exception as err:  # pragma: no cover - disk corruption
+        raise RunStoreError(
+            f"corrupt feed shard file {path}: {err}", path=path
+        ) from err
+
+
+def window_days(
+    shard: MobilityShard, column: str, start: int, stop: int
+) -> list[np.ndarray]:
+    """Day matrices for ``[start, stop)`` of one shard column, windowed.
+
+    When the shard records its backing files (lazy opens), the window
+    is served from *fresh* memory maps: the returned day views are the
+    only thing keeping those maps alive, so dropping the list releases
+    every consumed page.  A streaming reduction that walks windows this
+    way keeps its resident set bounded by one window rather than by
+    every page it ever touched — the peak-RSS-below-payload property
+    the scale bench gates.  Falls back to slicing the shard's persistent
+    stacks (eager arrays, pending writers) with identical values.
+    """
+    sources = (shard.sources or {}).get(column)
+    if not sources:
+        stack = getattr(shard, column)
+        return [stack[day] for day in range(start, stop)]
+    out: list[np.ndarray | None] = [None] * (stop - start)
+    for seg_start, seg_days, path in sources:
+        lo, hi = max(start, seg_start), min(stop, seg_start + seg_days)
+        if lo >= hi:
+            continue
+        stack = _map_segment(path)
+        for day in range(lo, hi):
+            out[day - start] = stack[day - seg_start]
+    missing = [start + i for i, block in enumerate(out) if block is None]
+    if missing:
+        raise RunStoreError(
+            f"shard {shard.index} column {column} has no segment covering "
+            f"day {missing[0]}"
         )
-        for column in _DWELL_COLUMNS:
-            pieces: list[tuple[int, np.ndarray]] = []
-            for start, days in spans:
-                file = shard_dir / segment_file_name(column, start)
-                stack = _load_column(file, lazy=lazy)
-                if stack.ndim != 3 or stack.shape[1] != shard.num_rows:
-                    raise RunStoreError(
-                        f"feed shard file {file} has shape {stack.shape}, "
-                        f"inconsistent with its {shard.num_rows} rows",
-                        path=file,
-                    )
-                if days is not None and stack.shape[0] != days:
-                    raise RunStoreError(
-                        f"feed shard file {file} holds {stack.shape[0]} "
-                        f"days where the manifest records {days}",
-                        path=file,
-                    )
-                pieces.append((start, stack))
-            setattr(
-                shard,
-                column,
-                pieces[0][1] if len(pieces) == 1 else SegmentedStack(pieces),
+    telemetry.count("store.windows_mapped", 1)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Signalling-event partition
+# ---------------------------------------------------------------------------
+
+
+class _AppendColumn:
+    """A ``.npy`` file grown by appends, finalized by a header patch.
+
+    The engine produces signalling events one day at a time; buffering
+    a whole run's worth before ``np.save`` would defeat the out-of-core
+    store.  Instead the file starts with a fixed-width (space-padded)
+    version-1 header declaring zero rows, each day's rows are appended
+    raw, and :meth:`close` seeks back and rewrites the header with the
+    final shape — same padded length, so the data never moves.  The
+    bytes are a function of the appended arrays alone: streaming from
+    the engine and rewriting from an in-memory dict produce identical
+    files.
+    """
+
+    _HEADER_BYTES = 128
+
+    def __init__(self, path: Path, dtype: np.dtype) -> None:
+        self.path = path
+        self.dtype = np.dtype(dtype)
+        self.rows = 0
+        self._handle = open(path, "wb")
+        self._handle.write(self._header(0))
+
+    def _header(self, rows: int) -> bytes:
+        import struct
+
+        magic = b"\x93NUMPY\x01\x00"
+        body = (
+            "{'descr': '%s', 'fortran_order': False, 'shape': (%d,), }"
+            % (np.lib.format.dtype_to_descr(self.dtype), rows)
+        ).encode("latin1")
+        pad = self._HEADER_BYTES - len(magic) - 2 - 1 - len(body)
+        if pad < 0:  # pragma: no cover - fixed dtypes keep headers short
+            raise RunStoreError(
+                f"npy header for {self.path} exceeds {self._HEADER_BYTES} "
+                "bytes"
             )
-        shards.append(shard)
-    return ShardedMobilityFeed(shards)
+        header = body + b" " * pad + b"\n"
+        return magic + struct.pack("<H", len(header)) + header
+
+    def append(self, array: np.ndarray) -> None:
+        array = np.ascontiguousarray(array, dtype=self.dtype)
+        self._handle.write(array.tobytes())
+        self.rows += int(array.shape[0])
+
+    def close(self) -> int:
+        """Patch the final row count into the header; bytes written."""
+        self._handle.seek(0)
+        self._handle.write(self._header(self.rows))
+        self._handle.close()
+        return self.path.stat().st_size
+
+
+class EventsWriter:
+    """Creates one run's per-shard signalling-event partition.
+
+    Events partition by the same deterministic user hash as the
+    mobility shards (:func:`repro.simulation.sharding.stable_shard_of`),
+    so a user's events live next to their dwell rows and per-shard
+    analyses never cross shard boundaries.  Within a shard the layout
+    is day-major append order plus a ``(num_days + 1,)`` prefix-sum
+    offsets column — one slice per (shard, day) window::
+
+        shard-NNNN/
+          events_offsets.npy     # int64 prefix sums, day -> [lo, hi)
+          events_user_id.npy     # 1-D, day-major
+          events_site_id.npy
+          events_timestamp_s.npy # float64
+          events_event.npy
+          events_result.npy
+
+    Like :class:`ColumnarWriter`, everything lands under ``*.tmp``
+    names and :meth:`commit` renames atomically; the caller's manifest
+    write is the overall commit point.
+    """
+
+    def __init__(
+        self, directory: str | Path, num_shards: int, num_days: int
+    ) -> None:
+        self.run_directory = Path(directory)
+        self.feeds_directory = self.run_directory / FEEDS_SUBDIR
+        self.num_shards = int(num_shards)
+        self.num_days = int(num_days)
+        self.committed = False
+        self._next_day = 0
+        self._counts = np.zeros(
+            (self.num_shards, self.num_days), dtype=np.int64
+        )
+        self._columns: list[dict[str, _AppendColumn]] = []
+        for index in range(self.num_shards):
+            shard_dir = self.feeds_directory / shard_dir_name(index)
+            shard_dir.mkdir(parents=True, exist_ok=True)
+            self._columns.append(
+                {
+                    column: _AppendColumn(
+                        shard_dir / (event_file_name(column) + ".tmp"),
+                        dtype,
+                    )
+                    for column, dtype in EVENT_COLUMNS
+                }
+            )
+
+    def write_day(self, day: int, frame) -> None:
+        """Append one day's event frame, partitioned across the shards.
+
+        Days must arrive in order — the layout is day-major and the
+        offsets column is a prefix sum.
+        """
+        if day != self._next_day:
+            raise RunStoreError(
+                f"signalling events must be written in day order: got day "
+                f"{day}, expected {self._next_day}"
+            )
+        user_ids = frame["user_id"]
+        if self.num_shards == 1:
+            assignments = None
+        else:
+            from repro.simulation.sharding import stable_shard_of
+
+            assignments = stable_shard_of(user_ids, self.num_shards)
+        for index in range(self.num_shards):
+            if assignments is None:
+                rows = None
+                count = int(user_ids.shape[0])
+            else:
+                rows = np.flatnonzero(assignments == index)
+                count = int(rows.shape[0])
+            for column, writer in self._columns[index].items():
+                values = frame[column]
+                writer.append(values if rows is None else values[rows])
+            self._counts[index, day] = count
+        self._next_day += 1
+
+    def write_all(self, signaling) -> None:
+        """Stream every day of an existing mapping through the writer."""
+        for day in range(self.num_days):
+            self.write_day(day, signaling[day])
+
+    def finish(self) -> "ShardedEventFeed":
+        """The feed view over the (still uncommitted) partition."""
+        return ShardedEventFeed(
+            self.run_directory,
+            self.num_shards,
+            self.num_days,
+            pending_writer=self,
+        )
+
+    def commit(self) -> list[str]:
+        """Flush, patch headers, rename every event file into place."""
+        if self._next_day != self.num_days:
+            raise RunStoreError(
+                f"event partition covers {self._next_day} of "
+                f"{self.num_days} days; cannot commit"
+            )
+        with telemetry.span("events_commit") as sp:
+            written = 0
+            for index in range(self.num_shards):
+                shard_dir = self.feeds_directory / shard_dir_name(index)
+                offsets = np.concatenate(
+                    [
+                        np.zeros(1, dtype=np.int64),
+                        np.cumsum(self._counts[index]),
+                    ]
+                )
+                tmp = shard_dir / (_EVENT_OFFSETS + ".tmp")
+                _save_npy(tmp, offsets)
+                os.replace(tmp, shard_dir / _EVENT_OFFSETS)
+                for writer in self._columns[index].values():
+                    written += writer.close()
+                    os.replace(
+                        writer.path, writer.path.with_suffix("")
+                    )
+            sp.add("bytes", written)
+        self.committed = True
+        return event_relative_paths(self.num_shards)
+
+
+def drop_stale_events(directory: str | Path) -> None:
+    """Remove every event-partition file under a run's shard dirs.
+
+    Called when a save stops referencing events (the feed bundle has
+    no signalling frames) so a previous event-bearing save cannot leave
+    orphans behind, and to clear ``*.tmp`` leftovers of a crashed
+    events commit.
+    """
+    feeds_dir = Path(directory) / FEEDS_SUBDIR
+    if not feeds_dir.is_dir():
+        return
+    for shard_dir in feeds_dir.glob("shard-*"):
+        for entry in shard_dir.glob("events_*"):
+            entry.unlink(missing_ok=True)
+
+
+class ShardedEventFeed:
+    """Day-keyed view over a per-shard signalling-event partition.
+
+    Drop-in for the engine's eager ``dict[int, Frame]`` — mapping-style
+    ``feeds.signaling[day]`` / ``len`` / iteration all work — but each
+    day is assembled from per-shard windows mapped *fresh* on every
+    call, so consuming a day and dropping the frame releases its pages.
+    Streaming consumers iterate :meth:`chunks` for the per-shard
+    user-partitioned pieces (ready for
+    :func:`repro.core.sessionize.sessionize_events_stream`).
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        num_shards: int,
+        num_days: int,
+        *,
+        lazy: bool = True,
+        pending_writer: EventsWriter | None = None,
+    ) -> None:
+        self.run_directory = Path(directory)
+        self.feeds_directory = self.run_directory / FEEDS_SUBDIR
+        self.num_shards = int(num_shards)
+        self.num_days = int(num_days)
+        self.lazy = bool(lazy)
+        self.pending_writer = pending_writer
+        self._offsets: dict[int, np.ndarray] = {}
+
+    # -- mapping protocol (dict[int, Frame] compatibility) --------------
+
+    def __len__(self) -> int:
+        return self.num_days
+
+    def __iter__(self):
+        return iter(range(self.num_days))
+
+    def __contains__(self, day) -> bool:
+        return isinstance(day, int) and 0 <= day < self.num_days
+
+    def __getitem__(self, day: int):
+        return self.day(day)
+
+    def keys(self):
+        return range(self.num_days)
+
+    def values(self):
+        return (self.day(day) for day in range(self.num_days))
+
+    def items(self):
+        return ((day, self.day(day)) for day in range(self.num_days))
+
+    # -- access ---------------------------------------------------------
+
+    def _check_committed(self) -> None:
+        if self.pending_writer is not None and not self.pending_writer.committed:
+            raise RunStoreError(
+                "signalling events were streamed to disk but not yet "
+                "committed; save the run before reading them back"
+            )
+
+    def _shard_offsets(self, index: int) -> np.ndarray:
+        offsets = self._offsets.get(index)
+        if offsets is None:
+            path = (
+                self.feeds_directory / shard_dir_name(index) / _EVENT_OFFSETS
+            )
+            offsets = _load_column(path, lazy=False)
+            if offsets.shape != (self.num_days + 1,):
+                raise RunStoreError(
+                    f"event offsets file {path} has shape {offsets.shape}; "
+                    f"expected ({self.num_days + 1},)",
+                    path=path,
+                )
+            self._offsets[index] = offsets
+        return offsets
+
+    @property
+    def num_events(self) -> int:
+        self._check_committed()
+        return sum(
+            int(self._shard_offsets(index)[-1])
+            for index in range(self.num_shards)
+        )
+
+    def shard_day(self, shard_index: int, day: int):
+        """One shard's slice of one day, as a Frame of window views.
+
+        The returned frame's columns are views into maps opened by this
+        call — dropping the frame releases them (windowed consumption).
+        """
+        from repro.frames import Frame
+
+        self._check_committed()
+        if not 0 <= day < self.num_days:
+            raise IndexError(f"day {day} out of range")
+        offsets = self._shard_offsets(shard_index)
+        lo, hi = int(offsets[day]), int(offsets[day + 1])
+        shard_dir = self.feeds_directory / shard_dir_name(shard_index)
+        columns = {}
+        for column, dtype in EVENT_COLUMNS:
+            path = shard_dir / event_file_name(column)
+            if self.lazy and hi > lo:
+                values = _map_segment(path)[lo:hi]
+            else:
+                values = _load_column(path, lazy=False)[lo:hi]
+            if values.dtype != dtype:
+                raise RunStoreError(
+                    f"event file {path} has dtype {values.dtype}; "
+                    f"expected {dtype}",
+                    path=path,
+                )
+            columns[column] = values
+        telemetry.count("store.event_windows_mapped", 1)
+        return Frame(columns)
+
+    def chunks(self, day: int):
+        """Per-shard user-partitioned frames of one day, in shard order."""
+        return (
+            self.shard_day(index, day) for index in range(self.num_shards)
+        )
+
+    def day(self, day: int):
+        """One full day's frame, bitwise equal to the engine's output.
+
+        The generator emits day frames sorted by ``(user_id,
+        timestamp_s)`` and the partition keeps each user's rows in one
+        shard in original order, so concatenating the shard slices and
+        stable-sorting on ``user_id`` alone reproduces the original
+        row order exactly.
+        """
+        from repro.frames import concat
+
+        pieces = [self.shard_day(index, day) for index in range(self.num_shards)]
+        if len(pieces) == 1:
+            return pieces[0]
+        return concat(pieces).sort_by(["user_id"])
+
+    def materialize(self) -> dict[int, "object"]:
+        """Rebuild the eager per-day dict, one assembled day at a time."""
+        return {day: self.day(day) for day in range(self.num_days)}
+
+
+def open_events(
+    directory: str | Path,
+    num_shards: int,
+    num_days: int,
+    *,
+    lazy: bool,
+) -> ShardedEventFeed:
+    """Reopen a committed event partition as a day-keyed feed view."""
+    feed = ShardedEventFeed(directory, num_shards, num_days, lazy=lazy)
+    for index in range(num_shards):
+        feed._shard_offsets(index)  # validates presence and shape
+    return feed

@@ -174,6 +174,42 @@ def _commit_mobility(feeds: DataFeeds, path: Path) -> tuple[list[str], int]:
     return relative, num_shards
 
 
+def _commit_events(
+    feeds: DataFeeds, path: Path, num_shards: int
+) -> list[str]:
+    """Land the signalling-event partition; return its relative paths.
+
+    Mirrors :func:`_commit_mobility`: an engine-streamed bundle (a
+    pending :class:`~repro.io.columnar.EventsWriter`) just commits its
+    writer; an in-memory per-day dict streams through a fresh writer
+    one day at a time, partitioned by the same stable user hash —
+    byte-identical files either way.  Bundles without signalling frames
+    return ``[]`` (stale event files are dropped after the manifest
+    commit).
+    """
+    signaling = feeds.signaling
+    if signaling is None:
+        return []
+    writer = getattr(signaling, "pending_writer", None)
+    if (
+        writer is not None
+        and writer.run_directory == path
+        and not writer.committed
+    ):
+        if writer.num_shards != num_shards:
+            raise RunStoreError(
+                f"streamed event partition has {writer.num_shards} shards "
+                f"but the mobility partition has {num_shards}",
+                path=path,
+            )
+        return writer.commit()
+    writer = columnar.EventsWriter(
+        path, num_shards, feeds.mobility.num_days
+    )
+    writer.write_all(signaling)
+    return writer.commit()
+
+
 def save_feeds(feeds: DataFeeds, directory: str | Path) -> Path:
     """Persist a simulation run to ``directory`` (created if missing).
 
@@ -207,6 +243,7 @@ def save_feeds(feeds: DataFeeds, directory: str | Path) -> Path:
     with telemetry.span("save_feeds") as sp:
         mobility = feeds.mobility
         shard_files, num_shards = _commit_mobility(feeds, path)
+        event_files = _commit_events(feeds, path, num_shards)
         _atomic_csv(feeds.radio_kpis, path / _KPIS)
         _atomic_csv(feeds.rat_time, path / _RAT)
         _atomic_pickle(feeds.config, path / _CONFIG)
@@ -218,8 +255,19 @@ def save_feeds(feeds: DataFeeds, directory: str | Path) -> Path:
         parallelism = parallelism_of(feeds.config)
         digests = {
             name: _sha256_file(path / name)
-            for name in (*_DIGESTED_FILES, *shard_files)
+            for name in (*_DIGESTED_FILES, *shard_files, *event_files)
         }
+        feeds_block: dict = {
+            "layout": "columnar",
+            "num_shards": num_shards,
+        }
+        if event_files:
+            # The signalling-event partition rides in the same shard
+            # directories; recording its column list here is what makes
+            # a v2-without-events manifest keep loading unchanged.
+            feeds_block["events"] = {
+                "columns": [name for name, _ in columnar.EVENT_COLUMNS],
+            }
         manifest = {
             "format_version": _FORMAT_VERSION,
             "num_users": int(mobility.num_users),
@@ -238,10 +286,7 @@ def save_feeds(feeds: DataFeeds, directory: str | Path) -> Path:
             # The on-disk mobility partition (storage layout; always the
             # configured shard count, even when the run executed
             # serially).
-            "feeds": {
-                "layout": "columnar",
-                "num_shards": num_shards,
-            },
+            "feeds": feeds_block,
             # Content addresses of the persisted feed payloads: the
             # inputs of every analysis-cache key, and the integrity
             # reference load_feeds verifies files against.
@@ -261,6 +306,7 @@ def save_feeds(feeds: DataFeeds, directory: str | Path) -> Path:
             }
         feeds.source_digests = digests
         feeds.feed_segments = [(0, int(mobility.num_days))]
+        feeds.source_directory = path
         # Telemetry captured while the run simulated travels with the
         # run: a snapshot is plain JSON data, so it lands verbatim in
         # the manifest and round-trips through load_feeds.
@@ -278,6 +324,10 @@ def save_feeds(feeds: DataFeeds, directory: str | Path) -> Path:
             stem, _, suffix = base.partition(".")
             for stale in path.glob(f"{stem}.*.{suffix}"):
                 stale.unlink(missing_ok=True)
+        if not event_files:
+            # A save without signalling frames stops referencing any
+            # event partition a previous save left behind.
+            columnar.drop_stale_events(path)
     return path
 
 
@@ -327,6 +377,13 @@ def append_feeds(feeds: DataFeeds, chunk: DataFeeds, directory: str | Path) -> P
             path=path / _MANIFEST,
         )
     block = manifest.get("feeds") or {}
+    if block.get("events"):
+        raise RunStoreError(
+            f"run {path} persists a signalling-event partition, which "
+            "the append commit does not extend; event-bearing runs "
+            "cannot be advanced",
+            path=path / _MANIFEST,
+        )
     num_shards = int(block.get("num_shards", 1))
     base_days = int(manifest["num_days"])
     chunk_days = int(chunk.mobility.num_days)
@@ -665,6 +722,22 @@ def load_feeds(directory: str | Path, *, lazy: bool = False) -> DataFeeds:
         if manifest["format_version"] != 1
         else None
     )
+    signaling = None
+    events_block = feeds_block.get("events")
+    if isinstance(events_block, dict):
+        effective_lazy = lazy and not columnar.use_naive()
+        event_feed = columnar.open_events(
+            path,
+            int(feeds_block.get("num_shards", 1)),
+            int(manifest["num_days"]),
+            lazy=effective_lazy,
+        )
+        # Lazy loads keep the day frames as windowed per-shard maps;
+        # eager loads (and the REPRO_STORE_NAIVE=1 oracle) rebuild the
+        # engine's plain per-day dict.
+        signaling = (
+            event_feed if effective_lazy else event_feed.materialize()
+        )
     live = manifest.get("live")
     calendar = config.calendar
     if isinstance(live, dict) and mobility.num_days < calendar.num_days:
@@ -693,6 +766,7 @@ def load_feeds(directory: str | Path, *, lazy: bool = False) -> DataFeeds:
         interconnect_upgrade_day=(
             int(upgrade) if upgrade is not None else None
         ),
+        signaling=signaling,
         config=config,
         telemetry=manifest.get("telemetry"),
         source_digests=digests,
@@ -702,6 +776,7 @@ def load_feeds(directory: str | Path, *, lazy: bool = False) -> DataFeeds:
             if segments is not None
             else [(0, int(manifest["num_days"]))]
         ),
+        source_directory=path,
     )
 
 

@@ -986,6 +986,23 @@ class Simulator:
         signaling_frames: dict[int, Frame] | None = (
             {} if config.emit_signaling else None
         )
+        # With a stream target, signalling events land on disk day by
+        # day (the per-shard event partition) instead of accumulating
+        # 98 days of frames in RAM.  Only full-window runs stream —
+        # event partitions are never grown by append commits.
+        events_writer = None
+        if (
+            stream_writer is not None
+            and config.emit_signaling
+            and day_start == 0
+            and day_stop == int(calendar.num_days)
+        ):
+            from repro.io import columnar as _columnar
+
+            events_writer = _columnar.EventsWriter(
+                stream_dir, len(shard_indices), day_stop - day_start
+            )
+            signaling_frames = None
         signaling_generator = SignalingGenerator()
 
         traffic_w = hour_weights_within_bins(traffic_hour_profile())
@@ -1242,7 +1259,7 @@ class Simulator:
             if progress is not None:
                 progress(day, calendar.num_days)
 
-            if signaling_frames is not None:
+            if signaling_frames is not None or events_writer is not None:
                 with telemetry.span("signaling") as signal_span:
                     segments = segments_from_dwell(
                         merged.dwell_s,
@@ -1250,7 +1267,7 @@ class Simulator:
                         agents.user_ids,
                         BIN_SECONDS,
                     )
-                    signaling_frames[day] = signaling_generator.generate_day(
+                    day_frame = signaling_generator.generate_day(
                         segments,
                         np.random.default_rng(
                             np.random.SeedSequence(
@@ -1258,14 +1275,21 @@ class Simulator:
                             )
                         ),
                     )
-                    signal_span.add(
-                        "events", len(signaling_frames[day])
-                    )
+                    signal_span.add("events", len(day_frame))
+                    if events_writer is not None:
+                        # Landed on disk and released: the day frame
+                        # never outlives its loop iteration.
+                        events_writer.write_day(day, day_frame)
+                    else:
+                        signaling_frames[day] = day_frame
 
         if stream_writer is not None:
             # The lazy feed over the still-uncommitted partition;
             # save_feeds to the same directory commits it in place.
             mobility = stream_writer.finish(bin_dwell)
+        signaling_feed = signaling_frames
+        if events_writer is not None:
+            signaling_feed = events_writer.finish()
 
         with telemetry.span("kpi_reduction") as kpi_span:
             radio_kpis = accumulator.daily_frame()
@@ -1318,7 +1342,7 @@ class Simulator:
                 if config.keep_sector_kpis
                 else None
             ),
-            signaling=signaling_frames,
+            signaling=signaling_feed,
             interconnect_upgrade_day=upgrade_day,
             config=config,
             # Coordinator state a later window needs to continue this

@@ -104,6 +104,11 @@ class DataFeeds:
     # incremental analytics key per-range artifacts on them; None for
     # bundles that never touched disk.
     feed_segments: list[tuple[int, int]] | None = None
+    # Run directory this bundle was loaded from (or last saved to).
+    # The parallel analysis pool (repro.analysis.parallel) hands this
+    # path — never the feed objects — to its workers, which open their
+    # own shard maps from it; None for bundles that never touched disk.
+    source_directory: object | None = None
 
     @property
     def num_users(self) -> int:

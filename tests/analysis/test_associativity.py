@@ -1,0 +1,186 @@
+"""Merge associativity of the shard-partitioned analysis kernels.
+
+The process-parallel fan-out (:mod:`repro.analysis.parallel`) rests on
+one algebraic fact: per-shard partials scatter into *disjoint*
+population rows, so the merge is associative and commutative — the
+order workers finish in can never change a byte.  This module pins
+that fact directly, property-based where the order space is large:
+
+- night-win-count partials and daily-metric blocks merged under any
+  shard permutation equal the serial whole-feed oracle bitwise;
+- night counts over disjoint day windows simply *add* (the live-run
+  incremental identity);
+- and the full ``(shards x workers)`` grid of public entry points
+  agrees with the ``REPRO_ANALYSIS_SERIAL=1`` oracle.
+"""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import parallel
+from repro.core.home import (
+    detect_homes,
+    finalize_homes,
+    night_win_counts,
+    shard_night_win_counts,
+)
+from repro.core.statistics import compute_daily_metrics, shard_metric_blocks
+from repro.io import load_feeds, save_feeds
+from repro.simulation.clock import StudyCalendar
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import Simulator
+
+SHARD_COUNTS = (1, 2, 4)
+WORKER_COUNTS = (1, 2, 4)
+
+_CALENDAR = StudyCalendar(first_day=dt.date(2020, 2, 24), num_days=14)
+
+
+def _config(shards: int) -> SimulationConfig:
+    return (
+        SimulationConfig.tiny(seed=47)
+        .with_overrides(
+            num_users=200,
+            target_site_count=40,
+            calendar=_CALENDAR,
+        )
+        .with_parallelism(shards, workers=1)
+    )
+
+
+@pytest.fixture(scope="module")
+def run_dirs(tmp_path_factory):
+    base = tmp_path_factory.mktemp("assoc")
+    dirs = {}
+    for shards in SHARD_COUNTS:
+        dirs[shards] = base / f"run-k{shards}"
+        save_feeds(Simulator(_config(shards)).run(), dirs[shards])
+    return dirs
+
+
+@pytest.fixture(scope="module")
+def lazy4(run_dirs):
+    return load_feeds(run_dirs[4], lazy=True)
+
+
+_WINDOW = np.arange(10)
+
+
+class TestShardOrderIndependence:
+    """Scatter the real per-shard partials in every order."""
+
+    @settings(
+        max_examples=25, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(order=st.permutations(range(4)))
+    def test_night_counts_merge_any_order(self, lazy4, order):
+        mobility = lazy4.mobility
+        oracle = night_win_counts(lazy4, _WINDOW)
+        merged = np.zeros_like(oracle)
+        for index in order:
+            shard = mobility.shards[index]
+            if shard.num_rows:
+                merged[shard.rows] = shard_night_win_counts(
+                    shard, _WINDOW
+                )
+        assert np.array_equal(merged, oracle)
+
+    @settings(
+        max_examples=10, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(order=st.permutations(range(4)))
+    def test_metric_blocks_merge_any_order(self, lazy4, order):
+        mobility = lazy4.mobility
+        site_lats, site_lons = lazy4.site_locations()
+        oracle = compute_daily_metrics(lazy4)
+        entropy = np.zeros_like(oracle.entropy)
+        gyration = np.zeros_like(oracle.gyration_km)
+        for index in order:
+            shard = mobility.shards[index]
+            if not shard.num_rows:
+                continue
+            entropy_block, gyration_block = shard_metric_blocks(
+                shard,
+                site_lats,
+                site_lons,
+                gyration_mode="weighted",
+                top_towers=20,
+                batch_days=None,
+                day_lo=0,
+                day_hi=mobility.num_days,
+            )
+            entropy[:, shard.rows] = entropy_block
+            gyration[:, shard.rows] = gyration_block
+        assert np.array_equal(entropy, oracle.entropy)
+        assert np.array_equal(gyration, oracle.gyration_km)
+
+
+class TestWindowAdditivity:
+    """Counts over disjoint day windows add — the live-run identity."""
+
+    @settings(
+        max_examples=20, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(split=st.integers(min_value=1, max_value=9))
+    def test_disjoint_windows_add(self, lazy4, split):
+        first = night_win_counts(lazy4, _WINDOW[:split])
+        second = night_win_counts(lazy4, _WINDOW[split:])
+        whole = night_win_counts(lazy4, _WINDOW)
+        assert np.array_equal(first + second, whole)
+
+    def test_summed_partials_finalize_identically(self, lazy4):
+        split = 4
+        summed = night_win_counts(lazy4, _WINDOW[:split])
+        summed = summed + night_win_counts(lazy4, _WINDOW[split:])
+        direct = detect_homes(lazy4, min_nights=3, window_days=_WINDOW)
+        refolded = finalize_homes(lazy4, summed, 3)
+        assert np.array_equal(direct.home_site, refolded.home_site)
+        assert np.array_equal(
+            direct.nights_observed, refolded.nights_observed
+        )
+
+
+class TestGridVsSerialOracle:
+    """Every (shards, workers) combo equals REPRO_ANALYSIS_SERIAL=1."""
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_metrics_and_homes(
+        self, run_dirs, shards, workers, monkeypatch
+    ):
+        lazy = load_feeds(run_dirs[shards], lazy=True)
+        monkeypatch.setenv(parallel.ENV_SERIAL, "1")
+        serial_metrics = compute_daily_metrics(lazy, workers=workers)
+        serial_homes = detect_homes(lazy, min_nights=3, workers=workers)
+        monkeypatch.delenv(parallel.ENV_SERIAL)
+        fanned_metrics = compute_daily_metrics(lazy, workers=workers)
+        fanned_homes = detect_homes(lazy, min_nights=3, workers=workers)
+        assert np.array_equal(
+            serial_metrics.entropy, fanned_metrics.entropy
+        )
+        assert np.array_equal(
+            serial_metrics.gyration_km, fanned_metrics.gyration_km
+        )
+        assert np.array_equal(
+            serial_homes.home_site, fanned_homes.home_site
+        )
+        assert np.array_equal(
+            serial_homes.nights_observed, fanned_homes.nights_observed
+        )
+
+    def test_shard_count_does_not_change_results(self, run_dirs):
+        # The same world saved at three layouts: results must agree
+        # across shard counts too, not just worker counts.
+        baselines = {}
+        for shards in SHARD_COUNTS:
+            lazy = load_feeds(run_dirs[shards], lazy=True)
+            metrics = compute_daily_metrics(lazy, workers=2)
+            baselines[shards] = (metrics.entropy, metrics.gyration_km)
+        first = baselines[SHARD_COUNTS[0]]
+        for shards in SHARD_COUNTS[1:]:
+            assert np.array_equal(baselines[shards][0], first[0])
+            assert np.array_equal(baselines[shards][1], first[1])
